@@ -1,0 +1,116 @@
+// Reproduces Figure 7: runtime of a distinct query (NUC dataset) and a
+// sort query (NSC dataset) over exception rates 0..1, comparing
+//   - w/o constraint (plain plan),
+//   - materialization (materialized view / SortKey),
+//   - PI_bitmap and PI_identifier (forced PatchIndex rewrite).
+// Scaled to 300K rows (paper: 1B). Expected shape: PatchIndex close to the
+// materialization and well below the reference for low/medium e, with the
+// gain shrinking as e grows; bitmap ≈ identifier design.
+
+#include <cstdio>
+
+#include "baselines/materialized_view.h"
+#include "baselines/sort_key.h"
+#include "bench_util.h"
+#include "optimizer/rewriter.h"
+#include "patchindex/manager.h"
+#include "workload/generator.h"
+
+namespace patchindex {
+namespace {
+
+constexpr std::uint64_t kRows = 300'000;
+constexpr int kReps = 3;
+
+PatchIndexOptions IdxOptions(PatchSetDesign design) {
+  PatchIndexOptions o;
+  o.design = design;
+  return o;
+}
+
+double TimePlan(const std::function<OperatorPtr()>& make) {
+  return bench::TimeBest(kReps, [&] {
+    OperatorPtr plan = make();
+    bench::Drain(*plan);
+  });
+}
+
+void RunNuc() {
+  std::printf("# Figure 7 (NUC): distinct query runtime [s], %llu rows\n",
+              static_cast<unsigned long long>(kRows));
+  std::printf("%-6s %-12s %-14s %-12s %-14s\n", "e", "wo_constr",
+              "mat_view", "PI_bitmap", "PI_identifier");
+  for (double e : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    GeneratorConfig cfg;
+    cfg.num_rows = kRows;
+    cfg.exception_rate = e;
+    Table t = GenerateNucTable(cfg);
+    PatchIndexManager empty;
+    const double t_ref = TimePlan(
+        [&] { return PlanQuery(LDistinct(LScan(t, {1}), {0}), empty); });
+
+    DistinctMaterializedView mv(t, 1);
+    const double t_mv = TimePlan([&] { return mv.QueryPlan(); });
+
+    double t_pi[2];
+    int i = 0;
+    for (PatchSetDesign design :
+         {PatchSetDesign::kBitmap, PatchSetDesign::kIdentifier}) {
+      PatchIndexManager mgr;
+      mgr.CreateIndex(t, 1, ConstraintKind::kNearlyUnique,
+                      IdxOptions(design));
+      OptimizerOptions forced;
+      forced.force_patch_rewrites = true;
+      t_pi[i++] = TimePlan([&] {
+        return PlanQuery(LDistinct(LScan(t, {1}), {0}), mgr, forced);
+      });
+    }
+    std::printf("%-6.1f %-12.4f %-14.4f %-12.4f %-14.4f\n", e, t_ref, t_mv,
+                t_pi[0], t_pi[1]);
+  }
+}
+
+void RunNsc() {
+  std::printf("\n# Figure 7 (NSC): sort query runtime [s], %llu rows\n",
+              static_cast<unsigned long long>(kRows));
+  std::printf("%-6s %-12s %-14s %-12s %-14s\n", "e", "wo_constr",
+              "sort_key", "PI_bitmap", "PI_identifier");
+  for (double e : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    GeneratorConfig cfg;
+    cfg.num_rows = kRows;
+    cfg.exception_rate = e;
+    Table t = GenerateNscTable(cfg);
+    PatchIndexManager empty;
+    const double t_ref = TimePlan(
+        [&] { return PlanQuery(LSort(LScan(t, {1}), {{0, true}}), empty); });
+
+    Table sk_copy = GenerateNscTable(cfg);
+    SortKey sk(&sk_copy, 1);
+    const double t_sk = TimePlan([&] { return sk.QueryPlan(); });
+
+    double t_pi[2];
+    int i = 0;
+    for (PatchSetDesign design :
+         {PatchSetDesign::kBitmap, PatchSetDesign::kIdentifier}) {
+      PatchIndexManager mgr;
+      mgr.CreateIndex(t, 1, ConstraintKind::kNearlySorted,
+                      IdxOptions(design));
+      OptimizerOptions forced;
+      forced.force_patch_rewrites = true;
+      t_pi[i++] = TimePlan([&] {
+        return PlanQuery(LSort(LScan(t, {1}), {{0, true}}), mgr, forced);
+      });
+    }
+    std::printf("%-6.1f %-12.4f %-14.4f %-12.4f %-14.4f\n", e, t_ref, t_sk,
+                t_pi[0], t_pi[1]);
+  }
+}
+
+}  // namespace
+}  // namespace patchindex
+
+int main() {
+  patchindex::RunNuc();
+  patchindex::RunNsc();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 8: creation time of the PatchIndex (both designs) vs
+// the materialization (materialized view for NUC, SortKey for NSC) over
+// exception rates. Expected shape: NUC — index creation slightly above
+// the view (discovery + filling the structure); NSC — SortKey far above
+// the PatchIndex (physical reordering); bitmap design cheaper to fill
+// than the identifier design.
+
+#include <cstdio>
+
+#include "baselines/materialized_view.h"
+#include "baselines/sort_key.h"
+#include "bench_util.h"
+#include "patchindex/patch_index.h"
+#include "workload/generator.h"
+
+namespace patchindex {
+namespace {
+
+constexpr std::uint64_t kRows = 300'000;
+
+PatchIndexOptions IdxOptions(PatchSetDesign design) {
+  PatchIndexOptions o;
+  o.design = design;
+  return o;
+}
+
+void Run(bool nuc) {
+  std::printf("%s%-6s %-16s %-12s %-14s\n",
+              nuc ? "# Figure 8 (NUC): creation time [s]\n"
+                  : "\n# Figure 8 (NSC): creation time [s]\n",
+              "e", nuc ? "mat_view" : "sort_key", "PI_bitmap",
+              "PI_identifier");
+  for (double e : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    GeneratorConfig cfg;
+    cfg.num_rows = kRows;
+    cfg.exception_rate = e;
+    Table t = nuc ? GenerateNucTable(cfg) : GenerateNscTable(cfg);
+
+    double t_mat = 0;
+    if (nuc) {
+      t_mat = bench::TimeOnce([&] { DistinctMaterializedView mv(t, 1); });
+    } else {
+      Table copy = GenerateNscTable(cfg);
+      t_mat = bench::TimeOnce([&] { SortKey sk(&copy, 1); });
+    }
+    const auto kind =
+        nuc ? ConstraintKind::kNearlyUnique : ConstraintKind::kNearlySorted;
+    const double t_bitmap = bench::TimeOnce([&] {
+      auto idx = PatchIndex::Create(t, 1, kind,
+                                    IdxOptions(PatchSetDesign::kBitmap));
+    });
+    const double t_ident = bench::TimeOnce([&] {
+      auto idx = PatchIndex::Create(t, 1, kind,
+                                    IdxOptions(PatchSetDesign::kIdentifier));
+    });
+    std::printf("%-6.1f %-16.4f %-12.4f %-14.4f\n", e, t_mat, t_bitmap,
+                t_ident);
+  }
+}
+
+}  // namespace
+}  // namespace patchindex
+
+int main() {
+  patchindex::Run(/*nuc=*/true);
+  patchindex::Run(/*nuc=*/false);
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef PATCHINDEX_BENCH_BENCH_UTIL_H_
+#define PATCHINDEX_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+
+#include "common/timer.h"
+#include "exec/operator.h"
+
+namespace patchindex::bench {
+
+/// Runs `fn` once and returns wall-clock seconds.
+inline double TimeOnce(const std::function<void()>& fn) {
+  WallTimer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+/// Runs `fn` `reps` times and returns the best wall-clock seconds (the
+/// paper measures hot queries; best-of mimics warmed caches).
+inline double TimeBest(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const double t = TimeOnce(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+/// Drains a freshly built plan, returning the row count (so the work is
+/// not optimized away).
+inline std::uint64_t Drain(Operator& op) { return CountRows(op); }
+
+}  // namespace patchindex::bench
+
+#endif  // PATCHINDEX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,38 @@
+// Constraint discovery: scans columns of a messy, integrated dataset
+// (synthetic PublicBI-style workbooks) for approximate uniqueness and
+// sorting constraints — the Figure 1 motivation: real BI data has no
+// declared constraints, but plenty of *approximate* ones worth indexing.
+
+#include <cstdio>
+
+#include "patchindex/discovery.h"
+#include "workload/publicbi.h"
+
+using namespace patchindex;
+
+int main() {
+  constexpr std::uint64_t kRows = 20'000;
+  for (const auto& dataset : Figure1Datasets()) {
+    std::printf("%s (%zu candidate columns, %llu rows each)\n",
+                dataset.name.c_str(), dataset.columns.size(),
+                static_cast<unsigned long long>(kRows));
+    std::uint64_t seed = 1;
+    for (const auto& spec : dataset.columns) {
+      Column col = SynthesizeColumn(spec, kRows, ++seed);
+      std::size_t patches = 0;
+      const char* kind = "";
+      if (spec.constraint == ConstraintKind::kNearlyUnique) {
+        patches = DiscoverNucPatches(col).size();
+        kind = "NUC";
+      } else {
+        patches = DiscoverNscPatches(col).patches.size();
+        kind = "NSC";
+      }
+      const double match = 100.0 * (1.0 - static_cast<double>(patches) / kRows);
+      std::printf("  %-12s %s matches %5.1f%% of tuples (%zu exceptions)%s\n",
+                  spec.name.c_str(), kind, match, patches,
+                  match >= 90.0 ? "  <- strong index candidate" : "");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "baselines/materialized_view.h"
+
+#include "exec/aggregate.h"
+#include "exec/scan.h"
+
+namespace patchindex {
+
+DistinctMaterializedView::DistinctMaterializedView(const Table& base,
+                                                   std::size_t column)
+    : base_(&base), column_(column) {
+  Refresh();
+}
+
+void DistinctMaterializedView::Refresh() {
+  const ColumnType type = base_->schema().field(column_).type;
+  view_ = std::make_unique<Table>(Schema({{"value", type}}));
+  HashAggregateOperator distinct(
+      std::make_unique<ScanOperator>(*base_,
+                                     std::vector<std::size_t>{column_}),
+      std::vector<std::size_t>{0}, std::vector<AggSpec>{});
+  Batch result = Collect(distinct);
+  for (std::size_t i = 0; i < result.num_rows(); ++i) {
+    view_->AppendRow(Row{{result.columns[0].GetValue(i)}});
+  }
+}
+
+OperatorPtr DistinctMaterializedView::QueryPlan() const {
+  return std::make_unique<ScanOperator>(*view_, std::vector<std::size_t>{0});
+}
+
+}  // namespace patchindex

@@ -1,0 +1,41 @@
+#ifndef PATCHINDEX_BASELINES_MATERIALIZED_VIEW_H_
+#define PATCHINDEX_BASELINES_MATERIALIZED_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Materialized view baseline for distinct queries (paper §6): the
+/// distinct values of one column are precomputed into a separate table, so
+/// the query collapses to a scan of the view. The drawback the paper
+/// hammers on: any base-table update invalidates the view, and keeping it
+/// consistent means recomputing it (§6.2.4 shows the "tremendous
+/// overhead" under trickle updates).
+class DistinctMaterializedView {
+ public:
+  /// Precomputes the view (runs the distinct query once).
+  DistinctMaterializedView(const Table& base, std::size_t column);
+
+  /// Re-runs the distinct query against the current base table. This is
+  /// the per-update maintenance cost of the baseline.
+  void Refresh();
+
+  /// The rewritten query: a plain scan over the materialized result.
+  OperatorPtr QueryPlan() const;
+
+  std::uint64_t num_values() const { return view_->num_rows(); }
+  std::uint64_t MemoryUsageBytes() const { return view_->MemoryUsageBytes(); }
+
+ private:
+  const Table* base_;
+  std::size_t column_;
+  std::unique_ptr<Table> view_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_BASELINES_MATERIALIZED_VIEW_H_

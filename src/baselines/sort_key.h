@@ -1,0 +1,48 @@
+#ifndef PATCHINDEX_BASELINES_SORT_KEY_H_
+#define PATCHINDEX_BASELINES_SORT_KEY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// SortKey baseline (paper §6): the table data is *physically reordered*
+/// by the key column, so a sort query degenerates to a scan (the engine
+/// still runs a sort operator over the pre-sorted data to guarantee the
+/// order, which is what the paper measures). Creation physically rewrites
+/// every column — the expensive part — and only one SortKey can exist per
+/// table. Updates must restore the physical order, which this baseline
+/// implements as re-sorting after the delta is applied.
+class SortKey {
+ public:
+  SortKey(Table* table, std::size_t column, bool ascending = true);
+
+  /// Physically reorders all columns of the table by the key column.
+  void Materialize();
+
+  /// Applies pending PDT deltas and restores the physical order (the
+  /// baseline's per-update maintenance).
+  void MaintainAfterUpdate();
+
+  /// The sort query against the materialized order: scan + verifying sort
+  /// operator (cheap on pre-sorted input).
+  OperatorPtr QueryPlan() const;
+
+  /// Plain scan without the verifying sort (used where the stored order
+  /// itself is consumed, e.g. the JoinIndex comparison).
+  OperatorPtr ScanPlan() const;
+
+  std::size_t column() const { return column_; }
+
+ private:
+  Table* table_;
+  std::size_t column_;
+  bool ascending_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_BASELINES_SORT_KEY_H_

@@ -1,0 +1,28 @@
+#include "bitmap/bitmap.h"
+
+#include "bitmap/shift.h"
+
+namespace patchindex {
+
+void Bitmap::Delete(std::uint64_t pos) {
+  PIDX_CHECK(pos < num_bits_);
+  ShiftTailLeftOneScalar(words_.data(), pos, num_bits_);
+  --num_bits_;
+}
+
+void Bitmap::BulkDelete(const std::vector<std::uint64_t>& positions) {
+  // Descending order keeps every remaining position valid (paper §4.2.3).
+  for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+    Delete(*it);
+  }
+}
+
+void Bitmap::Append(std::uint64_t count) {
+  num_bits_ += count;
+  words_.resize(bits::WordsForBits(num_bits_), 0);
+  // Invariant: bits at positions >= num_bits_ are zero. Deletes clear the
+  // vacated tail bit and resize only ever adds zeroed words, so appended
+  // bits are already zero.
+}
+
+}  // namespace patchindex

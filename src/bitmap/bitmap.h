@@ -1,0 +1,66 @@
+#ifndef PATCHINDEX_BITMAP_BITMAP_H_
+#define PATCHINDEX_BITMAP_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace patchindex {
+
+/// An ordinary (unsharded) bitmap. Serves as the baseline of the paper's
+/// Table 2: bit access is marginally faster than the sharded bitmap, but a
+/// delete must shift the entire tail of the bitmap towards the deleted
+/// position, which is linear in the bitmap size.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint64_t num_bits)
+      : words_(bits::WordsForBits(num_bits), 0), num_bits_(num_bits) {}
+
+  std::uint64_t size() const { return num_bits_; }
+
+  bool Get(std::uint64_t pos) const {
+    PIDX_DCHECK(pos < num_bits_);
+    return (words_[bits::WordIndex(pos)] >> bits::BitOffset(pos)) & 1;
+  }
+
+  void Set(std::uint64_t pos) {
+    PIDX_DCHECK(pos < num_bits_);
+    words_[bits::WordIndex(pos)] |= std::uint64_t{1} << bits::BitOffset(pos);
+  }
+
+  void Unset(std::uint64_t pos) {
+    PIDX_DCHECK(pos < num_bits_);
+    words_[bits::WordIndex(pos)] &= ~(std::uint64_t{1} << bits::BitOffset(pos));
+  }
+
+  /// Removes the bit at `pos`; every subsequent bit moves one position
+  /// down. O(size) — this is the weakness the sharded bitmap addresses.
+  void Delete(std::uint64_t pos);
+
+  /// Removes all bits at `positions` (must be sorted ascending, unique,
+  /// and refer to pre-delete positions). Implemented as descending single
+  /// deletes; an ordinary bitmap has no cheaper option.
+  void BulkDelete(const std::vector<std::uint64_t>& positions);
+
+  /// Grows the bitmap by `count` zero bits at the end.
+  void Append(std::uint64_t count);
+
+  std::uint64_t CountSetBits() const {
+    return bits::PopCount(words_.data(), words_.size());
+  }
+
+  std::uint64_t MemoryUsageBytes() const { return words_.capacity() * 8; }
+
+  const std::uint64_t* words() const { return words_.data(); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t num_bits_ = 0;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_BITMAP_BITMAP_H_

@@ -1,0 +1,85 @@
+#include "bitmap/concurrent_sharded_bitmap.h"
+
+#include <bit>
+
+namespace patchindex {
+
+ConcurrentShardedBitmap::ConcurrentShardedBitmap(std::uint64_t num_bits,
+                                                 std::uint64_t shard_size_bits,
+                                                 bool vectorized)
+    : shard_bits_(shard_size_bits),
+      shard_words_(shard_size_bits / bits::kBitsPerWord),
+      shift_fn_(SelectShiftFn(vectorized)),
+      num_bits_(num_bits) {
+  PIDX_CHECK_MSG(std::has_single_bit(shard_bits_) && shard_bits_ >= 64,
+                 "shard size must be a power of two >= 64");
+  shard_shift_ = static_cast<std::uint64_t>(std::countr_zero(shard_bits_));
+  const std::uint64_t nshards =
+      num_bits == 0 ? 1 : (num_bits + shard_bits_ - 1) / shard_bits_;
+  words_.assign(nshards * shard_words_, 0);
+  start_ = std::vector<std::atomic<std::uint64_t>>(nshards);
+  for (std::uint64_t s = 0; s < nshards; ++s) {
+    start_[s].store(s * shard_bits_, std::memory_order_relaxed);
+  }
+  shard_mu_ = std::vector<std::mutex>(nshards);
+}
+
+bool ConcurrentShardedBitmap::Get(std::uint64_t pos) const {
+  const std::uint64_t s = LocateShard(pos);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  const std::uint64_t phys =
+      s * shard_bits_ + (pos - start_[s].load(std::memory_order_acquire));
+  return (words_[bits::WordIndex(phys)] >> bits::BitOffset(phys)) & 1;
+}
+
+void ConcurrentShardedBitmap::Set(std::uint64_t pos) {
+  const std::uint64_t s = LocateShard(pos);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  const std::uint64_t phys =
+      s * shard_bits_ + (pos - start_[s].load(std::memory_order_acquire));
+  words_[bits::WordIndex(phys)] |= std::uint64_t{1} << bits::BitOffset(phys);
+}
+
+void ConcurrentShardedBitmap::Unset(std::uint64_t pos) {
+  const std::uint64_t s = LocateShard(pos);
+  std::lock_guard<std::mutex> lock(shard_mu_[s]);
+  const std::uint64_t phys =
+      s * shard_bits_ + (pos - start_[s].load(std::memory_order_acquire));
+  words_[bits::WordIndex(phys)] &=
+      ~(std::uint64_t{1} << bits::BitOffset(phys));
+}
+
+void ConcurrentShardedBitmap::Delete(std::uint64_t pos) {
+  const std::uint64_t s = LocateShard(pos);
+  DeleteInShard(s, pos - start_[s].load(std::memory_order_acquire));
+}
+
+void ConcurrentShardedBitmap::DeleteInShard(std::uint64_t shard,
+                                            std::uint64_t offset) {
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    // The shard's used-bit count cannot be derived from neighbouring start
+    // values here: those race with other shards' deletes. Shifting over
+    // the full physical shard is equivalent — bits beyond `used` are zero
+    // by invariant and stay zero under the shift.
+    shift_fn_(words_.data() + shard * shard_words_, offset, shard_bits_);
+  }
+  // Start-value adaption: plain atomic decrements. Concurrent deletes
+  // produce the same final values in any interleaving (decrements
+  // commute), which is the paper's §5.4 argument.
+  for (std::uint64_t t = shard + 1; t < start_.size(); ++t) {
+    start_[t].fetch_sub(1, std::memory_order_acq_rel);
+  }
+  num_bits_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t ConcurrentShardedBitmap::CountSetBits() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t s = 0; s < start_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shard_mu_[s]);
+    total += bits::PopCount(words_.data() + s * shard_words_, shard_words_);
+  }
+  return total;
+}
+
+}  // namespace patchindex

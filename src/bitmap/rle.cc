@@ -1,0 +1,50 @@
+#include "bitmap/rle.h"
+
+namespace patchindex {
+
+RleBitmap RleEncode(const ShardedBitmap& bitmap) {
+  RleBitmap out;
+  out.num_bits = bitmap.size();
+  std::uint64_t prev_pos = 0;
+  bool first = true;
+  std::uint64_t current_one_run = 0;
+  bitmap.ForEachSetBit([&](std::uint64_t pos) {
+    if (first) {
+      out.runs.push_back(pos);  // leading zero run (may be 0)
+      current_one_run = 1;
+      first = false;
+    } else if (pos == prev_pos + 1) {
+      ++current_one_run;
+    } else {
+      out.runs.push_back(current_one_run);
+      out.runs.push_back(pos - prev_pos - 1);  // zero gap
+      current_one_run = 1;
+    }
+    prev_pos = pos;
+  });
+  if (first) {
+    // No set bits at all: a single zero run.
+    out.runs.push_back(out.num_bits);
+  } else {
+    out.runs.push_back(current_one_run);
+    const std::uint64_t tail = out.num_bits - prev_pos - 1;
+    if (tail > 0) out.runs.push_back(tail);
+  }
+  return out;
+}
+
+ShardedBitmap RleDecode(const RleBitmap& rle, ShardedBitmapOptions options) {
+  ShardedBitmap out(rle.num_bits, options);
+  std::uint64_t pos = 0;
+  bool ones = false;
+  for (std::uint64_t run : rle.runs) {
+    if (ones) {
+      for (std::uint64_t i = 0; i < run; ++i) out.Set(pos + i);
+    }
+    pos += run;
+    ones = !ones;
+  }
+  return out;
+}
+
+}  // namespace patchindex

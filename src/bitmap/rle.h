@@ -1,0 +1,36 @@
+#ifndef PATCHINDEX_BITMAP_RLE_H_
+#define PATCHINDEX_BITMAP_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/sharded_bitmap.h"
+
+namespace patchindex {
+
+/// Run-length encoding of a (sharded) bitmap — the compression the
+/// paper's future work proposes (§7): "typically, bitmaps are compressed
+/// using run-length encoding, which could reduce the PatchIndex memory
+/// consumption especially for low exception rates".
+///
+/// Encoding: alternating run lengths over the logical bit sequence,
+/// starting with a run of zeros (possibly of length 0). The sum of all
+/// runs equals the bitmap's logical size.
+struct RleBitmap {
+  std::vector<std::uint64_t> runs;
+  std::uint64_t num_bits = 0;
+
+  std::uint64_t CompressedBytes() const { return runs.size() * 8; }
+};
+
+/// Encodes the logical content of `bitmap`.
+RleBitmap RleEncode(const ShardedBitmap& bitmap);
+
+/// Reconstructs a sharded bitmap (fresh shards, fully condensed) from an
+/// RLE encoding.
+ShardedBitmap RleDecode(const RleBitmap& rle,
+                        ShardedBitmapOptions options = {});
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_BITMAP_RLE_H_

@@ -1,0 +1,83 @@
+#include "bitmap/shift.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace patchindex {
+
+namespace {
+
+// Mask with the `n` lowest bits set (n in [0, 63]).
+inline std::uint64_t LowMask(std::uint64_t n) {
+  return n == 0 ? 0 : (~std::uint64_t{0} >> (64 - n));
+}
+
+// Applies the boundary-word handling shared by both kernels: fixes up the
+// first word (bits below `begin` preserved) and the last word (bits at or
+// above `end` preserved, bit end-1 cleared).
+//
+// The middle full words have already been rewritten by the caller.
+inline void ShiftLastWord(std::uint64_t* words, std::uint64_t begin,
+                          std::uint64_t end) {
+  const std::uint64_t fw = bits::WordIndex(begin);
+  const std::uint64_t lw = bits::WordIndex(end - 1);
+  const std::uint64_t end_off = bits::BitOffset(end - 1);
+  const std::uint64_t lo = (lw == fw) ? LowMask(bits::BitOffset(begin)) : 0;
+  const std::uint64_t hi =
+      (end_off == 63) ? 0 : (~std::uint64_t{0} << (end_off + 1));
+  const std::uint64_t preserve = lo | hi;
+  std::uint64_t shifted = words[lw] >> 1;
+  std::uint64_t res = (words[lw] & preserve) | (shifted & ~preserve);
+  res &= ~(std::uint64_t{1} << end_off);
+  words[lw] = res;
+}
+
+}  // namespace
+
+void ShiftTailLeftOneScalar(std::uint64_t* words, std::uint64_t begin,
+                            std::uint64_t end) {
+  PIDX_DCHECK(begin < end);
+  const std::uint64_t fw = bits::WordIndex(begin);
+  const std::uint64_t lw = bits::WordIndex(end - 1);
+  for (std::uint64_t i = fw; i < lw; ++i) {
+    std::uint64_t shifted = (words[i] >> 1) | (words[i + 1] << 63);
+    if (i == fw) {
+      const std::uint64_t keep = LowMask(bits::BitOffset(begin));
+      shifted = (words[i] & keep) | (shifted & ~keep);
+    }
+    words[i] = shifted;
+  }
+  ShiftLastWord(words, begin, end);
+}
+
+namespace internal {
+
+// Shared by the AVX2 translation unit: scalar prologue (first word) and
+// epilogue (remaining middle words + last word) around the vector loop.
+void ShiftPrologue(std::uint64_t* words, std::uint64_t begin,
+                   std::uint64_t fw) {
+  const std::uint64_t keep = LowMask(bits::BitOffset(begin));
+  std::uint64_t shifted = (words[fw] >> 1) | (words[fw + 1] << 63);
+  words[fw] = (words[fw] & keep) | (shifted & ~keep);
+}
+
+void ShiftMiddleScalar(std::uint64_t* words, std::uint64_t from,
+                       std::uint64_t lw) {
+  for (std::uint64_t i = from; i < lw; ++i) {
+    words[i] = (words[i] >> 1) | (words[i + 1] << 63);
+  }
+}
+
+void ShiftEpilogue(std::uint64_t* words, std::uint64_t begin,
+                   std::uint64_t end) {
+  ShiftLastWord(words, begin, end);
+}
+
+}  // namespace internal
+
+ShiftFn SelectShiftFn(bool want_vectorized) {
+  if (want_vectorized && CpuSupportsAvx2()) return &ShiftTailLeftOneAvx2;
+  return &ShiftTailLeftOneScalar;
+}
+
+}  // namespace patchindex

@@ -1,0 +1,39 @@
+#ifndef PATCHINDEX_BITMAP_SHIFT_H_
+#define PATCHINDEX_BITMAP_SHIFT_H_
+
+#include <cstdint>
+
+namespace patchindex {
+
+/// Cross-element bit shift: removes the bit at position `begin` from the
+/// bit range [begin, end) over the word array `words` (LSB-first bit
+/// numbering, bit i lives in words[i/64] at offset i%64). All bits in
+/// (begin, end) move one position towards `begin`; bit end-1 becomes 0;
+/// bits outside [begin, end) are unchanged.
+///
+/// This is step (b) of the sharded bitmap's delete operation (paper §4.2.2):
+/// the shift is confined to one shard, so `words` points at the shard base
+/// and `end` is the shard's number of used bits.
+void ShiftTailLeftOneScalar(std::uint64_t* words, std::uint64_t begin,
+                            std::uint64_t end);
+
+/// AVX2 implementation of the same operation (paper Listing 1). Processes
+/// four 64-bit elements per iteration; the carry bit crossing element
+/// boundaries is obtained with an overlapping unaligned load of the
+/// successor elements instead of the paper's lane-permutation dance — the
+/// observable effect is identical.
+void ShiftTailLeftOneAvx2(std::uint64_t* words, std::uint64_t begin,
+                          std::uint64_t end);
+
+/// True when the running CPU supports AVX2.
+bool CpuSupportsAvx2();
+
+using ShiftFn = void (*)(std::uint64_t*, std::uint64_t, std::uint64_t);
+
+/// Returns the AVX2 kernel when requested and available, otherwise the
+/// scalar kernel.
+ShiftFn SelectShiftFn(bool want_vectorized);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_BITMAP_SHIFT_H_

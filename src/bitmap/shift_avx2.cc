@@ -1,0 +1,53 @@
+// AVX2 kernel for the sharded bitmap's cross-element bit shift (paper §4.2.2
+// Listing 1). This translation unit is compiled with -mavx2; callers reach it
+// only through SelectShiftFn(), which checks CPU support at runtime.
+
+#include <immintrin.h>
+
+#include "bitmap/shift.h"
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace patchindex {
+
+namespace internal {
+void ShiftPrologue(std::uint64_t* words, std::uint64_t begin, std::uint64_t fw);
+void ShiftMiddleScalar(std::uint64_t* words, std::uint64_t from,
+                       std::uint64_t lw);
+void ShiftEpilogue(std::uint64_t* words, std::uint64_t begin,
+                   std::uint64_t end);
+}  // namespace internal
+
+bool CpuSupportsAvx2() { return __builtin_cpu_supports("avx2"); }
+
+void ShiftTailLeftOneAvx2(std::uint64_t* words, std::uint64_t begin,
+                          std::uint64_t end) {
+  PIDX_DCHECK(begin < end);
+  const std::uint64_t fw = bits::WordIndex(begin);
+  const std::uint64_t lw = bits::WordIndex(end - 1);
+  if (lw == fw) {
+    internal::ShiftEpilogue(words, begin, end);
+    return;
+  }
+  internal::ShiftPrologue(words, begin, fw);
+
+  // Middle full words [fw+1, lw): each word becomes (w >> 1) with the low
+  // bit of its successor moved into bit 63. The successor of lane i is
+  // obtained by an unaligned load at offset +1; the paper's Listing 1
+  // achieves the same lane exchange with permute/blend intrinsics.
+  std::uint64_t i = fw + 1;
+  while (i + 4 <= lw) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    __m256i next =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i + 1));
+    __m256i carry = _mm256_slli_epi64(next, 63);
+    __m256i res = _mm256_or_si256(_mm256_srli_epi64(x, 1), carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + i), res);
+    i += 4;
+  }
+  internal::ShiftMiddleScalar(words, i, lw);
+  internal::ShiftEpilogue(words, begin, end);
+}
+
+}  // namespace patchindex

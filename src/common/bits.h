@@ -1,0 +1,41 @@
+#ifndef PATCHINDEX_COMMON_BITS_H_
+#define PATCHINDEX_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace patchindex::bits {
+
+/// Number of bits in one addressable bitmap element.
+inline constexpr std::uint64_t kBitsPerWord = 64;
+inline constexpr std::uint64_t kWordShift = 6;     // log2(64)
+inline constexpr std::uint64_t kWordMask = 63;     // kBitsPerWord - 1
+
+/// Index of the 64-bit word containing bit `pos`.
+constexpr std::uint64_t WordIndex(std::uint64_t pos) {
+  return pos >> kWordShift;
+}
+
+/// Offset of bit `pos` within its word (LSB-first numbering).
+constexpr std::uint64_t BitOffset(std::uint64_t pos) { return pos & kWordMask; }
+
+/// Number of 64-bit words needed to hold `nbits` bits.
+constexpr std::uint64_t WordsForBits(std::uint64_t nbits) {
+  return (nbits + kBitsPerWord - 1) >> kWordShift;
+}
+
+/// Population count over a word range.
+inline std::uint64_t PopCount(const std::uint64_t* words, std::uint64_t n) {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+/// Round `v` up to the next power of two (v must be >= 1).
+constexpr std::uint64_t NextPow2(std::uint64_t v) {
+  return std::bit_ceil(v);
+}
+
+}  // namespace patchindex::bits
+
+#endif  // PATCHINDEX_COMMON_BITS_H_

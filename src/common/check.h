@@ -1,0 +1,37 @@
+#ifndef PATCHINDEX_COMMON_CHECK_H_
+#define PATCHINDEX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking macros. PIDX_CHECK is always on (cheap compared to
+/// the operations this library performs); PIDX_DCHECK compiles out in
+/// release builds and is used on per-element hot paths.
+
+#define PIDX_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define PIDX_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define PIDX_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PIDX_DCHECK(cond) PIDX_CHECK(cond)
+#endif
+
+#endif  // PATCHINDEX_COMMON_CHECK_H_

@@ -1,0 +1,37 @@
+#ifndef PATCHINDEX_COMMON_RNG_H_
+#define PATCHINDEX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace patchindex {
+
+/// Deterministic random number generator for workload generation and tests.
+/// All generated datasets are reproducible from a fixed seed, mirroring the
+/// paper's "datasets are generated once" comparability argument (§6.2).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t Uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_COMMON_RNG_H_

@@ -1,0 +1,131 @@
+#ifndef PATCHINDEX_COMMON_STATUS_H_
+#define PATCHINDEX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace patchindex {
+
+/// Error categories used across the library. Modeled after the Status
+/// idiom used by columnar database engines (Arrow, RocksDB): fallible
+/// operations return a Status (or Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kConstraintViolation,
+  kInternal,
+  kNotImplemented,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (a single enum); carries a message only on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kAlreadyExists:
+        return "AlreadyExists";
+      case StatusCode::kConstraintViolation:
+        return "ConstraintViolation";
+      case StatusCode::kInternal:
+        return "Internal";
+      case StatusCode::kNotImplemented:
+        return "NotImplemented";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper: either holds a T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // arrow::Result — allows `return value;` from functions returning Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define PIDX_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::patchindex::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef PATCHINDEX_COMMON_THREAD_POOL_H_
+#define PATCHINDEX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace patchindex {
+
+/// A fixed-size worker pool used by the sharded bitmap's parallel bulk
+/// delete (one task per shard touched) and by partition-parallel index
+/// creation. Tasks are plain std::function<void()>; WaitIdle() provides the
+/// barrier the bulk delete needs before adapting shard start values.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished executing.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [0, n), distributing iterations over workers in
+  /// contiguous chunks, and blocks until all iterations are done.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_COMMON_THREAD_POOL_H_

@@ -1,0 +1,34 @@
+#ifndef PATCHINDEX_COMMON_TIMER_H_
+#define PATCHINDEX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace patchindex {
+
+/// Monotonic wall-clock timer used by benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or last Restart().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_COMMON_TIMER_H_

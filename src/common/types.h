@@ -1,0 +1,18 @@
+#ifndef PATCHINDEX_COMMON_TYPES_H_
+#define PATCHINDEX_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace patchindex {
+
+/// Position of a tuple within a (partition of a) table. PatchIndexes
+/// identify exceptions by rowID; deletes shift subsequent rowIDs down,
+/// which is exactly what the sharded bitmap's delete operation models.
+using RowId = std::uint64_t;
+
+/// Sentinel for "no row".
+inline constexpr RowId kInvalidRowId = ~RowId{0};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_COMMON_TYPES_H_

@@ -1,0 +1,259 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+HashAggregateOperator::HashAggregateOperator(
+    OperatorPtr child, std::vector<std::size_t> group_cols,
+    std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)) {
+  PIDX_CHECK(!group_cols_.empty());
+  single_i64_key_ = group_cols_.size() == 1 &&
+                    child_->OutputTypes()[group_cols_[0]] == ColumnType::kInt64;
+}
+
+std::vector<ColumnType> HashAggregateOperator::OutputTypes() const {
+  const std::vector<ColumnType> input = child_->OutputTypes();
+  std::vector<ColumnType> out;
+  for (std::size_t c : group_cols_) out.push_back(input[c]);
+  for (const AggSpec& a : aggs_) {
+    switch (a.op) {
+      case AggOp::kCount:
+        out.push_back(ColumnType::kInt64);
+        break;
+      case AggOp::kSum:
+      case AggOp::kMin:
+      case AggOp::kMax:
+        out.push_back(input[a.column]);
+        break;
+    }
+  }
+  return out;
+}
+
+void HashAggregateOperator::Open() {
+  child_->Open();
+  std::vector<ColumnType> group_types;
+  const std::vector<ColumnType> input = child_->OutputTypes();
+  for (std::size_t c : group_cols_) group_types.push_back(input[c]);
+  groups_.Reset(group_types);
+  agg_f64_.assign(aggs_.size(), {});
+  agg_i64_.assign(aggs_.size(), {});
+  i64_index_.clear();
+  generic_index_.clear();
+
+  Batch in;
+  while (child_->Next(&in)) {
+    if (single_i64_key_) {
+      ConsumeSingleInt64(in);
+    } else {
+      ConsumeGeneric(in);
+    }
+  }
+  child_->Close();
+  pos_ = 0;
+}
+
+namespace {
+// Encodes a group key as a byte string (generic slow path).
+std::string EncodeKey(const Batch& in, const std::vector<std::size_t>& cols,
+                      std::size_t row) {
+  std::string key;
+  for (std::size_t c : cols) {
+    const ColumnVector& col = in.columns[c];
+    switch (col.type) {
+      case ColumnType::kInt64: {
+        const std::int64_t v = col.i64[row];
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case ColumnType::kDouble: {
+        const double v = col.f64[row];
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case ColumnType::kString:
+        key.append(col.str[row]);
+        key.push_back('\0');
+        break;
+    }
+  }
+  return key;
+}
+}  // namespace
+
+void HashAggregateOperator::ConsumeSingleInt64(const Batch& in) {
+  const auto& keys = in.columns[group_cols_[0]].i64;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] = i64_index_.try_emplace(keys[i], groups_.num_rows());
+    const std::size_t g = it->second;
+    if (inserted) {
+      groups_.columns[0].i64.push_back(keys[i]);
+      groups_.row_ids.push_back(in.row_ids[i]);
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        agg_i64_[a].push_back(
+            aggs_[a].op == AggOp::kMin
+                ? std::numeric_limits<std::int64_t>::max()
+                : (aggs_[a].op == AggOp::kMax
+                       ? std::numeric_limits<std::int64_t>::min()
+                       : 0));
+        agg_f64_[a].push_back(
+            aggs_[a].op == AggOp::kMin
+                ? std::numeric_limits<double>::infinity()
+                : (aggs_[a].op == AggOp::kMax
+                       ? -std::numeric_limits<double>::infinity()
+                       : 0.0));
+      }
+    }
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      if (spec.op == AggOp::kCount) {
+        ++agg_i64_[a][g];
+        continue;
+      }
+      const ColumnVector& col = in.columns[spec.column];
+      if (col.type == ColumnType::kInt64) {
+        const std::int64_t v = col.i64[i];
+        switch (spec.op) {
+          case AggOp::kSum:
+            agg_i64_[a][g] += v;
+            break;
+          case AggOp::kMin:
+            agg_i64_[a][g] = std::min(agg_i64_[a][g], v);
+            break;
+          case AggOp::kMax:
+            agg_i64_[a][g] = std::max(agg_i64_[a][g], v);
+            break;
+          default:
+            break;
+        }
+      } else {
+        const double v = col.f64[i];
+        switch (spec.op) {
+          case AggOp::kSum:
+            agg_f64_[a][g] += v;
+            break;
+          case AggOp::kMin:
+            agg_f64_[a][g] = std::min(agg_f64_[a][g], v);
+            break;
+          case AggOp::kMax:
+            agg_f64_[a][g] = std::max(agg_f64_[a][g], v);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+void HashAggregateOperator::ConsumeGeneric(const Batch& in) {
+  for (std::size_t i = 0; i < in.num_rows(); ++i) {
+    std::string key = EncodeKey(in, group_cols_, i);
+    auto [it, inserted] =
+        generic_index_.try_emplace(std::move(key), groups_.num_rows());
+    const std::size_t g = it->second;
+    if (inserted) {
+      for (std::size_t k = 0; k < group_cols_.size(); ++k) {
+        groups_.columns[k].AppendFrom(in.columns[group_cols_[k]], i);
+      }
+      groups_.row_ids.push_back(in.row_ids[i]);
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        agg_i64_[a].push_back(
+            aggs_[a].op == AggOp::kMin
+                ? std::numeric_limits<std::int64_t>::max()
+                : (aggs_[a].op == AggOp::kMax
+                       ? std::numeric_limits<std::int64_t>::min()
+                       : 0));
+        agg_f64_[a].push_back(
+            aggs_[a].op == AggOp::kMin
+                ? std::numeric_limits<double>::infinity()
+                : (aggs_[a].op == AggOp::kMax
+                       ? -std::numeric_limits<double>::infinity()
+                       : 0.0));
+      }
+    }
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      if (spec.op == AggOp::kCount) {
+        ++agg_i64_[a][g];
+        continue;
+      }
+      const ColumnVector& col = in.columns[spec.column];
+      if (col.type == ColumnType::kInt64) {
+        const std::int64_t v = col.i64[i];
+        switch (spec.op) {
+          case AggOp::kSum:
+            agg_i64_[a][g] += v;
+            break;
+          case AggOp::kMin:
+            agg_i64_[a][g] = std::min(agg_i64_[a][g], v);
+            break;
+          case AggOp::kMax:
+            agg_i64_[a][g] = std::max(agg_i64_[a][g], v);
+            break;
+          default:
+            break;
+        }
+      } else if (col.type == ColumnType::kDouble) {
+        const double v = col.f64[i];
+        switch (spec.op) {
+          case AggOp::kSum:
+            agg_f64_[a][g] += v;
+            break;
+          case AggOp::kMin:
+            agg_f64_[a][g] = std::min(agg_f64_[a][g], v);
+            break;
+          case AggOp::kMax:
+            agg_f64_[a][g] = std::max(agg_f64_[a][g], v);
+            break;
+          default:
+            break;
+        }
+      } else {
+        PIDX_CHECK_MSG(false, "string aggregates not supported");
+      }
+    }
+  }
+}
+
+bool HashAggregateOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  const std::vector<ColumnType> input = child_->OutputTypes();
+  while (out->num_rows() < kBatchSize && pos_ < groups_.num_rows()) {
+    const std::size_t g = pos_++;
+    for (std::size_t k = 0; k < group_cols_.size(); ++k) {
+      out->columns[k].AppendFrom(groups_.columns[k], g);
+    }
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      const std::size_t oc = group_cols_.size() + a;
+      const AggSpec& spec = aggs_[a];
+      const bool is_f64 = spec.op != AggOp::kCount &&
+                          input[spec.column] == ColumnType::kDouble;
+      if (is_f64) {
+        out->columns[oc].f64.push_back(agg_f64_[a][g]);
+      } else {
+        out->columns[oc].i64.push_back(agg_i64_[a][g]);
+      }
+    }
+    out->row_ids.push_back(groups_.row_ids[g]);
+  }
+  return out->num_rows() > 0;
+}
+
+void HashAggregateOperator::Close() {
+  groups_.Clear();
+  agg_f64_.clear();
+  agg_i64_.clear();
+  i64_index_.clear();
+  generic_index_.clear();
+}
+
+}  // namespace patchindex

@@ -1,0 +1,62 @@
+#ifndef PATCHINDEX_EXEC_AGGREGATE_H_
+#define PATCHINDEX_EXEC_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace patchindex {
+
+enum class AggOp { kCount, kSum, kMin, kMax };
+
+struct AggSpec {
+  AggOp op;
+  /// Input column of the child (ignored for kCount).
+  std::size_t column = 0;
+};
+
+/// Hash-based grouping aggregation. With an empty `aggs` list this is the
+/// DISTINCT operator — the most expensive operator of a distinct query,
+/// which the PatchIndex NUC optimization drops from the patch-excluded
+/// subtree (paper §3.3, Figure 2 left). Output: group columns, then one
+/// column per aggregate (kCount/kSum over INT64 produce INT64, over
+/// DOUBLE produce DOUBLE; kMin/kMax keep the input type).
+///
+/// A specialized fast path handles the common single-INT64-group-key case
+/// (the shape of the paper's microbenchmark distinct query).
+class HashAggregateOperator : public Operator {
+ public:
+  HashAggregateOperator(OperatorPtr child, std::vector<std::size_t> group_cols,
+                        std::vector<AggSpec> aggs = {});
+
+  std::vector<ColumnType> OutputTypes() const override;
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+  std::uint64_t num_groups() const { return groups_.num_rows(); }
+
+ private:
+  void ConsumeGeneric(const Batch& in);
+  void ConsumeSingleInt64(const Batch& in);
+
+  OperatorPtr child_;
+  std::vector<std::size_t> group_cols_;
+  std::vector<AggSpec> aggs_;
+  bool single_i64_key_ = false;
+
+  // Materialized group keys (one row per group) and aggregate states.
+  Batch groups_;
+  std::vector<std::vector<double>> agg_f64_;
+  std::vector<std::vector<std::int64_t>> agg_i64_;
+  std::unordered_map<std::int64_t, std::size_t> i64_index_;
+  std::unordered_map<std::string, std::size_t> generic_index_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_AGGREGATE_H_

@@ -1,0 +1,309 @@
+#include "exec/expression.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+namespace {
+
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(std::size_t idx) : idx_(idx) {}
+  Kind kind() const override { return Kind::kColumn; }
+  ColumnType OutputType(const std::vector<ColumnType>& input) const override {
+    PIDX_CHECK(idx_ < input.size());
+    return input[idx_];
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    PIDX_CHECK(idx_ < batch.columns.size());
+    return batch.columns[idx_];  // copy; acceptable at our scale
+  }
+  int column_index() const override { return static_cast<int>(idx_); }
+
+ private:
+  std::size_t idx_;
+};
+
+class ConstExpr : public Expr {
+ public:
+  explicit ConstExpr(Value v) : v_(std::move(v)) {}
+  Kind kind() const override { return Kind::kConst; }
+  ColumnType OutputType(const std::vector<ColumnType>&) const override {
+    return v_.type();
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    ColumnVector out(v_.type());
+    const std::size_t n = batch.num_rows();
+    for (std::size_t i = 0; i < n; ++i) out.AppendValue(v_);
+    return out;
+  }
+  const Value& value() const { return v_; }
+
+ private:
+  Value v_;
+};
+
+bool CmpValues(Expr::CmpOp op, int cmp3) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return cmp3 == 0;
+    case Expr::CmpOp::kNe:
+      return cmp3 != 0;
+    case Expr::CmpOp::kLt:
+      return cmp3 < 0;
+    case Expr::CmpOp::kLe:
+      return cmp3 <= 0;
+    case Expr::CmpOp::kGt:
+      return cmp3 > 0;
+    case Expr::CmpOp::kGe:
+      return cmp3 >= 0;
+  }
+  return false;
+}
+
+class CmpExpr : public Expr {
+ public:
+  CmpExpr(CmpOp op, ExprPtr l, ExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Kind kind() const override { return Kind::kCmp; }
+  ColumnType OutputType(const std::vector<ColumnType>&) const override {
+    return ColumnType::kInt64;
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    ColumnVector lv = l_->Eval(batch);
+    ColumnVector rv = r_->Eval(batch);
+    PIDX_CHECK_MSG(lv.type == rv.type, "comparison operand type mismatch");
+    ColumnVector out(ColumnType::kInt64);
+    const std::size_t n = lv.size();
+    out.i64.reserve(n);
+    switch (lv.type) {
+      case ColumnType::kInt64:
+        for (std::size_t i = 0; i < n; ++i) {
+          const int c = lv.i64[i] < rv.i64[i] ? -1 : (lv.i64[i] > rv.i64[i]);
+          out.i64.push_back(CmpValues(op_, c));
+        }
+        break;
+      case ColumnType::kDouble:
+        for (std::size_t i = 0; i < n; ++i) {
+          const int c = lv.f64[i] < rv.f64[i] ? -1 : (lv.f64[i] > rv.f64[i]);
+          out.i64.push_back(CmpValues(op_, c));
+        }
+        break;
+      case ColumnType::kString:
+        for (std::size_t i = 0; i < n; ++i) {
+          const int c = lv.str[i].compare(rv.str[i]);
+          out.i64.push_back(CmpValues(op_, c < 0 ? -1 : (c > 0 ? 1 : 0)));
+        }
+        break;
+    }
+    return out;
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr l_, r_;
+};
+
+enum class BoolOp { kAnd, kOr, kNot };
+
+class BoolExpr : public Expr {
+ public:
+  BoolExpr(BoolOp op, ExprPtr l, ExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Kind kind() const override {
+    switch (op_) {
+      case BoolOp::kAnd:
+        return Kind::kAnd;
+      case BoolOp::kOr:
+        return Kind::kOr;
+      case BoolOp::kNot:
+        return Kind::kNot;
+    }
+    return Kind::kNot;
+  }
+  ColumnType OutputType(const std::vector<ColumnType>&) const override {
+    return ColumnType::kInt64;
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    ColumnVector lv = l_->Eval(batch);
+    ColumnVector out(ColumnType::kInt64);
+    const std::size_t n = lv.size();
+    out.i64.reserve(n);
+    if (op_ == BoolOp::kNot) {
+      for (std::size_t i = 0; i < n; ++i) out.i64.push_back(lv.i64[i] == 0);
+      return out;
+    }
+    ColumnVector rv = r_->Eval(batch);
+    if (op_ == BoolOp::kAnd) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out.i64.push_back((lv.i64[i] != 0) && (rv.i64[i] != 0));
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out.i64.push_back((lv.i64[i] != 0) || (rv.i64[i] != 0));
+      }
+    }
+    return out;
+  }
+
+ private:
+  BoolOp op_;
+  ExprPtr l_, r_;
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr l, ExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Kind kind() const override {
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Kind::kAdd;
+      case ArithOp::kSub:
+        return Kind::kSub;
+      case ArithOp::kMul:
+        return Kind::kMul;
+      case ArithOp::kDiv:
+        return Kind::kDiv;
+    }
+    return Kind::kAdd;
+  }
+  ColumnType OutputType(const std::vector<ColumnType>& input) const override {
+    const ColumnType lt = l_->OutputType(input);
+    const ColumnType rt = r_->OutputType(input);
+    PIDX_CHECK(lt != ColumnType::kString && rt != ColumnType::kString);
+    return (lt == ColumnType::kDouble || rt == ColumnType::kDouble)
+               ? ColumnType::kDouble
+               : ColumnType::kInt64;
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    ColumnVector lv = l_->Eval(batch);
+    ColumnVector rv = r_->Eval(batch);
+    const std::size_t n = lv.size();
+    const bool dbl =
+        lv.type == ColumnType::kDouble || rv.type == ColumnType::kDouble;
+    auto lval = [&](std::size_t i) {
+      return lv.type == ColumnType::kDouble ? lv.f64[i]
+                                            : static_cast<double>(lv.i64[i]);
+    };
+    auto rval = [&](std::size_t i) {
+      return rv.type == ColumnType::kDouble ? rv.f64[i]
+                                            : static_cast<double>(rv.i64[i]);
+    };
+    if (dbl) {
+      ColumnVector out(ColumnType::kDouble);
+      out.f64.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = lval(i), b = rval(i);
+        switch (op_) {
+          case ArithOp::kAdd:
+            out.f64.push_back(a + b);
+            break;
+          case ArithOp::kSub:
+            out.f64.push_back(a - b);
+            break;
+          case ArithOp::kMul:
+            out.f64.push_back(a * b);
+            break;
+          case ArithOp::kDiv:
+            out.f64.push_back(a / b);
+            break;
+        }
+      }
+      return out;
+    }
+    ColumnVector out(ColumnType::kInt64);
+    out.i64.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t a = lv.i64[i], b = rv.i64[i];
+      switch (op_) {
+        case ArithOp::kAdd:
+          out.i64.push_back(a + b);
+          break;
+        case ArithOp::kSub:
+          out.i64.push_back(a - b);
+          break;
+        case ArithOp::kMul:
+          out.i64.push_back(a * b);
+          break;
+        case ArithOp::kDiv:
+          out.i64.push_back(b == 0 ? 0 : a / b);
+          break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr l_, r_;
+};
+
+}  // namespace
+
+ExprPtr Col(std::size_t idx) { return std::make_shared<ColumnExpr>(idx); }
+ExprPtr ConstInt(std::int64_t v) {
+  return std::make_shared<ConstExpr>(Value(v));
+}
+ExprPtr ConstDouble(double v) { return std::make_shared<ConstExpr>(Value(v)); }
+ExprPtr ConstString(std::string v) {
+  return std::make_shared<ConstExpr>(Value(std::move(v)));
+}
+ExprPtr Cmp(Expr::CmpOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<CmpExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Cmp(Expr::CmpOp::kEq, std::move(l), std::move(r));
+}
+ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return Cmp(Expr::CmpOp::kNe, std::move(l), std::move(r));
+}
+ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return Cmp(Expr::CmpOp::kLt, std::move(l), std::move(r));
+}
+ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return Cmp(Expr::CmpOp::kLe, std::move(l), std::move(r));
+}
+ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return Cmp(Expr::CmpOp::kGt, std::move(l), std::move(r));
+}
+ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return Cmp(Expr::CmpOp::kGe, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BoolExpr>(BoolOp::kAnd, std::move(l), std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_shared<BoolExpr>(BoolOp::kOr, std::move(l), std::move(r));
+}
+ExprPtr Not(ExprPtr e) {
+  return std::make_shared<BoolExpr>(BoolOp::kNot, std::move(e), nullptr);
+}
+ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithExpr>(ArithOp::kAdd, std::move(l), std::move(r));
+}
+ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithExpr>(ArithOp::kSub, std::move(l), std::move(r));
+}
+ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithExpr>(ArithOp::kMul, std::move(l), std::move(r));
+}
+ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithExpr>(ArithOp::kDiv, std::move(l), std::move(r));
+}
+
+ExprPtr InList(ExprPtr x, const std::vector<Value>& values) {
+  PIDX_CHECK(!values.empty());
+  ExprPtr acc;
+  for (const Value& v : values) {
+    ExprPtr c = Eq(x, std::make_shared<ConstExpr>(v));
+    acc = acc ? Or(std::move(acc), std::move(c)) : std::move(c);
+  }
+  return acc;
+}
+
+}  // namespace patchindex

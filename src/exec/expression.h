@@ -1,0 +1,71 @@
+#ifndef PATCHINDEX_EXEC_EXPRESSION_H_
+#define PATCHINDEX_EXEC_EXPRESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+
+namespace patchindex {
+
+/// Scalar expression over the columns of a batch. Comparisons and boolean
+/// connectives produce INT64 0/1 vectors, which SelectOperator interprets
+/// as selection masks; arithmetic promotes to DOUBLE when either operand
+/// is DOUBLE. Rich enough for the TPC-H subset (Q3/Q7/Q12) and the
+/// update-handling queries.
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,
+    kConst,
+    kCmp,
+    kAnd,
+    kOr,
+    kNot,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+  virtual ColumnType OutputType(const std::vector<ColumnType>& input) const = 0;
+  virtual ColumnVector Eval(const Batch& batch) const = 0;
+
+  /// For kColumn expressions: the referenced input column; -1 otherwise.
+  /// Lets the optimizer trace column provenance through projections.
+  virtual int column_index() const { return -1; }
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// References input column `idx`.
+ExprPtr Col(std::size_t idx);
+ExprPtr ConstInt(std::int64_t v);
+ExprPtr ConstDouble(double v);
+ExprPtr ConstString(std::string v);
+ExprPtr Cmp(Expr::CmpOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Ne(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+ExprPtr Add(ExprPtr l, ExprPtr r);
+ExprPtr Sub(ExprPtr l, ExprPtr r);
+ExprPtr Mul(ExprPtr l, ExprPtr r);
+ExprPtr Div(ExprPtr l, ExprPtr r);
+
+/// x IN (v1, v2, ...) as a disjunction of equalities.
+ExprPtr InList(ExprPtr x, const std::vector<Value>& values);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_EXPRESSION_H_

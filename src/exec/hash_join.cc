@@ -1,0 +1,99 @@
+#include "exec/hash_join.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+HashJoinOperator::HashJoinOperator(OperatorPtr build, OperatorPtr probe,
+                                   std::size_t build_key,
+                                   std::size_t probe_key,
+                                   HashJoinOptions options)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_key_(build_key),
+      probe_key_(probe_key),
+      options_(std::move(options)) {
+  PIDX_CHECK(build_->OutputTypes().at(build_key_) == ColumnType::kInt64);
+  PIDX_CHECK(probe_->OutputTypes().at(probe_key_) == ColumnType::kInt64);
+}
+
+std::vector<ColumnType> HashJoinOperator::OutputTypes() const {
+  std::vector<ColumnType> types = probe_->OutputTypes();
+  for (ColumnType t : build_->OutputTypes()) types.push_back(t);
+  if (options_.append_build_rowid_column) {
+    types.push_back(ColumnType::kInt64);
+  }
+  return types;
+}
+
+void HashJoinOperator::Open() {
+  // Build phase.
+  build_->Open();
+  build_data_.Reset(build_->OutputTypes());
+  Batch in;
+  while (build_->Next(&in)) {
+    for (std::size_t i = 0; i < in.num_rows(); ++i) {
+      build_data_.AppendRowFrom(in, i);
+    }
+  }
+  build_->Close();
+  table_.clear();
+  const auto& keys = build_data_.columns[build_key_].i64;
+  table_.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) table_.emplace(keys[i], i);
+
+  // Dynamic range propagation: publish the build key range *before*
+  // opening the probe side, whose scan prunes blocks against it.
+  if (options_.publish_build_range) {
+    *options_.publish_build_range = DynamicRange{};
+    for (std::int64_t k : keys) options_.publish_build_range->Observe(k);
+  }
+  probe_->Open();
+  probe_pos_ = 0;
+  probe_done_ = false;
+  probe_batch_.Clear();
+}
+
+bool HashJoinOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  const std::size_t probe_width = probe_->OutputTypes().size();
+  const std::size_t build_width = build_data_.columns.size();
+  while (out->num_rows() < kBatchSize) {
+    if (probe_pos_ >= probe_batch_.num_rows()) {
+      if (probe_done_ || !probe_->Next(&probe_batch_)) {
+        probe_done_ = true;
+        break;
+      }
+      probe_pos_ = 0;
+      continue;
+    }
+    const std::size_t i = probe_pos_++;
+    const std::int64_t key = probe_batch_.columns[probe_key_].i64[i];
+    auto [first, last] = table_.equal_range(key);
+    for (auto it = first; it != last; ++it) {
+      const std::size_t b = it->second;
+      for (std::size_t c = 0; c < probe_width; ++c) {
+        out->columns[c].AppendFrom(probe_batch_.columns[c], i);
+      }
+      for (std::size_t c = 0; c < build_width; ++c) {
+        out->columns[probe_width + c].AppendFrom(build_data_.columns[c], b);
+      }
+      if (options_.append_build_rowid_column) {
+        out->columns[probe_width + build_width].i64.push_back(
+            static_cast<std::int64_t>(build_data_.row_ids[b]));
+      }
+      out->row_ids.push_back(probe_batch_.row_ids[i]);
+    }
+  }
+  return out->num_rows() > 0;
+}
+
+void HashJoinOperator::Close() {
+  probe_->Close();
+  table_.clear();
+  build_data_.Clear();
+}
+
+}  // namespace patchindex

@@ -1,0 +1,62 @@
+#ifndef PATCHINDEX_EXEC_HASH_JOIN_H_
+#define PATCHINDEX_EXEC_HASH_JOIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/range_propagation.h"
+
+namespace patchindex {
+
+struct HashJoinOptions {
+  /// Publishes the min/max of the build keys after the build phase for
+  /// dynamic range propagation into the probe-side scan (paper §5.1).
+  DynamicRangePtr publish_build_range;
+
+  /// Appends the matching build row's rowID as an extra INT64 output
+  /// column. The NUC insert-handling query (Figure 5) projects the rowIDs
+  /// of *both* join sides to merge them into the patches.
+  bool append_build_rowid_column = false;
+};
+
+/// In-memory equi hash join on INT64 keys. Open() drains the build child
+/// into a hash table (choosing the build side is the optimizer's job — the
+/// paper builds on the patches because their cardinality is typically the
+/// smallest, §3.3); Next() streams the probe child. Output layout: probe
+/// columns, then build columns, then (optionally) the build rowID column.
+/// Output rowIDs are the probe side's.
+class HashJoinOperator : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr build, OperatorPtr probe,
+                   std::size_t build_key, std::size_t probe_key,
+                   HashJoinOptions options = {});
+
+  std::vector<ColumnType> OutputTypes() const override;
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+  std::uint64_t build_rows() const { return build_data_.num_rows(); }
+
+ private:
+  OperatorPtr build_;
+  OperatorPtr probe_;
+  std::size_t build_key_;
+  std::size_t probe_key_;
+  HashJoinOptions options_;
+
+  Batch build_data_;  // materialized build side
+  std::unordered_multimap<std::int64_t, std::size_t> table_;
+
+  // Probe iteration state: current input batch and position, plus pending
+  // matches of the current probe row.
+  Batch probe_batch_;
+  std::size_t probe_pos_ = 0;
+  bool probe_done_ = false;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_HASH_JOIN_H_

@@ -1,0 +1,102 @@
+#include "exec/merge.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+MergeOperator::MergeOperator(std::vector<OperatorPtr> children,
+                             std::size_t key_column)
+    : children_(std::move(children)), key_column_(key_column) {
+  PIDX_CHECK(!children_.empty());
+  const auto types = children_[0]->OutputTypes();
+  PIDX_CHECK(types.at(key_column_) == ColumnType::kInt64);
+  for (const auto& c : children_) PIDX_CHECK(c->OutputTypes() == types);
+}
+
+void MergeOperator::Open() {
+  cursors_.clear();
+  cursors_.resize(children_.size());
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->Open();
+    Refill(i);
+  }
+}
+
+bool MergeOperator::Refill(std::size_t i) {
+  Cursor& cur = cursors_[i];
+  while (!cur.done && cur.pos >= cur.batch.num_rows()) {
+    if (!children_[i]->Next(&cur.batch)) {
+      cur.done = true;
+      return false;
+    }
+    cur.pos = 0;
+  }
+  return !cur.done;
+}
+
+bool MergeOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  while (out->num_rows() < kBatchSize) {
+    // Pick the child with the smallest current key. Linear scan: the
+    // PatchIndex merge has 2 inputs, partition merges a handful.
+    std::size_t best = children_.size();
+    std::int64_t best_key = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!Refill(i)) continue;
+      const Cursor& cur = cursors_[i];
+      const std::int64_t key = cur.batch.columns[key_column_].i64[cur.pos];
+      if (best == children_.size() || key < best_key) {
+        best = i;
+        best_key = key;
+      }
+    }
+    if (best == children_.size()) break;
+    Cursor& cur = cursors_[best];
+    out->AppendRowFrom(cur.batch, cur.pos++);
+  }
+  return out->num_rows() > 0;
+}
+
+void MergeOperator::Close() {
+  for (auto& c : children_) c->Close();
+  cursors_.clear();
+}
+
+UnionOperator::UnionOperator(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  PIDX_CHECK(!children_.empty());
+  const auto types = children_[0]->OutputTypes();
+  for (const auto& c : children_) PIDX_CHECK(c->OutputTypes() == types);
+}
+
+void UnionOperator::Open() {
+  // Children are opened lazily, one at a time: child i+1 only after child
+  // i is exhausted. This lets later children consume ReuseBuffers that
+  // earlier children fill (the PatchIndex join plan relies on it).
+  current_ = 0;
+  opened_ = false;
+}
+
+bool UnionOperator::Next(Batch* out) {
+  while (current_ < children_.size()) {
+    if (!opened_) {
+      children_[current_]->Open();
+      opened_ = true;
+    }
+    if (children_[current_]->Next(out)) return true;
+    children_[current_]->Close();
+    ++current_;
+    opened_ = false;
+  }
+  out->Reset(OutputTypes());
+  return false;
+}
+
+void UnionOperator::Close() {
+  for (auto& c : children_) c->Close();
+}
+
+}  // namespace patchindex

@@ -1,0 +1,62 @@
+#ifndef PATCHINDEX_EXEC_MERGE_H_
+#define PATCHINDEX_EXEC_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace patchindex {
+
+/// Order-preserving union: k-way merge of children that are each sorted
+/// ascending on `key_column` (INT64). The PatchIndex sort optimization
+/// combines the already-sorted patch-excluded subtree with the sorted
+/// patches through this operator instead of a plain Union (paper §3.3).
+class MergeOperator : public Operator {
+ public:
+  MergeOperator(std::vector<OperatorPtr> children, std::size_t key_column);
+
+  std::vector<ColumnType> OutputTypes() const override {
+    return children_[0]->OutputTypes();
+  }
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  struct Cursor {
+    Batch batch;
+    std::size_t pos = 0;
+    bool done = false;
+  };
+  /// Ensures child `i` has a current row; returns false when exhausted.
+  bool Refill(std::size_t i);
+
+  std::vector<OperatorPtr> children_;
+  std::size_t key_column_;
+  std::vector<Cursor> cursors_;
+};
+
+/// Bag union by concatenation (no ordering guarantees): drains children in
+/// order. Combines the two cloned subtrees of the PatchIndex distinct and
+/// join optimizations (paper §3.3, Figure 2).
+class UnionOperator : public Operator {
+ public:
+  explicit UnionOperator(std::vector<OperatorPtr> children);
+
+  std::vector<ColumnType> OutputTypes() const override {
+    return children_[0]->OutputTypes();
+  }
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  std::size_t current_ = 0;
+  bool opened_ = false;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_MERGE_H_

@@ -1,0 +1,107 @@
+#include "exec/merge_join.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+MergeJoinOperator::MergeJoinOperator(OperatorPtr left, OperatorPtr right,
+                                     std::size_t left_key,
+                                     std::size_t right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_key),
+      right_key_(right_key) {
+  PIDX_CHECK(left_->OutputTypes().at(left_key_) == ColumnType::kInt64);
+  PIDX_CHECK(right_->OutputTypes().at(right_key_) == ColumnType::kInt64);
+}
+
+std::vector<ColumnType> MergeJoinOperator::OutputTypes() const {
+  std::vector<ColumnType> types = left_->OutputTypes();
+  for (ColumnType t : right_->OutputTypes()) types.push_back(t);
+  return types;
+}
+
+void MergeJoinOperator::Open() {
+  left_->Open();
+  right_->Open();
+  left_cur_ = Cursor{};
+  right_cur_ = Cursor{};
+  run_.Reset(right_->OutputTypes());
+  run_pos_ = 0;
+  in_run_ = false;
+}
+
+bool MergeJoinOperator::Refill(Operator& child, Cursor& cur) {
+  while (!cur.done && cur.pos >= cur.batch.num_rows()) {
+    if (!child.Next(&cur.batch)) cur.done = true;
+    cur.pos = 0;
+  }
+  return !cur.done;
+}
+
+bool MergeJoinOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  const std::size_t lw = left_->OutputTypes().size();
+  const std::size_t rw = right_->OutputTypes().size();
+
+  auto emit = [&](std::size_t run_row) {
+    for (std::size_t c = 0; c < lw; ++c) {
+      out->columns[c].AppendFrom(left_cur_.batch.columns[c], left_cur_.pos);
+    }
+    for (std::size_t c = 0; c < rw; ++c) {
+      out->columns[lw + c].AppendFrom(run_.columns[c], run_row);
+    }
+    out->row_ids.push_back(left_cur_.batch.row_ids[left_cur_.pos]);
+  };
+
+  while (out->num_rows() < kBatchSize) {
+    if (in_run_) {
+      // Cross the current left row with the buffered right run.
+      if (run_pos_ < run_.num_rows()) {
+        emit(run_pos_++);
+        continue;
+      }
+      // Current left row done; the next left row may carry the same key.
+      ++left_cur_.pos;
+      if (Refill(*left_, left_cur_) && LeftKey() == run_key_) {
+        run_pos_ = 0;
+        continue;
+      }
+      in_run_ = false;
+      run_.Clear();
+      continue;
+    }
+    if (!Refill(*left_, left_cur_) || !Refill(*right_, right_cur_)) break;
+    const std::int64_t lk = LeftKey();
+    const std::int64_t rk =
+        right_cur_.batch.columns[right_key_].i64[right_cur_.pos];
+    if (lk < rk) {
+      ++left_cur_.pos;
+    } else if (lk > rk) {
+      ++right_cur_.pos;
+    } else {
+      // Buffer the right side's equal-key run (it may span batches).
+      run_key_ = lk;
+      run_.Reset(right_->OutputTypes());
+      while (Refill(*right_, right_cur_) &&
+             right_cur_.batch.columns[right_key_].i64[right_cur_.pos] ==
+                 run_key_) {
+        run_.AppendRowFrom(right_cur_.batch, right_cur_.pos);
+        ++right_cur_.pos;
+      }
+      run_pos_ = 0;
+      in_run_ = true;
+    }
+  }
+  return out->num_rows() > 0;
+}
+
+void MergeJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+  run_.Clear();
+}
+
+}  // namespace patchindex

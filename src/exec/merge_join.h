@@ -1,0 +1,57 @@
+#ifndef PATCHINDEX_EXEC_MERGE_JOIN_H_
+#define PATCHINDEX_EXEC_MERGE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace patchindex {
+
+/// Streaming equi merge join on INT64 keys; both inputs must be sorted
+/// ascending on their key column. This is the operator the PatchIndex
+/// join optimization substitutes for the HashJoin in the patch-excluded
+/// subtree of a join on a nearly sorted column (paper §3.3, Figure 2
+/// right). Neither input is materialized; only the current equal-key run
+/// of the right side is buffered. Output layout: left columns then right
+/// columns; rowIDs from the left input.
+class MergeJoinOperator : public Operator {
+ public:
+  MergeJoinOperator(OperatorPtr left, OperatorPtr right, std::size_t left_key,
+                    std::size_t right_key);
+
+  std::vector<ColumnType> OutputTypes() const override;
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  struct Cursor {
+    Batch batch;
+    std::size_t pos = 0;
+    bool done = false;
+  };
+  /// Ensures the cursor has a current row; false when exhausted.
+  bool Refill(Operator& child, Cursor& cur);
+  std::int64_t LeftKey() const {
+    return left_cur_.batch.columns[left_key_].i64[left_cur_.pos];
+  }
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::size_t left_key_;
+  std::size_t right_key_;
+
+  Cursor left_cur_;
+  Cursor right_cur_;
+  // Buffered equal-key run of the right side, replayed for every left row
+  // carrying the same key.
+  Batch run_;
+  std::size_t run_pos_ = 0;
+  std::int64_t run_key_ = 0;
+  bool in_run_ = false;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_MERGE_JOIN_H_

@@ -1,0 +1,34 @@
+#include "exec/operator.h"
+
+namespace patchindex {
+
+Batch Collect(Operator& op) {
+  op.Open();
+  Batch all;
+  all.Reset(op.OutputTypes());
+  Batch in;
+  while (op.Next(&in)) {
+    for (std::size_t i = 0; i < in.num_rows(); ++i) all.AppendRowFrom(in, i);
+  }
+  op.Close();
+  return all;
+}
+
+std::uint64_t CountRows(Operator& op) {
+  op.Open();
+  std::uint64_t total = 0;
+  Batch in;
+  while (op.Next(&in)) total += in.num_rows();
+  op.Close();
+  return total;
+}
+
+bool InMemorySource::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  while (out->num_rows() < kBatchSize && pos_ < data_.num_rows()) {
+    out->AppendRowFrom(data_, pos_++);
+  }
+  return out->num_rows() > 0;
+}
+
+}  // namespace patchindex

@@ -1,0 +1,30 @@
+#include "exec/project.h"
+
+#include <utility>
+
+namespace patchindex {
+
+ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+std::vector<ColumnType> ProjectOperator::OutputTypes() const {
+  const std::vector<ColumnType> input = child_->OutputTypes();
+  std::vector<ColumnType> out;
+  out.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) out.push_back(e->OutputType(input));
+  return out;
+}
+
+bool ProjectOperator::Next(Batch* out) {
+  Batch in;
+  if (!child_->Next(&in)) {
+    out->Reset(OutputTypes());
+    return false;
+  }
+  out->columns.clear();
+  for (const ExprPtr& e : exprs_) out->columns.push_back(e->Eval(in));
+  out->row_ids = std::move(in.row_ids);
+  return true;
+}
+
+}  // namespace patchindex

@@ -1,0 +1,26 @@
+#ifndef PATCHINDEX_EXEC_PROJECT_H_
+#define PATCHINDEX_EXEC_PROJECT_H_
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace patchindex {
+
+/// Computes one output column per expression; rowIDs pass through.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs);
+
+  std::vector<ColumnType> OutputTypes() const override;
+  void Open() override { child_->Open(); }
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_PROJECT_H_

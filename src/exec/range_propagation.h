@@ -1,0 +1,36 @@
+#ifndef PATCHINDEX_EXEC_RANGE_PROPAGATION_H_
+#define PATCHINDEX_EXEC_RANGE_PROPAGATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace patchindex {
+
+/// A key range published at query runtime, used for dynamic range
+/// propagation (paper §5, Baumann et al. [4]): the build phase of a
+/// HashJoin records the min/max of its build keys here; a scan on the
+/// probe side resolves the range against its minmax index when it opens
+/// (which, in a pull-based plan, happens after the build finished) and
+/// skips all blocks that cannot contain join partners.
+struct DynamicRange {
+  bool valid = false;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+
+  void Observe(std::int64_t v) {
+    valid = true;
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+};
+
+using DynamicRangePtr = std::shared_ptr<DynamicRange>;
+
+inline DynamicRangePtr MakeDynamicRange() {
+  return std::make_shared<DynamicRange>();
+}
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_RANGE_PROPAGATION_H_

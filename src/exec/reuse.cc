@@ -1,0 +1,65 @@
+#include "exec/reuse.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+ReuseCacheOperator::ReuseCacheOperator(OperatorPtr child, ReuseBufferPtr buffer)
+    : child_(std::move(child)), buffer_(std::move(buffer)) {
+  PIDX_CHECK(buffer_ != nullptr);
+}
+
+void ReuseCacheOperator::Open() {
+  child_->Open();
+  buffer_->data.Reset(child_->OutputTypes());
+  buffer_->complete = false;
+}
+
+bool ReuseCacheOperator::Next(Batch* out) {
+  if (!child_->Next(out)) {
+    buffer_->complete = true;
+    return false;
+  }
+  for (std::size_t i = 0; i < out->num_rows(); ++i) {
+    buffer_->data.AppendRowFrom(*out, i);
+  }
+  return true;
+}
+
+void ReuseCacheOperator::Close() {
+  if (!buffer_->complete) {
+    Batch rest;
+    while (child_->Next(&rest)) {
+      for (std::size_t i = 0; i < rest.num_rows(); ++i) {
+        buffer_->data.AppendRowFrom(rest, i);
+      }
+    }
+    buffer_->complete = true;
+  }
+  child_->Close();
+}
+
+ReuseLoadOperator::ReuseLoadOperator(ReuseBufferPtr buffer,
+                                     std::vector<ColumnType> types)
+    : buffer_(std::move(buffer)), types_(std::move(types)) {
+  PIDX_CHECK(buffer_ != nullptr);
+}
+
+void ReuseLoadOperator::Open() {
+  PIDX_CHECK_MSG(buffer_->complete,
+                 "ReuseLoad opened before its ReuseCache was drained");
+  pos_ = 0;
+}
+
+bool ReuseLoadOperator::Next(Batch* out) {
+  out->Reset(types_);
+  const Batch& src = buffer_->data;
+  while (out->num_rows() < kBatchSize && pos_ < src.num_rows()) {
+    out->AppendRowFrom(src, pos_++);
+  }
+  return out->num_rows() > 0;
+}
+
+}  // namespace patchindex

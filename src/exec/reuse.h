@@ -1,0 +1,66 @@
+#ifndef PATCHINDEX_EXEC_REUSE_H_
+#define PATCHINDEX_EXEC_REUSE_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace patchindex {
+
+/// Shared buffer between a ReuseCache and its ReuseLoads (intermediate
+/// result caching, paper §5 / Nagel et al. [23]).
+struct ReuseBuffer {
+  Batch data;
+  bool complete = false;
+};
+
+using ReuseBufferPtr = std::shared_ptr<ReuseBuffer>;
+
+inline ReuseBufferPtr MakeReuseBuffer() {
+  return std::make_shared<ReuseBuffer>();
+}
+
+/// Materializes the child's output into `buffer` while streaming it
+/// through unchanged. After this operator is drained, ReuseLoadOperators
+/// on the same buffer can replay the result without recomputation — e.g.
+/// the insert-handling join result, which is projected twice (rowIDs of
+/// both join sides, Figure 5).
+class ReuseCacheOperator : public Operator {
+ public:
+  ReuseCacheOperator(OperatorPtr child, ReuseBufferPtr buffer);
+
+  std::vector<ColumnType> OutputTypes() const override {
+    return child_->OutputTypes();
+  }
+  void Open() override;
+  bool Next(Batch* out) override;
+
+  /// Drains whatever the consumer did not pull (e.g. a merge join whose
+  /// other input ran dry first) so the buffer is complete for ReuseLoads.
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  ReuseBufferPtr buffer_;
+};
+
+/// Replays a buffer filled by a ReuseCacheOperator. The buffer must be
+/// complete before Open() — i.e. the caching pipeline must have been
+/// drained first.
+class ReuseLoadOperator : public Operator {
+ public:
+  ReuseLoadOperator(ReuseBufferPtr buffer, std::vector<ColumnType> types);
+
+  std::vector<ColumnType> OutputTypes() const override { return types_; }
+  void Open() override;
+  bool Next(Batch* out) override;
+
+ private:
+  ReuseBufferPtr buffer_;
+  std::vector<ColumnType> types_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_REUSE_H_

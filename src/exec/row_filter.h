@@ -1,0 +1,43 @@
+#ifndef PATCHINDEX_EXEC_ROW_FILTER_H_
+#define PATCHINDEX_EXEC_ROW_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace patchindex {
+
+/// Membership test over rowIDs. The PatchIndex implements this interface
+/// (backed by the sharded bitmap or the identifier list); the PatchIndex
+/// scan's selection operator consults it to split the dataflow into the
+/// constraint-satisfying tuples and the exceptions (paper §3.3).
+class RowIdFilter {
+ public:
+  virtual ~RowIdFilter() = default;
+
+  /// Number of rows the filter covers (the indexed table's cardinality).
+  virtual std::uint64_t NumRows() const = 0;
+
+  /// Number of rows marked as patches.
+  virtual std::uint64_t NumPatches() const = 0;
+
+  /// True when `row` is an exception to the constraint.
+  virtual bool IsPatch(RowId row) const = 0;
+
+  /// Invokes fn(row) for every patch in [begin, end), ascending. Lets the
+  /// PatchIndex scan process the gaps between patches as bulk ranges.
+  virtual void ForEachPatchInRange(
+      RowId begin, RowId end,
+      const std::function<void(RowId)>& fn) const = 0;
+};
+
+/// Selection modes of the PatchIndex scan (paper §3.3).
+enum class PatchSelectMode {
+  kExcludePatches,  // pass only tuples satisfying the constraint
+  kUsePatches,      // pass only the exceptions
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_ROW_FILTER_H_

@@ -1,0 +1,48 @@
+#include "exec/select.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+SelectOperator::SelectOperator(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+bool SelectOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  Batch in;
+  while (out->num_rows() == 0) {
+    if (!child_->Next(&in)) return false;
+    const ColumnVector mask = predicate_->Eval(in);
+    PIDX_DCHECK(mask.type == ColumnType::kInt64);
+    for (std::size_t i = 0; i < in.num_rows(); ++i) {
+      if (mask.i64[i] != 0) out->AppendRowFrom(in, i);
+    }
+  }
+  return true;
+}
+
+PatchSelectOperator::PatchSelectOperator(OperatorPtr child,
+                                         const RowIdFilter* filter,
+                                         PatchSelectMode mode)
+    : child_(std::move(child)), filter_(filter), mode_(mode) {
+  PIDX_CHECK(filter_ != nullptr);
+}
+
+bool PatchSelectOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  Batch in;
+  const bool want_patches = mode_ == PatchSelectMode::kUsePatches;
+  while (out->num_rows() == 0) {
+    if (!child_->Next(&in)) return false;
+    for (std::size_t i = 0; i < in.num_rows(); ++i) {
+      if (filter_->IsPatch(in.row_ids[i]) == want_patches) {
+        out->AppendRowFrom(in, i);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace patchindex

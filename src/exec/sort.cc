@@ -1,0 +1,65 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+SortOperator::SortOperator(OperatorPtr child, std::vector<SortKeySpec> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {
+  PIDX_CHECK(!keys_.empty());
+}
+
+void SortOperator::Open() {
+  child_->Open();
+  data_.Reset(child_->OutputTypes());
+  Batch in;
+  while (child_->Next(&in)) {
+    for (std::size_t i = 0; i < in.num_rows(); ++i) data_.AppendRowFrom(in, i);
+  }
+  child_->Close();
+
+  order_.resize(data_.num_rows());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              for (const SortKeySpec& k : keys_) {
+                const ColumnVector& col = data_.columns[k.column];
+                int c = 0;
+                switch (col.type) {
+                  case ColumnType::kInt64:
+                    c = col.i64[a] < col.i64[b] ? -1 : (col.i64[a] > col.i64[b]);
+                    break;
+                  case ColumnType::kDouble:
+                    c = col.f64[a] < col.f64[b] ? -1 : (col.f64[a] > col.f64[b]);
+                    break;
+                  case ColumnType::kString: {
+                    const int r = col.str[a].compare(col.str[b]);
+                    c = r < 0 ? -1 : (r > 0 ? 1 : 0);
+                    break;
+                  }
+                }
+                if (c != 0) return k.ascending ? c < 0 : c > 0;
+              }
+              return false;
+            });
+  pos_ = 0;
+}
+
+bool SortOperator::Next(Batch* out) {
+  out->Reset(OutputTypes());
+  while (out->num_rows() < kBatchSize && pos_ < order_.size()) {
+    out->AppendRowFrom(data_, order_[pos_++]);
+  }
+  return out->num_rows() > 0;
+}
+
+void SortOperator::Close() {
+  data_.Clear();
+  order_.clear();
+}
+
+}  // namespace patchindex

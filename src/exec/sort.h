@@ -1,0 +1,42 @@
+#ifndef PATCHINDEX_EXEC_SORT_H_
+#define PATCHINDEX_EXEC_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace patchindex {
+
+struct SortKeySpec {
+  std::size_t column;
+  bool ascending = true;
+};
+
+/// Full in-memory sort (introsort, i.e. a QuickSort derivative like the
+/// engine in the paper). Materializes the child at Open() and emits the
+/// permuted rows. The PatchIndex sort optimization removes this operator
+/// from the patch-excluded subtree entirely (§3.3) — only the patches
+/// still pass through a SortOperator.
+class SortOperator : public Operator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortKeySpec> keys);
+
+  std::vector<ColumnType> OutputTypes() const override {
+    return child_->OutputTypes();
+  }
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKeySpec> keys_;
+  Batch data_;
+  std::vector<std::size_t> order_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_EXEC_SORT_H_

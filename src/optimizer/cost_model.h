@@ -1,0 +1,70 @@
+#ifndef PATCHINDEX_OPTIMIZER_COST_MODEL_H_
+#define PATCHINDEX_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace patchindex {
+
+/// Abstract per-tuple cost weights for the operators the PatchIndex
+/// rewrites touch (paper §3.5: the rewrites use ordinary operators plus a
+/// fixed-overhead selection, so any cost-based optimizer can price them).
+/// Units are arbitrary; only ratios matter for plan choice.
+struct CostWeights {
+  double scan = 1.0;
+  double patch_select = 0.3;    // rowID test, type-independent (§3.5)
+  double hash_agg = 6.0;        // hash probe/insert per input row
+  double sort_per_cmp = 1.5;    // n log2 n comparisons
+  double hash_join_build = 5.0;
+  double hash_join_probe = 3.0;
+  double merge_join = 1.0;      // per input row of either side
+  double merge = 0.5;           // order-preserving combine
+  double union_op = 0.1;
+  double reuse_cache = 0.8;     // materialize one row
+};
+
+/// Plan cost estimates for the three optimizable query shapes, with and
+/// without the PatchIndex rewrite. `n` = input cardinality, `e` =
+/// exception rate of the index.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostWeights weights) : w_(weights) {}
+
+  /// DISTINCT on a NUC (Figure 2 left): the plain plan aggregates all n
+  /// rows; the rewritten plan aggregates only the e*n patches but pays
+  /// the selection twice plus the union.
+  double DistinctPlain(double n) const;
+  double DistinctPatched(double n, double e) const;
+
+  /// ORDER BY on a NSC: plain sorts n rows; rewritten sorts only patches
+  /// and merges.
+  double SortPlain(double n) const;
+  double SortPatched(double n, double e) const;
+
+  /// Join of a fact side of n_fact rows against a sorted subtree "X" of
+  /// n_x rows (Figure 2 right): plain = hash join; rewritten = merge join
+  /// for non-patches + hash join on patches + buffering X.
+  double JoinPlain(double n_fact, double n_x) const;
+  double JoinPatched(double n_fact, double n_x, double e) const;
+
+  bool ShouldRewriteDistinct(double n, double e) const {
+    return DistinctPatched(n, e) < DistinctPlain(n);
+  }
+  bool ShouldRewriteSort(double n, double e) const {
+    return SortPatched(n, e) < SortPlain(n);
+  }
+  bool ShouldRewriteJoin(double n_fact, double n_x, double e) const {
+    return JoinPatched(n_fact, n_x, e) < JoinPlain(n_fact, n_x);
+  }
+
+  const CostWeights& weights() const { return w_; }
+
+ private:
+  static double Log2(double n);
+
+  CostWeights w_{};
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,85 @@
+#include "optimizer/explain.h"
+
+#include <cstdio>
+
+namespace patchindex {
+
+namespace {
+
+const char* ConstraintName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kNearlyUnique:
+      return "NUC";
+    case ConstraintKind::kNearlySorted:
+      return "NSC";
+    case ConstraintKind::kNearlyConstant:
+      return "NCC";
+  }
+  return "?";
+}
+
+void Render(const LogicalNode& node, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  char buf[160];
+  switch (node.kind) {
+    case LogicalNode::Kind::kScan:
+      std::snprintf(buf, sizeof(buf), "Scan(%zu cols, %llu rows%s)",
+                    node.columns.size(),
+                    static_cast<unsigned long long>(
+                        node.table->num_visible_rows()),
+                    node.scan_sorted_col >= 0 ? ", sorted" : "");
+      break;
+    case LogicalNode::Kind::kSelect:
+      std::snprintf(buf, sizeof(buf), "Select(sel=%.2f)", node.selectivity);
+      break;
+    case LogicalNode::Kind::kProject:
+      std::snprintf(buf, sizeof(buf), "Project(%zu exprs)",
+                    node.exprs.size());
+      break;
+    case LogicalNode::Kind::kJoin:
+      std::snprintf(buf, sizeof(buf), "Join(keys %zu=%zu)", node.left_key,
+                    node.right_key);
+      break;
+    case LogicalNode::Kind::kDistinct:
+      std::snprintf(buf, sizeof(buf), "Distinct(%zu cols)",
+                    node.group_cols.size());
+      break;
+    case LogicalNode::Kind::kAggregate:
+      std::snprintf(buf, sizeof(buf), "Aggregate(groups=%zu, aggs=%zu)",
+                    node.group_cols.size(), node.aggs.size());
+      break;
+    case LogicalNode::Kind::kSort:
+      std::snprintf(buf, sizeof(buf), "Sort(%zu keys)",
+                    node.sort_keys.size());
+      break;
+    case LogicalNode::Kind::kPatchDistinct:
+      std::snprintf(buf, sizeof(buf), "PatchDistinct [%s e=%.2f%%]",
+                    ConstraintName(node.pidx->constraint()),
+                    node.pidx->exception_rate() * 100.0);
+      break;
+    case LogicalNode::Kind::kPatchSort:
+      std::snprintf(buf, sizeof(buf), "PatchSort [%s e=%.2f%%]",
+                    ConstraintName(node.pidx->constraint()),
+                    node.pidx->exception_rate() * 100.0);
+      break;
+    case LogicalNode::Kind::kPatchJoin:
+      std::snprintf(buf, sizeof(buf), "PatchJoin(keys %zu=%zu) [%s e=%.2f%%]",
+                    node.left_key, node.right_key,
+                    ConstraintName(node.pidx->constraint()),
+                    node.pidx->exception_rate() * 100.0);
+      break;
+  }
+  out->append(buf);
+  out->push_back('\n');
+  for (const auto& child : node.children) Render(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const LogicalPtr& plan) {
+  std::string out;
+  Render(*plan, 0, &out);
+  return out;
+}
+
+}  // namespace patchindex

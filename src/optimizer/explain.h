@@ -1,0 +1,23 @@
+#ifndef PATCHINDEX_OPTIMIZER_EXPLAIN_H_
+#define PATCHINDEX_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "optimizer/plan.h"
+
+namespace patchindex {
+
+/// Renders a logical plan as an indented tree, annotating PatchIndex
+/// rewrites with the backing constraint and exception rate. For debugging
+/// and for verifying which rewrites fired:
+///
+///   Aggregate(groups=3, aggs=1)
+///     Project(4 exprs)
+///       PatchJoin(keys 2=0) [NSC e=5.02%]
+///         Join(keys 0=1)
+///           ...
+std::string ExplainPlan(const LogicalPtr& plan);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_OPTIMIZER_EXPLAIN_H_

@@ -1,0 +1,94 @@
+#ifndef PATCHINDEX_OPTIMIZER_PLAN_H_
+#define PATCHINDEX_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/expression.h"
+#include "exec/sort.h"
+#include "patchindex/patch_index.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Logical query plan node. Built by query frontends (the TPC-H query
+/// builders, the microbenchmark harness, user code), transformed by the
+/// PatchIndex rewriter, compiled to a physical operator tree.
+struct LogicalNode {
+  enum class Kind {
+    kScan,
+    kSelect,
+    kProject,
+    kJoin,      // inner equi join; children[0] joined with children[1]
+    kDistinct,  // duplicate elimination on group_cols
+    kAggregate, // grouping aggregation
+    kSort,
+    // Nodes introduced by the PatchIndex rewriter (paper §3.3 Figure 2):
+    kPatchDistinct,  // distinct over a NUC: aggregation dropped for non-patches
+    kPatchSort,      // sort over a NSC: sort dropped for non-patches, Merge
+    kPatchJoin,      // join on a NSC: MergeJoin for non-patches
+  };
+
+  Kind kind;
+  std::vector<std::shared_ptr<LogicalNode>> children;
+
+  // kScan
+  const Table* table = nullptr;
+  std::vector<std::size_t> columns;
+  /// Index (into `columns`) of a column the stored table order is sorted
+  /// by, or -1. Seeds the sortedness propagation the join rewrite needs.
+  int scan_sorted_col = -1;
+
+  // kSelect
+  ExprPtr predicate;
+  /// Estimated selectivity of the predicate (for the cost model).
+  double selectivity = 0.5;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+
+  // kJoin: key columns in the respective child's output.
+  std::size_t left_key = 0;
+  std::size_t right_key = 0;
+
+  // kDistinct / kAggregate
+  std::vector<std::size_t> group_cols;
+  std::vector<AggSpec> aggs;
+
+  // kSort
+  std::vector<SortKeySpec> sort_keys;
+
+  // kPatch*: the index backing the rewrite. For kPatchJoin the indexed
+  // ("fact") input is children[1]; children[0] is the sorted subtree "X".
+  const PatchIndex* pidx = nullptr;
+};
+
+using LogicalPtr = std::shared_ptr<LogicalNode>;
+
+LogicalPtr LScan(const Table& table, std::vector<std::size_t> columns,
+                 int sorted_col = -1);
+LogicalPtr LSelect(LogicalPtr child, ExprPtr predicate,
+                   double selectivity = 0.5);
+LogicalPtr LProject(LogicalPtr child, std::vector<ExprPtr> exprs);
+LogicalPtr LJoin(LogicalPtr left, LogicalPtr right, std::size_t left_key,
+                 std::size_t right_key);
+LogicalPtr LDistinct(LogicalPtr child, std::vector<std::size_t> cols);
+LogicalPtr LAggregate(LogicalPtr child, std::vector<std::size_t> group_cols,
+                      std::vector<AggSpec> aggs);
+LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys);
+
+/// Output column types of a logical node.
+std::vector<ColumnType> LogicalOutputTypes(const LogicalNode& node);
+
+/// Index of the output column the node's output is sorted by (ascending),
+/// or -1. Propagation rules follow the paper §3.3: selections preserve
+/// order, hash joins preserve the probe side's order, projections remap.
+int SortedOutputColumn(const LogicalNode& node);
+
+/// Estimated output cardinality (for the cost model).
+double EstimateCardinality(const LogicalNode& node);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_OPTIMIZER_PLAN_H_

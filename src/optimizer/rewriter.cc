@@ -1,0 +1,357 @@
+#include "optimizer/rewriter.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "exec/hash_join.h"
+#include "exec/merge.h"
+#include "exec/merge_join.h"
+#include "exec/project.h"
+#include "exec/reuse.h"
+#include "exec/scan.h"
+#include "exec/select.h"
+
+namespace patchindex {
+
+namespace {
+
+/// Descends through a chain of selections (which keep columns and rowIDs
+/// intact) to the scan feeding it; nullptr when the subtree has any other
+/// shape. This is the paper's "arbitrary subtree X without joins or
+/// aggregations" restricted to the common select-chain case.
+const LogicalNode* SelectChainScan(const LogicalNode& node) {
+  const LogicalNode* cur = &node;
+  while (cur->kind == LogicalNode::Kind::kSelect) cur = cur->children[0].get();
+  return cur->kind == LogicalNode::Kind::kScan ? cur : nullptr;
+}
+
+/// Finds a registered index of `kind` on the table column that output
+/// column `output_col` of the select-chain maps to.
+const PatchIndex* FindIndex(const PatchIndexManager& manager,
+                            const LogicalNode& chain, std::size_t output_col,
+                            ConstraintKind kind) {
+  const LogicalNode* scan = SelectChainScan(chain);
+  if (scan == nullptr || output_col >= scan->columns.size()) return nullptr;
+  const std::size_t table_col = scan->columns[output_col];
+  for (PatchIndex* idx : manager.IndexesOn(*scan->table)) {
+    if (idx->constraint() == kind && idx->column() == table_col &&
+        idx->patches().NumRows() == scan->table->num_rows()) {
+      return idx;
+    }
+  }
+  return nullptr;
+}
+
+LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
+                       const OptimizerOptions& options) {
+  for (auto& child : node->children) {
+    child = RewriteNode(child, manager, options);
+  }
+
+  switch (node->kind) {
+    case LogicalNode::Kind::kDistinct: {
+      if (node->group_cols.size() != 1) break;
+      const PatchIndex* idx =
+          FindIndex(manager, *node->children[0], node->group_cols[0],
+                    ConstraintKind::kNearlyUnique);
+      if (idx == nullptr &&
+          node->children[0]->kind == LogicalNode::Kind::kScan) {
+        // NCC variant (the §5.5 extension): distinct = {constant} union
+        // the distinct patches. Restricted to plain scans — a selection
+        // might filter away every constant row, which the plan could not
+        // know statically.
+        idx = FindIndex(manager, *node->children[0], node->group_cols[0],
+                        ConstraintKind::kNearlyConstant);
+      }
+      if (idx == nullptr) break;
+      const double n = EstimateCardinality(*node->children[0]);
+      if (!options.force_patch_rewrites &&
+          !options.cost_model.ShouldRewriteDistinct(n,
+                                                    idx->exception_rate())) {
+        break;
+      }
+      node->kind = LogicalNode::Kind::kPatchDistinct;
+      node->pidx = idx;
+      break;
+    }
+    case LogicalNode::Kind::kSort: {
+      // The Merge combine requires an ascending INT64 order.
+      if (node->sort_keys.size() != 1 || !node->sort_keys[0].ascending) break;
+      const PatchIndex* idx =
+          FindIndex(manager, *node->children[0], node->sort_keys[0].column,
+                    ConstraintKind::kNearlySorted);
+      if (idx == nullptr || !idx->ascending()) break;
+      const double n = EstimateCardinality(*node->children[0]);
+      if (!options.force_patch_rewrites &&
+          !options.cost_model.ShouldRewriteSort(n, idx->exception_rate())) {
+        break;
+      }
+      node->kind = LogicalNode::Kind::kPatchSort;
+      node->pidx = idx;
+      break;
+    }
+    case LogicalNode::Kind::kJoin: {
+      // Pattern (Figure 2 right): right input is the NSC-indexed fact
+      // side, left input ("X") is sorted on the join key.
+      const PatchIndex* idx = FindIndex(
+          manager, *node->children[1], node->right_key,
+          ConstraintKind::kNearlySorted);
+      if (idx == nullptr || !idx->ascending()) break;
+      if (SortedOutputColumn(*node->children[0]) !=
+          static_cast<int>(node->left_key)) {
+        break;
+      }
+      const double n_fact = EstimateCardinality(*node->children[1]);
+      const double n_x = EstimateCardinality(*node->children[0]);
+      if (!options.force_patch_rewrites &&
+          !options.cost_model.ShouldRewriteJoin(n_fact, n_x,
+                                                idx->exception_rate())) {
+        break;
+      }
+      node->kind = LogicalNode::Kind::kPatchJoin;
+      node->pidx = idx;
+      break;
+    }
+    default:
+      break;
+  }
+  return node;
+}
+
+OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options);
+
+/// Compiles a select-chain with the PatchIndex selection fused into the
+/// scan (the PatchIndex scan of §3.3: the selection modes merge the patch
+/// information on-the-fly into the scan's output dataflow).
+OperatorPtr CompileChainWithPatchFilter(const LogicalNode& node,
+                                        const PatchIndex* idx,
+                                        PatchSelectMode mode,
+                                        const OptimizerOptions& options) {
+  if (node.kind == LogicalNode::Kind::kScan) {
+    ScanOptions sopt;
+    sopt.patch_filter = idx;
+    sopt.patch_mode = mode;
+    return std::make_unique<ScanOperator>(*node.table, node.columns, sopt);
+  }
+  PIDX_CHECK(node.kind == LogicalNode::Kind::kSelect);
+  OperatorPtr child =
+      CompileChainWithPatchFilter(*node.children[0], idx, mode, options);
+  return std::make_unique<SelectOperator>(std::move(child), node.predicate);
+}
+
+OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
+  switch (node.kind) {
+    case LogicalNode::Kind::kScan:
+      return std::make_unique<ScanOperator>(*node.table, node.columns);
+    case LogicalNode::Kind::kSelect:
+      return std::make_unique<SelectOperator>(
+          Compile(*node.children[0], options), node.predicate);
+    case LogicalNode::Kind::kProject:
+      return std::make_unique<ProjectOperator>(
+          Compile(*node.children[0], options), node.exprs);
+    case LogicalNode::Kind::kJoin: {
+      // Build on the side with the lower estimated cardinality (§3.3);
+      // restore the logical left-then-right column order afterwards.
+      const double l = EstimateCardinality(*node.children[0]);
+      const double r = EstimateCardinality(*node.children[1]);
+      const std::size_t lw = LogicalOutputTypes(*node.children[0]).size();
+      const std::size_t rw = LogicalOutputTypes(*node.children[1]).size();
+      // If this join's output is order-relevant (a sortedness annotation
+      // derived from the right/probe side), the probe side must remain
+      // the right child regardless of cardinalities — hash joins only
+      // preserve the probe side's order.
+      const bool build_left = SortedOutputColumn(node) >= 0 || l <= r;
+      OperatorPtr build = Compile(*node.children[build_left ? 0 : 1], options);
+      OperatorPtr probe = Compile(*node.children[build_left ? 1 : 0], options);
+      auto join = std::make_unique<HashJoinOperator>(
+          std::move(build), std::move(probe),
+          build_left ? node.left_key : node.right_key,
+          build_left ? node.right_key : node.left_key);
+      // Physical layout: probe columns then build columns.
+      std::vector<ExprPtr> reorder;
+      if (build_left) {
+        for (std::size_t i = 0; i < lw; ++i) reorder.push_back(Col(rw + i));
+        for (std::size_t j = 0; j < rw; ++j) reorder.push_back(Col(j));
+      } else {
+        for (std::size_t i = 0; i < lw; ++i) reorder.push_back(Col(i));
+        for (std::size_t j = 0; j < rw; ++j) reorder.push_back(Col(lw + j));
+      }
+      return std::make_unique<ProjectOperator>(std::move(join),
+                                               std::move(reorder));
+    }
+    case LogicalNode::Kind::kDistinct:
+      return std::make_unique<HashAggregateOperator>(
+          Compile(*node.children[0], options), node.group_cols,
+          std::vector<AggSpec>{});
+    case LogicalNode::Kind::kAggregate:
+      return std::make_unique<HashAggregateOperator>(
+          Compile(*node.children[0], options), node.group_cols, node.aggs);
+    case LogicalNode::Kind::kSort:
+      return std::make_unique<SortOperator>(
+          Compile(*node.children[0], options), node.sort_keys);
+
+    case LogicalNode::Kind::kPatchDistinct: {
+      const LogicalNode& chain = *node.children[0];
+      std::vector<ExprPtr> group_proj;
+      for (std::size_t c : node.group_cols) group_proj.push_back(Col(c));
+      if (node.pidx->constraint() == ConstraintKind::kNearlyConstant) {
+        // NCC: all non-patches hold the materialized constant, so the
+        // whole excluded subtree collapses into a single-row source. The
+        // patches branch is deduplicated against the constant (a patch
+        // modified back to the constant may hold it, §5.2-style
+        // optimality loss).
+        std::vector<OperatorPtr> branches;
+        if (node.pidx->NumRows() > node.pidx->NumPatches() &&
+            node.pidx->has_constant()) {
+          Batch one;
+          one.Reset({ColumnType::kInt64});
+          one.columns[0].i64.push_back(node.pidx->constant_value());
+          one.row_ids.push_back(0);
+          branches.push_back(std::make_unique<InMemorySource>(std::move(one)));
+        }
+        if (!(options.zero_branch_pruning && node.pidx->NumPatches() == 0)) {
+          OperatorPtr use = std::make_unique<SelectOperator>(
+              std::make_unique<HashAggregateOperator>(
+                  CompileChainWithPatchFilter(
+                      chain, node.pidx, PatchSelectMode::kUsePatches,
+                      options),
+                  node.group_cols, std::vector<AggSpec>{}),
+              Ne(Col(0), ConstInt(node.pidx->constant_value())));
+          branches.push_back(std::move(use));
+        }
+        if (branches.empty()) {  // empty table
+          Batch none;
+          none.Reset({ColumnType::kInt64});
+          return std::make_unique<InMemorySource>(std::move(none));
+        }
+        if (branches.size() == 1) return std::move(branches[0]);
+        return std::make_unique<UnionOperator>(std::move(branches));
+      }
+      if (options.zero_branch_pruning && node.pidx->NumPatches() == 0) {
+        // ZBP (§6.3): the patches subtree has cardinality 0 and the
+        // exclude selection passes everything — both are dropped.
+        return std::make_unique<ProjectOperator>(Compile(chain, options),
+                                                 std::move(group_proj));
+      }
+      if (options.zero_branch_pruning &&
+          node.pidx->NumPatches() == node.pidx->NumRows()) {
+        // Degenerate mirror case (e = 1): the excluded subtree is the one
+        // with guaranteed-zero cardinality — ZBP drops it and the plan
+        // collapses to the plain aggregation over the patches.
+        return std::make_unique<HashAggregateOperator>(
+            CompileChainWithPatchFilter(chain, node.pidx,
+                                        PatchSelectMode::kUsePatches,
+                                        options),
+            node.group_cols, std::vector<AggSpec>{});
+      }
+      // Figure 2 left: the aggregation is dropped from the subtree that
+      // excluded the patches (tuples there are unique by the constraint).
+      OperatorPtr excl = std::make_unique<ProjectOperator>(
+          CompileChainWithPatchFilter(chain, node.pidx,
+                                      PatchSelectMode::kExcludePatches,
+                                      options),
+          group_proj);
+      OperatorPtr use = std::make_unique<HashAggregateOperator>(
+          CompileChainWithPatchFilter(chain, node.pidx,
+                                      PatchSelectMode::kUsePatches, options),
+          node.group_cols, std::vector<AggSpec>{});
+      std::vector<OperatorPtr> branches;
+      branches.push_back(std::move(excl));
+      branches.push_back(std::move(use));
+      return std::make_unique<UnionOperator>(std::move(branches));
+    }
+
+    case LogicalNode::Kind::kPatchSort: {
+      const LogicalNode& chain = *node.children[0];
+      if (options.zero_branch_pruning && node.pidx->NumPatches() == 0) {
+        return Compile(chain, options);  // stored order already sorted
+      }
+      if (options.zero_branch_pruning &&
+          node.pidx->NumPatches() == node.pidx->NumRows()) {
+        // e = 1: the excluded branch is empty; sort everything plainly.
+        return std::make_unique<SortOperator>(
+            CompileChainWithPatchFilter(chain, node.pidx,
+                                        PatchSelectMode::kUsePatches,
+                                        options),
+            node.sort_keys);
+      }
+      // The sort operator becomes obsolete for the non-patches; only the
+      // patches are sorted, and a Merge preserves the global order.
+      OperatorPtr excl = CompileChainWithPatchFilter(
+          chain, node.pidx, PatchSelectMode::kExcludePatches, options);
+      OperatorPtr use = std::make_unique<SortOperator>(
+          CompileChainWithPatchFilter(chain, node.pidx,
+                                      PatchSelectMode::kUsePatches, options),
+          node.sort_keys);
+      std::vector<OperatorPtr> branches;
+      branches.push_back(std::move(excl));
+      branches.push_back(std::move(use));
+      return std::make_unique<MergeOperator>(std::move(branches),
+                                             node.sort_keys[0].column);
+    }
+
+    case LogicalNode::Kind::kPatchJoin: {
+      const LogicalNode& x = *node.children[0];
+      const LogicalNode& fact = *node.children[1];
+      if (options.zero_branch_pruning && node.pidx->NumPatches() == 0) {
+        return std::make_unique<MergeJoinOperator>(
+            Compile(x, options), Compile(fact, options), node.left_key,
+            node.right_key);
+      }
+      // Figure 2 right: X is buffered (ReuseCache) and consumed by both
+      // cloned subtrees; the non-patches side uses the MergeJoin, the
+      // patches side a HashJoin built on the patches (lowest cardinality).
+      OperatorPtr x_first;
+      OperatorPtr x_second;
+      if (options.buffer_shared_subtrees) {
+        auto buffer = MakeReuseBuffer();
+        x_first = std::make_unique<ReuseCacheOperator>(Compile(x, options),
+                                                       buffer);
+        x_second = std::make_unique<ReuseLoadOperator>(buffer,
+                                                       LogicalOutputTypes(x));
+      } else {
+        // Ablation: compute X twice.
+        x_first = Compile(x, options);
+        x_second = Compile(x, options);
+      }
+      OperatorPtr merge_branch = std::make_unique<MergeJoinOperator>(
+          std::move(x_first),
+          CompileChainWithPatchFilter(fact, node.pidx,
+                                      PatchSelectMode::kExcludePatches,
+                                      options),
+          node.left_key, node.right_key);
+      // Probe = replayed X, build = patches; output is X-then-fact, the
+      // same layout the MergeJoin produces.
+      OperatorPtr hash_branch = std::make_unique<HashJoinOperator>(
+          CompileChainWithPatchFilter(fact, node.pidx,
+                                      PatchSelectMode::kUsePatches, options),
+          std::move(x_second), node.right_key, node.left_key);
+      std::vector<OperatorPtr> branches;
+      branches.push_back(std::move(merge_branch));
+      branches.push_back(std::move(hash_branch));
+      return std::make_unique<UnionOperator>(std::move(branches));
+    }
+  }
+  PIDX_CHECK_MSG(false, "unreachable plan node");
+  return nullptr;
+}
+
+}  // namespace
+
+LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
+                        const OptimizerOptions& options) {
+  if (!options.enable_patch_rewrites) return plan;
+  return RewriteNode(std::move(plan), manager, options);
+}
+
+OperatorPtr CompilePlan(const LogicalPtr& plan,
+                        const OptimizerOptions& options) {
+  return Compile(*plan, options);
+}
+
+OperatorPtr PlanQuery(LogicalPtr plan, const PatchIndexManager& manager,
+                      const OptimizerOptions& options) {
+  return CompilePlan(OptimizePlan(std::move(plan), manager, options), options);
+}
+
+}  // namespace patchindex

@@ -1,0 +1,57 @@
+#ifndef PATCHINDEX_OPTIMIZER_REWRITER_H_
+#define PATCHINDEX_OPTIMIZER_REWRITER_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "patchindex/manager.h"
+
+namespace patchindex {
+
+struct OptimizerOptions {
+  /// Apply the PatchIndex rewrites of §3.3 where an index matches.
+  bool enable_patch_rewrites = true;
+
+  /// Bypass the cost gate and rewrite whenever an index matches. The
+  /// evaluation plots PI variants unconditionally (the paper notes the
+  /// optimizer would reject e.g. the Q12 plan, §6.3).
+  bool force_patch_rewrites = false;
+
+  /// Zero-branch pruning (§6.3): when the patch count is known to be 0 at
+  /// optimization time, drop the patches subtree and the then-no-op
+  /// selection from the plan.
+  bool zero_branch_pruning = false;
+
+  /// Buffer the shared subtree "X" of the join rewrite in a ReuseCache
+  /// instead of computing it twice (§3.3). Off only for the ablation
+  /// benchmark.
+  bool buffer_shared_subtrees = true;
+
+  CostModel cost_model;
+};
+
+/// Applies the PatchIndex rewrite rules to a logical plan:
+///  - Distinct over a select-chain on a NUC column  -> kPatchDistinct
+///  - Sort   over a select-chain on a NSC column    -> kPatchSort
+///  - Join whose right input is a select-chain scan of a NSC column and
+///    whose left input is sorted on the join key    -> kPatchJoin
+/// Rewrites fire only when `manager` has a matching index and the cost
+/// model approves (unless forced).
+LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
+                        const OptimizerOptions& options = {});
+
+/// Lowers a (possibly rewritten) logical plan to a physical operator
+/// tree. Zero-branch pruning is applied here, where exact patch counts
+/// are known.
+OperatorPtr CompilePlan(const LogicalPtr& plan,
+                        const OptimizerOptions& options = {});
+
+/// Convenience: optimize + compile.
+OperatorPtr PlanQuery(LogicalPtr plan, const PatchIndexManager& manager,
+                      const OptimizerOptions& options = {});
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_OPTIMIZER_REWRITER_H_

@@ -1,0 +1,117 @@
+#include "patchindex/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace patchindex {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'D', 'X', 'C', 'K', 'P', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteOne(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadOne(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SavePatchIndexCheckpoint(const PatchIndex& index,
+                                const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open checkpoint file for writing: " +
+                            path);
+  }
+  const PatchIndexState state = index.ExportState();
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) == 1;
+  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(state.constraint));
+  ok = ok && WriteOne(f.get(), static_cast<std::uint64_t>(state.column));
+  ok = ok && WriteOne(f.get(),
+                      static_cast<std::uint8_t>(index.patches().design()));
+  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(index.ascending()));
+  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(state.has_tail));
+  ok = ok && WriteOne(f.get(), state.tail_value);
+  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(state.has_constant));
+  ok = ok && WriteOne(f.get(), state.constant_value);
+  ok = ok && WriteOne(f.get(), state.num_rows);
+  ok = ok &&
+       WriteOne(f.get(), static_cast<std::uint64_t>(state.patches.size()));
+  // Delta encoding keeps the file small for clustered patches.
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; ok && i < state.patches.size(); ++i) {
+    const std::uint64_t delta = i == 0 ? state.patches[0]
+                                       : state.patches[i] - prev;
+    prev = state.patches[i];
+    ok = WriteOne(f.get(), delta);
+  }
+  if (!ok) return Status::Internal("short write to checkpoint file");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PatchIndex>> LoadPatchIndexCheckpoint(
+    const std::string& path, const Table& table, PatchIndexOptions options) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("checkpoint file not found: " + path);
+  }
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a PatchIndex checkpoint: " + path);
+  }
+  PatchIndexState state;
+  std::uint8_t constraint_u8 = 0, design_u8 = 0, ascending_u8 = 0,
+               has_tail_u8 = 0, has_constant_u8 = 0;
+  std::uint64_t column_u64 = 0, num_patches = 0;
+  bool ok = ReadOne(f.get(), &constraint_u8);
+  ok = ok && ReadOne(f.get(), &column_u64);
+  ok = ok && ReadOne(f.get(), &design_u8);
+  ok = ok && ReadOne(f.get(), &ascending_u8);
+  ok = ok && ReadOne(f.get(), &has_tail_u8);
+  ok = ok && ReadOne(f.get(), &state.tail_value);
+  ok = ok && ReadOne(f.get(), &has_constant_u8);
+  ok = ok && ReadOne(f.get(), &state.constant_value);
+  ok = ok && ReadOne(f.get(), &state.num_rows);
+  ok = ok && ReadOne(f.get(), &num_patches);
+  if (!ok || constraint_u8 > 2 || design_u8 > 1) {
+    return Status::InvalidArgument("corrupted checkpoint header: " + path);
+  }
+  if (num_patches > state.num_rows) {
+    return Status::InvalidArgument("corrupted checkpoint: more patches "
+                                   "than rows");
+  }
+  state.constraint = static_cast<ConstraintKind>(constraint_u8);
+  state.column = static_cast<std::size_t>(column_u64);
+  state.has_tail = has_tail_u8 != 0;
+  state.has_constant = has_constant_u8 != 0;
+  options.design = static_cast<PatchSetDesign>(design_u8);
+  options.ascending = ascending_u8 != 0;
+
+  state.patches.reserve(num_patches);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < num_patches; ++i) {
+    std::uint64_t delta = 0;
+    if (!ReadOne(f.get(), &delta)) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    pos = i == 0 ? delta : pos + delta;
+    state.patches.push_back(pos);
+  }
+  return PatchIndex::Restore(table, state, options);
+}
+
+}  // namespace patchindex

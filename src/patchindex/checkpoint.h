@@ -1,0 +1,39 @@
+#ifndef PATCHINDEX_PATCHINDEX_CHECKPOINT_H_
+#define PATCHINDEX_PATCHINDEX_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "patchindex/patch_index.h"
+
+namespace patchindex {
+
+/// PatchIndex persistence (paper §3.4): PatchIndexes are main-memory
+/// structures and are normally *recreated* after a restart to keep the
+/// log slim; "alternatively, the PatchIndex information can be persisted
+/// to disk as a checkpoint". This module implements that alternative:
+/// a small binary file holding the constraint metadata and the patch
+/// rowIDs (run-length friendly: rowIDs are delta-encoded).
+///
+/// Format (little endian): magic "PIDXCKP1", then
+///   u8 constraint, u64 column, u8 design, u8 ascending,
+///   u8 has_tail, i64 tail, u8 has_constant, i64 constant,
+///   u64 num_rows, u64 num_patches, u64 deltas[num_patches]
+/// where deltas[0] is the first patch rowID and deltas[i] the distance to
+/// the previous one.
+Status SavePatchIndexCheckpoint(const PatchIndex& index,
+                                const std::string& path);
+
+/// Restores an index from a checkpoint against `table`. Fails with
+/// kInvalidArgument on format errors and with kConstraintViolation when
+/// the checkpointed cardinality does not match the table (the table
+/// changed after the checkpoint; per §3.4 the caller must then replay the
+/// logged updates or recreate the index).
+Result<std::unique_ptr<PatchIndex>> LoadPatchIndexCheckpoint(
+    const std::string& path, const Table& table,
+    PatchIndexOptions options = {});
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_PATCHINDEX_CHECKPOINT_H_

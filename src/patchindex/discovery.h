@@ -1,0 +1,62 @@
+#ifndef PATCHINDEX_PATCHINDEX_DISCOVERY_H_
+#define PATCHINDEX_PATCHINDEX_DISCOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace patchindex {
+
+/// Constraint discovery (introduced in the paper's predecessor [18];
+/// recapped in §3.1): determines a minimal set of patches — rowIDs whose
+/// removal makes the remaining column satisfy the constraint.
+
+/// Nearly Unique Column: every occurrence of a non-unique value becomes a
+/// patch ("we need to keep track of all occurrences of non-unique values
+/// to ensure correctness", §5.1). This makes the patch and non-patch value
+/// sets disjoint, which is what the Figure 2 distinct decomposition
+/// relies on: unique non-patches pass through unaggregated, the patches
+/// are aggregated, and the union contains every value exactly once.
+/// Returns sorted rowIDs.
+std::vector<RowId> DiscoverNucPatches(const Column& column);
+
+/// Result of NSC discovery: the complement of a longest sorted (non-
+/// decreasing for ascending order) subsequence, plus the subsequence's
+/// last value, which the insert handler extends from (paper §5.1).
+struct NscDiscovery {
+  std::vector<RowId> patches;  // sorted rowIDs not in the subsequence
+  std::int64_t tail_value = 0;  // last value of the kept subsequence
+  bool has_tail = false;        // false when the column is empty
+};
+
+/// Nearly Sorted Column: longest non-decreasing (ascending=true) or
+/// non-increasing subsequence via patience sorting (Fredman [12]),
+/// O(n log n) time, O(n) space.
+NscDiscovery DiscoverNscPatches(const Column& column, bool ascending = true);
+
+/// Result of NCC discovery: every row not holding the column's most
+/// frequent value is a patch. "Approximate constancy of column values"
+/// is the first extension the paper's future work names (§7); it plugs
+/// into the generic PatchIndex design of §5.5.
+struct NccDiscovery {
+  std::vector<RowId> patches;
+  std::int64_t constant = 0;   // the majority value
+  bool has_constant = false;   // false when the column is empty
+};
+
+/// Nearly Constant Column: patches are the complement of the most
+/// frequent value's occurrences (ties broken towards the smaller value
+/// for determinism).
+NccDiscovery DiscoverNccPatches(const Column& column);
+
+/// Longest sorted subsequence over a plain value vector; returns the
+/// *indices* that are part of the subsequence (ascending index order).
+/// Shared by discovery and the NSC insert handler.
+std::vector<std::size_t> LongestSortedSubsequence(
+    const std::vector<std::int64_t>& values, bool ascending = true);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_PATCHINDEX_DISCOVERY_H_

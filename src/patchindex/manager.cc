@@ -1,0 +1,56 @@
+#include "patchindex/manager.h"
+
+#include "common/thread_pool.h"
+
+namespace patchindex {
+
+PatchIndex* PatchIndexManager::CreateIndex(const Table& table,
+                                           std::size_t column,
+                                           ConstraintKind constraint,
+                                           PatchIndexOptions options) {
+  indexes_.push_back(PatchIndex::Create(table, column, constraint, options));
+  return indexes_.back().get();
+}
+
+std::vector<PatchIndex*> PatchIndexManager::CreatePartitionedIndex(
+    const PartitionedTable& table, std::size_t column,
+    ConstraintKind constraint, PatchIndexOptions options) {
+  // Discovery + creation are independent per partition: run them on the
+  // pool and register the results in partition order afterwards.
+  std::vector<std::unique_ptr<PatchIndex>> created(table.num_partitions());
+  ThreadPool::Default().ParallelFor(
+      table.num_partitions(), [&](std::size_t p) {
+        created[p] = PatchIndex::Create(table.partition(p), column,
+                                        constraint, options);
+      });
+  std::vector<PatchIndex*> handles;
+  handles.reserve(created.size());
+  for (auto& idx : created) {
+    handles.push_back(idx.get());
+    indexes_.push_back(std::move(idx));
+  }
+  return handles;
+}
+
+std::vector<PatchIndex*> PatchIndexManager::IndexesOn(
+    const Table& table) const {
+  std::vector<PatchIndex*> out;
+  for (const auto& idx : indexes_) {
+    if (&idx->table() == &table) out.push_back(idx.get());
+  }
+  return out;
+}
+
+Status PatchIndexManager::CommitUpdateQuery(Table& table) {
+  const std::vector<PatchIndex*> affected = IndexesOn(table);
+  for (PatchIndex* idx : affected) {
+    PIDX_RETURN_NOT_OK(idx->HandleUpdateQuery());
+  }
+  table.Checkpoint();
+  for (PatchIndex* idx : affected) {
+    PIDX_RETURN_NOT_OK(idx->AfterCheckpoint());
+  }
+  return Status::OK();
+}
+
+}  // namespace patchindex

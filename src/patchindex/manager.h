@@ -1,0 +1,48 @@
+#ifndef PATCHINDEX_PATCHINDEX_MANAGER_H_
+#define PATCHINDEX_PATCHINDEX_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "patchindex/patch_index.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Owns the PatchIndexes of one or more tables and drives the update
+/// protocol: buffered update query -> constraint-specific handling ->
+/// checkpoint -> incremental maintenance. Data partitioning is transparent
+/// (paper §3.2): for a PartitionedTable, create one index per partition.
+class PatchIndexManager {
+ public:
+  /// Creates and registers an index; returns a non-owning handle.
+  PatchIndex* CreateIndex(const Table& table, std::size_t column,
+                          ConstraintKind constraint,
+                          PatchIndexOptions options = {});
+
+  /// Registers one index per partition; returns the handles in partition
+  /// order. Discovery and index creation run partition-locally and in
+  /// parallel on the default thread pool (paper §3.2).
+  std::vector<PatchIndex*> CreatePartitionedIndex(
+      const PartitionedTable& table, std::size_t column,
+      ConstraintKind constraint, PatchIndexOptions options = {});
+
+  /// All indexes defined on `table`.
+  std::vector<PatchIndex*> IndexesOn(const Table& table) const;
+
+  /// Commits the update query buffered in `table`'s PDT: runs every
+  /// affected index's update handling, checkpoints the table, then runs
+  /// post-checkpoint maintenance. This is the paper's "handle updates
+  /// immediately after they occur" protocol (§5).
+  Status CommitUpdateQuery(Table& table);
+
+  std::size_t num_indexes() const { return indexes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<PatchIndex>> indexes_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_PATCHINDEX_MANAGER_H_

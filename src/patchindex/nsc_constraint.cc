@@ -1,0 +1,67 @@
+#include "patchindex/nsc_constraint.h"
+
+#include <vector>
+
+#include "patchindex/discovery.h"
+
+namespace patchindex::internal {
+
+Status NscHandleInsert(const Table& table, std::size_t column, bool ascending,
+                       PatchSet* patches, std::int64_t* tail,
+                       bool* has_tail) {
+  const auto& inserts = table.pdt().inserts();
+  if (inserts.empty()) return Status::OK();
+  const RowId first_rowid = table.num_rows() - table.pdt().deletes().size();
+
+  // Candidates: inserted values that can extend the existing subsequence
+  // (>= tail for ascending order, <= tail for descending). The rest are
+  // patches immediately.
+  std::vector<std::int64_t> candidate_values;
+  std::vector<RowId> candidate_rowids;
+  for (std::size_t i = 0; i < inserts.size(); ++i) {
+    const std::int64_t v = inserts[i].cells[column].AsInt64();
+    const RowId rid = first_rowid + i;
+    const bool extends =
+        !*has_tail || (ascending ? v >= *tail : v <= *tail);
+    if (extends) {
+      candidate_values.push_back(v);
+      candidate_rowids.push_back(rid);
+    } else {
+      patches->MarkPatch(rid);
+    }
+  }
+  if (candidate_values.empty()) return Status::OK();
+
+  // Longest sorted subsequence over the candidates (same algorithm as
+  // discovery, Fredman [12]); non-members become patches.
+  const std::vector<std::size_t> keep =
+      LongestSortedSubsequence(candidate_values, ascending);
+  std::size_t ki = 0;
+  for (std::size_t i = 0; i < candidate_values.size(); ++i) {
+    if (ki < keep.size() && keep[ki] == i) {
+      ++ki;
+    } else {
+      patches->MarkPatch(candidate_rowids[i]);
+    }
+  }
+  *tail = candidate_values[keep.back()];
+  *has_tail = true;
+  return Status::OK();
+}
+
+Status NscHandleModify(const Table& table, std::size_t column,
+                       PatchSet* patches) {
+  for (const auto& [row, cols] : table.pdt().modifies()) {
+    if (cols.find(column) != cols.end()) {
+      patches->MarkPatch(row);
+    }
+  }
+  // The tracked tail value is left unchanged. If the tail tuple itself was
+  // modified (and is now a patch), the stale tail is >= the real tail of
+  // the remaining subsequence for ascending order, so future inserts are
+  // filtered conservatively: extra patches possible, incorrect results
+  // impossible.
+  return Status::OK();
+}
+
+}  // namespace patchindex::internal

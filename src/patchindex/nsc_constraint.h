@@ -1,0 +1,31 @@
+#ifndef PATCHINDEX_PATCHINDEX_NSC_CONSTRAINT_H_
+#define PATCHINDEX_PATCHINDEX_NSC_CONSTRAINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "patchindex/patch_set.h"
+#include "storage/table.h"
+
+namespace patchindex::internal {
+
+/// Nearly-sorted-column insert handling (paper §5.1): instead of
+/// recomputing a globally longest sorted subsequence, the existing
+/// subsequence is extended. Inserted values beyond the tracked tail value
+/// run through the longest-sorted-subsequence algorithm; everything else
+/// becomes a patch. This can lose optimality (the paper's (1,2,10)+(3,4)
+/// example) but never correctness. `patches` must already have been grown
+/// by OnAppendRows; `tail`/`has_tail` are updated in place.
+Status NscHandleInsert(const Table& table, std::size_t column, bool ascending,
+                       PatchSet* patches, std::int64_t* tail, bool* has_tail);
+
+/// Modify handling (§5.2): every tuple whose indexed column is modified
+/// joins the patches — a changed value may break the materialized
+/// subsequence. No query needed.
+Status NscHandleModify(const Table& table, std::size_t column,
+                       PatchSet* patches);
+
+}  // namespace patchindex::internal
+
+#endif  // PATCHINDEX_PATCHINDEX_NSC_CONSTRAINT_H_

@@ -1,0 +1,281 @@
+#include "patchindex/patch_index.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "patchindex/discovery.h"
+#include "patchindex/nsc_constraint.h"
+#include "patchindex/nuc_constraint.h"
+
+namespace patchindex {
+
+PatchIndex::PatchIndex(const Table& table, std::size_t column,
+                       ConstraintKind kind, PatchIndexOptions options)
+    : table_(&table),
+      column_(column),
+      constraint_(kind),
+      options_(options) {}
+
+std::unique_ptr<PatchIndex> PatchIndex::Create(const Table& table,
+                                               std::size_t column,
+                                               ConstraintKind constraint,
+                                               PatchIndexOptions options) {
+  PIDX_CHECK_MSG(table.pdt().empty(),
+                 "PatchIndex creation requires a checkpointed table");
+  PIDX_CHECK(column < table.schema().num_fields());
+  PIDX_CHECK_MSG(table.schema().field(column).type == ColumnType::kInt64,
+                 "approximate constraints are defined over INT64 columns");
+  auto index = std::unique_ptr<PatchIndex>(
+      new PatchIndex(table, column, constraint, options));
+  Status st = index->Recompute();
+  PIDX_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return index;
+}
+
+Result<std::unique_ptr<PatchIndex>> PatchIndex::Restore(
+    const Table& table, const PatchIndexState& state,
+    PatchIndexOptions options) {
+  if (state.column >= table.schema().num_fields()) {
+    return Status::InvalidArgument("checkpoint column out of range");
+  }
+  if (state.num_rows != table.num_rows() || !table.pdt().empty()) {
+    return Status::ConstraintViolation(
+        "checkpoint cardinality does not match the table; replay the log "
+        "or recreate the index");
+  }
+  auto index = std::unique_ptr<PatchIndex>(
+      new PatchIndex(table, state.column, state.constraint, options));
+  index->patches_ = PatchSet::Create(options.design, state.num_rows,
+                                     options.bitmap_options);
+  for (RowId r : state.patches) {
+    if (r >= state.num_rows) {
+      return Status::InvalidArgument("checkpoint patch rowID out of range");
+    }
+    index->patches_->MarkPatch(r);
+  }
+  index->tail_value_ = state.tail_value;
+  index->has_tail_ = state.has_tail;
+  index->constant_value_ = state.constant_value;
+  index->has_constant_ = state.has_constant;
+  if (state.constraint == ConstraintKind::kNearlyUnique &&
+      options.use_dynamic_range_propagation) {
+    index->minmax_ = std::make_unique<MinMaxIndex>(
+        table.column(state.column), options.minmax_block_size);
+    index->minmax_version_ = table.version();
+  }
+  return index;
+}
+
+PatchIndexState PatchIndex::ExportState() const {
+  PatchIndexState state;
+  state.constraint = constraint_;
+  state.column = column_;
+  state.num_rows = patches_->NumRows();
+  state.patches = patches_->PatchRowIds();
+  state.has_tail = has_tail_;
+  state.tail_value = tail_value_;
+  state.has_constant = has_constant_;
+  state.constant_value = constant_value_;
+  return state;
+}
+
+Status PatchIndex::Recompute() {
+  const Column& col = table_->column(column_);
+  patches_ = PatchSet::Create(options_.design, col.size(),
+                              options_.bitmap_options);
+  switch (constraint_) {
+    case ConstraintKind::kNearlyUnique: {
+      for (RowId r : DiscoverNucPatches(col)) patches_->MarkPatch(r);
+      if (options_.use_dynamic_range_propagation) {
+        minmax_ =
+            std::make_unique<MinMaxIndex>(col, options_.minmax_block_size);
+        minmax_version_ = table_->version();
+      }
+      break;
+    }
+    case ConstraintKind::kNearlySorted: {
+      NscDiscovery d = DiscoverNscPatches(col, options_.ascending);
+      for (RowId r : d.patches) patches_->MarkPatch(r);
+      tail_value_ = d.tail_value;
+      has_tail_ = d.has_tail;
+      break;
+    }
+    case ConstraintKind::kNearlyConstant: {
+      NccDiscovery d = DiscoverNccPatches(col);
+      for (RowId r : d.patches) patches_->MarkPatch(r);
+      constant_value_ = d.constant;
+      has_constant_ = d.has_constant;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+void PatchIndex::EnsureMinMax() {
+  if (!options_.use_dynamic_range_propagation) return;
+  if (minmax_ == nullptr || minmax_version_ != table_->version()) {
+    minmax_ =
+        std::make_unique<MinMaxIndex>(table_->column(column_),
+                                      options_.minmax_block_size);
+    minmax_version_ = table_->version();
+  }
+}
+
+Status PatchIndex::HandleUpdateQuery() {
+  const PositionalDelta& pdt = table_->pdt();
+  const int kinds = (pdt.inserts().empty() ? 0 : 1) +
+                    (pdt.deletes().empty() ? 0 : 1) +
+                    (pdt.modifies().empty() ? 0 : 1);
+  if (kinds == 0) return Status::OK();
+  if (kinds > 1) {
+    return Status::InvalidArgument(
+        "update query must contain exactly one delta kind (one SQL "
+        "statement inserts, modifies or deletes)");
+  }
+  if (!pdt.inserts().empty()) return HandleInsert();
+  if (!pdt.modifies().empty()) return HandleModify();
+  return HandleDelete();
+}
+
+Status PatchIndex::HandleInsert() {
+  pending_ = PendingKind::kInsert;
+  patches_->OnAppendRows(table_->pdt().inserts().size());
+  switch (constraint_) {
+    case ConstraintKind::kNearlyUnique:
+      EnsureMinMax();
+      return internal::NucHandleInsert(*table_, column_, minmax_.get(),
+                                       patches_.get(), &last_scan_fraction_);
+    case ConstraintKind::kNearlySorted:
+      return internal::NscHandleInsert(*table_, column_, options_.ascending,
+                                       patches_.get(), &tail_value_,
+                                       &has_tail_);
+    case ConstraintKind::kNearlyConstant: {
+      // Local view only: a value equal to the materialized constant
+      // satisfies the constraint, anything else is a patch. An insert
+      // into an empty table defines the constant.
+      const auto& inserts = table_->pdt().inserts();
+      RowId rid = table_->num_rows();
+      for (const Row& row : inserts) {
+        const std::int64_t v = row.cells[column_].AsInt64();
+        if (!has_constant_) {
+          constant_value_ = v;
+          has_constant_ = true;
+        } else if (v != constant_value_) {
+          patches_->MarkPatch(rid);
+        }
+        ++rid;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown constraint");
+}
+
+Status PatchIndex::HandleModify() {
+  pending_ = PendingKind::kModify;
+  switch (constraint_) {
+    case ConstraintKind::kNearlyUnique:
+      EnsureMinMax();
+      if (minmax_ != nullptr) {
+        // Widen block bounds to cover the new values before the handling
+        // query runs, so DRP cannot prune blocks holding modified tuples.
+        for (const auto& [row, cols] : table_->pdt().modifies()) {
+          auto it = cols.find(column_);
+          if (it != cols.end()) {
+            minmax_->WidenForValue(row, it->second.AsInt64());
+          }
+        }
+      }
+      return internal::NucHandleModify(*table_, column_, minmax_.get(),
+                                       patches_.get(), &last_scan_fraction_);
+    case ConstraintKind::kNearlySorted:
+      return internal::NscHandleModify(*table_, column_, patches_.get());
+    case ConstraintKind::kNearlyConstant:
+      // A modified value that still equals the constant satisfies the
+      // constraint; everything else joins the patches. A patch row
+      // modified back to the constant stays a patch (optimality loss,
+      // like NUC deletes — never a wrong result: the NCC distinct plan
+      // deduplicates the constant out of the patches branch).
+      for (const auto& [row, cols] : table_->pdt().modifies()) {
+        auto it = cols.find(column_);
+        if (it != cols.end() && it->second.AsInt64() != constant_value_) {
+          patches_->MarkPatch(row);
+        }
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown constraint");
+}
+
+Status PatchIndex::HandleDelete() {
+  // Both constraints: dropping tuples cannot violate uniqueness or
+  // sortedness, so the tracking information is simply dropped (§5.3).
+  pending_ = PendingKind::kDelete;
+  patches_->OnDeleteRows(table_->pdt().deletes());
+  return Status::OK();
+}
+
+Status PatchIndex::AfterCheckpoint() {
+  switch (pending_) {
+    case PendingKind::kInsert:
+      if (minmax_ != nullptr) {
+        minmax_->ExtendFromColumn(table_->column(column_));
+        minmax_version_ = table_->version();
+      }
+      break;
+    case PendingKind::kModify:
+      // Minmax bounds were widened during handling; still valid.
+      minmax_version_ = table_->version();
+      break;
+    case PendingKind::kDelete:
+      // Block-to-row assignment shifted; rebuild lazily on next use.
+      minmax_.reset();
+      break;
+    case PendingKind::kNone:
+      break;
+  }
+  pending_ = PendingKind::kNone;
+  if (exception_rate() > options_.recompute_threshold) {
+    return Recompute();
+  }
+  return Status::OK();
+}
+
+bool PatchIndex::CheckInvariant() const {
+  const Column& col = table_->column(column_);
+  if (patches_->NumRows() != col.size()) return false;
+  if (constraint_ == ConstraintKind::kNearlyUnique) {
+    // Invariant behind the Figure 2 distinct decomposition: a non-patch
+    // row's value occurs nowhere else in the column (neither at another
+    // non-patch row nor at a patch row).
+    std::unordered_map<std::int64_t, std::uint32_t> counts;
+    for (RowId r = 0; r < col.size(); ++r) ++counts[col.GetInt64(r)];
+    for (RowId r = 0; r < col.size(); ++r) {
+      if (!patches_->IsPatch(r) && counts[col.GetInt64(r)] != 1) return false;
+    }
+    return true;
+  }
+  if (constraint_ == ConstraintKind::kNearlyConstant) {
+    for (RowId r = 0; r < col.size(); ++r) {
+      if (!patches_->IsPatch(r) && col.GetInt64(r) != constant_value_) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool first = true;
+  std::int64_t prev = 0;
+  for (RowId r = 0; r < col.size(); ++r) {
+    if (patches_->IsPatch(r)) continue;
+    const std::int64_t v = col.GetInt64(r);
+    if (!first) {
+      if (options_.ascending ? v < prev : v > prev) return false;
+    }
+    prev = v;
+    first = false;
+  }
+  return true;
+}
+
+}  // namespace patchindex

@@ -1,0 +1,135 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace patchindex {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+Status ParseCell(const std::string& text, ColumnType type, std::size_t line,
+                 Value* out) {
+  switch (type) {
+    case ColumnType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": not an integer: '" + text + "'");
+      }
+      *out = Value(static_cast<std::int64_t>(v));
+      return Status::OK();
+    }
+    case ColumnType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": not a number: '" + text + "'");
+      }
+      *out = Value(v);
+      return Status::OK();
+    }
+    case ColumnType::kString:
+      *out = Value(text);
+      return Status::OK();
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> LoadCsvTable(const std::string& path,
+                                            const Schema& schema,
+                                            char delimiter, bool has_header) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  auto table = std::make_unique<Table>(schema);
+  std::string line;
+  std::size_t line_no = 0;
+  if (has_header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("empty CSV file: " + path);
+    }
+    ++line_no;
+    const auto header = SplitLine(line, delimiter);
+    if (header.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "header has " + std::to_string(header.size()) + " fields, schema " +
+          std::to_string(schema.num_fields()));
+    }
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] != schema.field(i).name) {
+        return Status::InvalidArgument("header mismatch at column " +
+                                       std::to_string(i) + ": '" + header[i] +
+                                       "' vs '" + schema.field(i).name + "'");
+      }
+    }
+  }
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitLine(line, delimiter);
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(schema.num_fields()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Row row;
+    row.cells.resize(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      PIDX_RETURN_NOT_OK(
+          ParseCell(fields[i], schema.field(i).type, line_no, &row.cells[i]));
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+Status WriteCsvTable(const Table& table, const std::string& path,
+                     char delimiter) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open CSV file for writing: " + path);
+  }
+  const Schema& schema = table.schema();
+  for (std::size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) out << delimiter;
+    out << schema.field(i).name;
+  }
+  out << '\n';
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out << delimiter;
+      out << table.column(c).Get(r).ToString();
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace patchindex

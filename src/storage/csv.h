@@ -1,0 +1,32 @@
+#ifndef PATCHINDEX_STORAGE_CSV_H_
+#define PATCHINDEX_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Minimal CSV bridge so users can try PatchIndexes on their own data
+/// (fields must not contain the delimiter; no quoting dialects). INT64
+/// and DOUBLE columns are parsed strictly — any malformed cell fails the
+/// load with kInvalidArgument and a line number.
+
+/// Loads `path` into a fresh table with the given schema. When
+/// `has_header` is true the first line is validated against the schema's
+/// column names.
+Result<std::unique_ptr<Table>> LoadCsvTable(const std::string& path,
+                                            const Schema& schema,
+                                            char delimiter = ',',
+                                            bool has_header = true);
+
+/// Writes the table (base rows; pending deltas are not included) to
+/// `path`, with a header line.
+Status WriteCsvTable(const Table& table, const std::string& path,
+                     char delimiter = ',');
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_STORAGE_CSV_H_

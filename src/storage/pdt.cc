@@ -1,0 +1,19 @@
+#include "storage/pdt.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+void PositionalDelta::AddDelete(RowId row) {
+  auto it = std::lower_bound(deletes_.begin(), deletes_.end(), row);
+  if (it != deletes_.end() && *it == row) return;  // idempotent
+  deletes_.insert(it, row);
+}
+
+bool PositionalDelta::IsDeleted(RowId row) const {
+  return std::binary_search(deletes_.begin(), deletes_.end(), row);
+}
+
+}  // namespace patchindex

@@ -1,0 +1,70 @@
+#ifndef PATCHINDEX_STORAGE_PDT_H_
+#define PATCHINDEX_STORAGE_PDT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/value.h"
+
+namespace patchindex {
+
+/// A table row in dynamically-typed form; used for update deltas and
+/// loading, never on the vectorized query path.
+struct Row {
+  std::vector<Value> cells;
+};
+
+/// Simplified Positional Delta Tree (Héman et al. [17], paper §5): an
+/// in-memory buffer of table updates that have not yet been merged into
+/// the base columns. Read-optimized column stores keep trickle updates
+/// here instead of rewriting the columns on every statement.
+///
+/// Simplification vs. the original PDT: the original maintains a
+/// counted B-tree keyed by position for O(log n) positional lookup under
+/// arbitrary interleavings. Our workloads buffer one update query's delta
+/// at a time (the PatchIndex handlers run per update query, §5), so sorted
+/// vectors/maps give the same observable semantics: scans see base rows
+/// minus `deletes`, with `modifies` applied, followed by `inserts`.
+class PositionalDelta {
+ public:
+  /// Buffered inserts, in insertion order; logically appended after the
+  /// base rows.
+  const std::vector<Row>& inserts() const { return inserts_; }
+
+  /// Base-table positions pending deletion (sorted, unique).
+  const std::vector<RowId>& deletes() const { return deletes_; }
+
+  /// Pending cell modifications: base position -> (column -> new value).
+  const std::map<RowId, std::map<std::size_t, Value>>& modifies() const {
+    return modifies_;
+  }
+
+  void AddInsert(Row row) { inserts_.push_back(std::move(row)); }
+  void AddDelete(RowId row);
+  void AddModify(RowId row, std::size_t col, Value v) {
+    modifies_[row][col] = std::move(v);
+  }
+
+  bool IsDeleted(RowId row) const;
+
+  bool empty() const {
+    return inserts_.empty() && deletes_.empty() && modifies_.empty();
+  }
+
+  void Clear() {
+    inserts_.clear();
+    deletes_.clear();
+    modifies_.clear();
+  }
+
+ private:
+  std::vector<Row> inserts_;
+  std::vector<RowId> deletes_;
+  std::map<RowId, std::map<std::size_t, Value>> modifies_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_STORAGE_PDT_H_

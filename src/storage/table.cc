@@ -1,0 +1,113 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+const Column* Table::ColumnByName(const std::string& name) const {
+  const int idx = schema_.ColumnIndex(name);
+  return idx < 0 ? nullptr : &columns_[static_cast<std::size_t>(idx)];
+}
+
+void Table::AppendRow(const Row& row) {
+  PIDX_CHECK(row.cells.size() == columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].Append(row.cells[i]);
+  }
+}
+
+Status Table::BufferDelete(RowId row) {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("delete position beyond base table");
+  }
+  pdt_.AddDelete(row);
+  return Status::OK();
+}
+
+Status Table::BufferModify(RowId row, std::size_t col, Value v) {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("modify position beyond base table");
+  }
+  if (col >= columns_.size()) {
+    return Status::InvalidArgument("modify column out of range");
+  }
+  if (v.type() != columns_[col].type()) {
+    return Status::InvalidArgument("modify value type mismatch");
+  }
+  pdt_.AddModify(row, col, std::move(v));
+  return Status::OK();
+}
+
+void Table::Checkpoint() {
+  for (const auto& [row, cols] : pdt_.modifies()) {
+    for (const auto& [col, value] : cols) {
+      columns_[col].Set(row, value);
+    }
+  }
+  if (!pdt_.deletes().empty()) {
+    for (Column& c : columns_) c.DeleteRows(pdt_.deletes());
+  }
+  for (const Row& row : pdt_.inserts()) AppendRow(row);
+  pdt_.Clear();
+  ++version_;
+}
+
+Value Table::VisibleCell(RowId row, std::size_t col) const {
+  // Visible row order: surviving base rows (deltas applied) then inserts.
+  const std::uint64_t surviving = num_rows() - pdt_.deletes().size();
+  if (row >= surviving) {
+    return pdt_.inserts()[row - surviving].cells[col];
+  }
+  // Map visible position -> base position by skipping deleted rows.
+  RowId base = row;
+  for (RowId del : pdt_.deletes()) {
+    if (del <= base) {
+      ++base;
+    } else {
+      break;
+    }
+  }
+  auto mit = pdt_.modifies().find(base);
+  if (mit != pdt_.modifies().end()) {
+    auto cit = mit->second.find(col);
+    if (cit != mit->second.end()) return cit->second;
+  }
+  return columns_[col].Get(base);
+}
+
+std::uint64_t Table::MemoryUsageBytes() const {
+  std::uint64_t total = 0;
+  for (const Column& c : columns_) total += c.MemoryUsageBytes();
+  return total;
+}
+
+PartitionedTable::PartitionedTable(Schema schema, std::size_t num_partitions)
+    : schema_(schema) {
+  PIDX_CHECK(num_partitions >= 1);
+  partitions_.reserve(num_partitions);
+  for (std::size_t i = 0; i < num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Table>(schema));
+  }
+}
+
+std::uint64_t PartitionedTable::num_rows() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->num_rows();
+  return total;
+}
+
+}  // namespace patchindex

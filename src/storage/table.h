@@ -1,0 +1,116 @@
+#ifndef PATCHINDEX_STORAGE_TABLE_H_
+#define PATCHINDEX_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/column.h"
+#include "storage/pdt.h"
+#include "storage/value.h"
+
+namespace patchindex {
+
+struct Field {
+  std::string name;
+  ColumnType type;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  std::size_t num_fields() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`; negative if absent.
+  int ColumnIndex(const std::string& name) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// An in-memory columnar table (one partition in the paper's terms; data
+/// partitioning is transparent to PatchIndexes, a separate index is created
+/// per partition — see PartitionedTable below). Updates are buffered in a
+/// positional delta (PDT) and folded into the base columns by Checkpoint().
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Base rows, excluding pending PDT deltas.
+  std::uint64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  /// Rows visible to a scan: base - pending deletes + pending inserts.
+  std::uint64_t num_visible_rows() const {
+    return num_rows() - pdt_.deletes().size() + pdt_.inserts().size();
+  }
+
+  Column& column(std::size_t i) { return columns_[i]; }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+  const Column* ColumnByName(const std::string& name) const;
+
+  /// Appends a row directly to the base columns (bulk loading path).
+  void AppendRow(const Row& row);
+
+  /// Update-query API: buffers deltas in the PDT. `row` positions refer to
+  /// the current base table.
+  void BufferInsert(Row row) { pdt_.AddInsert(std::move(row)); }
+  Status BufferDelete(RowId row);
+  Status BufferModify(RowId row, std::size_t col, Value v);
+
+  const PositionalDelta& pdt() const { return pdt_; }
+
+  /// Merges all pending deltas into the base columns: modifies are applied
+  /// in place, deleted rows compacted away (shifting subsequent rowIDs
+  /// down, matching the sharded bitmap's delete semantics), inserts
+  /// appended. Clears the PDT.
+  void Checkpoint();
+
+  /// Value of cell (row, col) as a scan would see it (deltas applied;
+  /// rows >= num_rows() address pending inserts). Test/debug helper.
+  Value VisibleCell(RowId row, std::size_t col) const;
+
+  std::uint64_t MemoryUsageBytes() const;
+
+  /// Incremented on every Checkpoint(); lets dependent structures (minmax
+  /// indexes, PatchIndexes) detect that the base columns changed.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  PositionalDelta pdt_;
+  std::uint64_t version_ = 0;
+};
+
+/// A horizontally partitioned table: constraint discovery, index creation
+/// and query processing are performed partition-locally (paper §3.2).
+class PartitionedTable {
+ public:
+  PartitionedTable(Schema schema, std::size_t num_partitions);
+
+  std::size_t num_partitions() const { return partitions_.size(); }
+  Table& partition(std::size_t i) { return *partitions_[i]; }
+  const Table& partition(std::size_t i) const { return *partitions_[i]; }
+  const Schema& schema() const { return schema_; }
+
+  std::uint64_t num_rows() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Table>> partitions_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_STORAGE_TABLE_H_

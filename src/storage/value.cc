@@ -1,0 +1,29 @@
+#include "storage/value.h"
+
+namespace patchindex {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt64:
+      return std::to_string(AsInt64());
+    case ColumnType::kDouble:
+      return std::to_string(AsDouble());
+    case ColumnType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+}  // namespace patchindex

@@ -1,0 +1,54 @@
+#ifndef PATCHINDEX_STORAGE_VALUE_H_
+#define PATCHINDEX_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace patchindex {
+
+/// Column data types supported by the engine. TPC-H dates and decimals are
+/// encoded as INT64 (days since epoch / fixed-point cents), the common
+/// trick in columnar engines.
+enum class ColumnType { kInt64, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A single dynamically-typed cell value. Used on non-performance-critical
+/// paths (update deltas, test assertions, row construction); the vectorized
+/// operators work on typed column vectors instead.
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  explicit Value(std::int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  ColumnType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ColumnType::kInt64;
+      case 1:
+        return ColumnType::kDouble;
+      default:
+        return ColumnType::kString;
+    }
+  }
+
+  std::int64_t AsInt64() const { return std::get<std::int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_STORAGE_VALUE_H_

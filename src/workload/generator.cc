@@ -1,0 +1,119 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace patchindex {
+
+namespace {
+
+Schema GeneratorSchema() {
+  return Schema({{"key", ColumnType::kInt64}, {"val", ColumnType::kInt64}});
+}
+
+/// Random subset of size k from [0, n): Floyd's algorithm would do, but a
+/// simple shuffle-prefix is fine at our scale and keeps determinism
+/// obvious.
+std::vector<std::uint64_t> RandomPositions(std::uint64_t n, std::uint64_t k,
+                                           Rng& rng) {
+  std::vector<std::uint64_t> all(n);
+  for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<std::int64_t> NucValues(const GeneratorConfig& config) {
+  const std::uint64_t n = config.num_rows;
+  const auto num_exceptions =
+      static_cast<std::uint64_t>(config.exception_rate * n);
+  Rng rng(config.seed);
+  std::vector<std::int64_t> values(n);
+  // Unique values live far above the exception domain [0, k).
+  constexpr std::int64_t kUniqueBase = 1'000'000'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    values[i] = kUniqueBase + static_cast<std::int64_t>(i);
+  }
+  if (num_exceptions > 0) {
+    const std::uint64_t domain =
+        std::max<std::uint64_t>(1, config.num_exception_values);
+    const auto positions = RandomPositions(n, num_exceptions, rng);
+    // Equally distributed into `domain` values (paper §6.2), so every
+    // exception value is duplicated (assuming num_exceptions >= 2*domain).
+    for (std::uint64_t j = 0; j < positions.size(); ++j) {
+      values[positions[j]] = static_cast<std::int64_t>(j % domain);
+    }
+  }
+  return values;
+}
+
+std::vector<std::int64_t> NscValues(const GeneratorConfig& config) {
+  const std::uint64_t n = config.num_rows;
+  const auto num_exceptions =
+      static_cast<std::uint64_t>(config.exception_rate * n);
+  Rng rng(config.seed + 1);
+  std::vector<std::int64_t> values(n);
+  // Non-exception rows form an ascending sequence with gaps; exceptions
+  // hold random values anywhere in the domain.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    values[i] = static_cast<std::int64_t>(i * 2);
+  }
+  if (num_exceptions > 0) {
+    const auto positions = RandomPositions(n, num_exceptions, rng);
+    for (std::uint64_t pos : positions) {
+      values[pos] = static_cast<std::int64_t>(rng.Uniform(0, 2 * n));
+    }
+  }
+  return values;
+}
+
+Table TableFromValues(const std::vector<std::int64_t>& values) {
+  Table t(GeneratorSchema());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    t.AppendRow(Row{{Value(static_cast<std::int64_t>(i)), Value(values[i])}});
+  }
+  return t;
+}
+
+std::unique_ptr<PartitionedTable> Partitioned(
+    const std::vector<std::int64_t>& values, std::size_t partitions) {
+  auto pt = std::make_unique<PartitionedTable>(GeneratorSchema(), partitions);
+  const std::size_t n = values.size();
+  const std::size_t per = (n + partitions - 1) / partitions;
+  for (std::size_t i = 0; i < n; ++i) {
+    pt->partition(std::min(i / per, partitions - 1))
+        .AppendRow(
+            Row{{Value(static_cast<std::int64_t>(i)), Value(values[i])}});
+  }
+  return pt;
+}
+
+}  // namespace
+
+Table GenerateNucTable(const GeneratorConfig& config) {
+  return TableFromValues(NucValues(config));
+}
+
+Table GenerateNscTable(const GeneratorConfig& config) {
+  return TableFromValues(NscValues(config));
+}
+
+std::unique_ptr<PartitionedTable> GenerateNucPartitioned(
+    const GeneratorConfig& config, std::size_t partitions) {
+  return Partitioned(NucValues(config), partitions);
+}
+
+std::unique_ptr<PartitionedTable> GenerateNscPartitioned(
+    const GeneratorConfig& config, std::size_t partitions) {
+  return Partitioned(NscValues(config), partitions);
+}
+
+Row MakeGeneratorRow(std::int64_t key, std::int64_t value) {
+  return Row{{Value(key), Value(value)}};
+}
+
+}  // namespace patchindex

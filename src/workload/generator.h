@@ -1,0 +1,51 @@
+#ifndef PATCHINDEX_WORKLOAD_GENERATOR_H_
+#define PATCHINDEX_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Reimplementation of the paper's microbenchmark data generator [1]
+/// (§6.2): a table of (key, value) where `key` is unique 0..n-1 and
+/// `value` follows the requested constraint with a controlled exception
+/// rate. Datasets are deterministic in the seed ("generated once").
+struct GeneratorConfig {
+  std::uint64_t num_rows = 1'000'000;
+  double exception_rate = 0.1;
+
+  /// NUC: exceptions are equally distributed into this many distinct
+  /// values (the paper uses 100K values for 1B rows; scaled default keeps
+  /// a similar duplicates-per-value ratio).
+  std::uint64_t num_exception_values = 100;
+
+  std::uint64_t seed = 42;
+};
+
+/// Nearly-unique dataset: exceptions drawn from a small value domain
+/// (guaranteed duplicated), remaining values unique and disjoint from the
+/// exception domain. Exceptions are randomly placed.
+Table GenerateNucTable(const GeneratorConfig& config);
+
+/// Nearly-sorted dataset: the non-exception rows form an ascending
+/// sequence; exceptions hold random values at random positions.
+Table GenerateNscTable(const GeneratorConfig& config);
+
+/// Key-partitioned variants (a separate PatchIndex is created per
+/// partition; §3.2). Rows are range-partitioned on the key column into
+/// nearly equal parts.
+std::unique_ptr<PartitionedTable> GenerateNucPartitioned(
+    const GeneratorConfig& config, std::size_t partitions);
+std::unique_ptr<PartitionedTable> GenerateNscPartitioned(
+    const GeneratorConfig& config, std::size_t partitions);
+
+/// Rows to insert/modify with for update experiments: values drawn like
+/// the dataset's exceptions with probability `collision_rate`, unique
+/// fresh values otherwise.
+Row MakeGeneratorRow(std::int64_t key, std::int64_t value);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_WORKLOAD_GENERATOR_H_

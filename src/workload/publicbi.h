@@ -1,0 +1,56 @@
+#ifndef PATCHINDEX_WORKLOAD_PUBLICBI_H_
+#define PATCHINDEX_WORKLOAD_PUBLICBI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "patchindex/patch_index.h"
+#include "storage/column.h"
+
+namespace patchindex {
+
+/// Synthetic stand-in for the PublicBI workbooks of the paper's Figure 1
+/// (USCensus_1, IGlocations2_1, IUBlibrary_1). The real workbooks are
+/// hundreds of GB of Tableau exports and not redistributable; what Figure
+/// 1 actually shows is, per dataset, how many columns match an
+/// approximate constraint at which fraction. We encode those per-column
+/// match fractions (read off the published histogram) and synthesize
+/// columns with the same properties, so the discovery pipeline runs
+/// unchanged.
+struct PublicBiColumnSpec {
+  std::string name;
+  ConstraintKind constraint;
+  /// Target fraction of tuples satisfying the constraint (1 - exception
+  /// rate).
+  double match_fraction;
+};
+
+struct PublicBiDataset {
+  std::string name;
+  std::vector<PublicBiColumnSpec> columns;
+};
+
+/// The three datasets of Figure 1. USCensus_1 has 15 NSC columns (9 of
+/// them above 60% match); the other two have NUC columns that are mostly
+/// nearly-perfectly unique.
+std::vector<PublicBiDataset> Figure1Datasets();
+
+/// Synthesizes a column matching `spec` with `num_rows` rows.
+Column SynthesizeColumn(const PublicBiColumnSpec& spec,
+                        std::uint64_t num_rows, std::uint64_t seed);
+
+/// Runs constraint discovery on a synthesized column and returns the
+/// measured fraction of tuples matching the constraint.
+double MeasureMatchFraction(const PublicBiColumnSpec& spec,
+                            std::uint64_t num_rows, std::uint64_t seed);
+
+/// Histogram over match fractions with 10%-wide buckets (the x-axis of
+/// Figure 1). bucket[i] counts columns with match fraction in
+/// [10*i, 10*(i+1))%, with 100% counted in the last bucket.
+std::vector<int> MatchHistogram(const PublicBiDataset& dataset,
+                                std::uint64_t num_rows, std::uint64_t seed);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_WORKLOAD_PUBLICBI_H_

@@ -1,0 +1,284 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace patchindex {
+
+namespace {
+
+constexpr std::int64_t kDaysInRange = 2400;  // ~1992..1998
+constexpr std::int64_t kQ3Date = 1100;
+constexpr std::int64_t kQ7DateLo = 1460;
+constexpr std::int64_t kQ7DateHi = 2190;
+constexpr std::int64_t kQ12Date = 1460;
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kNations[] = {"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA",
+                          "EGYPT",   "ETHIOPIA",  "FRANCE", "GERMANY",
+                          "INDIA",   "INDONESIA", "IRAN",   "IRAQ",
+                          "JAPAN",   "JORDAN",    "KENYA",  "MOROCCO",
+                          "MOZAMBIQUE", "PERU",   "CHINA",  "ROMANIA",
+                          "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+                          "UNITED STATES"};
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", ColumnType::kInt64},
+                 {"n_name", ColumnType::kString}});
+}
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", ColumnType::kInt64},
+                 {"c_mktsegment", ColumnType::kString},
+                 {"c_nationkey", ColumnType::kInt64}});
+}
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", ColumnType::kInt64},
+                 {"s_nationkey", ColumnType::kInt64}});
+}
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", ColumnType::kInt64},
+                 {"o_custkey", ColumnType::kInt64},
+                 {"o_orderdate", ColumnType::kInt64},
+                 {"o_shippriority", ColumnType::kInt64}});
+}
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", ColumnType::kInt64},
+                 {"l_suppkey", ColumnType::kInt64},
+                 {"l_extendedprice", ColumnType::kDouble},
+                 {"l_discount", ColumnType::kDouble},
+                 {"l_shipdate", ColumnType::kInt64},
+                 {"l_commitdate", ColumnType::kInt64},
+                 {"l_receiptdate", ColumnType::kInt64},
+                 {"l_shipmode", ColumnType::kString}});
+}
+
+Row MakeLineitemRow(std::int64_t orderkey, std::int64_t orderdate,
+                    std::uint64_t num_suppliers, Rng& rng) {
+  const auto suppkey =
+      static_cast<std::int64_t>(rng.Uniform(0, num_suppliers - 1));
+  const double price = 900.0 + static_cast<double>(rng.Uniform(0, 99000)) / 1.0;
+  const double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+  const std::int64_t shipdate =
+      orderdate + static_cast<std::int64_t>(rng.Uniform(1, 121));
+  const std::int64_t commitdate =
+      orderdate + static_cast<std::int64_t>(rng.Uniform(30, 90));
+  const std::int64_t receiptdate =
+      shipdate + static_cast<std::int64_t>(rng.Uniform(1, 30));
+  const char* mode = kShipModes[rng.Uniform(0, 6)];
+  return Row{{Value(orderkey), Value(suppkey), Value(price), Value(discount),
+              Value(shipdate), Value(commitdate), Value(receiptdate),
+              Value(mode)}};
+}
+
+}  // namespace
+
+TpchDatabase GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+  TpchDatabase db;
+  db.nation = std::make_unique<Table>(NationSchema());
+  db.customer = std::make_unique<Table>(CustomerSchema());
+  db.supplier = std::make_unique<Table>(SupplierSchema());
+  db.orders = std::make_unique<Table>(OrdersSchema());
+  db.lineitem = std::make_unique<Table>(LineitemSchema());
+
+  for (std::int64_t n = 0; n < 25; ++n) {
+    db.nation->AppendRow(Row{{Value(n), Value(kNations[n])}});
+  }
+  const std::uint64_t num_customers =
+      std::max<std::uint64_t>(10, config.num_orders / 10);
+  for (std::uint64_t c = 0; c < num_customers; ++c) {
+    db.customer->AppendRow(
+        Row{{Value(static_cast<std::int64_t>(c)),
+             Value(kSegments[rng.Uniform(0, 4)]),
+             Value(static_cast<std::int64_t>(rng.Uniform(0, 24)))}});
+  }
+  const std::uint64_t num_suppliers =
+      std::max<std::uint64_t>(10, config.num_orders / 100);
+  for (std::uint64_t s = 0; s < num_suppliers; ++s) {
+    db.supplier->AppendRow(
+        Row{{Value(static_cast<std::int64_t>(s)),
+             Value(static_cast<std::int64_t>(rng.Uniform(0, 24)))}});
+  }
+  // Orders sorted by o_orderkey (generation order == storage order);
+  // lineitem clustered by l_orderkey, as dbgen produces it.
+  for (std::uint64_t o = 0; o < config.num_orders; ++o) {
+    const auto orderkey = static_cast<std::int64_t>(o);
+    const auto custkey =
+        static_cast<std::int64_t>(rng.Uniform(0, num_customers - 1));
+    const auto orderdate =
+        static_cast<std::int64_t>(rng.Uniform(0, kDaysInRange - 150));
+    const auto priority = static_cast<std::int64_t>(rng.Uniform(0, 1));
+    db.orders->AppendRow(
+        Row{{Value(orderkey), Value(custkey), Value(orderdate),
+             Value(priority)}});
+    const std::uint64_t lines = rng.Uniform(1, 7);
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      db.lineitem->AppendRow(
+          MakeLineitemRow(orderkey, orderdate, num_suppliers, rng));
+    }
+    db.max_orderkey = orderkey;
+  }
+  return db;
+}
+
+void PerturbLineitemOrder(Table* lineitem, double fraction,
+                          std::uint64_t seed) {
+  if (fraction <= 0.0) return;
+  Rng rng(seed);
+  const std::uint64_t n = lineitem->num_rows();
+  const auto k = static_cast<std::uint64_t>(fraction * n);
+  if (k < 2) return;
+  // Choose k distinct positions and cyclically shift the rows among them,
+  // guaranteeing every chosen row moves.
+  std::vector<std::uint64_t> all(n);
+  for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  for (std::size_t c = 0; c < lineitem->schema().num_fields(); ++c) {
+    Column& col = lineitem->column(c);
+    Value carry = col.Get(all[k - 1]);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      Value tmp = col.Get(all[j]);
+      col.Set(all[j], carry);
+      carry = std::move(tmp);
+    }
+  }
+}
+
+RefreshSet MakeRf1(const TpchDatabase& db, std::uint64_t num_new_orders,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  RefreshSet rf;
+  const std::uint64_t num_customers = db.customer->num_rows();
+  const std::uint64_t num_suppliers = db.supplier->num_rows();
+  std::int64_t key = db.max_orderkey;
+  for (std::uint64_t o = 0; o < num_new_orders; ++o) {
+    ++key;
+    const auto custkey =
+        static_cast<std::int64_t>(rng.Uniform(0, num_customers - 1));
+    const auto orderdate =
+        static_cast<std::int64_t>(rng.Uniform(0, kDaysInRange - 150));
+    rf.orders_rows.push_back(Row{{Value(key), Value(custkey),
+                                  Value(orderdate),
+                                  Value(static_cast<std::int64_t>(
+                                      rng.Uniform(0, 1)))}});
+    const std::uint64_t lines = rng.Uniform(1, 7);
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      rf.lineitem_rows.push_back(
+          MakeLineitemRow(key, orderdate, num_suppliers, rng));
+    }
+  }
+  return rf;
+}
+
+DeleteSet MakeRf2(const TpchDatabase& db, std::uint64_t num_del_orders,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::int64_t> keys;
+  while (keys.size() < num_del_orders) {
+    keys.insert(static_cast<std::int64_t>(
+        rng.Uniform(0, static_cast<std::uint64_t>(db.max_orderkey))));
+  }
+  DeleteSet del;
+  const auto& okeys = db.orders->column(0).i64_data();
+  for (std::size_t i = 0; i < okeys.size(); ++i) {
+    if (keys.count(okeys[i])) del.orders_rows.push_back(i);
+  }
+  const auto& lkeys = db.lineitem->column(0).i64_data();
+  for (std::size_t i = 0; i < lkeys.size(); ++i) {
+    if (keys.count(lkeys[i])) del.lineitem_rows.push_back(i);
+  }
+  return del;
+}
+
+LogicalPtr BuildQ3(const TpchDatabase& db) {
+  // select l_orderkey, o_orderdate, o_shippriority,
+  //        sum(l_extendedprice * (1 - l_discount)) as revenue
+  // from customer, orders, lineitem
+  // where c_mktsegment = 'BUILDING' and c_custkey = o_custkey
+  //   and l_orderkey = o_orderkey and o_orderdate < D and l_shipdate > D
+  // group by l_orderkey, o_orderdate, o_shippriority
+  auto cust = LSelect(LScan(*db.customer, {0, 1}),
+                      Eq(Col(1), ConstString("BUILDING")), 0.2);
+  auto ord = LSelect(LScan(*db.orders, {0, 1, 2, 3}, /*sorted_col=*/0),
+                     Lt(Col(2), ConstInt(kQ3Date)), 0.45);
+  // X: customer join orders on custkey; sorted on o_orderkey (output 2).
+  auto x = LJoin(cust, ord, /*left_key=*/0, /*right_key=*/1);
+  auto li = LSelect(LScan(*db.lineitem, {0, 2, 3, 4}),
+                    Gt(Col(3), ConstInt(kQ3Date)), 0.5);
+  // The PatchIndex-eligible edge: X (sorted on o_orderkey) join lineitem.
+  auto j = LJoin(x, li, /*left_key=*/2, /*right_key=*/0);
+  // Output: [c_custkey, c_mktsegment, o_orderkey, o_custkey, o_orderdate,
+  //          o_shippriority, l_orderkey, l_extendedprice, l_discount,
+  //          l_shipdate]
+  auto proj = LProject(
+      j, {Col(6), Col(4), Col(5),
+          Mul(Col(7), Sub(ConstDouble(1.0), Col(8)))});
+  return LAggregate(proj, {0, 1, 2}, {{AggOp::kSum, 3}});
+}
+
+LogicalPtr BuildQ7(const TpchDatabase& db) {
+  // Shipping volume between two nations by year (structurally faithful
+  // simplification of Q7).
+  const std::vector<Value> nations = {Value("FRANCE"), Value("GERMANY")};
+  auto supp_nation =
+      LJoin(LSelect(LScan(*db.nation, {0, 1}), InList(Col(1), nations), 0.08),
+            LScan(*db.supplier, {0, 1}), 0, 1);
+  // supp_nation: [n_nationkey, n_name, s_suppkey, s_nationkey]
+  auto cust_nation =
+      LJoin(LSelect(LScan(*db.nation, {0, 1}), InList(Col(1), nations), 0.08),
+            LScan(*db.customer, {0, 2}), 0, 1);
+  // cust_nation: [n_nationkey, n_name, c_custkey, c_nationkey]
+  auto x = LJoin(cust_nation, LScan(*db.orders, {0, 1}, /*sorted_col=*/0),
+                 /*left_key=*/2, /*right_key=*/1);
+  // x: [.., c_custkey(2), .., o_orderkey(4), o_custkey(5)], sorted on 4.
+  auto li = LSelect(LScan(*db.lineitem, {0, 1, 2, 3, 4}),
+                    And(Ge(Col(4), ConstInt(kQ7DateLo)),
+                        Le(Col(4), ConstInt(kQ7DateHi))), 0.3);
+  // PatchIndex-eligible edge.
+  auto j = LJoin(x, li, /*left_key=*/4, /*right_key=*/0);
+  // j: x(6 cols) + [l_orderkey(6), l_suppkey(7), l_extendedprice(8),
+  //                 l_discount(9), l_shipdate(10)]
+  auto j2 = LJoin(supp_nation, j, /*left_key=*/2, /*right_key=*/7);
+  // j2: supp_nation(4) + j(11): supp name 1, cust name 5, shipdate 14,
+  //     price 12, discount 13.
+  auto sel = LSelect(j2, Ne(Col(1), Col(5)), 0.5);
+  auto proj = LProject(
+      sel, {Col(1), Col(5), Div(Col(14), ConstInt(365)),
+            Mul(Col(12), Sub(ConstDouble(1.0), Col(13)))});
+  return LAggregate(proj, {0, 1, 2}, {{AggOp::kSum, 3}});
+}
+
+LogicalPtr BuildQ12(const TpchDatabase& db) {
+  // select l_shipmode, sum(high_priority), count(*) from orders, lineitem
+  // where o_orderkey = l_orderkey and l_shipmode in ('MAIL','SHIP')
+  //   and l_commitdate < l_receiptdate and l_shipdate < l_commitdate
+  //   and l_receiptdate in [D, D+365)
+  // group by l_shipmode
+  auto li_modes = LSelect(
+      LScan(*db.lineitem, {0, 4, 5, 6, 7}),
+      InList(Col(4), {Value("MAIL"), Value("SHIP")}), 0.29);
+  // [l_orderkey, l_shipdate(1), l_commitdate(2), l_receiptdate(3),
+  //  l_shipmode(4)]
+  auto li = LSelect(
+      li_modes,
+      And(And(Lt(Col(2), Col(3)), Lt(Col(1), Col(2))),
+          And(Ge(Col(3), ConstInt(kQ12Date)),
+              Lt(Col(3), ConstInt(kQ12Date + 365)))),
+      0.05);
+  auto j = LJoin(LScan(*db.orders, {0, 3}, /*sorted_col=*/0), li,
+                 /*left_key=*/0, /*right_key=*/0);
+  // j: [o_orderkey, o_shippriority, l cols...]; shipmode at 2+4=6.
+  auto proj = LProject(j, {Col(6), Col(1)});
+  return LAggregate(proj, {0}, {{AggOp::kSum, 1}, {AggOp::kCount}});
+}
+
+}  // namespace patchindex

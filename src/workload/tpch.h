@@ -1,0 +1,77 @@
+#ifndef PATCHINDEX_WORKLOAD_TPCH_H_
+#define PATCHINDEX_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "optimizer/plan.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Scaled-down, deterministic TPC-H subset (paper §6.3): the five tables
+/// reachable from the lineitem-orders join of Q3/Q7/Q12 plus the RF1/RF2
+/// refresh sets. Dates are INT64 days since 1992-01-01; prices are
+/// DOUBLE. `orders` is generated sorted by o_orderkey (its storage
+/// order), and `lineitem` ordered by l_orderkey — the order the paper
+/// perturbs to introduce exceptions.
+///
+/// Column indexes (keep in sync with the Make* functions):
+///   nation:   0 n_nationkey, 1 n_name
+///   customer: 0 c_custkey, 1 c_mktsegment, 2 c_nationkey
+///   supplier: 0 s_suppkey, 1 s_nationkey
+///   orders:   0 o_orderkey, 1 o_custkey, 2 o_orderdate, 3 o_shippriority
+///   lineitem: 0 l_orderkey, 1 l_suppkey, 2 l_extendedprice, 3 l_discount,
+///             4 l_shipdate, 5 l_commitdate, 6 l_receiptdate, 7 l_shipmode
+struct TpchConfig {
+  std::uint64_t num_orders = 10'000;
+  std::uint64_t seed = 7;
+};
+
+struct TpchDatabase {
+  std::unique_ptr<Table> nation;
+  std::unique_ptr<Table> customer;
+  std::unique_ptr<Table> supplier;
+  std::unique_ptr<Table> orders;
+  std::unique_ptr<Table> lineitem;
+
+  std::int64_t max_orderkey = 0;
+};
+
+TpchDatabase GenerateTpch(const TpchConfig& config);
+
+/// Displaces `fraction` of the lineitem rows to random positions
+/// (shuffling them among each other), introducing exceptions to the
+/// l_orderkey sorting constraint — the paper's 0%/5%/10% datasets.
+void PerturbLineitemOrder(Table* lineitem, double fraction,
+                          std::uint64_t seed);
+
+/// TPC-H refresh function 1: new orders (keys ascending beyond the
+/// current maximum) with 1..7 lineitems each.
+struct RefreshSet {
+  std::vector<Row> orders_rows;
+  std::vector<Row> lineitem_rows;
+};
+RefreshSet MakeRf1(const TpchDatabase& db, std::uint64_t num_new_orders,
+                   std::uint64_t seed);
+
+/// TPC-H refresh function 2: positions of the orders/lineitem rows
+/// belonging to `num_del_orders` randomly sampled order keys.
+struct DeleteSet {
+  std::vector<RowId> orders_rows;
+  std::vector<RowId> lineitem_rows;
+};
+DeleteSet MakeRf2(const TpchDatabase& db, std::uint64_t num_del_orders,
+                  std::uint64_t seed);
+
+/// Logical plans for the evaluated query subset. All three contain the
+/// lineitem-orders join; the subtree "X" feeding it is sorted on
+/// o_orderkey, making the PatchIndex join rewrite applicable.
+LogicalPtr BuildQ3(const TpchDatabase& db);
+LogicalPtr BuildQ7(const TpchDatabase& db);
+LogicalPtr BuildQ12(const TpchDatabase& db);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_WORKLOAD_TPCH_H_

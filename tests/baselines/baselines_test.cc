@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/join_index.h"
+#include "baselines/materialized_view.h"
+#include "baselines/sort_key.h"
+#include "exec/aggregate.h"
+#include "exec/scan.h"
+
+namespace patchindex {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"key", ColumnType::kInt64}, {"val", ColumnType::kInt64}});
+}
+
+Table MakeTable(const std::vector<std::int64_t>& vals) {
+  Table t(KvSchema());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    t.AppendRow(Row{{Value(static_cast<std::int64_t>(i)), Value(vals[i])}});
+  }
+  return t;
+}
+
+TEST(MaterializedViewTest, PrecomputesDistinctValues) {
+  Table t = MakeTable({5, 3, 5, 3, 7});
+  DistinctMaterializedView mv(t, 1);
+  EXPECT_EQ(mv.num_values(), 3u);
+  auto plan = mv.QueryPlan();
+  Batch out = Collect(*plan);
+  std::vector<std::int64_t> got = out.columns[0].i64;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::int64_t>{3, 5, 7}));
+}
+
+TEST(MaterializedViewTest, RefreshPicksUpBaseUpdates) {
+  Table t = MakeTable({1, 2});
+  DistinctMaterializedView mv(t, 1);
+  EXPECT_EQ(mv.num_values(), 2u);
+  t.AppendRow(Row{{Value(std::int64_t{2}), Value(std::int64_t{9})}});
+  // Stale until refreshed — the baseline's core weakness.
+  EXPECT_EQ(mv.num_values(), 2u);
+  mv.Refresh();
+  EXPECT_EQ(mv.num_values(), 3u);
+}
+
+TEST(SortKeyTest, PhysicallyReordersAllColumns) {
+  Table t = MakeTable({30, 10, 20});
+  SortKey sk(&t, 1);
+  EXPECT_EQ(t.column(1).i64_data(), (std::vector<std::int64_t>{10, 20, 30}));
+  // The key column moved with the rows.
+  EXPECT_EQ(t.column(0).i64_data(), (std::vector<std::int64_t>{1, 2, 0}));
+}
+
+TEST(SortKeyTest, QueryPlanReturnsSortedResult) {
+  Table t = MakeTable({5, 1, 4, 2, 3});
+  SortKey sk(&t, 1);
+  Batch out = Collect(*sk.QueryPlan());
+  EXPECT_TRUE(std::is_sorted(out.columns[1].i64.begin(),
+                             out.columns[1].i64.end()));
+  EXPECT_EQ(out.num_rows(), 5u);
+}
+
+TEST(SortKeyTest, MaintainAfterUpdateRestoresOrder) {
+  Table t = MakeTable({1, 3, 5});
+  SortKey sk(&t, 1);
+  t.BufferInsert(Row{{Value(std::int64_t{3}), Value(std::int64_t{2})}});
+  sk.MaintainAfterUpdate();
+  EXPECT_EQ(t.column(1).i64_data(), (std::vector<std::int64_t>{1, 2, 3, 5}));
+}
+
+Schema DimSchema() {
+  return Schema({{"d_key", ColumnType::kInt64}, {"d_val", ColumnType::kInt64}});
+}
+
+TEST(JoinIndexTest, MaterializesPartnersAndGathers) {
+  Table fact = MakeTable({10, 11, 10, 12});  // fact key col = 1
+  Table dim(DimSchema());
+  for (std::int64_t k : {10, 11, 12}) {
+    dim.AppendRow(Row{{Value(k), Value(k * 100)}});
+  }
+  JoinIndex ji(fact, 1, dim, 0);
+  EXPECT_EQ(ji.partners(), (std::vector<RowId>{0, 1, 0, 2}));
+  Batch out = Collect(*ji.QueryPlan({1}, {1}));
+  ASSERT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.columns[1].i64,
+            (std::vector<std::int64_t>{1000, 1100, 1000, 1200}));
+}
+
+TEST(JoinIndexTest, DanglingForeignKeysAreSkipped) {
+  Table fact = MakeTable({10, 999});
+  Table dim(DimSchema());
+  dim.AppendRow(Row{{Value(std::int64_t{10}), Value(std::int64_t{1})}});
+  JoinIndex ji(fact, 1, dim, 0);
+  EXPECT_EQ(CountRows(*ji.QueryPlan({1}, {1})), 1u);
+}
+
+TEST(JoinIndexTest, MaintainAfterFactInsert) {
+  Table fact = MakeTable({10, 11});
+  Table dim(DimSchema());
+  for (std::int64_t k : {10, 11, 12}) {
+    dim.AppendRow(Row{{Value(k), Value(k)}});
+  }
+  JoinIndex ji(fact, 1, dim, 0);
+  fact.BufferInsert(Row{{Value(std::int64_t{2}), Value(std::int64_t{12})}});
+  fact.Checkpoint();
+  ASSERT_TRUE(ji.MaintainAfterFactUpdate({}).ok());
+  EXPECT_EQ(ji.partners(), (std::vector<RowId>{0, 1, 2}));
+}
+
+TEST(JoinIndexTest, MaintainAfterFactDelete) {
+  Table fact = MakeTable({10, 11, 12});
+  Table dim(DimSchema());
+  for (std::int64_t k : {10, 11, 12}) {
+    dim.AppendRow(Row{{Value(k), Value(k)}});
+  }
+  JoinIndex ji(fact, 1, dim, 0);
+  ASSERT_TRUE(fact.BufferDelete(1).ok());
+  fact.Checkpoint();
+  ASSERT_TRUE(ji.MaintainAfterFactUpdate({1}).ok());
+  EXPECT_EQ(ji.partners(), (std::vector<RowId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,91 @@
+#include "bitmap/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace patchindex {
+namespace {
+
+TEST(BitmapTest, SetGetUnset) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; i += 3) bm.Set(i);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(bm.Get(i), i % 3 == 0) << i;
+  }
+  bm.Unset(0);
+  EXPECT_FALSE(bm.Get(0));
+  EXPECT_EQ(bm.CountSetBits(), 200 / 3);  // 66 remaining multiples of 3
+}
+
+TEST(BitmapTest, DeleteShiftsSubsequentBits) {
+  // Paper Figure 3 semantics: after deleting bit p, the bit formerly at
+  // p+1 is found at p.
+  Bitmap bm(100);
+  bm.Set(5);
+  bm.Set(6);
+  bm.Set(26);
+  bm.Delete(5);
+  EXPECT_EQ(bm.size(), 99u);
+  EXPECT_TRUE(bm.Get(5));    // old bit 6
+  EXPECT_FALSE(bm.Get(6));
+  EXPECT_TRUE(bm.Get(25));   // old bit 26
+  EXPECT_FALSE(bm.Get(26));
+}
+
+TEST(BitmapTest, DeleteAcrossWordBoundary) {
+  Bitmap bm(256);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(128);
+  bm.Delete(10);
+  EXPECT_TRUE(bm.Get(62));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(127));
+  EXPECT_FALSE(bm.Get(64));
+}
+
+TEST(BitmapTest, BulkDeleteMatchesSequentialDescendingDeletes) {
+  Bitmap a(500), b(500);
+  for (std::uint64_t i = 0; i < 500; i += 7) {
+    a.Set(i);
+    b.Set(i);
+  }
+  std::vector<std::uint64_t> kill = {3, 77, 78, 210, 211, 212, 499};
+  a.BulkDelete(kill);
+  for (auto it = kill.rbegin(); it != kill.rend(); ++it) b.Delete(*it);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.Get(i), b.Get(i)) << i;
+  }
+}
+
+TEST(BitmapTest, AppendGrowsWithZeros) {
+  Bitmap bm(64);
+  bm.Set(63);
+  bm.Append(70);
+  EXPECT_EQ(bm.size(), 134u);
+  EXPECT_TRUE(bm.Get(63));
+  for (std::uint64_t i = 64; i < 134; ++i) EXPECT_FALSE(bm.Get(i)) << i;
+}
+
+TEST(BitmapTest, AppendAfterDeleteKeepsTailZero) {
+  Bitmap bm(64);
+  for (std::uint64_t i = 0; i < 64; ++i) bm.Set(i);
+  bm.Delete(0);  // size 63, bit 63 of word cleared
+  bm.Append(1);
+  EXPECT_EQ(bm.size(), 64u);
+  EXPECT_FALSE(bm.Get(63));
+}
+
+TEST(BitmapTest, DeleteLastBit) {
+  Bitmap bm(10);
+  bm.Set(9);
+  bm.Delete(9);
+  EXPECT_EQ(bm.size(), 9u);
+  EXPECT_EQ(bm.CountSetBits(), 0u);
+}
+
+}  // namespace
+}  // namespace patchindex

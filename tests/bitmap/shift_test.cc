@@ -1,0 +1,128 @@
+// Tests for the cross-element bit shift kernels (paper §4.2.2, Listing 1).
+// The scalar and AVX2 implementations must agree bit-for-bit with a naive
+// reference on arbitrary ranges.
+
+#include "bitmap/shift.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace patchindex {
+namespace {
+
+std::vector<bool> ToBits(const std::vector<std::uint64_t>& words,
+                         std::uint64_t nbits) {
+  std::vector<bool> out(nbits);
+  for (std::uint64_t i = 0; i < nbits; ++i) {
+    out[i] = (words[i / 64] >> (i % 64)) & 1;
+  }
+  return out;
+}
+
+// Reference semantics: bits in (begin, end) move one down; bit end-1
+// becomes 0; everything else unchanged.
+std::vector<bool> ReferenceShift(std::vector<bool> v, std::uint64_t begin,
+                                 std::uint64_t end) {
+  for (std::uint64_t i = begin; i + 1 < end; ++i) v[i] = v[i + 1];
+  v[end - 1] = false;
+  return v;
+}
+
+class ShiftKernelTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam() && !CpuSupportsAvx2()) {
+      GTEST_SKIP() << "AVX2 not available";
+    }
+  }
+  ShiftFn fn() const {
+    return GetParam() ? &ShiftTailLeftOneAvx2 : &ShiftTailLeftOneScalar;
+  }
+};
+
+TEST_P(ShiftKernelTest, SingleWordRange) {
+  ShiftFn shift = fn();
+  std::vector<std::uint64_t> words = {0xDEADBEEFCAFEBABEull, 0xFFull};
+  auto expect = ReferenceShift(ToBits(words, 128), 3, 40);
+  shift(words.data(), 3, 40);
+  EXPECT_EQ(ToBits(words, 128), expect);
+}
+
+TEST_P(ShiftKernelTest, FullWordAlignedRange) {
+  ShiftFn shift = fn();
+  std::vector<std::uint64_t> words(8);
+  Rng rng(7);
+  for (auto& w : words) w = rng.Uniform(0, ~0ull);
+  auto expect = ReferenceShift(ToBits(words, 512), 0, 512);
+  shift(words.data(), 0, 512);
+  EXPECT_EQ(ToBits(words, 512), expect);
+}
+
+TEST_P(ShiftKernelTest, UnalignedBeginAndEnd) {
+  ShiftFn shift = fn();
+  std::vector<std::uint64_t> words(16);
+  Rng rng(11);
+  for (auto& w : words) w = rng.Uniform(0, ~0ull);
+  auto expect = ReferenceShift(ToBits(words, 1024), 67, 1003);
+  shift(words.data(), 67, 1003);
+  EXPECT_EQ(ToBits(words, 1024), expect);
+}
+
+TEST_P(ShiftKernelTest, RangeOfLengthOneClearsTheBit) {
+  ShiftFn shift = fn();
+  std::vector<std::uint64_t> words = {~0ull};
+  shift(words.data(), 17, 18);
+  EXPECT_EQ(words[0], ~0ull & ~(1ull << 17));
+}
+
+TEST_P(ShiftKernelTest, PreservesBitsOutsideRange) {
+  ShiftFn shift = fn();
+  std::vector<std::uint64_t> words(4, ~0ull);
+  shift(words.data(), 70, 130);
+  // Bits [0, 70) and [130, 256) untouched; [70, 129) still ones (shifted
+  // ones); bit 129 cleared.
+  auto bits = ToBits(words, 256);
+  for (std::uint64_t i = 0; i < 70; ++i) EXPECT_TRUE(bits[i]) << i;
+  for (std::uint64_t i = 70; i < 129; ++i) EXPECT_TRUE(bits[i]) << i;
+  EXPECT_FALSE(bits[129]);
+  for (std::uint64_t i = 130; i < 256; ++i) EXPECT_TRUE(bits[i]) << i;
+}
+
+TEST_P(ShiftKernelTest, RandomizedAgainstReference) {
+  ShiftFn shift = fn();
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t nwords = rng.Uniform(1, 40);
+    const std::uint64_t nbits = nwords * 64;
+    std::vector<std::uint64_t> words(nwords);
+    for (auto& w : words) w = rng.Uniform(0, ~0ull);
+    const std::uint64_t begin = rng.Uniform(0, nbits - 1);
+    const std::uint64_t end = rng.Uniform(begin + 1, nbits);
+    auto expect = ReferenceShift(ToBits(words, nbits), begin, end);
+    shift(words.data(), begin, end);
+    EXPECT_EQ(ToBits(words, nbits), expect)
+        << "iter=" << iter << " begin=" << begin << " end=" << end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndAvx2, ShiftKernelTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Avx2" : "Scalar";
+                         });
+
+TEST(ShiftDispatchTest, SelectsScalarWhenVectorizationDisabled) {
+  EXPECT_EQ(SelectShiftFn(false), &ShiftTailLeftOneScalar);
+}
+
+TEST(ShiftDispatchTest, SelectsAvx2WhenAvailable) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP();
+  EXPECT_EQ(SelectShiftFn(true), &ShiftTailLeftOneAvx2);
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,46 @@
+// Death tests: PIDX_CHECK violations must abort loudly rather than
+// corrupt state silently. (PIDX_DCHECK-guarded hot paths are exercised in
+// debug builds only.)
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitmap.h"
+#include "bitmap/sharded_bitmap.h"
+#include "exec/reuse.h"
+#include "patchindex/patch_set.h"
+
+namespace patchindex {
+namespace {
+
+TEST(DeathTest, BitmapDeleteOutOfRangeAborts) {
+  Bitmap bm(10);
+  EXPECT_DEATH(bm.Delete(10), "CHECK failed");
+}
+
+TEST(DeathTest, ShardedBitmapDeleteOutOfRangeAborts) {
+  ShardedBitmapOptions opt;
+  opt.shard_size_bits = 128;
+  opt.parallel = false;
+  ShardedBitmap bm(10, opt);
+  EXPECT_DEATH(bm.Delete(10), "CHECK failed");
+}
+
+TEST(DeathTest, ShardedBitmapRejectsNonPowerOfTwoShards) {
+  ShardedBitmapOptions opt;
+  opt.shard_size_bits = 100;  // not a power of two
+  EXPECT_DEATH(ShardedBitmap(1000, opt), "power of two");
+}
+
+TEST(DeathTest, MarkPatchBeyondDomainAborts) {
+  auto ps = PatchSet::Create(PatchSetDesign::kIdentifier, 5);
+  EXPECT_DEATH(ps->MarkPatch(5), "CHECK failed");
+}
+
+TEST(DeathTest, ReuseLoadBeforeCacheDrainAborts) {
+  auto buffer = MakeReuseBuffer();
+  ReuseLoadOperator load(buffer, {ColumnType::kInt64});
+  EXPECT_DEATH(load.Open(), "ReuseLoad opened before");
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace patchindex {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(),
+                   [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, TasksCanBeSubmittedFromMultipleRounds) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 1; i <= 10; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(sum.load(), 5 * 55);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsUsable) {
+  std::atomic<int> x{0};
+  ThreadPool::Default().Submit([&x] { x = 42; });
+  ThreadPool::Default().WaitIdle();
+  EXPECT_EQ(x.load(), 42);
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,52 @@
+#ifndef PATCHINDEX_TESTS_EXEC_EXEC_TEST_UTIL_H_
+#define PATCHINDEX_TESTS_EXEC_EXEC_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Builds a single-column INT64 batch with row_ids 0..n-1.
+inline Batch MakeI64Batch(const std::vector<std::int64_t>& values) {
+  Batch b;
+  b.Reset({ColumnType::kInt64});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    b.columns[0].i64.push_back(values[i]);
+    b.row_ids.push_back(i);
+  }
+  return b;
+}
+
+/// Builds a two-column INT64 batch with row_ids 0..n-1.
+inline Batch MakeI64Batch2(const std::vector<std::int64_t>& a,
+                           const std::vector<std::int64_t>& b) {
+  Batch out;
+  out.Reset({ColumnType::kInt64, ColumnType::kInt64});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.columns[0].i64.push_back(a[i]);
+    out.columns[1].i64.push_back(b[i]);
+    out.row_ids.push_back(i);
+  }
+  return out;
+}
+
+inline OperatorPtr Source(Batch b) {
+  return std::make_unique<InMemorySource>(std::move(b));
+}
+
+/// Table with columns (key INT64, val INT64), rows (i, vals[i]).
+inline Table MakeKvTable(const std::vector<std::int64_t>& vals) {
+  Table t(Schema({{"key", ColumnType::kInt64}, {"val", ColumnType::kInt64}}));
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    t.AppendRow(Row{{Value(static_cast<std::int64_t>(i)), Value(vals[i])}});
+  }
+  return t;
+}
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_TESTS_EXEC_EXEC_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/hash_join.h"
+#include "exec/merge_join.h"
+#include "exec/scan.h"
+#include "exec_test_util.h"
+
+namespace patchindex {
+namespace {
+
+TEST(HashJoinTest, InnerJoinBasic) {
+  // probe keys {1,2,3,4}, build keys {2,4,6} -> matches on 2 and 4.
+  HashJoinOperator join(Source(MakeI64Batch2({2, 4, 6}, {200, 400, 600})),
+                        Source(MakeI64Batch({1, 2, 3, 4})),
+                        /*build_key=*/0, /*probe_key=*/0);
+  Batch out = Collect(join);
+  ASSERT_EQ(out.num_rows(), 2u);
+  // Output: probe cols then build cols.
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{2, 4}));
+  EXPECT_EQ(out.columns[2].i64, (std::vector<std::int64_t>{200, 400}));
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysProduceAllMatches) {
+  HashJoinOperator join(Source(MakeI64Batch2({5, 5}, {1, 2})),
+                        Source(MakeI64Batch({5})), 0, 0);
+  Batch out = Collect(join);
+  ASSERT_EQ(out.num_rows(), 2u);
+  std::vector<std::int64_t> build_vals = out.columns[2].i64;
+  std::sort(build_vals.begin(), build_vals.end());
+  EXPECT_EQ(build_vals, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(HashJoinTest, AppendBuildRowIdColumn) {
+  HashJoinOptions opt;
+  opt.append_build_rowid_column = true;
+  HashJoinOperator join(Source(MakeI64Batch({7, 8})),
+                        Source(MakeI64Batch({8, 7})), 0, 0, opt);
+  Batch out = Collect(join);
+  ASSERT_EQ(out.num_rows(), 2u);
+  // Probe row 0 (key 8) matches build row 1; probe row 1 matches build 0.
+  EXPECT_EQ(out.columns[2].i64, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{0, 1}));
+}
+
+TEST(HashJoinTest, PublishesBuildRangeBeforeProbeOpen) {
+  // End-to-end dynamic range propagation: the probe is a table scan with
+  // a minmax index; the join publishes the build range in Open() and the
+  // scan prunes to the candidate blocks.
+  std::vector<std::int64_t> vals(100);
+  for (int i = 0; i < 100; ++i) vals[i] = i;
+  Table t = MakeKvTable(vals);
+  MinMaxIndex minmax(t.column(1), 10);
+  auto range = MakeDynamicRange();
+
+  ScanOptions sopt;
+  sopt.dynamic_range = range;
+  sopt.minmax = &minmax;
+  auto probe = std::make_unique<ScanOperator>(t, std::vector<std::size_t>{1},
+                                              sopt);
+  ScanOperator* probe_raw = probe.get();
+
+  HashJoinOptions jopt;
+  jopt.publish_build_range = range;
+  HashJoinOperator join(Source(MakeI64Batch({42, 47})), std::move(probe), 0,
+                        0, jopt);
+  Batch out = Collect(join);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{42, 47}));
+  // Only block 4 (rows 40..49) was scanned.
+  EXPECT_DOUBLE_EQ(probe_raw->effective_base_fraction(), 0.1);
+}
+
+TEST(HashJoinTest, EmptyBuildSideYieldsEmptyResult) {
+  HashJoinOperator join(Source(MakeI64Batch({})),
+                        Source(MakeI64Batch({1, 2})), 0, 0);
+  EXPECT_EQ(Collect(join).num_rows(), 0u);
+}
+
+TEST(MergeJoinTest, SortedInputsInnerJoin) {
+  MergeJoinOperator join(Source(MakeI64Batch2({1, 3, 5}, {10, 30, 50})),
+                         Source(MakeI64Batch2({2, 3, 5, 6}, {20, 33, 55, 66})),
+                         0, 0);
+  Batch out = Collect(join);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{3, 5}));
+  EXPECT_EQ(out.columns[1].i64, (std::vector<std::int64_t>{30, 50}));
+  EXPECT_EQ(out.columns[3].i64, (std::vector<std::int64_t>{33, 55}));
+}
+
+TEST(MergeJoinTest, EqualKeyRunsProduceCrossProduct) {
+  MergeJoinOperator join(Source(MakeI64Batch2({7, 7}, {1, 2})),
+                         Source(MakeI64Batch2({7, 7, 7}, {10, 20, 30})), 0,
+                         0);
+  Batch out = Collect(join);
+  EXPECT_EQ(out.num_rows(), 6u);
+}
+
+TEST(MergeJoinTest, MatchesHashJoinOnRandomInput) {
+  // Property: merge join over sorted inputs == hash join (same multiset
+  // of result keys).
+  std::vector<std::int64_t> left, right;
+  for (int i = 0; i < 200; ++i) left.push_back(i % 37);
+  for (int i = 0; i < 150; ++i) right.push_back(i % 23);
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+
+  MergeJoinOperator mj(Source(MakeI64Batch(left)), Source(MakeI64Batch(right)),
+                       0, 0);
+  Batch m = Collect(mj);
+  HashJoinOperator hj(Source(MakeI64Batch(left)), Source(MakeI64Batch(right)),
+                      0, 0);
+  Batch h = Collect(hj);
+  ASSERT_EQ(m.num_rows(), h.num_rows());
+  std::vector<std::int64_t> mk = m.columns[0].i64;
+  std::vector<std::int64_t> hk = h.columns[0].i64;
+  std::sort(mk.begin(), mk.end());
+  std::sort(hk.begin(), hk.end());
+  EXPECT_EQ(mk, hk);
+}
+
+}  // namespace
+}  // namespace patchindex

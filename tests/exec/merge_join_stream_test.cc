@@ -1,0 +1,97 @@
+// Edge-case tests for the streaming merge join: equal-key runs spanning
+// batch boundaries, exhaustion order, and ReuseCache drain-on-close
+// interaction (the PatchIndex join plan relies on both).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "exec/hash_join.h"
+#include "exec/merge_join.h"
+#include "exec/reuse.h"
+#include "exec_test_util.h"
+
+namespace patchindex {
+namespace {
+
+TEST(MergeJoinStreamTest, EqualRunSpanningMultipleBatches) {
+  // Right side: one key repeated 2.5 batches worth of rows.
+  const std::size_t reps = kBatchSize * 2 + kBatchSize / 2;
+  std::vector<std::int64_t> right(reps, 7);
+  MergeJoinOperator join(Source(MakeI64Batch({6, 7, 8})),
+                         Source(MakeI64Batch(right)), 0, 0);
+  EXPECT_EQ(CountRows(join), reps);
+}
+
+TEST(MergeJoinStreamTest, LeftRunTimesRightRun) {
+  std::vector<std::int64_t> left(kBatchSize + 3, 5);
+  std::vector<std::int64_t> right(4, 5);
+  MergeJoinOperator join(Source(MakeI64Batch(left)),
+                         Source(MakeI64Batch(right)), 0, 0);
+  EXPECT_EQ(CountRows(join), left.size() * right.size());
+}
+
+TEST(MergeJoinStreamTest, LeftExhaustsFirst) {
+  MergeJoinOperator join(Source(MakeI64Batch({1})),
+                         Source(MakeI64Batch({1, 2, 3, 4, 5})), 0, 0);
+  EXPECT_EQ(CountRows(join), 1u);
+}
+
+TEST(MergeJoinStreamTest, RightExhaustsFirst) {
+  MergeJoinOperator join(Source(MakeI64Batch({1, 2, 3, 4, 5})),
+                         Source(MakeI64Batch({5})), 0, 0);
+  EXPECT_EQ(CountRows(join), 1u);
+}
+
+TEST(MergeJoinStreamTest, EmptyInputs) {
+  MergeJoinOperator a(Source(MakeI64Batch({})), Source(MakeI64Batch({1})),
+                      0, 0);
+  EXPECT_EQ(CountRows(a), 0u);
+  MergeJoinOperator b(Source(MakeI64Batch({1})), Source(MakeI64Batch({})),
+                      0, 0);
+  EXPECT_EQ(CountRows(b), 0u);
+}
+
+TEST(MergeJoinStreamTest, RandomizedAgainstHashJoin) {
+  Rng rng(41);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<std::int64_t> left, right;
+    const std::size_t nl = rng.Uniform(0, 400);
+    const std::size_t nr = rng.Uniform(0, 400);
+    for (std::size_t i = 0; i < nl; ++i) {
+      left.push_back(static_cast<std::int64_t>(rng.Uniform(0, 40)));
+    }
+    for (std::size_t i = 0; i < nr; ++i) {
+      right.push_back(static_cast<std::int64_t>(rng.Uniform(0, 40)));
+    }
+    std::sort(left.begin(), left.end());
+    std::sort(right.begin(), right.end());
+    MergeJoinOperator mj(Source(MakeI64Batch(left)),
+                         Source(MakeI64Batch(right)), 0, 0);
+    HashJoinOperator hj(Source(MakeI64Batch(left)),
+                        Source(MakeI64Batch(right)), 0, 0);
+    EXPECT_EQ(CountRows(mj), CountRows(hj)) << "iter " << iter;
+  }
+}
+
+TEST(ReuseDrainTest, CloseCompletesPartiallyConsumedBuffer) {
+  // A merge join whose right side dries up immediately pulls little of
+  // the cached left side; Close() must still complete the buffer so a
+  // subsequent ReuseLoad can replay all of it.
+  auto buffer = MakeReuseBuffer();
+  std::vector<std::int64_t> left(kBatchSize * 2);
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    left[i] = static_cast<std::int64_t>(i);
+  }
+  auto cache = std::make_unique<ReuseCacheOperator>(
+      Source(MakeI64Batch(left)), buffer);
+  MergeJoinOperator join(std::move(cache), Source(MakeI64Batch({0})), 0, 0);
+  EXPECT_EQ(CountRows(join), 1u);  // join itself consumed only a little
+  ASSERT_TRUE(buffer->complete);
+  ReuseLoadOperator load(buffer, {ColumnType::kInt64});
+  EXPECT_EQ(CountRows(load), left.size());
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,156 @@
+#include "exec/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "exec_test_util.h"
+
+namespace patchindex {
+namespace {
+
+TEST(ScanTest, FullScanProducesAllRowsAndRowIds) {
+  Table t = MakeKvTable({10, 20, 30, 40, 50});
+  ScanOperator scan(t, {0, 1});
+  Batch out = Collect(scan);
+  ASSERT_EQ(out.num_rows(), 5u);
+  EXPECT_EQ(out.columns[1].i64, (std::vector<std::int64_t>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{0, 1, 2, 3, 4}));
+}
+
+TEST(ScanTest, ColumnSubsetAndOrder) {
+  Table t = MakeKvTable({10, 20});
+  ScanOperator scan(t, {1});
+  Batch out = Collect(scan);
+  ASSERT_EQ(out.columns.size(), 1u);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{10, 20}));
+}
+
+TEST(ScanTest, StaticRangesRestrictBaseRows) {
+  Table t = MakeKvTable({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ScanOptions opt;
+  opt.ranges = {{2, 4}, {7, 9}};
+  ScanOperator scan(t, {1}, opt);
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{2, 3, 7, 8}));
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{2, 3, 7, 8}));
+}
+
+TEST(ScanTest, VisibleScanAppliesPendingDeletes) {
+  Table t = MakeKvTable({0, 1, 2, 3, 4});
+  ASSERT_TRUE(t.BufferDelete(1).ok());
+  ASSERT_TRUE(t.BufferDelete(3).ok());
+  ScanOperator scan(t, {1});
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{0, 2, 4}));
+  // Visible rowIDs are compacted.
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{0, 1, 2}));
+}
+
+TEST(ScanTest, VisibleScanAppliesPendingModifies) {
+  Table t = MakeKvTable({0, 1, 2});
+  ASSERT_TRUE(t.BufferModify(1, 1, Value(std::int64_t{99})).ok());
+  ScanOperator scan(t, {1});
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{0, 99, 2}));
+}
+
+TEST(ScanTest, VisibleScanIncludesPendingInserts) {
+  Table t = MakeKvTable({0, 1});
+  t.BufferInsert(Row{{Value(std::int64_t{2}), Value(std::int64_t{22})}});
+  ScanOperator scan(t, {1});
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{0, 1, 22}));
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{0, 1, 2}));
+}
+
+TEST(ScanTest, InsertsOnlyScanEmitsPostCheckpointRowIds) {
+  Table t = MakeKvTable({0, 1, 2, 3});
+  ASSERT_TRUE(t.BufferDelete(0).ok());
+  t.BufferInsert(Row{{Value(std::int64_t{4}), Value(std::int64_t{44})}});
+  t.BufferInsert(Row{{Value(std::int64_t{5}), Value(std::int64_t{55})}});
+  ScanOptions opt;
+  opt.source = ScanSource::kInsertsOnly;
+  ScanOperator scan(t, {1}, opt);
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{44, 55}));
+  // 4 base - 1 delete = 3 surviving; inserts land at 3, 4.
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{3, 4}));
+}
+
+TEST(ScanTest, BaseOnlyScanIgnoresPdt) {
+  Table t = MakeKvTable({0, 1, 2});
+  ASSERT_TRUE(t.BufferDelete(1).ok());
+  t.BufferInsert(Row{{Value(std::int64_t{9}), Value(std::int64_t{9})}});
+  ScanOptions opt;
+  opt.source = ScanSource::kBaseOnly;
+  ScanOperator scan(t, {1}, opt);
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(ScanTest, DynamicRangePropagationPrunesBlocks) {
+  // 100 sorted values, blocks of 10; published range [35, 44] must prune
+  // the scan to rows [30, 50).
+  std::vector<std::int64_t> vals(100);
+  for (int i = 0; i < 100; ++i) vals[i] = i;
+  Table t = MakeKvTable(vals);
+  MinMaxIndex minmax(t.column(1), 10);
+  auto range = MakeDynamicRange();
+  range->Observe(35);
+  range->Observe(44);
+  ScanOptions opt;
+  opt.dynamic_range = range;
+  opt.minmax = &minmax;
+  ScanOperator scan(t, {1}, opt);
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.num_rows(), 20u);
+  EXPECT_EQ(out.columns[0].i64.front(), 30);
+  EXPECT_EQ(out.columns[0].i64.back(), 49);
+  EXPECT_DOUBLE_EQ(scan.effective_base_fraction(), 0.2);
+}
+
+TEST(ScanTest, InvalidDynamicRangeScansNoBaseRows) {
+  Table t = MakeKvTable({1, 2, 3});
+  MinMaxIndex minmax(t.column(1), 2);
+  auto range = MakeDynamicRange();  // never observed => invalid
+  ScanOptions opt;
+  opt.dynamic_range = range;
+  opt.minmax = &minmax;
+  ScanOperator scan(t, {1}, opt);
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(ScanTest, LargeTableBatchBoundaries) {
+  std::vector<std::int64_t> vals(kBatchSize * 2 + 5);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<std::int64_t>(i);
+  }
+  Table t = MakeKvTable(vals);
+  ScanOperator scan(t, {1});
+  scan.Open();
+  Batch b;
+  std::size_t total = 0, batches = 0;
+  while (scan.Next(&b)) {
+    total += b.num_rows();
+    ++batches;
+    EXPECT_LE(b.num_rows(), kBatchSize);
+  }
+  EXPECT_EQ(total, vals.size());
+  EXPECT_EQ(batches, 3u);
+}
+
+TEST(ScanTest, RangesCombinedWithPendingDeletes) {
+  Table t = MakeKvTable({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ASSERT_TRUE(t.BufferDelete(2).ok());
+  ASSERT_TRUE(t.BufferDelete(6).ok());
+  ScanOptions opt;
+  opt.ranges = {{0, 5}, {5, 10}};  // all rows via two ranges
+  ScanOperator scan(t, {1}, opt);
+  Batch out = Collect(scan);
+  EXPECT_EQ(out.columns[0].i64,
+            (std::vector<std::int64_t>{0, 1, 3, 4, 5, 7, 8, 9}));
+  EXPECT_EQ(out.row_ids, (std::vector<RowId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace patchindex

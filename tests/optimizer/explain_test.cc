@@ -1,0 +1,51 @@
+#include "optimizer/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/rewriter.h"
+#include "patchindex/manager.h"
+#include "workload/tpch.h"
+
+namespace patchindex {
+namespace {
+
+TEST(ExplainTest, RendersPlainPlanTree) {
+  TpchConfig cfg;
+  cfg.num_orders = 50;
+  TpchDatabase db = GenerateTpch(cfg);
+  const std::string text = ExplainPlan(BuildQ3(db));
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("Join(keys 2=0)"), std::string::npos);
+  EXPECT_NE(text.find("sorted"), std::string::npos);
+  EXPECT_EQ(text.find("PatchJoin"), std::string::npos);
+}
+
+TEST(ExplainTest, AnnotatesPatchRewrites) {
+  TpchConfig cfg;
+  cfg.num_orders = 50;
+  TpchDatabase db = GenerateTpch(cfg);
+  PerturbLineitemOrder(db.lineitem.get(), 0.10, 3);
+  PatchIndexManager mgr;
+  mgr.CreateIndex(*db.lineitem, 0, ConstraintKind::kNearlySorted, {});
+  OptimizerOptions forced;
+  forced.force_patch_rewrites = true;
+  const std::string text =
+      ExplainPlan(OptimizePlan(BuildQ3(db), mgr, forced));
+  EXPECT_NE(text.find("PatchJoin"), std::string::npos);
+  EXPECT_NE(text.find("[NSC e="), std::string::npos);
+}
+
+TEST(ExplainTest, IndentationReflectsDepth) {
+  Table t(Schema({{"v", ColumnType::kInt64}}));
+  t.AppendRow(Row{{Value(std::int64_t{1})}});
+  const std::string text =
+      ExplainPlan(LDistinct(LSelect(LScan(t, {0}), Gt(Col(0), ConstInt(0)),
+                                    0.5),
+                            {0}));
+  EXPECT_NE(text.find("Distinct"), std::string::npos);
+  EXPECT_NE(text.find("\n  Select"), std::string::npos);
+  EXPECT_NE(text.find("\n    Scan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace patchindex

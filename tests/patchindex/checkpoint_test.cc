@@ -1,0 +1,189 @@
+// Tests for checkpoint persistence (§3.4) and RLE compression (§7).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bitmap/rle.h"
+#include "common/rng.h"
+#include "patchindex/checkpoint.h"
+#include "patchindex/manager.h"
+
+namespace patchindex {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"key", ColumnType::kInt64}, {"val", ColumnType::kInt64}});
+}
+
+Table MakeTable(const std::vector<std::int64_t>& vals) {
+  Table t(KvSchema());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    t.AppendRow(Row{{Value(static_cast<std::int64_t>(i)), Value(vals[i])}});
+  }
+  return t;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class CheckpointTest : public ::testing::TestWithParam<ConstraintKind> {};
+
+TEST_P(CheckpointTest, RoundTripPreservesState) {
+  Table t = MakeTable({1, 5, 2, 5, 3, 9, 4, 5});
+  auto original = PatchIndex::Create(t, 1, GetParam());
+  const std::string path = TempPath("roundtrip.pidx");
+  ASSERT_TRUE(SavePatchIndexCheckpoint(*original, path).ok());
+
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PatchIndex& restored = *loaded.value();
+  EXPECT_EQ(restored.constraint(), original->constraint());
+  EXPECT_EQ(restored.column(), original->column());
+  EXPECT_EQ(restored.NumPatches(), original->NumPatches());
+  EXPECT_EQ(restored.patches().PatchRowIds(),
+            original->patches().PatchRowIds());
+  EXPECT_EQ(restored.tail_value(), original->tail_value());
+  EXPECT_EQ(restored.constant_value(), original->constant_value());
+  EXPECT_TRUE(restored.CheckInvariant());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConstraints, CheckpointTest,
+                         ::testing::Values(ConstraintKind::kNearlyUnique,
+                                           ConstraintKind::kNearlySorted,
+                                           ConstraintKind::kNearlyConstant),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ConstraintKind::kNearlyUnique:
+                               return "Nuc";
+                             case ConstraintKind::kNearlySorted:
+                               return "Nsc";
+                             default:
+                               return "Ncc";
+                           }
+                         });
+
+TEST(CheckpointTest, RestoredIndexKeepsHandlingUpdates) {
+  Table t = MakeTable({1, 2, 3, 4});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlySorted);
+  const std::string path = TempPath("updates.pidx");
+  ASSERT_TRUE(SavePatchIndexCheckpoint(*original, path).ok());
+  original.reset();
+
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  ASSERT_TRUE(loaded.ok());
+  PatchIndex* idx = loaded.value().get();
+  t.BufferInsert(Row{{Value(std::int64_t{4}), Value(std::int64_t{2})}});
+  ASSERT_TRUE(idx->HandleUpdateQuery().ok());
+  t.Checkpoint();
+  ASSERT_TRUE(idx->AfterCheckpoint().ok());
+  EXPECT_TRUE(idx->IsPatch(4));  // 2 < tail 4
+  EXPECT_TRUE(idx->CheckInvariant());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CardinalityMismatchIsRejected) {
+  Table t = MakeTable({1, 2, 3});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlyUnique);
+  const std::string path = TempPath("mismatch.pidx");
+  ASSERT_TRUE(SavePatchIndexCheckpoint(*original, path).ok());
+  // The table changes after the checkpoint.
+  t.AppendRow(Row{{Value(std::int64_t{3}), Value(std::int64_t{4})}});
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kConstraintViolation);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFile) {
+  Table t = MakeTable({1});
+  auto loaded = LoadPatchIndexCheckpoint(TempPath("nope.pidx"), t);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, GarbageFileIsRejected) {
+  const std::string path = TempPath("garbage.pidx");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+  Table t = MakeTable({1});
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileIsRejected) {
+  Table t = MakeTable({1, 1, 2, 2});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlyUnique);
+  const std::string path = TempPath("truncated.pidx");
+  ASSERT_TRUE(SavePatchIndexCheckpoint(*original, path).ok());
+  // Chop the last 8 bytes (one patch delta).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 8), 0);
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(RleTest, RoundTripSparse) {
+  ShardedBitmapOptions opt;
+  opt.shard_size_bits = 256;
+  opt.parallel = false;
+  ShardedBitmap bm(10'000, opt);
+  for (std::uint64_t p : {0ull, 5ull, 6ull, 7ull, 9'999ull}) bm.Set(p);
+  RleBitmap rle = RleEncode(bm);
+  ShardedBitmap back = RleDecode(rle, opt);
+  ASSERT_EQ(back.size(), bm.size());
+  EXPECT_EQ(back.SetBitPositions(), bm.SetBitPositions());
+}
+
+TEST(RleTest, EmptyAndFullBitmaps) {
+  ShardedBitmapOptions opt;
+  opt.shard_size_bits = 128;
+  opt.parallel = false;
+  ShardedBitmap empty(1000, opt);
+  EXPECT_EQ(RleEncode(empty).runs, (std::vector<std::uint64_t>{1000}));
+  EXPECT_EQ(RleDecode(RleEncode(empty), opt).CountSetBits(), 0u);
+
+  ShardedBitmap full(1000, opt);
+  for (std::uint64_t i = 0; i < 1000; ++i) full.Set(i);
+  RleBitmap rle = RleEncode(full);
+  EXPECT_EQ(rle.runs, (std::vector<std::uint64_t>{0, 1000}));
+  EXPECT_EQ(RleDecode(rle, opt).CountSetBits(), 1000u);
+}
+
+TEST(RleTest, RandomRoundTrip) {
+  Rng rng(55);
+  ShardedBitmapOptions opt;
+  opt.shard_size_bits = 512;
+  opt.parallel = false;
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::uint64_t n = rng.Uniform(1, 5000);
+    ShardedBitmap bm(n, opt);
+    const double density = rng.NextDouble();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.NextBool(density)) bm.Set(i);
+    }
+    ShardedBitmap back = RleDecode(RleEncode(bm), opt);
+    ASSERT_EQ(back.SetBitPositions(), bm.SetBitPositions()) << iter;
+  }
+}
+
+TEST(RleTest, CompressesLowExceptionRates) {
+  // The §7 claim: RLE shrinks the bitmap especially for low e.
+  ShardedBitmapOptions opt;
+  ShardedBitmap bm(1'000'000, opt);
+  for (std::uint64_t i = 0; i < 1'000'000; i += 10'000) bm.Set(i);  // e=0.01%
+  RleBitmap rle = RleEncode(bm);
+  EXPECT_LT(rle.CompressedBytes(), bm.MemoryUsageBytes() / 50);
+}
+
+}  // namespace
+}  // namespace patchindex

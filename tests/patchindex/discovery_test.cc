@@ -1,0 +1,146 @@
+#include "patchindex/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace patchindex {
+namespace {
+
+Column I64Column(const std::vector<std::int64_t>& vals) {
+  Column c(ColumnType::kInt64);
+  for (auto v : vals) c.AppendInt64(v);
+  return c;
+}
+
+TEST(NucDiscoveryTest, UniqueColumnHasNoPatches) {
+  EXPECT_TRUE(DiscoverNucPatches(I64Column({1, 5, 3, 9})).empty());
+}
+
+TEST(NucDiscoveryTest, AllOccurrencesOfDuplicatedValuesArePatches) {
+  // Values: 7 at rows {0,2,4}, 5 at rows {1,3}, 9 at row {5}. Every
+  // occurrence of a duplicated value is a patch (§5.1) so the patch and
+  // non-patch value sets are disjoint.
+  auto patches = DiscoverNucPatches(I64Column({7, 5, 7, 5, 7, 9}));
+  EXPECT_EQ(patches, (std::vector<RowId>{0, 1, 2, 3, 4}));
+}
+
+TEST(NucDiscoveryTest, NonPatchValuesAreGloballyUnique) {
+  Rng rng(4);
+  std::vector<std::int64_t> vals;
+  for (int i = 0; i < 5000; ++i) {
+    vals.push_back(static_cast<std::int64_t>(rng.Uniform(0, 9999)));
+  }
+  Column col = I64Column(vals);
+  auto patches = DiscoverNucPatches(col);
+  std::unordered_set<RowId> pset(patches.begin(), patches.end());
+  std::unordered_map<std::int64_t, int> counts;
+  for (auto v : vals) ++counts[v];
+  std::size_t singletons = 0;
+  for (const auto& [v, c] : counts) {
+    if (c == 1) ++singletons;
+  }
+  // Non-patch rows are exactly the rows holding globally unique values.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (pset.count(i)) continue;
+    EXPECT_EQ(counts[vals[i]], 1) << "non-unique value survived at " << i;
+    ++kept;
+  }
+  EXPECT_EQ(kept, singletons);
+}
+
+TEST(LssTest, KnownSequences) {
+  EXPECT_EQ(LongestSortedSubsequence({1, 2, 3}).size(), 3u);
+  EXPECT_EQ(LongestSortedSubsequence({3, 2, 1}).size(), 1u);
+  EXPECT_EQ(LongestSortedSubsequence({3, 2, 1}, false).size(), 3u);
+  // Non-decreasing: duplicates extend the run.
+  EXPECT_EQ(LongestSortedSubsequence({1, 1, 1}).size(), 3u);
+  // Classic example.
+  auto keep = LongestSortedSubsequence({10, 9, 2, 5, 3, 7, 101, 18});
+  EXPECT_EQ(keep.size(), 4u);  // e.g. 2,3,7,18
+  // Returned indices must be increasing and the values sorted.
+  for (std::size_t i = 1; i < keep.size(); ++i) {
+    EXPECT_LT(keep[i - 1], keep[i]);
+  }
+}
+
+TEST(LssTest, EmptyInput) {
+  EXPECT_TRUE(LongestSortedSubsequence({}).empty());
+}
+
+// Brute-force LIS length for small inputs (O(n^2) DP).
+std::size_t BruteForceLssLength(const std::vector<std::int64_t>& v,
+                                bool ascending) {
+  if (v.empty()) return 0;
+  std::vector<std::size_t> dp(v.size(), 1);
+  std::size_t best = 1;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool ok = ascending ? v[j] <= v[i] : v[j] >= v[i];
+      if (ok) dp[i] = std::max(dp[i], dp[j] + 1);
+    }
+    best = std::max(best, dp[i]);
+  }
+  return best;
+}
+
+TEST(LssTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const bool ascending = iter % 2 == 0;
+    std::vector<std::int64_t> v;
+    const std::size_t n = rng.Uniform(0, 60);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<std::int64_t>(rng.Uniform(0, 20)));
+    }
+    auto keep = LongestSortedSubsequence(v, ascending);
+    EXPECT_EQ(keep.size(), BruteForceLssLength(v, ascending))
+        << "iter " << iter;
+    // Validity: indices increasing, values sorted in requested order.
+    for (std::size_t i = 1; i < keep.size(); ++i) {
+      ASSERT_LT(keep[i - 1], keep[i]);
+      if (ascending) {
+        ASSERT_LE(v[keep[i - 1]], v[keep[i]]);
+      } else {
+        ASSERT_GE(v[keep[i - 1]], v[keep[i]]);
+      }
+    }
+  }
+}
+
+TEST(NscDiscoveryTest, SortedColumnHasNoPatches) {
+  auto d = DiscoverNscPatches(I64Column({1, 2, 2, 3, 10}));
+  EXPECT_TRUE(d.patches.empty());
+  EXPECT_TRUE(d.has_tail);
+  EXPECT_EQ(d.tail_value, 10);
+}
+
+TEST(NscDiscoveryTest, PatchesAreComplementOfLss) {
+  auto d = DiscoverNscPatches(I64Column({1, 5, 2, 3, 4}));
+  // LSS is 1,2,3,4 -> patch is row 1 (value 5).
+  EXPECT_EQ(d.patches, (std::vector<RowId>{1}));
+  EXPECT_EQ(d.tail_value, 4);
+}
+
+TEST(NscDiscoveryTest, DescendingOrder) {
+  // Two optima exist ({9,7,5} and {9,8,5}); either leaves one patch and
+  // tail 5.
+  auto d = DiscoverNscPatches(I64Column({9, 7, 8, 5}), /*ascending=*/false);
+  ASSERT_EQ(d.patches.size(), 1u);
+  EXPECT_TRUE(d.patches[0] == 1 || d.patches[0] == 2);
+  EXPECT_EQ(d.tail_value, 5);
+}
+
+TEST(NscDiscoveryTest, EmptyColumn) {
+  auto d = DiscoverNscPatches(I64Column({}));
+  EXPECT_TRUE(d.patches.empty());
+  EXPECT_FALSE(d.has_tail);
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,68 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace patchindex {
+namespace {
+
+TEST(ColumnTest, Int64AppendAndGet) {
+  Column c(ColumnType::kInt64);
+  for (std::int64_t i = 0; i < 100; ++i) c.AppendInt64(i * 2);
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(c.GetInt64(50), 100);
+  EXPECT_EQ(c.Get(3), Value(std::int64_t{6}));
+}
+
+TEST(ColumnTest, StringColumn) {
+  Column c(ColumnType::kString);
+  c.AppendString("alpha");
+  c.AppendString("beta");
+  EXPECT_EQ(c.GetString(1), "beta");
+  c.Set(1, Value("gamma"));
+  EXPECT_EQ(c.GetString(1), "gamma");
+}
+
+TEST(ColumnTest, DoubleColumn) {
+  Column c(ColumnType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendDouble(-2.25);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.GetDouble(1), -2.25);
+}
+
+TEST(ColumnTest, DeleteRowsCompacts) {
+  Column c(ColumnType::kInt64);
+  for (std::int64_t i = 0; i < 10; ++i) c.AppendInt64(i);
+  c.DeleteRows({0, 4, 9});
+  ASSERT_EQ(c.size(), 7u);
+  const std::vector<std::int64_t> want = {1, 2, 3, 5, 6, 7, 8};
+  EXPECT_EQ(c.i64_data(), want);
+}
+
+TEST(ColumnTest, DeleteRowsEmptyListNoop) {
+  Column c(ColumnType::kInt64);
+  c.AppendInt64(7);
+  c.DeleteRows({});
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ColumnTest, DeleteRowsOnStrings) {
+  Column c(ColumnType::kString);
+  for (const char* s : {"a", "b", "c", "d"}) c.AppendString(s);
+  c.DeleteRows({1, 2});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetString(0), "a");
+  EXPECT_EQ(c.GetString(1), "d");
+}
+
+TEST(ValueTest, TypeAndComparison) {
+  EXPECT_EQ(Value(std::int64_t{3}).type(), ColumnType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ColumnType::kDouble);
+  EXPECT_EQ(Value("x").type(), ColumnType::kString);
+  EXPECT_TRUE(Value(std::int64_t{1}) < Value(std::int64_t{2}));
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+  EXPECT_EQ(Value(std::int64_t{42}).ToString(), "42");
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -1,0 +1,92 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace patchindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Schema MixedSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"score", ColumnType::kDouble},
+                 {"name", ColumnType::kString}});
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t(MixedSchema());
+  t.AppendRow(Row{{Value(std::int64_t{1}), Value(2.5), Value("alice")}});
+  t.AppendRow(Row{{Value(std::int64_t{-7}), Value(0.0), Value("bob")}});
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsvTable(t, path).ok());
+
+  auto loaded = LoadCsvTable(path, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& back = *loaded.value();
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.column(0).GetInt64(1), -7);
+  EXPECT_DOUBLE_EQ(back.column(1).GetDouble(0), 2.5);
+  EXPECT_EQ(back.column(2).GetString(1), "bob");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  const std::string path = TempPath("badheader.csv");
+  WriteFile(path, "id,wrong,name\n1,2.0,x\n");
+  auto loaded = LoadCsvTable(path, MixedSchema());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MalformedIntegerRejectedWithLineNumber) {
+  const std::string path = TempPath("badint.csv");
+  WriteFile(path, "id,score,name\n1,2.0,x\nnope,3.0,y\n");
+  auto loaded = LoadCsvTable(path, MixedSchema());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FieldCountMismatchRejected) {
+  const std::string path = TempPath("badcount.csv");
+  WriteFile(path, "id,score,name\n1,2.0\n");
+  auto loaded = LoadCsvTable(path, MixedSchema());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  const std::string path = TempPath("noheader.csv");
+  WriteFile(path, "5,1.5,z\n");
+  auto loaded = LoadCsvTable(path, MixedSchema(), ',', /*has_header=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CustomDelimiterAndEmptyLines) {
+  const std::string path = TempPath("delim.csv");
+  WriteFile(path, "id|score|name\n1|1.0|a\n\n2|2.0|b\n");
+  auto loaded = LoadCsvTable(path, MixedSchema(), '|');
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFile) {
+  auto loaded = LoadCsvTable(TempPath("missing.csv"), MixedSchema());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace patchindex
