@@ -5,8 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace patchindex {
@@ -28,6 +31,19 @@ class ThreadPool {
 
   /// Blocks until all submitted tasks have finished executing.
   void WaitIdle();
+
+  /// Enqueues a task and returns a future that resolves when it finishes
+  /// (rethrowing any exception). Unlike WaitIdle() — a pool-wide barrier —
+  /// this lets a caller await only its own tasks, which is what the query
+  /// engine needs when several pipelines share one pool: waiting for the
+  /// whole pool to drain would serialize unrelated concurrent queries.
+  std::future<void> SubmitWithFuture(std::function<void()> task) {
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+    Submit([packaged] { (*packaged)(); });
+    return future;
+  }
 
   /// Runs fn(i) for i in [0, n), distributing iterations over workers in
   /// contiguous chunks, and blocks until all iterations are done.

@@ -1,0 +1,84 @@
+#include "engine/catalog.h"
+
+#include <utility>
+
+namespace patchindex {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  return AddTable(name, std::make_unique<Table>(std::move(schema)));
+}
+
+Result<Table*> Catalog::AddTable(const std::string& name,
+                                 std::unique_ptr<Table> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->table = std::move(table);
+  Table* handle = entry->table.get();
+  tables_.emplace(name, std::move(entry));
+  return handle;
+}
+
+Table* Catalog::FindTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second->table.get();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second->table.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::shared_ptr<Entry> removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    removed = std::move(it->second);
+    tables_.erase(it);
+  }
+  // New lookups now fail; sessions holding a TableRef keep the entry
+  // alive. Dropping the indexes under the exclusive lock serializes
+  // against in-flight queries (which hold the shared lock while they
+  // consult the indexes); the table itself is freed when the last
+  // TableRef releases.
+  {
+    std::unique_lock<std::shared_mutex> exclusive(removed->lock);
+    manager_.DropIndexesOn(*removed->table);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+Catalog::TableRef Catalog::Ref(const Table& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : tables_) {
+    if (entry->table.get() == &table) {
+      return {entry->table.get(), &entry->lock, entry};
+    }
+  }
+  return {};
+}
+
+Catalog::TableRef Catalog::Ref(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return {};
+  return {it->second->table.get(), &it->second->lock, it->second};
+}
+
+}  // namespace patchindex

@@ -1,0 +1,85 @@
+#ifndef PATCHINDEX_ENGINE_CATALOG_H_
+#define PATCHINDEX_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "patchindex/manager.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+/// Named tables plus their PatchIndexes (via an owned PatchIndexManager),
+/// with one reader-writer lock per table. The engine takes the lock in
+/// shared mode for read queries and in exclusive mode for update queries,
+/// so morsel-parallel scans interleave safely with the PDT update protocol
+/// (HandleUpdateQuery + checkpoint + maintenance), which mutates the base
+/// columns, the PDT and the patch sets.
+///
+/// The catalog map itself is guarded by a separate mutex; table pointers
+/// and their locks stay stable until DropTable.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails when the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers an already-populated table under `name` (bulk-load path).
+  Result<Table*> AddTable(const std::string& name,
+                          std::unique_ptr<Table> table);
+
+  /// nullptr when absent.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Drops the table and every PatchIndex on it, serialized behind the
+  /// table's exclusive lock. Sessions that already resolved a TableRef
+  /// keep table and lock alive until they release it, so a racing read
+  /// query finishes against the (de-cataloged, index-less) table instead
+  /// of touching freed memory.
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  PatchIndexManager& manager() { return manager_; }
+  const PatchIndexManager& manager() const { return manager_; }
+
+  /// A resolved handle onto a catalog table: the table, its reader-writer
+  /// lock, and shared ownership keeping both alive while held — closing
+  /// the window between resolving the lock and acquiring it, during which
+  /// a concurrent DropTable could otherwise free them.
+  struct TableRef {
+    Table* table = nullptr;
+    std::shared_mutex* lock = nullptr;
+    std::shared_ptr<void> owner;
+
+    explicit operator bool() const { return lock != nullptr; }
+  };
+
+  /// Resolves `table` / `name` to a handle; an empty handle when not
+  /// catalog-owned (plans over free-standing tables run unguarded).
+  TableRef Ref(const Table& table) const;
+  TableRef Ref(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Table> table;
+    mutable std::shared_mutex lock;
+  };
+
+  mutable std::mutex mu_;  // guards tables_ (the map, not the rows)
+  std::map<std::string, std::shared_ptr<Entry>> tables_;
+  PatchIndexManager manager_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_ENGINE_CATALOG_H_

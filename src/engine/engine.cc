@@ -1,0 +1,206 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "exec/operator.h"
+
+namespace patchindex {
+
+UpdateQuery UpdateQuery::Insert(std::vector<Row> rows) {
+  UpdateQuery q;
+  q.inserts = std::move(rows);
+  return q;
+}
+
+UpdateQuery UpdateQuery::Delete(std::vector<RowId> rows) {
+  UpdateQuery q;
+  q.deletes = std::move(rows);
+  return q;
+}
+
+UpdateQuery UpdateQuery::Modify(std::vector<CellUpdate> cells) {
+  UpdateQuery q;
+  q.modifies = std::move(cells);
+  return q;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  std::size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Session Engine::CreateSession() { return Session(this); }
+
+namespace {
+
+void CollectScanTables(const LogicalNode& node,
+                       std::vector<const Table*>* tables) {
+  if (node.kind == LogicalNode::Kind::kScan && node.table != nullptr) {
+    tables->push_back(node.table);
+  }
+  for (const auto& child : node.children) {
+    CollectScanTables(*child, tables);
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Session::Execute(LogicalPtr plan) {
+  return Execute(std::move(plan), engine_->options_.optimizer);
+}
+
+Result<QueryResult> Session::Execute(LogicalPtr plan,
+                                     const OptimizerOptions& optimizer) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+
+  // Shared-lock every catalog table the plan scans, in a deterministic
+  // (address) order so concurrent sessions cannot deadlock against the
+  // exclusive locks update queries take. The refs keep table and lock
+  // alive even if a concurrent DropTable de-catalogs them mid-query.
+  std::vector<const Table*> tables;
+  CollectScanTables(*plan, &tables);
+  std::vector<Catalog::TableRef> refs;
+  for (const Table* table : tables) {
+    Catalog::TableRef ref = engine_->catalog_.Ref(*table);
+    if (ref) refs.push_back(std::move(ref));
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const Catalog::TableRef& a, const Catalog::TableRef& b) {
+              return a.lock < b.lock;
+            });
+  refs.erase(std::unique(refs.begin(), refs.end(),
+                         [](const Catalog::TableRef& a,
+                            const Catalog::TableRef& b) {
+                           return a.lock == b.lock;
+                         }),
+             refs.end());
+  std::vector<std::shared_lock<std::shared_mutex>> guards;
+  guards.reserve(refs.size());
+  for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
+
+  LogicalPtr optimized =
+      OptimizePlan(std::move(plan), engine_->catalog_.manager(), optimizer);
+
+  QueryResult result;
+  ParallelExecOptions parallel_options;
+  parallel_options.morsel_rows = engine_->options_.morsel_rows;
+  parallel_options.min_parallel_rows = engine_->options_.min_parallel_rows;
+  if (engine_->options_.enable_parallel_execution &&
+      ExecuteParallel(*optimized, engine_->pool(), parallel_options,
+                      &result.rows)) {
+    result.parallel = true;
+  } else {
+    OperatorPtr op = CompilePlan(optimized, optimizer);
+    result.rows = Collect(*op);
+  }
+  return result;
+}
+
+Status Session::ExecuteUpdate(const std::string& table_name,
+                              UpdateQuery query) {
+  const int kinds = (query.inserts.empty() ? 0 : 1) +
+                    (query.deletes.empty() ? 0 : 1) +
+                    (query.modifies.empty() ? 0 : 1);
+  if (kinds == 0) return Status::OK();
+  if (kinds > 1) {
+    return Status::InvalidArgument(
+        "update query must contain exactly one delta kind (one SQL "
+        "statement inserts, modifies or deletes)");
+  }
+
+  Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
+  if (!ref) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  Table* table = ref.table;
+  std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
+  // Recheck under the lock: a concurrent DropTable may have de-cataloged
+  // the table between Ref() and lock acquisition.
+  if (engine_->catalog_.FindTable(table_name) != table) {
+    return Status::NotFound("table '" + table_name + "' was dropped");
+  }
+
+  // Validate before buffering so a rejected query leaves no partial PDT
+  // (including cell types: a wrong-typed value would otherwise surface
+  // as an exception out of the index update handlers).
+  for (const Row& row : query.inserts) {
+    if (row.cells.size() != table->schema().num_fields()) {
+      return Status::InvalidArgument("insert row arity mismatch");
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (row.cells[c].type() != table->schema().field(c).type) {
+        return Status::InvalidArgument("insert value type mismatch");
+      }
+    }
+  }
+  for (RowId row : query.deletes) {
+    if (row >= table->num_rows()) {
+      return Status::OutOfRange("delete position beyond base table");
+    }
+  }
+  for (const CellUpdate& cell : query.modifies) {
+    if (cell.row >= table->num_rows()) {
+      return Status::OutOfRange("modify position beyond base table");
+    }
+    if (cell.column >= table->schema().num_fields()) {
+      return Status::InvalidArgument("modify column out of range");
+    }
+    if (cell.value.type() != table->schema().field(cell.column).type) {
+      return Status::InvalidArgument("modify value type mismatch");
+    }
+  }
+
+  for (Row& row : query.inserts) table->BufferInsert(std::move(row));
+  for (RowId row : query.deletes) PIDX_RETURN_NOT_OK(table->BufferDelete(row));
+  for (CellUpdate& cell : query.modifies) {
+    PIDX_RETURN_NOT_OK(
+        table->BufferModify(cell.row, cell.column, std::move(cell.value)));
+  }
+  return engine_->catalog_.manager().CommitUpdateQuery(*table);
+}
+
+Status Session::CreatePatchIndex(const std::string& table_name,
+                                 std::size_t column,
+                                 ConstraintKind constraint,
+                                 PatchIndexOptions options) {
+  Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
+  if (!ref) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  Table* table = ref.table;
+  std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
+  // Recheck under the lock (see ExecuteUpdate): registering an index on a
+  // concurrently dropped table would leave it dangling in the manager.
+  if (engine_->catalog_.FindTable(table_name) != table) {
+    return Status::NotFound("table '" + table_name + "' was dropped");
+  }
+  if (!table->pdt().empty()) {
+    return Status::InvalidArgument(
+        "table has pending deltas; commit the update query first");
+  }
+  if (column >= table->schema().num_fields()) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  if (table->schema().field(column).type != ColumnType::kInt64) {
+    return Status::InvalidArgument(
+        "approximate constraints are defined over INT64 columns");
+  }
+  for (const PatchIndex* idx :
+       engine_->catalog_.manager().IndexesOn(*table)) {
+    if (idx->column() == column && idx->constraint() == constraint) {
+      return Status::AlreadyExists(
+          "an index of this constraint already exists on the column");
+    }
+  }
+  engine_->catalog_.manager().CreateIndex(*table, column, constraint,
+                                          options);
+  return Status::OK();
+}
+
+}  // namespace patchindex

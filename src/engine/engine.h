@@ -1,0 +1,129 @@
+#ifndef PATCHINDEX_ENGINE_ENGINE_H_
+#define PATCHINDEX_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/catalog.h"
+#include "engine/executor.h"
+#include "optimizer/rewriter.h"
+
+namespace patchindex {
+
+struct EngineOptions {
+  /// Worker threads for the morsel-driven executor; 0 = hardware
+  /// concurrency.
+  std::size_t num_threads = 0;
+
+  /// Base rows per morsel.
+  std::size_t morsel_rows = kDefaultMorselRows;
+
+  /// Tables below this visible-row count run on the serial operator tree
+  /// even when the plan shape is parallelizable. 0 forces parallelism.
+  std::size_t min_parallel_rows = 16 * kBatchSize;
+
+  /// Master switch: false pins every query to the serial operator tree
+  /// (used for A/B comparison and by the equivalence tests).
+  bool enable_parallel_execution = true;
+
+  /// Options forwarded to the PatchIndex rewriter.
+  OptimizerOptions optimizer;
+};
+
+/// A query answer: the materialized rows plus how they were produced.
+struct QueryResult {
+  Batch rows;
+  /// True when the morsel-driven parallel executor ran the plan; false
+  /// when it fell back to the serial operator tree. Parallel results are
+  /// identical to serial ones modulo row order.
+  bool parallel = false;
+};
+
+/// One cell change of an update query.
+struct CellUpdate {
+  RowId row;
+  std::size_t column;
+  Value value;
+};
+
+/// One update query's delta. Exactly one kind may be non-empty — one SQL
+/// statement inserts, modifies or deletes, never a mix (paper §5).
+struct UpdateQuery {
+  std::vector<Row> inserts;
+  std::vector<RowId> deletes;
+  std::vector<CellUpdate> modifies;
+
+  static UpdateQuery Insert(std::vector<Row> rows);
+  static UpdateQuery Delete(std::vector<RowId> rows);
+  static UpdateQuery Modify(std::vector<CellUpdate> cells);
+};
+
+class Session;
+
+/// The execution engine: owns the catalog (tables + PatchIndexes) and the
+/// worker pool, and hands out sessions. Queries enter as LogicalNode
+/// plans, run through the PatchIndex rewriter, and execute either on the
+/// morsel-driven parallel executor or — for plan shapes it does not
+/// handle — on the serial operator tree. Table-level reader-writer locks
+/// let any number of read queries interleave with serialized update
+/// queries.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Catalog& catalog() { return catalog_; }
+  const EngineOptions& options() const { return options_; }
+  ThreadPool& pool() { return *pool_; }
+
+  Session CreateSession();
+
+ private:
+  friend class Session;
+
+  EngineOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// A client handle onto the engine. Sessions are cheap to create, hold no
+/// state of their own, and may be used from different threads (each call
+/// acquires the table locks it needs).
+class Session {
+ public:
+  /// Runs a read query: optimizes `plan` against the catalog's indexes,
+  /// then executes it in parallel where supported (serial fallback
+  /// otherwise). Shared locks are held on every catalog table the plan
+  /// scans for the duration of the query.
+  Result<QueryResult> Execute(LogicalPtr plan);
+
+  /// Same, with per-query optimizer options overriding the engine's.
+  Result<QueryResult> Execute(LogicalPtr plan,
+                              const OptimizerOptions& optimizer);
+
+  /// Runs an update query against a catalog table under its exclusive
+  /// lock: buffers the delta in the table's PDT, runs every affected
+  /// PatchIndex's update handling, checkpoints, and runs post-checkpoint
+  /// maintenance (the paper's §5 protocol, via
+  /// PatchIndexManager::CommitUpdateQuery).
+  Status ExecuteUpdate(const std::string& table, UpdateQuery query);
+
+  /// Creates a PatchIndex on a catalog table (exclusive lock; the table
+  /// must have no pending deltas).
+  Status CreatePatchIndex(const std::string& table, std::size_t column,
+                          ConstraintKind constraint,
+                          PatchIndexOptions options = {});
+
+ private:
+  friend class Engine;
+  explicit Session(Engine* engine) : engine_(engine) {}
+
+  Engine* engine_;
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_ENGINE_ENGINE_H_

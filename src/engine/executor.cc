@@ -1,0 +1,407 @@
+#include "engine/executor.h"
+
+#include <functional>
+#include <future>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/aggregate.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/select.h"
+#include "patchindex/patch_index.h"
+
+namespace patchindex {
+namespace {
+
+/// Pull-based scan source that repeatedly claims a morsel from the shared
+/// queue and scans it. Base morsels scan their row range with pending
+/// inserts suppressed; the dedicated inserts morsel scans only the PDT
+/// inserts, so each pending insert is emitted exactly once across all
+/// workers. The patch filter (when set) is fused into every morsel's scan,
+/// exactly as in the serial PatchIndex scan.
+class MorselSourceOperator : public Operator {
+ public:
+  MorselSourceOperator(const Table& table, std::vector<std::size_t> columns,
+                       ScanOptions scan_options, MorselQueue* queue)
+      : table_(table),
+        cols_(std::move(columns)),
+        options_(scan_options),
+        queue_(queue) {}
+
+  std::vector<ColumnType> OutputTypes() const override {
+    std::vector<ColumnType> types;
+    types.reserve(cols_.size());
+    for (std::size_t c : cols_) types.push_back(table_.schema().field(c).type);
+    return types;
+  }
+
+  void Open() override { current_.reset(); }
+
+  bool Next(Batch* out) override {
+    for (;;) {
+      if (current_ == nullptr) {
+        Morsel morsel;
+        if (!queue_->Next(&morsel)) {
+          out->Reset(OutputTypes());
+          return false;
+        }
+        ScanOptions opts = options_;
+        if (morsel.kind == Morsel::Kind::kBase) {
+          opts.source = ScanSource::kVisible;
+          opts.scan_inserts = false;
+          opts.ranges = {morsel.range};
+        } else {
+          opts.source = ScanSource::kInsertsOnly;
+        }
+        current_ = std::make_unique<ScanOperator>(table_, cols_, opts);
+        current_->Open();
+      }
+      if (current_->Next(out)) return true;
+      current_->Close();
+      current_.reset();
+    }
+  }
+
+  void Close() override { current_.reset(); }
+
+ private:
+  const Table& table_;
+  std::vector<std::size_t> cols_;
+  ScanOptions options_;
+  MorselQueue* queue_;
+  OperatorPtr current_;
+};
+
+/// A Scan/Select/Project pipeline decomposed for per-worker instantiation:
+/// the scan leaf plus the unary operators above it, bottom-up.
+struct ChainSpec {
+  const LogicalNode* scan = nullptr;
+  std::vector<const LogicalNode*> ops;
+};
+
+bool AnalyzeChain(const LogicalNode& node, bool selects_only,
+                  ChainSpec* spec) {
+  // The selects-only shape is exactly the rewriter's select-chain notion;
+  // delegate the validation so the definition lives in one place.
+  if (selects_only && SelectChainScan(node) == nullptr) return false;
+  const LogicalNode* cur = &node;
+  std::vector<const LogicalNode*> top_down;
+  while (cur->kind == LogicalNode::Kind::kSelect ||
+         (!selects_only && cur->kind == LogicalNode::Kind::kProject)) {
+    top_down.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  if (cur->kind != LogicalNode::Kind::kScan || cur->table == nullptr) {
+    return false;
+  }
+  spec->scan = cur;
+  spec->ops.assign(top_down.rbegin(), top_down.rend());
+  return true;
+}
+
+/// Instantiates one worker's copy of the pipeline over the shared queue.
+/// Expression trees are shared between workers (they are immutable and
+/// Eval() is const); operator instances are per-worker.
+OperatorPtr BuildWorkerChain(const ChainSpec& spec,
+                             const ScanOptions& scan_options,
+                             MorselQueue* queue) {
+  OperatorPtr op = std::make_unique<MorselSourceOperator>(
+      *spec.scan->table, spec.scan->columns, scan_options, queue);
+  for (const LogicalNode* node : spec.ops) {
+    if (node->kind == LogicalNode::Kind::kSelect) {
+      op = std::make_unique<SelectOperator>(std::move(op), node->predicate);
+    } else {
+      op = std::make_unique<ProjectOperator>(std::move(op), node->exprs);
+    }
+  }
+  return op;
+}
+
+/// Column-wise batch concatenation (string payloads are moved).
+void AppendBatch(Batch* dst, Batch&& src) {
+  PIDX_DCHECK(dst->columns.size() == src.columns.size());
+  for (std::size_t c = 0; c < dst->columns.size(); ++c) {
+    ColumnVector& d = dst->columns[c];
+    ColumnVector& s = src.columns[c];
+    switch (d.type) {
+      case ColumnType::kInt64:
+        d.i64.insert(d.i64.end(), s.i64.begin(), s.i64.end());
+        break;
+      case ColumnType::kDouble:
+        d.f64.insert(d.f64.end(), s.f64.begin(), s.f64.end());
+        break;
+      case ColumnType::kString:
+        d.str.insert(d.str.end(), std::make_move_iterator(s.str.begin()),
+                     std::make_move_iterator(s.str.end()));
+        break;
+    }
+  }
+  dst->row_ids.insert(dst->row_ids.end(), src.row_ids.begin(),
+                      src.row_ids.end());
+}
+
+/// Drains `op` with column-wise accumulation (Collect() copies row by
+/// row, which would dominate wide parallel scans).
+Batch DrainColumnwise(Operator& op) {
+  op.Open();
+  Batch all;
+  all.Reset(op.OutputTypes());
+  Batch in;
+  while (op.Next(&in)) AppendBatch(&all, std::move(in));
+  op.Close();
+  return all;
+}
+
+/// Runs one pipeline instance per pool worker and returns the per-worker
+/// results. Futures (not WaitIdle) so concurrent queries sharing the pool
+/// only await their own tasks.
+std::vector<Batch> RunWorkers(
+    ThreadPool& pool, const std::function<OperatorPtr()>& make_pipeline) {
+  const std::size_t workers = pool.num_threads();
+  std::vector<Batch> parts(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.SubmitWithFuture([&parts, &make_pipeline, w] {
+      OperatorPtr pipeline = make_pipeline();
+      parts[w] = DrainColumnwise(*pipeline);
+    }));
+  }
+  // Await every worker before rethrowing: unwinding while workers still
+  // reference `parts` and the queue would be use-after-free.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return parts;
+}
+
+Batch ConcatParts(std::vector<Batch>&& parts,
+                  const std::vector<ColumnType>& types) {
+  // Largest part is moved instead of copied when it dwarfs the rest
+  // (common under work stealing skew); everything else is appended.
+  std::size_t total = 0;
+  std::size_t biggest = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    total += parts[i].num_rows();
+    if (parts[i].num_rows() > parts[biggest].num_rows()) biggest = i;
+  }
+  Batch out;
+  if (!parts.empty() && parts[biggest].num_rows() * 2 > total &&
+      parts[biggest].columns.size() == types.size()) {
+    out = std::move(parts[biggest]);
+    parts[biggest] = Batch{};
+  } else {
+    out.Reset(types);
+  }
+  out.row_ids.reserve(total);
+  for (std::size_t c = 0; c < out.columns.size(); ++c) {
+    switch (out.columns[c].type) {
+      case ColumnType::kInt64:
+        out.columns[c].i64.reserve(total);
+        break;
+      case ColumnType::kDouble:
+        out.columns[c].f64.reserve(total);
+        break;
+      case ColumnType::kString:
+        out.columns[c].str.reserve(total);
+        break;
+    }
+  }
+  for (Batch& part : parts) {
+    if (part.num_rows() == 0) continue;
+    AppendBatch(&out, std::move(part));
+  }
+  return out;
+}
+
+/// Merge aggregation over concatenated per-worker partial aggregates:
+/// group keys re-group on their own positions; partial counts merge by
+/// summation, sums/mins/maxs by their own operator.
+Batch MergeAggregateParts(std::vector<Batch>&& parts,
+                          const std::vector<ColumnType>& partial_types,
+                          std::size_t num_group_cols,
+                          const std::vector<AggSpec>& aggs) {
+  Batch all = ConcatParts(std::move(parts), partial_types);
+  std::vector<std::size_t> group_cols(num_group_cols);
+  for (std::size_t g = 0; g < num_group_cols; ++g) group_cols[g] = g;
+  std::vector<AggSpec> merged;
+  merged.reserve(aggs.size());
+  for (std::size_t j = 0; j < aggs.size(); ++j) {
+    AggSpec spec;
+    spec.column = num_group_cols + j;
+    spec.op = aggs[j].op == AggOp::kCount ? AggOp::kSum : aggs[j].op;
+    merged.push_back(spec);
+  }
+  HashAggregateOperator merge(
+      std::make_unique<InMemorySource>(std::move(all)), group_cols, merged);
+  return Collect(merge);
+}
+
+bool IsSupportedPatchConstraint(const PatchIndex* idx) {
+  return idx != nullptr &&
+         (idx->constraint() == ConstraintKind::kNearlyUnique ||
+          idx->constraint() == ConstraintKind::kNearlyConstant);
+}
+
+/// The PatchDistinct rewrite (paper §3.3 Figure 2 left), morsel-parallel:
+/// phase one streams the constraint-satisfying tuples (unaggregated — the
+/// constraint guarantees uniqueness), phase two aggregates the patches
+/// per worker and merges. For an NCC index the excluded subtree collapses
+/// into the materialized constant instead of a scan phase.
+bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
+                          const ParallelExecOptions& options, Batch* out) {
+  const PatchIndex* idx = node.pidx;
+  ChainSpec spec;
+  if (!AnalyzeChain(*node.children[0], /*selects_only=*/true, &spec)) {
+    return false;
+  }
+  const Table& table = *spec.scan->table;
+  if (table.num_visible_rows() < options.min_parallel_rows) return false;
+  const bool has_inserts = !table.pdt().inserts().empty();
+  const std::vector<RowRange> full{{0, table.num_rows()}};
+  const std::vector<ColumnType> out_types = LogicalOutputTypes(node);
+
+  std::vector<ExprPtr> group_exprs;
+  for (std::size_t c : node.group_cols) group_exprs.push_back(Col(c));
+
+  Batch result;
+  result.Reset(out_types);
+
+  if (idx->constraint() == ConstraintKind::kNearlyConstant) {
+    if (idx->NumRows() > idx->NumPatches() && idx->has_constant()) {
+      result.columns[0].i64.push_back(idx->constant_value());
+      result.row_ids.push_back(0);
+    }
+  } else {
+    // Exclude-patches phase: tuples satisfying the NUC are unique, so the
+    // aggregation is dropped and workers stream them straight through.
+    MorselQueue exclude_queue(full, has_inserts, options.morsel_rows);
+    ScanOptions exclude_opts;
+    exclude_opts.patch_filter = idx;
+    exclude_opts.patch_mode = PatchSelectMode::kExcludePatches;
+    std::vector<Batch> parts =
+        RunWorkers(pool, [&spec, &exclude_opts, &exclude_queue, &group_exprs] {
+          return std::make_unique<ProjectOperator>(
+              BuildWorkerChain(spec, exclude_opts, &exclude_queue),
+              group_exprs);
+        });
+    Batch excluded = ConcatParts(std::move(parts), out_types);
+    AppendBatch(&result, std::move(excluded));
+  }
+
+  // Use-patches phase: per-worker distinct over the exceptions, merged by
+  // a final distinct.
+  MorselQueue use_queue(full, has_inserts, options.morsel_rows);
+  ScanOptions use_opts;
+  use_opts.patch_filter = idx;
+  use_opts.patch_mode = PatchSelectMode::kUsePatches;
+  std::vector<Batch> parts =
+      RunWorkers(pool, [&spec, &use_opts, &use_queue, &node] {
+        return std::make_unique<HashAggregateOperator>(
+            BuildWorkerChain(spec, use_opts, &use_queue), node.group_cols,
+            std::vector<AggSpec>{});
+      });
+  HashAggregateOperator merge(
+      std::make_unique<InMemorySource>(ConcatParts(std::move(parts),
+                                                   out_types)),
+      std::vector<std::size_t>{0}, std::vector<AggSpec>{});
+  Batch patches = Collect(merge);
+  if (idx->constraint() == ConstraintKind::kNearlyConstant) {
+    // Deduplicate against the constant: a patch row modified back to the
+    // constant may still hold it (mirrors the serial plan's selection).
+    Batch filtered;
+    filtered.Reset(out_types);
+    for (std::size_t i = 0; i < patches.num_rows(); ++i) {
+      if (patches.columns[0].i64[i] != idx->constant_value()) {
+        filtered.AppendRowFrom(patches, i);
+      }
+    }
+    patches = std::move(filtered);
+  }
+  AppendBatch(&result, std::move(patches));
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace
+
+bool ParallelPlanSupported(const LogicalNode& plan) {
+  ChainSpec spec;
+  switch (plan.kind) {
+    case LogicalNode::Kind::kScan:
+    case LogicalNode::Kind::kSelect:
+    case LogicalNode::Kind::kProject:
+      return AnalyzeChain(plan, /*selects_only=*/false, &spec);
+    case LogicalNode::Kind::kAggregate:
+    case LogicalNode::Kind::kDistinct:
+      return !plan.group_cols.empty() &&
+             AnalyzeChain(*plan.children[0], /*selects_only=*/false, &spec);
+    case LogicalNode::Kind::kPatchDistinct:
+      // Single group column only: the rewriter never emits more, and the
+      // final use-patches merge (and the NCC constant row) assume it.
+      return IsSupportedPatchConstraint(plan.pidx) &&
+             plan.group_cols.size() == 1 &&
+             AnalyzeChain(*plan.children[0], /*selects_only=*/true, &spec);
+    default:
+      return false;
+  }
+}
+
+bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
+                     const ParallelExecOptions& options, Batch* out) {
+  if (!ParallelPlanSupported(plan)) return false;
+  if (plan.kind == LogicalNode::Kind::kPatchDistinct) {
+    return ExecutePatchDistinct(plan, pool, options, out);
+  }
+
+  const LogicalNode* agg = nullptr;
+  const LogicalNode* chain_root = &plan;
+  if (plan.kind == LogicalNode::Kind::kAggregate ||
+      plan.kind == LogicalNode::Kind::kDistinct) {
+    agg = &plan;
+    chain_root = plan.children[0].get();
+  }
+  ChainSpec spec;
+  PIDX_CHECK(AnalyzeChain(*chain_root, /*selects_only=*/false, &spec));
+  const Table& table = *spec.scan->table;
+  if (table.num_visible_rows() < options.min_parallel_rows) return false;
+
+  MorselQueue queue({{0, table.num_rows()}},
+                    !table.pdt().inserts().empty(), options.morsel_rows);
+  const ScanOptions scan_opts;  // plain kVisible scan, as the serial tree
+  std::vector<Batch> parts =
+      RunWorkers(pool, [&spec, &scan_opts, &queue, agg] {
+        OperatorPtr op = BuildWorkerChain(spec, scan_opts, &queue);
+        if (agg != nullptr) {
+          op = std::make_unique<HashAggregateOperator>(
+              std::move(op), agg->group_cols,
+              agg->kind == LogicalNode::Kind::kAggregate
+                  ? agg->aggs
+                  : std::vector<AggSpec>{});
+        }
+        return op;
+      });
+
+  const std::vector<ColumnType> out_types = LogicalOutputTypes(plan);
+  if (agg != nullptr) {
+    *out = MergeAggregateParts(
+        std::move(parts), out_types, agg->group_cols.size(),
+        agg->kind == LogicalNode::Kind::kAggregate ? agg->aggs
+                                                   : std::vector<AggSpec>{});
+  } else {
+    *out = ConcatParts(std::move(parts), out_types);
+  }
+  return true;
+}
+
+}  // namespace patchindex

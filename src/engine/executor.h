@@ -1,0 +1,48 @@
+#ifndef PATCHINDEX_ENGINE_EXECUTOR_H_
+#define PATCHINDEX_ENGINE_EXECUTOR_H_
+
+#include <cstddef>
+
+#include "common/thread_pool.h"
+#include "engine/morsel.h"
+#include "exec/batch.h"
+#include "optimizer/plan.h"
+
+namespace patchindex {
+
+struct ParallelExecOptions {
+  /// Base rows per morsel.
+  std::size_t morsel_rows = kDefaultMorselRows;
+
+  /// Tables with fewer visible rows than this run on the serial operator
+  /// tree — forking workers costs more than the scan. 0 forces the
+  /// parallel path (used by the equivalence tests).
+  std::size_t min_parallel_rows = 16 * kBatchSize;
+};
+
+/// True when `plan` (after optimization) has a shape the morsel-driven
+/// executor handles:
+///   - a Scan / Select / Project pipeline over one table,
+///   - optionally rooted by a grouping Aggregate or Distinct (executed as
+///     per-worker partial aggregation + final merge aggregation),
+///   - a PatchDistinct rewrite over a NUC or NCC index (the patch-aware
+///     scan: both the exclude-patches and use-patches branches are
+///     morsel-parallel).
+/// Everything else — joins, sorts, PatchSort/PatchJoin — falls back to the
+/// serial operator tree.
+bool ParallelPlanSupported(const LogicalNode& plan);
+
+/// Executes an optimized plan with morsel-driven parallelism: base rows
+/// are chopped into morsels, every pool worker runs its own copy of the
+/// pipeline pulling morsels from a shared queue (patch-aware scans fuse
+/// the PatchIndex filter into each morsel's scan), and per-worker results
+/// are merged. Row order differs from the serial tree; row contents are
+/// identical. Returns false — leaving `out` untouched — when the plan
+/// shape is unsupported or the table is below `min_parallel_rows`, in
+/// which case the caller should compile and run the serial tree.
+bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
+                     const ParallelExecOptions& options, Batch* out);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_ENGINE_EXECUTOR_H_

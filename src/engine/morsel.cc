@@ -1,0 +1,38 @@
+#include "engine/morsel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace patchindex {
+
+MorselQueue::MorselQueue(const std::vector<RowRange>& base_ranges,
+                         bool with_inserts, std::size_t morsel_rows)
+    : with_inserts_(with_inserts) {
+  PIDX_CHECK(morsel_rows >= 1);
+  for (const RowRange& range : base_ranges) {
+    RowId begin = range.begin;
+    while (begin < range.end) {
+      const RowId end = std::min<RowId>(range.end, begin + morsel_rows);
+      morsels_.push_back({begin, end});
+      begin = end;
+    }
+  }
+}
+
+bool MorselQueue::Next(Morsel* out) {
+  const std::size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx < morsels_.size()) {
+    out->kind = Morsel::Kind::kBase;
+    out->range = morsels_[idx];
+    return true;
+  }
+  if (with_inserts_ && idx == morsels_.size()) {
+    out->kind = Morsel::Kind::kInserts;
+    out->range = {0, 0};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace patchindex

@@ -1,0 +1,49 @@
+#ifndef PATCHINDEX_ENGINE_MORSEL_H_
+#define PATCHINDEX_ENGINE_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "storage/minmax.h"
+
+namespace patchindex {
+
+/// Base rows per morsel. Large enough that claiming a morsel (one atomic
+/// increment) is noise against scanning it, small enough that stragglers
+/// rebalance (morsel-driven parallelism, Leis et al., SIGMOD'14).
+inline constexpr std::size_t kDefaultMorselRows = 64 * 1024;
+
+/// A unit of scan work claimed by a worker: either a contiguous base-row
+/// range, or the single pseudo-morsel covering the table's pending PDT
+/// inserts (which one worker scans via ScanSource::kInsertsOnly so they
+/// are emitted exactly once).
+struct Morsel {
+  enum class Kind { kBase, kInserts };
+  Kind kind = Kind::kBase;
+  RowRange range{0, 0};  // base-row range; unused for kInserts
+};
+
+/// Shared work queue the morsel-driven executor's workers pull from.
+/// Morsels are pre-chopped at construction; claiming is one relaxed
+/// fetch_add, so any number of workers can drain the queue without locks
+/// and faster workers automatically steal the remaining work.
+class MorselQueue {
+ public:
+  MorselQueue(const std::vector<RowRange>& base_ranges, bool with_inserts,
+              std::size_t morsel_rows = kDefaultMorselRows);
+
+  /// Claims the next morsel; false when the queue is drained.
+  bool Next(Morsel* out);
+
+  std::size_t num_base_morsels() const { return morsels_.size(); }
+
+ private:
+  std::vector<RowRange> morsels_;
+  bool with_inserts_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_ENGINE_MORSEL_H_

@@ -62,7 +62,13 @@ void ScanOperator::Open() {
   }
   range_idx_ = 0;
   base_pos_ = effective_ranges_.empty() ? 0 : effective_ranges_[0].begin;
-  delete_idx_ = 0;
+  // Anchor the delete cursor at the first range's start (as range
+  // transitions already do): a morsel scan starting deep into the table
+  // would otherwise walk every preceding pending delete linearly.
+  const auto& deletes = table_.pdt().deletes();
+  delete_idx_ = static_cast<std::size_t>(
+      std::lower_bound(deletes.begin(), deletes.end(), base_pos_) -
+      deletes.begin());
   insert_pos_ = 0;
   base_done_ = options_.source == ScanSource::kInsertsOnly ||
                effective_ranges_.empty();
@@ -80,7 +86,10 @@ bool ScanOperator::Next(Batch* out) {
   out->Reset(OutputTypes());
   if (!base_done_ && EmitBaseRows(out)) return true;
   base_done_ = true;
-  if (options_.source != ScanSource::kBaseOnly && EmitInsertRows(out)) {
+  const bool want_inserts =
+      options_.source == ScanSource::kInsertsOnly ||
+      (options_.source == ScanSource::kVisible && options_.scan_inserts);
+  if (want_inserts && EmitInsertRows(out)) {
     return true;
   }
   return out->num_rows() > 0;

@@ -30,8 +30,16 @@ struct ScanOptions {
   ScanSource source = ScanSource::kVisible;
 
   /// Static range propagation: restricts the scan to these base-row
-  /// ranges (empty = full table). Pending inserts are always scanned.
+  /// ranges (empty = full table). Pending inserts are always scanned
+  /// unless `scan_inserts` is false.
   std::vector<RowRange> ranges;
+
+  /// When false, a kVisible scan emits only base rows and skips the
+  /// pending PDT inserts. The morsel-driven executor partitions the base
+  /// rows into ranges scanned by many workers and gives the pending
+  /// inserts a dedicated kInsertsOnly morsel — without this flag every
+  /// worker would re-emit the inserts. Ignored for kInsertsOnly.
+  bool scan_inserts = true;
 
   /// Dynamic range propagation: when set together with `minmax`, the scan
   /// resolves `ranges` at Open() time by pruning blocks against the

@@ -192,4 +192,10 @@ double EstimateCardinality(const LogicalNode& node) {
   return 0;
 }
 
+const LogicalNode* SelectChainScan(const LogicalNode& node) {
+  const LogicalNode* cur = &node;
+  while (cur->kind == LogicalNode::Kind::kSelect) cur = cur->children[0].get();
+  return cur->kind == LogicalNode::Kind::kScan ? cur : nullptr;
+}
+
 }  // namespace patchindex

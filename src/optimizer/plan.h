@@ -81,6 +81,13 @@ LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys);
 /// Output column types of a logical node.
 std::vector<ColumnType> LogicalOutputTypes(const LogicalNode& node);
 
+/// Descends through a chain of selections (which keep columns and rowIDs
+/// intact) to the scan feeding it; nullptr when the subtree has any other
+/// shape. This is the paper's "arbitrary subtree X without joins or
+/// aggregations" restricted to the common select-chain case. Shared by the
+/// PatchIndex rewriter and the morsel-driven parallel executor.
+const LogicalNode* SelectChainScan(const LogicalNode& node);
+
 /// Index of the output column the node's output is sorted by (ascending),
 /// or -1. Propagation rules follow the paper §3.3: selections preserve
 /// order, hash joins preserve the probe side's order, projections remap.

@@ -15,16 +15,6 @@ namespace patchindex {
 
 namespace {
 
-/// Descends through a chain of selections (which keep columns and rowIDs
-/// intact) to the scan feeding it; nullptr when the subtree has any other
-/// shape. This is the paper's "arbitrary subtree X without joins or
-/// aggregations" restricted to the common select-chain case.
-const LogicalNode* SelectChainScan(const LogicalNode& node) {
-  const LogicalNode* cur = &node;
-  while (cur->kind == LogicalNode::Kind::kSelect) cur = cur->children[0].get();
-  return cur->kind == LogicalNode::Kind::kScan ? cur : nullptr;
-}
-
 /// Finds a registered index of `kind` on the table column that output
 /// column `output_col` of the select-chain maps to.
 const PatchIndex* FindIndex(const PatchIndexManager& manager,

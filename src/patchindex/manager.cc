@@ -1,5 +1,7 @@
 #include "patchindex/manager.h"
 
+#include <algorithm>
+
 #include "common/thread_pool.h"
 
 namespace patchindex {
@@ -8,8 +10,13 @@ PatchIndex* PatchIndexManager::CreateIndex(const Table& table,
                                            std::size_t column,
                                            ConstraintKind constraint,
                                            PatchIndexOptions options) {
-  indexes_.push_back(PatchIndex::Create(table, column, constraint, options));
-  return indexes_.back().get();
+  // Discovery runs outside the registry lock; only the push_back races
+  // with concurrent IndexesOn iterations.
+  auto index = PatchIndex::Create(table, column, constraint, options);
+  PatchIndex* handle = index.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  indexes_.push_back(std::move(index));
+  return handle;
 }
 
 std::vector<PatchIndex*> PatchIndexManager::CreatePartitionedIndex(
@@ -25,6 +32,7 @@ std::vector<PatchIndex*> PatchIndexManager::CreatePartitionedIndex(
       });
   std::vector<PatchIndex*> handles;
   handles.reserve(created.size());
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& idx : created) {
     handles.push_back(idx.get());
     indexes_.push_back(std::move(idx));
@@ -34,11 +42,23 @@ std::vector<PatchIndex*> PatchIndexManager::CreatePartitionedIndex(
 
 std::vector<PatchIndex*> PatchIndexManager::IndexesOn(
     const Table& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PatchIndex*> out;
   for (const auto& idx : indexes_) {
     if (&idx->table() == &table) out.push_back(idx.get());
   }
   return out;
+}
+
+std::size_t PatchIndexManager::DropIndexesOn(const Table& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = indexes_.size();
+  indexes_.erase(std::remove_if(indexes_.begin(), indexes_.end(),
+                                [&table](const auto& idx) {
+                                  return &idx->table() == &table;
+                                }),
+                 indexes_.end());
+  return before - indexes_.size();
 }
 
 Status PatchIndexManager::CommitUpdateQuery(Table& table) {

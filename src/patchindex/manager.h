@@ -2,6 +2,7 @@
 #define PATCHINDEX_PATCHINDEX_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -14,6 +15,13 @@ namespace patchindex {
 /// protocol: buffered update query -> constraint-specific handling ->
 /// checkpoint -> incremental maintenance. Data partitioning is transparent
 /// (paper §3.2): for a PartitionedTable, create one index per partition.
+///
+/// The index registry itself is internally synchronized, so sessions may
+/// register/drop/enumerate indexes of different tables concurrently (the
+/// engine holds only per-table locks). The *contents* of an index are
+/// not: callers must serialize index use against CommitUpdateQuery on the
+/// same table — the engine's table-level reader-writer lock does exactly
+/// that.
 class PatchIndexManager {
  public:
   /// Creates and registers an index; returns a non-owning handle.
@@ -31,15 +39,24 @@ class PatchIndexManager {
   /// All indexes defined on `table`.
   std::vector<PatchIndex*> IndexesOn(const Table& table) const;
 
+  /// Destroys every index defined on `table`; returns how many were
+  /// dropped. Required before the owning catalog frees the table — the
+  /// indexes hold a reference to it.
+  std::size_t DropIndexesOn(const Table& table);
+
   /// Commits the update query buffered in `table`'s PDT: runs every
   /// affected index's update handling, checkpoints the table, then runs
   /// post-checkpoint maintenance. This is the paper's "handle updates
   /// immediately after they occur" protocol (§5).
   Status CommitUpdateQuery(Table& table);
 
-  std::size_t num_indexes() const { return indexes_.size(); }
+  std::size_t num_indexes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return indexes_.size();
+  }
 
  private:
+  mutable std::mutex mu_;  // guards the registry, not the indexes' state
   std::vector<std::unique_ptr<PatchIndex>> indexes_;
 };
 

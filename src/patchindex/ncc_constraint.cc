@@ -1,0 +1,34 @@
+#include "patchindex/ncc_constraint.h"
+
+namespace patchindex::internal {
+
+Status NccHandleInsert(const Table& table, std::size_t column,
+                       PatchSet* patches, std::int64_t* constant,
+                       bool* has_constant) {
+  const auto& inserts = table.pdt().inserts();
+  RowId rid = table.num_rows();
+  for (const Row& row : inserts) {
+    const std::int64_t v = row.cells[column].AsInt64();
+    if (!*has_constant) {
+      *constant = v;
+      *has_constant = true;
+    } else if (v != *constant) {
+      patches->MarkPatch(rid);
+    }
+    ++rid;
+  }
+  return Status::OK();
+}
+
+Status NccHandleModify(const Table& table, std::size_t column,
+                       PatchSet* patches, std::int64_t constant) {
+  for (const auto& [row, cols] : table.pdt().modifies()) {
+    auto it = cols.find(column);
+    if (it != cols.end() && it->second.AsInt64() != constant) {
+      patches->MarkPatch(row);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace patchindex::internal

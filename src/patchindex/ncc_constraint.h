@@ -1,0 +1,35 @@
+#ifndef PATCHINDEX_PATCHINDEX_NCC_CONSTRAINT_H_
+#define PATCHINDEX_PATCHINDEX_NCC_CONSTRAINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "patchindex/patch_set.h"
+#include "storage/table.h"
+
+namespace patchindex::internal {
+
+/// Nearly-constant-column update handling (the §7 future-work extension,
+/// plugged in via the generic §5.5 design; companion to the NUC/NSC units).
+///
+/// Insert handling needs only a local view of the delta: a value equal to
+/// the materialized constant satisfies the constraint, anything else is a
+/// patch. An insert into an empty table defines the constant. `patches`
+/// must already have been grown by OnAppendRows; `constant`/`has_constant`
+/// are updated in place.
+Status NccHandleInsert(const Table& table, std::size_t column,
+                       PatchSet* patches, std::int64_t* constant,
+                       bool* has_constant);
+
+/// Modify handling: a modified value that still equals the constant
+/// satisfies the constraint; everything else joins the patches. A patch
+/// row modified back to the constant stays a patch (optimality loss, like
+/// NUC deletes — never a wrong result: the NCC distinct plan deduplicates
+/// the constant out of the patches branch).
+Status NccHandleModify(const Table& table, std::size_t column,
+                       PatchSet* patches, std::int64_t constant);
+
+}  // namespace patchindex::internal
+
+#endif  // PATCHINDEX_PATCHINDEX_NCC_CONSTRAINT_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "patchindex/discovery.h"
+#include "patchindex/ncc_constraint.h"
 #include "patchindex/nsc_constraint.h"
 #include "patchindex/nuc_constraint.h"
 
@@ -150,24 +151,9 @@ Status PatchIndex::HandleInsert() {
       return internal::NscHandleInsert(*table_, column_, options_.ascending,
                                        patches_.get(), &tail_value_,
                                        &has_tail_);
-    case ConstraintKind::kNearlyConstant: {
-      // Local view only: a value equal to the materialized constant
-      // satisfies the constraint, anything else is a patch. An insert
-      // into an empty table defines the constant.
-      const auto& inserts = table_->pdt().inserts();
-      RowId rid = table_->num_rows();
-      for (const Row& row : inserts) {
-        const std::int64_t v = row.cells[column_].AsInt64();
-        if (!has_constant_) {
-          constant_value_ = v;
-          has_constant_ = true;
-        } else if (v != constant_value_) {
-          patches_->MarkPatch(rid);
-        }
-        ++rid;
-      }
-      return Status::OK();
-    }
+    case ConstraintKind::kNearlyConstant:
+      return internal::NccHandleInsert(*table_, column_, patches_.get(),
+                                       &constant_value_, &has_constant_);
   }
   return Status::Internal("unknown constraint");
 }
@@ -192,18 +178,8 @@ Status PatchIndex::HandleModify() {
     case ConstraintKind::kNearlySorted:
       return internal::NscHandleModify(*table_, column_, patches_.get());
     case ConstraintKind::kNearlyConstant:
-      // A modified value that still equals the constant satisfies the
-      // constraint; everything else joins the patches. A patch row
-      // modified back to the constant stays a patch (optimality loss,
-      // like NUC deletes — never a wrong result: the NCC distinct plan
-      // deduplicates the constant out of the patches branch).
-      for (const auto& [row, cols] : table_->pdt().modifies()) {
-        auto it = cols.find(column_);
-        if (it != cols.end() && it->second.AsInt64() != constant_value_) {
-          patches_->MarkPatch(row);
-        }
-      }
-      return Status::OK();
+      return internal::NccHandleModify(*table_, column_, patches_.get(),
+                                       constant_value_);
   }
   return Status::Internal("unknown constraint");
 }

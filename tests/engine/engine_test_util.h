@@ -1,0 +1,39 @@
+#ifndef PATCHINDEX_TESTS_ENGINE_ENGINE_TEST_UTIL_H_
+#define PATCHINDEX_TESTS_ENGINE_ENGINE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "exec/batch.h"
+
+namespace patchindex {
+
+/// Materializes an all-INT64 batch as sorted rows, for order-insensitive
+/// equality between the serial operator tree and the morsel-driven
+/// executor (which interleaves worker outputs nondeterministically).
+inline std::vector<std::vector<std::int64_t>> SortedRows(const Batch& batch) {
+  std::vector<std::vector<std::int64_t>> rows(batch.num_rows());
+  for (std::size_t c = 0; c < batch.columns.size(); ++c) {
+    EXPECT_EQ(batch.columns[c].type, ColumnType::kInt64);
+  }
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    rows[r].reserve(batch.columns.size());
+    for (const ColumnVector& col : batch.columns) {
+      rows[r].push_back(col.i64[r]);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+inline void ExpectSameRows(const Batch& expected, const Batch& actual) {
+  ASSERT_EQ(expected.columns.size(), actual.columns.size());
+  EXPECT_EQ(SortedRows(expected), SortedRows(actual));
+}
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_TESTS_ENGINE_ENGINE_TEST_UTIL_H_

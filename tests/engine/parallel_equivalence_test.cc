@@ -1,0 +1,249 @@
+// Property tests asserting the morsel-driven parallel executor returns
+// exactly the rows the serial operator tree returns (modulo order), on
+// generated NUC/NSC/NCC tables, across plan shapes, exception rates, and
+// pending PDT inserts/modifies/deletes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/engine_test_util.h"
+#include "engine/executor.h"
+#include "optimizer/rewriter.h"
+#include "patchindex/manager.h"
+#include "workload/generator.h"
+
+namespace patchindex {
+namespace {
+
+Batch RunSerial(const LogicalPtr& plan) {
+  OperatorPtr op = CompilePlan(plan);
+  return Collect(*op);
+}
+
+/// Small morsels so even 2K-row test tables produce many of them,
+/// stressing morsel boundaries, range re-anchoring and the inserts morsel.
+ParallelExecOptions StressOptions() {
+  ParallelExecOptions options;
+  options.morsel_rows = 512;
+  options.min_parallel_rows = 0;
+  return options;
+}
+
+void ExpectEquivalent(const LogicalPtr& plan, ThreadPool& pool) {
+  Batch parallel_out;
+  ASSERT_TRUE(ExecuteParallel(*plan, pool, StressOptions(), &parallel_out));
+  ExpectSameRows(RunSerial(plan), parallel_out);
+}
+
+OptimizerOptions Forced() {
+  OptimizerOptions options;
+  options.force_patch_rewrites = true;
+  return options;
+}
+
+TEST(ParallelEquivalenceTest, ChainShapesOnNucTable) {
+  ThreadPool pool(4);
+  for (double rate : {0.0, 0.05, 0.3, 1.0}) {
+    GeneratorConfig config;
+    config.num_rows = 3'000;
+    config.exception_rate = rate;
+    Table t = GenerateNucTable(config);
+
+    ExpectEquivalent(LScan(t, {0, 1}), pool);
+    ExpectEquivalent(
+        LSelect(LScan(t, {0, 1}), Lt(Col(0), ConstInt(1'000)), 0.3), pool);
+    ExpectEquivalent(
+        LSelect(LSelect(LScan(t, {0, 1}), Gt(Col(0), ConstInt(100)), 0.9),
+                Lt(Col(1), ConstInt(1'000'000)), 0.5),
+        pool);
+    ExpectEquivalent(
+        LProject(LScan(t, {0, 1}),
+                 {Add(Col(0), Col(1)), Mul(Col(0), ConstInt(3))}),
+        pool);
+    ExpectEquivalent(LDistinct(LScan(t, {1}), {0}), pool);
+    ExpectEquivalent(LAggregate(LScan(t, {1, 0}), {0},
+                                {{AggOp::kCount, 0},
+                                 {AggOp::kSum, 1},
+                                 {AggOp::kMin, 1},
+                                 {AggOp::kMax, 1}}),
+                     pool);
+  }
+}
+
+TEST(ParallelEquivalenceTest, PatchDistinctOnNucAcrossExceptionRates) {
+  ThreadPool pool(4);
+  for (double rate : {0.0, 0.1, 0.5, 1.0}) {
+    GeneratorConfig config;
+    config.num_rows = 4'000;
+    config.exception_rate = rate;
+    Table t = GenerateNucTable(config);
+    PatchIndexManager manager;
+    manager.CreateIndex(t, 1, ConstraintKind::kNearlyUnique);
+
+    LogicalPtr plan =
+        OptimizePlan(LDistinct(LScan(t, {1}), {0}), manager, Forced());
+    ASSERT_EQ(plan->kind, LogicalNode::Kind::kPatchDistinct);
+    ExpectEquivalent(plan, pool);
+
+    // Through a selection chain (the PatchIndex scan fuses the filter
+    // into every morsel's scan).
+    LogicalPtr filtered = OptimizePlan(
+        LDistinct(
+            LSelect(LScan(t, {1}), Gt(Col(0), ConstInt(-1)), 0.99), {0}),
+        manager, Forced());
+    ASSERT_EQ(filtered->kind, LogicalNode::Kind::kPatchDistinct);
+    ExpectEquivalent(filtered, pool);
+  }
+}
+
+TEST(ParallelEquivalenceTest, PatchSortFallsBackToSerial) {
+  ThreadPool pool(4);
+  GeneratorConfig config;
+  config.num_rows = 2'000;
+  config.exception_rate = 0.1;
+  Table t = GenerateNscTable(config);
+  PatchIndexManager manager;
+  manager.CreateIndex(t, 1, ConstraintKind::kNearlySorted);
+
+  LogicalPtr plan = OptimizePlan(LSort(LScan(t, {1}), {{0, true}}), manager,
+                                 Forced());
+  ASSERT_EQ(plan->kind, LogicalNode::Kind::kPatchSort);
+  Batch out;
+  EXPECT_FALSE(ExecuteParallel(*plan, pool, StressOptions(), &out));
+
+  // Plain chains over the NSC table still parallelize.
+  ExpectEquivalent(
+      LSelect(LScan(t, {0, 1}), Lt(Col(1), ConstInt(1'000)), 0.5), pool);
+}
+
+TEST(ParallelEquivalenceTest, NccDistinctCollapsesToConstantPlusPatches) {
+  ThreadPool pool(4);
+  Rng rng(11);
+  Table t(Schema({{"key", ColumnType::kInt64}, {"val", ColumnType::kInt64}}));
+  for (std::int64_t i = 0; i < 3'000; ++i) {
+    const std::int64_t v =
+        rng.NextBool(0.9) ? 7 : static_cast<std::int64_t>(rng.Uniform(0, 50));
+    t.AppendRow(Row{{Value(i), Value(v)}});
+  }
+  PatchIndexManager manager;
+  manager.CreateIndex(t, 1, ConstraintKind::kNearlyConstant);
+
+  LogicalPtr plan =
+      OptimizePlan(LDistinct(LScan(t, {1}), {0}), manager, Forced());
+  ASSERT_EQ(plan->kind, LogicalNode::Kind::kPatchDistinct);
+  ExpectEquivalent(plan, pool);
+}
+
+/// One pending (buffered, uncommitted) delta kind per round: scans must
+/// merge the PDT on the fly, and the executor's base morsels plus the
+/// dedicated inserts morsel must reproduce the serial merge exactly.
+TEST(ParallelEquivalenceTest, RandomizedPendingDeltaSweep) {
+  ThreadPool pool(4);
+  Rng rng(23);
+  for (int round = 0; round < 12; ++round) {
+    GeneratorConfig config;
+    config.num_rows = 2'000 + rng.Uniform(0, 2'000);
+    config.exception_rate = rng.NextDouble();
+    config.seed = 1'000 + round;
+    Table t = round % 2 == 0 ? GenerateNucTable(config)
+                             : GenerateNscTable(config);
+    PatchIndexManager manager;
+    manager.CreateIndex(t, 1,
+                        round % 2 == 0 ? ConstraintKind::kNearlyUnique
+                                       : ConstraintKind::kNearlySorted);
+
+    const int kind = static_cast<int>(rng.Uniform(0, 2));
+    if (kind == 0) {
+      for (int i = 0; i < 64; ++i) {
+        t.BufferInsert(MakeGeneratorRow(
+            static_cast<std::int64_t>(config.num_rows) + i,
+            2'000'000'000 + round * 1'000 + i));
+      }
+    } else if (kind == 1) {
+      std::set<RowId> victims;
+      while (victims.size() < 64) {
+        victims.insert(rng.Uniform(0, t.num_rows() - 1));
+      }
+      for (RowId r : victims) ASSERT_TRUE(t.BufferDelete(r).ok());
+    } else {
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(t.BufferModify(rng.Uniform(0, t.num_rows() - 1), 1,
+                                   Value(static_cast<std::int64_t>(
+                                       rng.Uniform(0, 5'000))))
+                        .ok());
+      }
+    }
+
+    ExpectEquivalent(LScan(t, {0, 1}), pool);
+    ExpectEquivalent(
+        LSelect(LScan(t, {0, 1}),
+                Lt(Col(1), ConstInt(static_cast<std::int64_t>(
+                               rng.Uniform(0, 2'000'000)))),
+                0.5),
+        pool);
+    ExpectEquivalent(LAggregate(LScan(t, {1, 0}), {0},
+                                {{AggOp::kCount, 0}, {AggOp::kMax, 1}}),
+                     pool);
+
+    // Patch-aware scans over the same pending deltas (NUC only: the sort
+    // rewrite is not morsel-parallel).
+    if (round % 2 == 0) {
+      LogicalPtr plan =
+          OptimizePlan(LDistinct(LScan(t, {1}), {0}), manager, Forced());
+      ASSERT_EQ(plan->kind, LogicalNode::Kind::kPatchDistinct);
+      ExpectEquivalent(plan, pool);
+    }
+  }
+}
+
+/// Committed updates through the §5 protocol keep serial and parallel
+/// plans equivalent as well (the index state changes between rounds).
+TEST(ParallelEquivalenceTest, CommittedUpdateStream) {
+  ThreadPool pool(4);
+  Rng rng(31);
+  GeneratorConfig config;
+  config.num_rows = 3'000;
+  config.exception_rate = 0.1;
+  Table t = GenerateNucTable(config);
+  PatchIndexManager manager;
+  PatchIndex* idx = manager.CreateIndex(t, 1, ConstraintKind::kNearlyUnique);
+
+  for (int step = 0; step < 6; ++step) {
+    const int op = static_cast<int>(rng.Uniform(0, 2));
+    if (op == 0) {
+      for (int i = 0; i < 32; ++i) {
+        t.BufferInsert(MakeGeneratorRow(
+            static_cast<std::int64_t>(t.num_rows()) + i,
+            3'000'000'000LL + step * 100 + i));
+      }
+    } else if (op == 1) {
+      std::set<RowId> victims;
+      while (victims.size() < 16) {
+        victims.insert(rng.Uniform(0, t.num_rows() - 1));
+      }
+      for (RowId r : victims) ASSERT_TRUE(t.BufferDelete(r).ok());
+    } else {
+      for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(t.BufferModify(rng.Uniform(0, t.num_rows() - 1), 1,
+                                   Value(static_cast<std::int64_t>(
+                                       rng.Uniform(0, 100'000'000))))
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(manager.CommitUpdateQuery(t).ok()) << "step " << step;
+    ASSERT_TRUE(idx->CheckInvariant()) << "step " << step;
+
+    LogicalPtr plan =
+        OptimizePlan(LDistinct(LScan(t, {1}), {0}), manager, Forced());
+    ASSERT_EQ(plan->kind, LogicalNode::Kind::kPatchDistinct);
+    ExpectEquivalent(plan, pool);
+  }
+}
+
+}  // namespace
+}  // namespace patchindex

@@ -11,6 +11,8 @@
 #include "optimizer/rewriter.h"
 #include "patchindex/discovery.h"
 #include "patchindex/manager.h"
+#include "patchindex/ncc_constraint.h"
+#include "patchindex/patch_set.h"
 
 namespace patchindex {
 namespace {
@@ -56,6 +58,40 @@ TEST(NccDiscoveryTest, EmptyColumn) {
   auto d = DiscoverNccPatches(c);
   EXPECT_FALSE(d.has_constant);
   EXPECT_TRUE(d.patches.empty());
+}
+
+// Direct tests of the internal update-handling unit (the same shape as
+// the NUC/NSC units; PatchIndex::HandleUpdateQuery dispatches to it).
+
+TEST(NccConstraintUnitTest, InsertHandlerDefinesConstantAndMarksPatches) {
+  Table t = MakeTable({});
+  auto patches = PatchSet::Create(PatchSetDesign::kIdentifier, 0, {});
+  std::int64_t constant = 0;
+  bool has_constant = false;
+  t.BufferInsert(Row{{Value(std::int64_t{0}), Value(std::int64_t{5})}});
+  t.BufferInsert(Row{{Value(std::int64_t{1}), Value(std::int64_t{5})}});
+  t.BufferInsert(Row{{Value(std::int64_t{2}), Value(std::int64_t{9})}});
+  patches->OnAppendRows(3);
+  ASSERT_TRUE(internal::NccHandleInsert(t, 1, patches.get(), &constant,
+                                        &has_constant)
+                  .ok());
+  EXPECT_TRUE(has_constant);
+  EXPECT_EQ(constant, 5);
+  EXPECT_FALSE(patches->IsPatch(0));
+  EXPECT_FALSE(patches->IsPatch(1));
+  EXPECT_TRUE(patches->IsPatch(2));
+}
+
+TEST(NccConstraintUnitTest, ModifyHandlerMarksOnlyDeviatingCells) {
+  Table t = MakeTable({4, 4, 4});
+  auto patches = PatchSet::Create(PatchSetDesign::kIdentifier, 3, {});
+  ASSERT_TRUE(t.BufferModify(0, 1, Value(std::int64_t{4})).ok());   // no-op
+  ASSERT_TRUE(t.BufferModify(1, 1, Value(std::int64_t{11})).ok());
+  ASSERT_TRUE(t.BufferModify(2, 0, Value(std::int64_t{99})).ok());  // other col
+  ASSERT_TRUE(internal::NccHandleModify(t, 1, patches.get(), 4).ok());
+  EXPECT_FALSE(patches->IsPatch(0));
+  EXPECT_TRUE(patches->IsPatch(1));
+  EXPECT_FALSE(patches->IsPatch(2));
 }
 
 TEST(NccPatchIndexTest, CreateAndInvariant) {
