@@ -23,6 +23,13 @@ namespace patchindex {
 ///
 /// The catalog map itself is guarded by a separate mutex; table pointers
 /// and their locks stay stable until DropTable.
+///
+/// Lock ordering (deadlock freedom): the map mutex is only ever held
+/// inside Catalog methods and never while acquiring a table lock. Table
+/// locks are acquired either singly (update queries, DDL) or in
+/// ascending lock-address order (read queries locking several tables via
+/// Session::Execute). Never acquire a table lock while holding another
+/// one out of that order.
 class Catalog {
  public:
   Catalog() = default;

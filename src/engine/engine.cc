@@ -91,13 +91,22 @@ Result<QueryResult> Session::Execute(LogicalPtr plan,
   ParallelExecOptions parallel_options;
   parallel_options.morsel_rows = engine_->options_.morsel_rows;
   parallel_options.min_parallel_rows = engine_->options_.min_parallel_rows;
+  ParallelExecReport report;
   if (engine_->options_.enable_parallel_execution &&
       ExecuteParallel(*optimized, engine_->pool(), parallel_options,
-                      &result.rows)) {
+                      &result.rows, &report)) {
     result.parallel = true;
+    result.parallel_join = report.parallel_join;
+    result.parallel_sort = report.parallel_sort;
+    if (report.parallel_join) counters_->parallel_joins.fetch_add(1);
+    if (report.parallel_sort) counters_->parallel_sorts.fetch_add(1);
+    if (!report.parallel_join && !report.parallel_sort) {
+      counters_->parallel_pipelines.fetch_add(1);
+    }
   } else {
     OperatorPtr op = CompilePlan(optimized, optimizer);
     result.rows = Collect(*op);
+    counters_->serial_fallbacks.fetch_add(1);
   }
   return result;
 }

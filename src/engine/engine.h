@@ -1,7 +1,9 @@
 #ifndef PATCHINDEX_ENGINE_ENGINE_H_
 #define PATCHINDEX_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,8 +41,35 @@ struct QueryResult {
   Batch rows;
   /// True when the morsel-driven parallel executor ran the plan; false
   /// when it fell back to the serial operator tree. Parallel results are
-  /// identical to serial ones modulo row order.
+  /// identical to serial ones modulo row order (a Sort-rooted plan keeps
+  /// the sort order either way; a TopN whose ties straddle the limit may
+  /// keep different tied rows — both are valid top-k answers).
   bool parallel = false;
+  /// The plan's join ran as a partitioned parallel build + parallel
+  /// probe (implies `parallel`).
+  bool parallel_join = false;
+  /// The plan's order-by ran as per-worker local sorts + k-way merge
+  /// (implies `parallel`). False when the sort was applied serially to
+  /// an already merged aggregate result.
+  bool parallel_sort = false;
+};
+
+/// Which execution path the session's queries took, answering "did my
+/// query actually run parallel?" without a profiler. One query bumps
+/// `serial_fallbacks` or at least one parallel counter; a plan with both
+/// a join and an order-by bumps both feature counters. Counters are
+/// atomics — a Session may be used from several threads — and are shared
+/// by all copies of one Session.
+struct ExecPathCounters {
+  /// Parallel queries that were plain scan/aggregate pipelines (no
+  /// parallel join or sort involved).
+  std::atomic<std::uint64_t> parallel_pipelines{0};
+  /// Queries whose join ran the partitioned parallel build + probe.
+  std::atomic<std::uint64_t> parallel_joins{0};
+  /// Queries whose order-by ran as local sorts + k-way merge.
+  std::atomic<std::uint64_t> parallel_sorts{0};
+  /// Queries executed entirely on the serial operator tree.
+  std::atomic<std::uint64_t> serial_fallbacks{0};
 };
 
 /// One cell change of an update query.
@@ -89,15 +118,23 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
 };
 
-/// A client handle onto the engine. Sessions are cheap to create, hold no
-/// state of their own, and may be used from different threads (each call
-/// acquires the table locks it needs).
+/// A client handle onto the engine. Sessions are cheap to create, hold
+/// only their execution-path counters, and may be used from different
+/// threads (each call acquires the table locks it needs; the counters
+/// are atomic).
+///
+/// Lock ordering: a read query shared-locks every catalog table its plan
+/// scans, in ascending lock-address order; update queries and DDL take a
+/// single exclusive table lock. The catalog's own map mutex is never
+/// held while a table lock is acquired. This total order makes deadlock
+/// between any mix of concurrent sessions impossible.
 class Session {
  public:
   /// Runs a read query: optimizes `plan` against the catalog's indexes,
   /// then executes it in parallel where supported (serial fallback
-  /// otherwise). Shared locks are held on every catalog table the plan
-  /// scans for the duration of the query.
+  /// otherwise — see ParallelPlanSupported in engine/executor.h for the
+  /// supported shapes). Shared locks are held on every catalog table the
+  /// plan scans for the duration of the query.
   Result<QueryResult> Execute(LogicalPtr plan);
 
   /// Same, with per-query optimizer options overriding the engine's.
@@ -117,11 +154,17 @@ class Session {
                           ConstraintKind constraint,
                           PatchIndexOptions options = {});
 
+  /// Which execution path this session's queries took so far. Shared by
+  /// all copies of this Session; monotonically increasing.
+  const ExecPathCounters& path_counters() const { return *counters_; }
+
  private:
   friend class Engine;
-  explicit Session(Engine* engine) : engine_(engine) {}
+  explicit Session(Engine* engine)
+      : engine_(engine), counters_(std::make_shared<ExecPathCounters>()) {}
 
   Engine* engine_;
+  std::shared_ptr<ExecPathCounters> counters_;
 };
 
 }  // namespace patchindex

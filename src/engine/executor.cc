@@ -1,5 +1,6 @@
 #include "engine/executor.h"
 
+#include <algorithm>
 #include <functional>
 #include <future>
 #include <iterator>
@@ -9,9 +10,11 @@
 
 #include "common/check.h"
 #include "exec/aggregate.h"
+#include "exec/hash_join.h"
 #include "exec/project.h"
 #include "exec/scan.h"
 #include "exec/select.h"
+#include "exec/sort_merge.h"
 #include "patchindex/patch_index.h"
 
 namespace patchindex {
@@ -103,15 +106,12 @@ bool AnalyzeChain(const LogicalNode& node, bool selects_only,
   return true;
 }
 
-/// Instantiates one worker's copy of the pipeline over the shared queue.
+/// Stacks the given Select/Project nodes (bottom-up order) onto `op`.
 /// Expression trees are shared between workers (they are immutable and
 /// Eval() is const); operator instances are per-worker.
-OperatorPtr BuildWorkerChain(const ChainSpec& spec,
-                             const ScanOptions& scan_options,
-                             MorselQueue* queue) {
-  OperatorPtr op = std::make_unique<MorselSourceOperator>(
-      *spec.scan->table, spec.scan->columns, scan_options, queue);
-  for (const LogicalNode* node : spec.ops) {
+OperatorPtr ApplyUnaryOps(OperatorPtr op,
+                          const std::vector<const LogicalNode*>& ops) {
+  for (const LogicalNode* node : ops) {
     if (node->kind == LogicalNode::Kind::kSelect) {
       op = std::make_unique<SelectOperator>(std::move(op), node->predicate);
     } else {
@@ -119,6 +119,75 @@ OperatorPtr BuildWorkerChain(const ChainSpec& spec,
     }
   }
   return op;
+}
+
+/// Instantiates one worker's copy of the pipeline over the shared queue.
+OperatorPtr BuildWorkerChain(const ChainSpec& spec,
+                             const ScanOptions& scan_options,
+                             MorselQueue* queue) {
+  return ApplyUnaryOps(std::make_unique<MorselSourceOperator>(
+                           *spec.scan->table, spec.scan->columns,
+                           scan_options, queue),
+                       spec.ops);
+}
+
+/// The full shape the morsel executor handles (PatchDistinct aside): an
+/// optional Sort root, over an optional Aggregate/Distinct, over either a
+/// single scan pipeline or Select/Project operators above an inner equi
+/// join of two scan pipelines.
+struct PlanShape {
+  const LogicalNode* sort = nullptr;  // kSort (limit = TopN)
+  const LogicalNode* agg = nullptr;   // kAggregate / kDistinct
+  const LogicalNode* join = nullptr;  // kJoin
+  std::vector<const LogicalNode*> mid_ops;  // between join and agg/sort
+  ChainSpec left;                           // join children
+  ChainSpec right;
+  ChainSpec chain;  // the single pipeline when there is no join
+};
+
+bool AnalyzeShape(const LogicalNode& plan, PlanShape* shape) {
+  const LogicalNode* cur = &plan;
+  if (cur->kind == LogicalNode::Kind::kSort) {
+    if (cur->sort_keys.empty()) return false;
+    shape->sort = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind == LogicalNode::Kind::kAggregate ||
+      cur->kind == LogicalNode::Kind::kDistinct) {
+    // Global aggregates (no group columns) have no per-worker partial
+    // form here; they fall back to the serial tree.
+    if (cur->group_cols.empty()) return false;
+    shape->agg = cur;
+    cur = cur->children[0].get();
+  }
+  std::vector<const LogicalNode*> top_down;
+  while (cur->kind == LogicalNode::Kind::kSelect ||
+         cur->kind == LogicalNode::Kind::kProject) {
+    top_down.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  if (cur->kind == LogicalNode::Kind::kScan && cur->table != nullptr) {
+    shape->chain.scan = cur;
+    shape->chain.ops.assign(top_down.rbegin(), top_down.rend());
+    return true;
+  }
+  if (cur->kind == LogicalNode::Kind::kJoin) {
+    shape->join = cur;
+    shape->mid_ops.assign(top_down.rbegin(), top_down.rend());
+    if (!AnalyzeChain(*cur->children[0], /*selects_only=*/false,
+                      &shape->left) ||
+        !AnalyzeChain(*cur->children[1], /*selects_only=*/false,
+                      &shape->right)) {
+      return false;
+    }
+    const auto left_types = LogicalOutputTypes(*cur->children[0]);
+    const auto right_types = LogicalOutputTypes(*cur->children[1]);
+    return cur->left_key < left_types.size() &&
+           cur->right_key < right_types.size() &&
+           left_types[cur->left_key] == ColumnType::kInt64 &&
+           right_types[cur->right_key] == ColumnType::kInt64;
+  }
+  return false;
 }
 
 /// Column-wise batch concatenation (string payloads are moved).
@@ -156,23 +225,10 @@ Batch DrainColumnwise(Operator& op) {
   return all;
 }
 
-/// Runs one pipeline instance per pool worker and returns the per-worker
-/// results. Futures (not WaitIdle) so concurrent queries sharing the pool
-/// only await their own tasks.
-std::vector<Batch> RunWorkers(
-    ThreadPool& pool, const std::function<OperatorPtr()>& make_pipeline) {
-  const std::size_t workers = pool.num_threads();
-  std::vector<Batch> parts(workers);
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool.SubmitWithFuture([&parts, &make_pipeline, w] {
-      OperatorPtr pipeline = make_pipeline();
-      parts[w] = DrainColumnwise(*pipeline);
-    }));
-  }
-  // Await every worker before rethrowing: unwinding while workers still
-  // reference `parts` and the queue would be use-after-free.
+/// Awaits every future before rethrowing the first failure: unwinding
+/// while workers still reference shared state (result slots, the morsel
+/// queue, partition tables) would be use-after-free.
+void AwaitAll(std::vector<std::future<void>>& futures) {
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
@@ -182,6 +238,29 @@ std::vector<Batch> RunWorkers(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs one pipeline instance per pool worker and returns the per-worker
+/// results; `post` (when set) runs on each worker's drained part inside
+/// the worker task — the parallel sort fuses its local sort here.
+/// Futures (not WaitIdle) so concurrent queries sharing the pool only
+/// await their own tasks.
+std::vector<Batch> RunWorkers(
+    ThreadPool& pool, const std::function<OperatorPtr()>& make_pipeline,
+    const std::function<void(Batch*)>& post = nullptr) {
+  const std::size_t workers = pool.num_threads();
+  std::vector<Batch> parts(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(
+        pool.SubmitWithFuture([&parts, &make_pipeline, &post, w] {
+          OperatorPtr pipeline = make_pipeline();
+          parts[w] = DrainColumnwise(*pipeline);
+          if (post) post(&parts[w]);
+        }));
+  }
+  AwaitAll(futures);
   return parts;
 }
 
@@ -246,6 +325,169 @@ Batch MergeAggregateParts(std::vector<Batch>&& parts,
       std::make_unique<InMemorySource>(std::move(all)), group_cols, merged);
   return Collect(merge);
 }
+
+// --------------------------------------------------------------- join
+
+/// Streams the probe pipeline against the read-only partition tables and
+/// emits matches in the join's logical left-then-right column layout
+/// (the serial tree reaches the same layout via a reordering Project).
+/// Output rowIDs are the probe side's, and batches are bounded at
+/// ~kBatchSize, both as in HashJoinOperator.
+class PartitionProbeOperator : public Operator {
+ public:
+  PartitionProbeOperator(OperatorPtr child,
+                         const std::vector<JoinHashTable>* partitions,
+                         std::size_t mask, std::size_t probe_key,
+                         bool build_is_left,
+                         std::vector<ColumnType> build_types)
+      : child_(std::move(child)),
+        partitions_(partitions),
+        mask_(mask),
+        probe_key_(probe_key),
+        probe_width_(child_->OutputTypes().size()),
+        build_width_(build_types.size()),
+        build_off_(build_is_left ? 0 : probe_width_),
+        probe_off_(build_is_left ? build_width_ : 0) {
+    std::vector<ColumnType> probe_types = child_->OutputTypes();
+    if (build_is_left) {
+      output_types_ = std::move(build_types);
+      output_types_.insert(output_types_.end(), probe_types.begin(),
+                           probe_types.end());
+    } else {
+      output_types_ = std::move(probe_types);
+      output_types_.insert(output_types_.end(), build_types.begin(),
+                           build_types.end());
+    }
+  }
+
+  std::vector<ColumnType> OutputTypes() const override {
+    return output_types_;
+  }
+
+  void Open() override {
+    child_->Open();
+    probe_pos_ = 0;
+    probe_done_ = false;
+    probe_batch_.Clear();
+  }
+
+  bool Next(Batch* out) override {
+    out->Reset(output_types_);
+    while (out->num_rows() < kBatchSize) {
+      if (probe_pos_ >= probe_batch_.num_rows()) {
+        if (probe_done_ || !child_->Next(&probe_batch_)) {
+          probe_done_ = true;
+          break;
+        }
+        probe_pos_ = 0;
+        continue;
+      }
+      const std::size_t i = probe_pos_++;
+      const std::int64_t key = probe_batch_.columns[probe_key_].i64[i];
+      const JoinHashTable& table =
+          (*partitions_)[JoinKeyPartition(key, mask_)];
+      const Batch& build = table.rows();
+      table.ForEachMatch(key, [&](std::size_t b) {
+        for (std::size_t c = 0; c < build_width_; ++c) {
+          out->columns[build_off_ + c].AppendFrom(build.columns[c], b);
+        }
+        for (std::size_t c = 0; c < probe_width_; ++c) {
+          out->columns[probe_off_ + c].AppendFrom(probe_batch_.columns[c],
+                                                  i);
+        }
+        out->row_ids.push_back(probe_batch_.row_ids[i]);
+      });
+    }
+    return out->num_rows() > 0;
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  const std::vector<JoinHashTable>* partitions_;
+  std::size_t mask_;
+  std::size_t probe_key_;
+  std::size_t probe_width_;
+  std::size_t build_width_;
+  std::size_t build_off_;
+  std::size_t probe_off_;
+  std::vector<ColumnType> output_types_;
+
+  Batch probe_batch_;
+  std::size_t probe_pos_ = 0;
+  bool probe_done_ = false;
+};
+
+/// Phases one and two of the parallel join: every worker drains the build
+/// pipeline over a shared morsel queue, hash-partitioning its rows into
+/// per-worker spill batches; after the barrier, one task per partition
+/// assembles that partition's hash table from all workers' spills. When
+/// the rewriter annotated a NUC index on the build key, rows the index
+/// proves unique skip duplicate chaining (exceptions and pending inserts
+/// take the chained path; see JoinHashTable for why this stays exact).
+std::vector<JoinHashTable> BuildJoinPartitions(
+    const ChainSpec& build_spec, std::size_t build_key,
+    const std::vector<ColumnType>& build_types, const PatchIndex* build_nuc,
+    std::size_t mask, ThreadPool& pool, const ParallelExecOptions& options) {
+  const std::size_t workers = pool.num_threads();
+  const std::size_t num_partitions = mask + 1;
+  const Table& table = *build_spec.scan->table;
+  MorselQueue queue({{0, table.num_rows()}}, !table.pdt().inserts().empty(),
+                    options.morsel_rows);
+  const ScanOptions scan_opts;
+
+  std::vector<std::vector<Batch>> spill(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.SubmitWithFuture([&, w] {
+      std::vector<Batch>& local = spill[w];
+      local.resize(num_partitions);
+      for (Batch& b : local) b.Reset(build_types);
+      OperatorPtr pipeline = BuildWorkerChain(build_spec, scan_opts, &queue);
+      pipeline->Open();
+      Batch in;
+      while (pipeline->Next(&in)) {
+        const auto& keys = in.columns[build_key].i64;
+        for (std::size_t i = 0; i < in.num_rows(); ++i) {
+          local[JoinKeyPartition(keys[i], mask)].AppendRowFrom(in, i);
+        }
+      }
+      pipeline->Close();
+    }));
+  }
+  AwaitAll(futures);  // barrier between build scan and table assembly
+
+  std::vector<JoinHashTable> partitions(num_partitions);
+  futures.clear();
+  futures.reserve(num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    futures.push_back(pool.SubmitWithFuture([&, p] {
+      JoinHashTable& t = partitions[p];
+      t.Reset(build_types);
+      std::size_t partition_rows = 0;
+      for (std::size_t w = 0; w < workers; ++w) {
+        partition_rows += spill[w][p].num_rows();
+      }
+      t.Reserve(partition_rows);
+      for (std::size_t w = 0; w < workers; ++w) {
+        const Batch& b = spill[w][p];
+        const auto& keys = b.columns[build_key].i64;
+        for (std::size_t i = 0; i < b.num_rows(); ++i) {
+          const bool hint = build_nuc != nullptr &&
+                            b.row_ids[i] < build_nuc->NumRows() &&
+                            !build_nuc->IsPatch(b.row_ids[i]);
+          t.AddRow(b, i, keys[i], hint);
+        }
+      }
+    }));
+  }
+  AwaitAll(futures);
+  return partitions;
+}
+
+// ------------------------------------------------------- patch distinct
 
 bool IsSupportedPatchConstraint(const PatchIndex* idx) {
   return idx != nullptr &&
@@ -336,70 +578,145 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
 }  // namespace
 
 bool ParallelPlanSupported(const LogicalNode& plan) {
-  ChainSpec spec;
-  switch (plan.kind) {
-    case LogicalNode::Kind::kScan:
-    case LogicalNode::Kind::kSelect:
-    case LogicalNode::Kind::kProject:
-      return AnalyzeChain(plan, /*selects_only=*/false, &spec);
-    case LogicalNode::Kind::kAggregate:
-    case LogicalNode::Kind::kDistinct:
-      return !plan.group_cols.empty() &&
-             AnalyzeChain(*plan.children[0], /*selects_only=*/false, &spec);
-    case LogicalNode::Kind::kPatchDistinct:
-      // Single group column only: the rewriter never emits more, and the
-      // final use-patches merge (and the NCC constant row) assume it.
-      return IsSupportedPatchConstraint(plan.pidx) &&
-             plan.group_cols.size() == 1 &&
-             AnalyzeChain(*plan.children[0], /*selects_only=*/true, &spec);
-    default:
-      return false;
+  if (plan.kind == LogicalNode::Kind::kPatchDistinct) {
+    // Single group column only: the rewriter never emits more, and the
+    // final use-patches merge (and the NCC constant row) assume it.
+    ChainSpec spec;
+    return IsSupportedPatchConstraint(plan.pidx) &&
+           plan.group_cols.size() == 1 &&
+           AnalyzeChain(*plan.children[0], /*selects_only=*/true, &spec);
   }
+  PlanShape shape;
+  return AnalyzeShape(plan, &shape);
 }
 
 bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
-                     const ParallelExecOptions& options, Batch* out) {
-  if (!ParallelPlanSupported(plan)) return false;
+                     const ParallelExecOptions& options, Batch* out,
+                     ParallelExecReport* report) {
   if (plan.kind == LogicalNode::Kind::kPatchDistinct) {
-    return ExecutePatchDistinct(plan, pool, options, out);
+    return ParallelPlanSupported(plan) &&
+           ExecutePatchDistinct(plan, pool, options, out);
+  }
+  PlanShape shape;
+  if (!AnalyzeShape(plan, &shape)) return false;
+
+  // Size gating: below the threshold, forking workers costs more than
+  // running the serial tree. For a join, the larger input drives.
+  std::uint64_t driving_rows;
+  if (shape.join != nullptr) {
+    driving_rows = std::max(shape.left.scan->table->num_visible_rows(),
+                            shape.right.scan->table->num_visible_rows());
+  } else {
+    driving_rows = shape.chain.scan->table->num_visible_rows();
+  }
+  if (driving_rows < options.min_parallel_rows) return false;
+
+  // A Sort directly over the pipeline runs as per-worker local sorts plus
+  // a k-way merge; a Sort over an Aggregate is applied serially to the
+  // merged (small) aggregate result instead.
+  const bool local_sort = shape.sort != nullptr && shape.agg == nullptr;
+  std::function<void(Batch*)> post;
+  if (local_sort) {
+    const LogicalNode* sort = shape.sort;
+    post = [sort](Batch* part) {
+      SortBatchRows(part, sort->sort_keys, sort->limit);
+    };
   }
 
-  const LogicalNode* agg = nullptr;
-  const LogicalNode* chain_root = &plan;
-  if (plan.kind == LogicalNode::Kind::kAggregate ||
-      plan.kind == LogicalNode::Kind::kDistinct) {
-    agg = &plan;
-    chain_root = plan.children[0].get();
-  }
-  ChainSpec spec;
-  PIDX_CHECK(AnalyzeChain(*chain_root, /*selects_only=*/false, &spec));
-  const Table& table = *spec.scan->table;
-  if (table.num_visible_rows() < options.min_parallel_rows) return false;
+  std::vector<Batch> parts;
+  if (shape.join != nullptr) {
+    const LogicalNode& join = *shape.join;
+    // Build on the side with the lower estimated cardinality (§3.3: the
+    // patches/dimension side is typically the smallest). The serial tree
+    // additionally prefers a sorted child as build to preserve probe-side
+    // order — irrelevant here, where worker interleaving loses input
+    // order anyway.
+    const bool build_left = EstimateCardinality(*join.children[0]) <=
+                            EstimateCardinality(*join.children[1]);
+    const ChainSpec& build_spec = build_left ? shape.left : shape.right;
+    const ChainSpec& probe_spec = build_left ? shape.right : shape.left;
+    const std::size_t build_key = build_left ? join.left_key : join.right_key;
+    const std::size_t probe_key = build_left ? join.right_key : join.left_key;
+    const PatchIndex* build_nuc =
+        build_left ? join.left_key_nuc : join.right_key_nuc;
+    const std::vector<ColumnType> build_types =
+        LogicalOutputTypes(*join.children[build_left ? 0 : 1]);
 
-  MorselQueue queue({{0, table.num_rows()}},
-                    !table.pdt().inserts().empty(), options.morsel_rows);
-  const ScanOptions scan_opts;  // plain kVisible scan, as the serial tree
-  std::vector<Batch> parts =
-      RunWorkers(pool, [&spec, &scan_opts, &queue, agg] {
-        OperatorPtr op = BuildWorkerChain(spec, scan_opts, &queue);
-        if (agg != nullptr) {
-          op = std::make_unique<HashAggregateOperator>(
-              std::move(op), agg->group_cols,
-              agg->kind == LogicalNode::Kind::kAggregate
-                  ? agg->aggs
-                  : std::vector<AggSpec>{});
-        }
-        return op;
-      });
+    std::size_t partition_bits = 0;
+    while ((std::size_t{1} << partition_bits) < pool.num_threads()) {
+      ++partition_bits;
+    }
+    const std::size_t mask = (std::size_t{1} << partition_bits) - 1;
+
+    const std::vector<JoinHashTable> partitions = BuildJoinPartitions(
+        build_spec, build_key, build_types, build_nuc, mask, pool, options);
+
+    const Table& probe_table = *probe_spec.scan->table;
+    MorselQueue probe_queue({{0, probe_table.num_rows()}},
+                            !probe_table.pdt().inserts().empty(),
+                            options.morsel_rows);
+    const ScanOptions scan_opts;
+    parts = RunWorkers(
+        pool,
+        [&] {
+          OperatorPtr op = BuildWorkerChain(probe_spec, scan_opts,
+                                            &probe_queue);
+          op = std::make_unique<PartitionProbeOperator>(
+              std::move(op), &partitions, mask, probe_key, build_left,
+              build_types);
+          op = ApplyUnaryOps(std::move(op), shape.mid_ops);
+          if (shape.agg != nullptr) {
+            op = std::make_unique<HashAggregateOperator>(
+                std::move(op), shape.agg->group_cols,
+                shape.agg->kind == LogicalNode::Kind::kAggregate
+                    ? shape.agg->aggs
+                    : std::vector<AggSpec>{});
+          }
+          return op;
+        },
+        post);
+  } else {
+    const Table& table = *shape.chain.scan->table;
+    MorselQueue queue({{0, table.num_rows()}},
+                      !table.pdt().inserts().empty(), options.morsel_rows);
+    const ScanOptions scan_opts;  // plain kVisible scan, as the serial tree
+    parts = RunWorkers(
+        pool,
+        [&] {
+          OperatorPtr op = BuildWorkerChain(shape.chain, scan_opts, &queue);
+          if (shape.agg != nullptr) {
+            op = std::make_unique<HashAggregateOperator>(
+                std::move(op), shape.agg->group_cols,
+                shape.agg->kind == LogicalNode::Kind::kAggregate
+                    ? shape.agg->aggs
+                    : std::vector<AggSpec>{});
+          }
+          return op;
+        },
+        post);
+  }
 
   const std::vector<ColumnType> out_types = LogicalOutputTypes(plan);
-  if (agg != nullptr) {
-    *out = MergeAggregateParts(
-        std::move(parts), out_types, agg->group_cols.size(),
-        agg->kind == LogicalNode::Kind::kAggregate ? agg->aggs
-                                                   : std::vector<AggSpec>{});
+  if (shape.agg != nullptr) {
+    Batch merged = MergeAggregateParts(
+        std::move(parts), out_types, shape.agg->group_cols.size(),
+        shape.agg->kind == LogicalNode::Kind::kAggregate
+            ? shape.agg->aggs
+            : std::vector<AggSpec>{});
+    if (shape.sort != nullptr) {
+      SortBatchRows(&merged, shape.sort->sort_keys, shape.sort->limit);
+    }
+    *out = std::move(merged);
+  } else if (local_sort) {
+    *out = MergeSortedBatches(std::move(parts), shape.sort->sort_keys,
+                              shape.sort->limit);
   } else {
     *out = ConcatParts(std::move(parts), out_types);
+  }
+
+  if (report != nullptr) {
+    report->parallel_join = shape.join != nullptr;
+    report->parallel_sort = local_sort;
   }
   return true;
 }

@@ -28,6 +28,12 @@ struct Morsel {
 /// Morsels are pre-chopped at construction; claiming is one relaxed
 /// fetch_add, so any number of workers can drain the queue without locks
 /// and faster workers automatically steal the remaining work.
+///
+/// Thread-safety: construction is single-threaded; afterwards the morsel
+/// list is immutable and Next() may be called from any number of threads
+/// concurrently. The queue does not own the scanned table — callers keep
+/// it alive (and, for catalog tables, shared-locked) until every worker
+/// has drained.
 class MorselQueue {
  public:
   MorselQueue(const std::vector<RowRange>& base_ranges, bool with_inserts,

@@ -7,8 +7,76 @@
 
 #include "exec/operator.h"
 #include "exec/range_propagation.h"
+#include "exec/row_filter.h"
 
 namespace patchindex {
+
+/// Hash table over the materialized build side of an INT64 equi join,
+/// decomposed out of HashJoinOperator so the morsel-driven executor can
+/// build partitions of it from many workers and probe them concurrently.
+/// Thread-safety: AddRow is single-writer (one partition is built by one
+/// task); once built, any number of threads may ForEachMatch concurrently
+/// (probes are read-only).
+///
+/// Keys live in two structures: a unique map for rows whose key is
+/// promised to appear at most once (NUC non-exception rows — probing them
+/// is a single lookup with no duplicate chaining), and a chained multimap
+/// for everything else (NUC patches, pending PDT inserts, unindexed
+/// builds). A violated uniqueness promise — pending modifies can
+/// duplicate a NUC key — is detected on insert and both occurrences are
+/// demoted to the chained path, so probe results stay exact no matter
+/// what the caller promises.
+class JoinHashTable {
+ public:
+  JoinHashTable() = default;
+
+  /// Clears the table and fixes the build-side column layout.
+  void Reset(const std::vector<ColumnType>& build_types);
+
+  /// Pre-sizes the hash structures for `n` build rows (avoids rehashing
+  /// during bulk AddRow loops).
+  void Reserve(std::size_t n);
+
+  /// Appends build row `row` of `src` (which must use the build layout)
+  /// under `key`. `unique_hint` promises the key appears at most once
+  /// among all hinted rows of this table; see the class comment for how
+  /// violations are handled.
+  void AddRow(const Batch& src, std::size_t row, std::int64_t key,
+              bool unique_hint = false);
+
+  /// Invokes fn(build_row_index) for every build row holding `key`.
+  template <typename Fn>
+  void ForEachMatch(std::int64_t key, Fn&& fn) const {
+    if (!unique_.empty()) {
+      auto it = unique_.find(key);
+      if (it != unique_.end()) fn(it->second);
+    }
+    if (!chained_.empty()) {
+      auto [first, last] = chained_.equal_range(key);
+      for (auto it = first; it != last; ++it) fn(it->second);
+    }
+  }
+
+  /// The materialized build rows, indexable by the values ForEachMatch
+  /// produces.
+  const Batch& rows() const { return rows_; }
+  std::size_t num_rows() const { return rows_.num_rows(); }
+
+ private:
+  Batch rows_;
+  std::unordered_map<std::int64_t, std::size_t> unique_;
+  std::unordered_multimap<std::int64_t, std::size_t> chained_;
+};
+
+/// Partition of `key` among `mask + 1` (a power of two) partitions.
+/// Multiplicative hashing decorrelates the partition from the low key
+/// bits, which the per-partition unordered maps hash on again.
+inline std::size_t JoinKeyPartition(std::int64_t key, std::size_t mask) {
+  return static_cast<std::size_t>(
+             (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL) >>
+             32) &
+         mask;
+}
 
 struct HashJoinOptions {
   /// Publishes the min/max of the build keys after the build phase for
@@ -19,14 +87,20 @@ struct HashJoinOptions {
   /// column. The NUC insert-handling query (Figure 5) projects the rowIDs
   /// of *both* join sides to merge them into the patches.
   bool append_build_rowid_column = false;
+
+  /// Advisory NUC index over the build side's rowIDs: build rows the
+  /// index proves unique skip duplicate chaining, exceptions (and rows
+  /// outside the index's domain, i.e. pending inserts) take the chained
+  /// path. Results are exact with or without it.
+  const RowIdFilter* build_unique_filter = nullptr;
 };
 
 /// In-memory equi hash join on INT64 keys. Open() drains the build child
-/// into a hash table (choosing the build side is the optimizer's job — the
-/// paper builds on the patches because their cardinality is typically the
-/// smallest, §3.3); Next() streams the probe child. Output layout: probe
-/// columns, then build columns, then (optionally) the build rowID column.
-/// Output rowIDs are the probe side's.
+/// into a JoinHashTable (choosing the build side is the optimizer's job —
+/// the paper builds on the patches because their cardinality is typically
+/// the smallest, §3.3); Next() streams the probe child. Output layout:
+/// probe columns, then build columns, then (optionally) the build rowID
+/// column. Output rowIDs are the probe side's.
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(OperatorPtr build, OperatorPtr probe,
@@ -38,7 +112,7 @@ class HashJoinOperator : public Operator {
   bool Next(Batch* out) override;
   void Close() override;
 
-  std::uint64_t build_rows() const { return build_data_.num_rows(); }
+  std::uint64_t build_rows() const { return table_.num_rows(); }
 
  private:
   OperatorPtr build_;
@@ -47,11 +121,9 @@ class HashJoinOperator : public Operator {
   std::size_t probe_key_;
   HashJoinOptions options_;
 
-  Batch build_data_;  // materialized build side
-  std::unordered_multimap<std::int64_t, std::size_t> table_;
+  JoinHashTable table_;
 
-  // Probe iteration state: current input batch and position, plus pending
-  // matches of the current probe row.
+  // Probe iteration state: current input batch and position.
   Batch probe_batch_;
   std::size_t probe_pos_ = 0;
   bool probe_done_ = false;

@@ -1,15 +1,15 @@
 #include "exec/sort.h"
 
-#include <algorithm>
-#include <numeric>
 #include <utility>
 
 #include "common/check.h"
+#include "exec/sort_merge.h"
 
 namespace patchindex {
 
-SortOperator::SortOperator(OperatorPtr child, std::vector<SortKeySpec> keys)
-    : child_(std::move(child)), keys_(std::move(keys)) {
+SortOperator::SortOperator(OperatorPtr child, std::vector<SortKeySpec> keys,
+                           std::size_t limit)
+    : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {
   PIDX_CHECK(!keys_.empty());
 }
 
@@ -22,30 +22,7 @@ void SortOperator::Open() {
   }
   child_->Close();
 
-  order_.resize(data_.num_rows());
-  std::iota(order_.begin(), order_.end(), 0);
-  std::sort(order_.begin(), order_.end(),
-            [this](std::size_t a, std::size_t b) {
-              for (const SortKeySpec& k : keys_) {
-                const ColumnVector& col = data_.columns[k.column];
-                int c = 0;
-                switch (col.type) {
-                  case ColumnType::kInt64:
-                    c = col.i64[a] < col.i64[b] ? -1 : (col.i64[a] > col.i64[b]);
-                    break;
-                  case ColumnType::kDouble:
-                    c = col.f64[a] < col.f64[b] ? -1 : (col.f64[a] > col.f64[b]);
-                    break;
-                  case ColumnType::kString: {
-                    const int r = col.str[a].compare(col.str[b]);
-                    c = r < 0 ? -1 : (r > 0 ? 1 : 0);
-                    break;
-                  }
-                }
-                if (c != 0) return k.ascending ? c < 0 : c > 0;
-              }
-              return false;
-            });
+  order_ = SortedPermutation(data_, keys_, limit_);
   pos_ = 0;
 }
 

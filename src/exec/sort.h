@@ -15,12 +15,15 @@ struct SortKeySpec {
 
 /// Full in-memory sort (introsort, i.e. a QuickSort derivative like the
 /// engine in the paper). Materializes the child at Open() and emits the
-/// permuted rows. The PatchIndex sort optimization removes this operator
-/// from the patch-excluded subtree entirely (§3.3) — only the patches
-/// still pass through a SortOperator.
+/// permuted rows. With a non-zero `limit` only the top `limit` rows are
+/// produced (ORDER BY ... LIMIT), selected by a heap-based partial sort.
+/// The PatchIndex sort optimization removes this operator from the
+/// patch-excluded subtree entirely (§3.3) — only the patches still pass
+/// through a SortOperator.
 class SortOperator : public Operator {
  public:
-  SortOperator(OperatorPtr child, std::vector<SortKeySpec> keys);
+  SortOperator(OperatorPtr child, std::vector<SortKeySpec> keys,
+               std::size_t limit = 0);
 
   std::vector<ColumnType> OutputTypes() const override {
     return child_->OutputTypes();
@@ -32,6 +35,7 @@ class SortOperator : public Operator {
  private:
   OperatorPtr child_;
   std::vector<SortKeySpec> keys_;
+  std::size_t limit_;
   Batch data_;
   std::vector<std::size_t> order_;
   std::size_t pos_ = 0;

@@ -37,8 +37,11 @@ void Render(const LogicalNode& node, int depth, std::string* out) {
                     node.exprs.size());
       break;
     case LogicalNode::Kind::kJoin:
-      std::snprintf(buf, sizeof(buf), "Join(keys %zu=%zu)", node.left_key,
-                    node.right_key);
+      std::snprintf(buf, sizeof(buf), "Join(keys %zu=%zu)%s", node.left_key,
+                    node.right_key,
+                    node.left_key_nuc != nullptr || node.right_key_nuc != nullptr
+                        ? " [NUC key]"
+                        : "");
       break;
     case LogicalNode::Kind::kDistinct:
       std::snprintf(buf, sizeof(buf), "Distinct(%zu cols)",
@@ -49,8 +52,13 @@ void Render(const LogicalNode& node, int depth, std::string* out) {
                     node.group_cols.size(), node.aggs.size());
       break;
     case LogicalNode::Kind::kSort:
-      std::snprintf(buf, sizeof(buf), "Sort(%zu keys)",
-                    node.sort_keys.size());
+      if (node.limit > 0) {
+        std::snprintf(buf, sizeof(buf), "Sort(%zu keys, limit=%zu)",
+                      node.sort_keys.size(), node.limit);
+      } else {
+        std::snprintf(buf, sizeof(buf), "Sort(%zu keys)",
+                      node.sort_keys.size());
+      }
       break;
     case LogicalNode::Kind::kPatchDistinct:
       std::snprintf(buf, sizeof(buf), "PatchDistinct [%s e=%.2f%%]",

@@ -62,11 +62,13 @@ LogicalPtr LAggregate(LogicalPtr child, std::vector<std::size_t> group_cols,
   return n;
 }
 
-LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys) {
+LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys,
+                 std::size_t limit) {
   auto n = std::make_shared<LogicalNode>();
   n->kind = LogicalNode::Kind::kSort;
   n->children = {std::move(child)};
   n->sort_keys = std::move(keys);
+  n->limit = limit;
   return n;
 }
 
@@ -169,9 +171,13 @@ double EstimateCardinality(const LogicalNode& node) {
     case LogicalNode::Kind::kSelect:
       return node.selectivity * EstimateCardinality(*node.children[0]);
     case LogicalNode::Kind::kProject:
-    case LogicalNode::Kind::kSort:
     case LogicalNode::Kind::kPatchSort:
       return EstimateCardinality(*node.children[0]);
+    case LogicalNode::Kind::kSort: {
+      const double n = EstimateCardinality(*node.children[0]);
+      return node.limit > 0 ? std::min<double>(n, static_cast<double>(node.limit))
+                            : n;
+    }
     case LogicalNode::Kind::kJoin:
     case LogicalNode::Kind::kPatchJoin: {
       // Foreign-key join heuristic: the fact (larger) side scaled by the

@@ -52,12 +52,23 @@ struct LogicalNode {
   std::size_t left_key = 0;
   std::size_t right_key = 0;
 
+  /// kJoin advisory annotations (set by the rewriter; no semantic
+  /// change): a NUC index proving the respective join key nearly unique.
+  /// Hash joins — serial and morsel-parallel — use it to skip duplicate
+  /// chaining for non-exception build rows and route the patches through
+  /// the exception path; results are exact with or without it.
+  const PatchIndex* left_key_nuc = nullptr;
+  const PatchIndex* right_key_nuc = nullptr;
+
   // kDistinct / kAggregate
   std::vector<std::size_t> group_cols;
   std::vector<AggSpec> aggs;
 
   // kSort
   std::vector<SortKeySpec> sort_keys;
+  /// kSort: emit only the top `limit` rows in sort order when non-zero
+  /// (ORDER BY ... LIMIT); 0 means a full sort.
+  std::size_t limit = 0;
 
   // kPatch*: the index backing the rewrite. For kPatchJoin the indexed
   // ("fact") input is children[1]; children[0] is the sorted subtree "X".
@@ -76,7 +87,8 @@ LogicalPtr LJoin(LogicalPtr left, LogicalPtr right, std::size_t left_key,
 LogicalPtr LDistinct(LogicalPtr child, std::vector<std::size_t> cols);
 LogicalPtr LAggregate(LogicalPtr child, std::vector<std::size_t> group_cols,
                       std::vector<AggSpec> aggs);
-LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys);
+LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys,
+                 std::size_t limit = 0);
 
 /// Output column types of a logical node.
 std::vector<ColumnType> LogicalOutputTypes(const LogicalNode& node);

@@ -65,8 +65,12 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
       break;
     }
     case LogicalNode::Kind::kSort: {
-      // The Merge combine requires an ascending INT64 order.
-      if (node->sort_keys.size() != 1 || !node->sort_keys[0].ascending) break;
+      // The Merge combine requires an ascending INT64 order, and has no
+      // limit plumbing — a TopN sort stays a plain kSort.
+      if (node->sort_keys.size() != 1 || !node->sort_keys[0].ascending ||
+          node->limit != 0) {
+        break;
+      }
       const PatchIndex* idx =
           FindIndex(manager, *node->children[0], node->sort_keys[0].column,
                     ConstraintKind::kNearlySorted);
@@ -86,20 +90,28 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
       const PatchIndex* idx = FindIndex(
           manager, *node->children[1], node->right_key,
           ConstraintKind::kNearlySorted);
-      if (idx == nullptr || !idx->ascending()) break;
-      if (SortedOutputColumn(*node->children[0]) !=
-          static_cast<int>(node->left_key)) {
-        break;
+      if (idx != nullptr && idx->ascending() &&
+          SortedOutputColumn(*node->children[0]) ==
+              static_cast<int>(node->left_key)) {
+        const double n_fact = EstimateCardinality(*node->children[1]);
+        const double n_x = EstimateCardinality(*node->children[0]);
+        if (options.force_patch_rewrites ||
+            options.cost_model.ShouldRewriteJoin(n_fact, n_x,
+                                                 idx->exception_rate())) {
+          node->kind = LogicalNode::Kind::kPatchJoin;
+          node->pidx = idx;
+          break;
+        }
       }
-      const double n_fact = EstimateCardinality(*node->children[1]);
-      const double n_x = EstimateCardinality(*node->children[0]);
-      if (!options.force_patch_rewrites &&
-          !options.cost_model.ShouldRewriteJoin(n_fact, n_x,
-                                                idx->exception_rate())) {
-        break;
-      }
-      node->kind = LogicalNode::Kind::kPatchJoin;
-      node->pidx = idx;
+      // No structural rewrite: annotate NUC-indexed join keys so the hash
+      // joins (serial and morsel-parallel) can treat non-exception build
+      // rows as unique and route patches through the exception path.
+      node->left_key_nuc = FindIndex(manager, *node->children[0],
+                                     node->left_key,
+                                     ConstraintKind::kNearlyUnique);
+      node->right_key_nuc = FindIndex(manager, *node->children[1],
+                                      node->right_key,
+                                      ConstraintKind::kNearlyUnique);
       break;
     }
     default:
@@ -153,10 +165,13 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
       const bool build_left = SortedOutputColumn(node) >= 0 || l <= r;
       OperatorPtr build = Compile(*node.children[build_left ? 0 : 1], options);
       OperatorPtr probe = Compile(*node.children[build_left ? 1 : 0], options);
+      HashJoinOptions join_options;
+      join_options.build_unique_filter =
+          build_left ? node.left_key_nuc : node.right_key_nuc;
       auto join = std::make_unique<HashJoinOperator>(
           std::move(build), std::move(probe),
           build_left ? node.left_key : node.right_key,
-          build_left ? node.right_key : node.left_key);
+          build_left ? node.right_key : node.left_key, join_options);
       // Physical layout: probe columns then build columns.
       std::vector<ExprPtr> reorder;
       if (build_left) {
@@ -178,7 +193,7 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
           Compile(*node.children[0], options), node.group_cols, node.aggs);
     case LogicalNode::Kind::kSort:
       return std::make_unique<SortOperator>(
-          Compile(*node.children[0], options), node.sort_keys);
+          Compile(*node.children[0], options), node.sort_keys, node.limit);
 
     case LogicalNode::Kind::kPatchDistinct: {
       const LogicalNode& chain = *node.children[0];

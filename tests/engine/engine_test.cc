@@ -81,15 +81,25 @@ TEST(EngineTest, GroupingAggregateMergesPartials) {
   ExpectSameRows(reference.value().rows, parallel.value().rows);
 }
 
-TEST(EngineTest, JoinFallsBackToSerialTree) {
+TEST(EngineTest, JoinRunsParallelAndMatchesSerial) {
   Engine engine(TestOptions());
   Table* a = LoadNucTable(engine, "a", 4'000);
   Table* b = LoadNucTable(engine, "b", 4'000);
   LogicalPtr plan = LJoin(LScan(*a, {0, 1}), LScan(*b, {0, 1}), 0, 0);
   auto result = engine.CreateSession().Execute(plan);
   ASSERT_TRUE(result.ok());
-  EXPECT_FALSE(result.value().parallel);
+  EXPECT_TRUE(result.value().parallel);
+  EXPECT_TRUE(result.value().parallel_join);
   EXPECT_EQ(result.value().rows.num_rows(), 4'000u);
+
+  Engine serial(TestOptions(/*parallel=*/false));
+  Table* sa = LoadNucTable(serial, "a", 4'000);
+  Table* sb = LoadNucTable(serial, "b", 4'000);
+  auto reference = serial.CreateSession().Execute(
+      LJoin(LScan(*sa, {0, 1}), LScan(*sb, {0, 1}), 0, 0));
+  ASSERT_TRUE(reference.ok());
+  EXPECT_FALSE(reference.value().parallel);
+  ExpectSameRows(reference.value().rows, result.value().rows);
 }
 
 TEST(EngineTest, SmallTablesStaySerialByDefault) {

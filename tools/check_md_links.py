@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fails when a markdown file contains a relative link to a missing file.
+
+Scans every *.md in the repository (skipping build trees) for inline
+links and checks that relative targets exist. External schemes and
+pure-anchor links are ignored; an anchor suffix on a relative link is
+stripped before the existence check.
+
+Usage: check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {"build", ".git", "third_party"}
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check(root: str) -> int:
+    errors = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS
+                       and not d.startswith("build")]
+        for name in filenames:
+            if not name.endswith(".md"):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            for match in LINK_RE.finditer(text):
+                target = match.group(1)
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(dirpath, target))
+                if not os.path.exists(resolved):
+                    line = text[: match.start()].count("\n") + 1
+                    rel = os.path.relpath(path, root)
+                    print(f"{rel}:{line}: broken link -> {match.group(1)}")
+                    errors += 1
+    return errors
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = check(os.path.abspath(root))
+    if errors:
+        print(f"{errors} broken relative markdown link(s)")
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
