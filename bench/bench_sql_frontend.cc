@@ -1,0 +1,162 @@
+// SQL front-end overhead: what parsing + binding costs on top of a
+// hand-built LogicalNode plan, and what a prepared statement saves.
+//
+// For each query shape the bench measures
+//   - prepare:   parse + bind only (Session::Prepare), per statement
+//   - sql:       one-shot Session::Sql end to end
+//   - prepared:  PreparedStatement::Execute on a cached bound plan
+//   - handplan:  Session::Execute of the equivalent hand-built plan
+// so (sql - handplan) is the front-end tax and (sql - prepared) is what
+// plan caching recovers. Results go to BENCH_sql.json.
+//
+// Usage: bench_sql_frontend [rows]   (default 200000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "workload/generator.h"
+
+using namespace patchindex;
+using namespace patchindex::bench;
+
+namespace {
+
+struct QueryCase {
+  const char* name;
+  std::string sql;
+  LogicalPtr hand;  // equivalent hand-built plan (rebuilt per run)
+};
+
+std::uint64_t RunSql(Session& session, const std::string& sql) {
+  Result<QueryResult> r = session.Sql(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "sql failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.value().rows.num_rows();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t rows =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  const int reps = 5;
+
+  Engine engine;
+  Session session = engine.CreateSession();
+  GeneratorConfig cfg;
+  cfg.num_rows = rows;
+  cfg.exception_rate = 0.05;
+  cfg.seed = kBenchSeed;
+  engine.catalog().AddTable("t",
+                            std::make_unique<Table>(GenerateNucTable(cfg)));
+  if (!session.CreatePatchIndex("t", 1, ConstraintKind::kNearlyUnique)
+           .ok()) {
+    std::fprintf(stderr, "index creation failed\n");
+    return 1;
+  }
+  const Table& t = *engine.catalog().FindTable("t");
+  const std::int64_t mid = static_cast<std::int64_t>(rows / 2);
+
+  QueryCase cases[] = {
+      {"point_filter",
+       "SELECT key, val FROM t WHERE key >= " + std::to_string(mid) +
+           " AND key < " + std::to_string(mid + 1000),
+       nullptr},
+      {"distinct",
+       "SELECT DISTINCT val FROM t",
+       nullptr},
+      {"agg_orderby",
+       "SELECT val, COUNT(*) AS n FROM t WHERE key < " +
+           std::to_string(mid) + " GROUP BY val ORDER BY n DESC LIMIT 10",
+       nullptr},
+  };
+  auto hand_plan = [&](const std::string& name) -> LogicalPtr {
+    if (name == "point_filter") {
+      return LSelect(LScan(t, {0, 1}),
+                     And(Ge(Col(0), ConstInt(mid)),
+                         Lt(Col(0), ConstInt(mid + 1000))),
+                     0.3);
+    }
+    if (name == "distinct") {
+      return LDistinct(LScan(t, {1}), {0});
+    }
+    return LSort(LAggregate(LSelect(LScan(t, {0, 1}),
+                                    Lt(Col(0), ConstInt(mid)), 0.3),
+                            {1}, {{AggOp::kCount, 0}}),
+                 {{1, false}}, 10);
+  };
+
+  std::FILE* json = std::fopen("BENCH_sql.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_sql.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"bench_sql_frontend\",\n"
+               "  \"rows\": %llu,\n  \"reps\": %d,\n"
+               "  \"note\": \"prepare = parse+bind only; sql - handplan = "
+               "front-end tax per query; sql - prepared = what bound-plan "
+               "caching recovers\",\n  \"results\": [\n",
+               static_cast<unsigned long long>(rows), reps);
+
+  bool first = true;
+  for (const QueryCase& qc : cases) {
+    // Parse + bind only.
+    const double prepare_s = TimeBest(reps, [&] {
+      Result<PreparedStatement> p = session.Prepare(qc.sql);
+      if (!p.ok()) std::exit(1);
+    });
+    // One-shot SQL.
+    std::uint64_t sql_rows = 0;
+    const double sql_s =
+        TimeBest(reps, [&] { sql_rows = RunSql(session, qc.sql); });
+    // Prepared, cached bound plan.
+    Result<PreparedStatement> prepared = session.Prepare(qc.sql);
+    if (!prepared.ok()) return 1;
+    std::uint64_t prepared_rows = 0;
+    const double prepared_s = TimeBest(reps, [&] {
+      Result<QueryResult> r = prepared.value().Execute();
+      if (!r.ok()) std::exit(1);
+      prepared_rows = r.value().rows.num_rows();
+    });
+    // Hand-built plan.
+    std::uint64_t hand_rows = 0;
+    const double hand_s = TimeBest(reps, [&] {
+      Result<QueryResult> r = session.Execute(hand_plan(qc.name));
+      if (!r.ok()) std::exit(1);
+      hand_rows = r.value().rows.num_rows();
+    });
+
+    if (sql_rows != prepared_rows || sql_rows != hand_rows) {
+      std::fprintf(stderr, "%s: row mismatch sql=%llu prepared=%llu hand=%llu\n",
+                   qc.name, static_cast<unsigned long long>(sql_rows),
+                   static_cast<unsigned long long>(prepared_rows),
+                   static_cast<unsigned long long>(hand_rows));
+      return 1;
+    }
+
+    std::printf("%-12s rows=%8llu  prepare=%8.1fus  sql=%9.3fms  "
+                "prepared=%9.3fms  handplan=%9.3fms  tax=%5.1f%%\n",
+                qc.name, static_cast<unsigned long long>(sql_rows),
+                prepare_s * 1e6, sql_s * 1e3, prepared_s * 1e3, hand_s * 1e3,
+                hand_s > 0 ? (sql_s / hand_s - 1.0) * 100.0 : 0.0);
+    std::fprintf(json,
+                 "%s    {\"query\": \"%s\", \"rows\": %llu, "
+                 "\"prepare_us\": %.1f, \"sql_ms\": %.3f, "
+                 "\"prepared_ms\": %.3f, \"handplan_ms\": %.3f}",
+                 first ? "" : ",\n", qc.name,
+                 static_cast<unsigned long long>(sql_rows), prepare_s * 1e6,
+                 sql_s * 1e3, prepared_s * 1e3, hand_s * 1e3);
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_sql.json\n");
+  return 0;
+}

@@ -51,6 +51,26 @@ void CollectScanTables(const LogicalNode& node,
 
 }  // namespace
 
+void CollectPlanTableRefs(const LogicalNode& plan, const Catalog& catalog,
+                          std::vector<Catalog::TableRef>* refs) {
+  std::vector<const Table*> tables;
+  CollectScanTables(plan, &tables);
+  for (const Table* table : tables) {
+    Catalog::TableRef ref = catalog.Ref(*table);
+    if (ref) refs->push_back(std::move(ref));
+  }
+  std::sort(refs->begin(), refs->end(),
+            [](const Catalog::TableRef& a, const Catalog::TableRef& b) {
+              return a.lock < b.lock;
+            });
+  refs->erase(std::unique(refs->begin(), refs->end(),
+                          [](const Catalog::TableRef& a,
+                             const Catalog::TableRef& b) {
+                            return a.lock == b.lock;
+                          }),
+              refs->end());
+}
+
 Result<QueryResult> Session::Execute(LogicalPtr plan) {
   return Execute(std::move(plan), engine_->options_.optimizer);
 }
@@ -63,23 +83,8 @@ Result<QueryResult> Session::Execute(LogicalPtr plan,
   // (address) order so concurrent sessions cannot deadlock against the
   // exclusive locks update queries take. The refs keep table and lock
   // alive even if a concurrent DropTable de-catalogs them mid-query.
-  std::vector<const Table*> tables;
-  CollectScanTables(*plan, &tables);
   std::vector<Catalog::TableRef> refs;
-  for (const Table* table : tables) {
-    Catalog::TableRef ref = engine_->catalog_.Ref(*table);
-    if (ref) refs.push_back(std::move(ref));
-  }
-  std::sort(refs.begin(), refs.end(),
-            [](const Catalog::TableRef& a, const Catalog::TableRef& b) {
-              return a.lock < b.lock;
-            });
-  refs.erase(std::unique(refs.begin(), refs.end(),
-                         [](const Catalog::TableRef& a,
-                            const Catalog::TableRef& b) {
-                           return a.lock == b.lock;
-                         }),
-             refs.end());
+  CollectPlanTableRefs(*plan, engine_->catalog_, &refs);
   std::vector<std::shared_lock<std::shared_mutex>> guards;
   guards.reserve(refs.size());
   for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
@@ -111,8 +116,15 @@ Result<QueryResult> Session::Execute(LogicalPtr plan,
   return result;
 }
 
-Status Session::ExecuteUpdate(const std::string& table_name,
-                              UpdateQuery query) {
+namespace {
+
+/// The buffer-and-commit phase of an update query, with the table's
+/// exclusive lock already held by the caller. Validates before buffering
+/// so a rejected query leaves no partial PDT (including cell types: a
+/// wrong-typed value would otherwise surface as an exception out of the
+/// index update handlers).
+Status ApplyUpdateLocked(Table* table, PatchIndexManager& manager,
+                         UpdateQuery query) {
   const int kinds = (query.inserts.empty() ? 0 : 1) +
                     (query.deletes.empty() ? 0 : 1) +
                     (query.modifies.empty() ? 0 : 1);
@@ -123,21 +135,6 @@ Status Session::ExecuteUpdate(const std::string& table_name,
         "statement inserts, modifies or deletes)");
   }
 
-  Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
-  if (!ref) {
-    return Status::NotFound("table '" + table_name + "' does not exist");
-  }
-  Table* table = ref.table;
-  std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
-  // Recheck under the lock: a concurrent DropTable may have de-cataloged
-  // the table between Ref() and lock acquisition.
-  if (engine_->catalog_.FindTable(table_name) != table) {
-    return Status::NotFound("table '" + table_name + "' was dropped");
-  }
-
-  // Validate before buffering so a rejected query leaves no partial PDT
-  // (including cell types: a wrong-typed value would otherwise surface
-  // as an exception out of the index update handlers).
   for (const Row& row : query.inserts) {
     if (row.cells.size() != table->schema().num_fields()) {
       return Status::InvalidArgument("insert row arity mismatch");
@@ -171,7 +168,38 @@ Status Session::ExecuteUpdate(const std::string& table_name,
     PIDX_RETURN_NOT_OK(
         table->BufferModify(cell.row, cell.column, std::move(cell.value)));
   }
-  return engine_->catalog_.manager().CommitUpdateQuery(*table);
+  return manager.CommitUpdateQuery(*table);
+}
+
+}  // namespace
+
+Status Session::ExecuteUpdate(const std::string& table_name,
+                              UpdateQuery query) {
+  return ExecuteUpdateWith(
+      table_name,
+      [&query](const Table&) -> Result<UpdateQuery> {
+        return std::move(query);
+      });
+}
+
+Status Session::ExecuteUpdateWith(
+    const std::string& table_name,
+    const std::function<Result<UpdateQuery>(const Table&)>& build) {
+  Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
+  if (!ref) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  Table* table = ref.table;
+  std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
+  // Recheck under the lock: a concurrent DropTable may have de-cataloged
+  // the table between Ref() and lock acquisition.
+  if (engine_->catalog_.FindTable(table_name) != table) {
+    return Status::NotFound("table '" + table_name + "' was dropped");
+  }
+  Result<UpdateQuery> query = build(*table);
+  if (!query.ok()) return query.status();
+  return ApplyUpdateLocked(table, engine_->catalog_.manager(),
+                           std::move(query).value());
 }
 
 Status Session::CreatePatchIndex(const std::string& table_name,

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +41,12 @@ struct EngineOptions {
 /// A query answer: the materialized rows plus how they were produced.
 struct QueryResult {
   Batch rows;
+  /// Output column names. Filled by the SQL front end (Session::Sql and
+  /// prepared statements); empty for hand-built LogicalNode plans, whose
+  /// columns are positional.
+  std::vector<std::string> column_names;
+  /// Rows inserted/modified/deleted by a SQL DML statement; 0 for reads.
+  std::uint64_t rows_affected = 0;
   /// True when the morsel-driven parallel executor ran the plan; false
   /// when it fell back to the serial operator tree. Parallel results are
   /// identical to serial ones modulo row order (a Sort-rooted plan keeps
@@ -92,6 +100,14 @@ struct UpdateQuery {
 };
 
 class Session;
+class PreparedStatement;
+
+/// Resolves every catalog table `plan` scans to TableRefs, sorted by
+/// lock address and deduplicated — the deterministic order in which read
+/// queries acquire their shared locks (see the Session class comment).
+/// Shared by Session::Execute and the SQL EXPLAIN path.
+void CollectPlanTableRefs(const LogicalNode& plan, const Catalog& catalog,
+                          std::vector<Catalog::TableRef>* refs);
 
 /// The execution engine: owns the catalog (tables + PatchIndexes) and the
 /// worker pool, and hands out sessions. Queries enter as LogicalNode
@@ -148,6 +164,33 @@ class Session {
   /// PatchIndexManager::CommitUpdateQuery).
   Status ExecuteUpdate(const std::string& table, UpdateQuery query);
 
+  /// Like ExecuteUpdate, but the delta is computed from the table's
+  /// current state by `build`, *under the same exclusive lock* that
+  /// applies it — the SQL UPDATE/DELETE path (find the matching rows,
+  /// then change them) needs the two steps atomic against concurrent
+  /// writers. `build` must not touch other catalog tables (lock order).
+  Status ExecuteUpdateWith(
+      const std::string& table,
+      const std::function<Result<UpdateQuery>(const Table&)>& build);
+
+  /// Parses, binds and runs one SQL text statement (see sql/parser.h for
+  /// the grammar). SELECTs return rows with column_names set; INSERT /
+  /// UPDATE / DELETE return rows_affected. `params` supplies values for
+  /// `?` placeholders in statement order. One-shot convenience over
+  /// Prepare(sql) + Execute(params).
+  Result<QueryResult> Sql(std::string_view sql, std::vector<Value> params = {});
+
+  /// Parses and binds `sql` once for repeated execution. The bound plan
+  /// is cached in the returned statement; each Execute re-runs only the
+  /// PatchIndex rewriter and the executor.
+  Result<PreparedStatement> Prepare(std::string_view sql);
+
+  /// The optimized plan of a SQL statement as an indented tree (see
+  /// optimizer/explain.h) — shows which PatchIndex rewrites fire. DML
+  /// statements render their delta and, for UPDATE/DELETE, the row-
+  /// matching plan.
+  Result<std::string> Explain(std::string_view sql);
+
   /// Creates a PatchIndex on a catalog table (exclusive lock; the table
   /// must have no pending deltas).
   Status CreatePatchIndex(const std::string& table, std::size_t column,
@@ -160,11 +203,38 @@ class Session {
 
  private:
   friend class Engine;
+  friend class PreparedStatement;
   explicit Session(Engine* engine)
       : engine_(engine), counters_(std::make_shared<ExecPathCounters>()) {}
 
   Engine* engine_;
   std::shared_ptr<ExecPathCounters> counters_;
+};
+
+/// A parsed-and-bound SQL statement, created by Session::Prepare. Holds
+/// the bound LogicalNode plan (or DML delta expressions) so repeated
+/// executions skip the front end entirely; `?` parameters are rebound per
+/// Execute call. Copies share the underlying statement. One statement
+/// must not be executed from two threads at once (the parameter slots are
+/// shared); distinct statements are independent. Like any retained plan,
+/// a prepared statement is invalidated by dropping a table it references.
+class PreparedStatement {
+ public:
+  /// Runs the statement with `params` bound to the `?` placeholders in
+  /// order. Parameter values must match the inferred slot types (INT64
+  /// widens to DOUBLE).
+  Result<QueryResult> Execute(std::vector<Value> params = {});
+
+  std::size_t num_params() const;
+  const std::string& sql() const;
+
+ private:
+  friend class Session;
+  struct Impl;
+  explicit PreparedStatement(std::shared_ptr<Impl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<Impl> impl_;
 };
 
 }  // namespace patchindex

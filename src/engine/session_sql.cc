@@ -1,0 +1,272 @@
+// Session's SQL entry points: Sql / Prepare / Explain and
+// PreparedStatement. The front end lives in src/sql/ (lexer -> parser ->
+// binder); this file owns running a bound statement through the engine:
+// SELECT plans go down the same OptimizePlan + morsel-executor path as
+// hand-built LogicalNode plans, DML deltas are computed and applied under
+// the table's exclusive lock via Session::ExecuteUpdateWith.
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/engine.h"
+#include "optimizer/explain.h"
+#include "optimizer/rewriter.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace patchindex {
+
+namespace {
+
+/// Prefixes every line of `body` with two spaces (nesting a sub-plan
+/// under a one-line header).
+std::string Indent(const std::string& body) {
+  std::string out;
+  for (std::size_t i = 0; i < body.size();) {
+    std::size_t nl = body.find('\n', i);
+    if (nl == std::string::npos) nl = body.size();
+    out += "  " + body.substr(i, nl - i) + "\n";
+    i = nl + 1;
+  }
+  return out;
+}
+
+/// Truncates a materialized batch to its first `limit` rows (LIMIT
+/// without ORDER BY — no order to cut on inside the plan).
+void TruncateBatch(Batch* batch, std::size_t limit) {
+  if (batch->num_rows() <= limit) return;
+  Batch out;
+  std::vector<ColumnType> types;
+  for (const ColumnVector& c : batch->columns) types.push_back(c.type);
+  out.Reset(types);
+  for (std::size_t r = 0; r < limit; ++r) out.AppendRowFrom(*batch, r);
+  *batch = std::move(out);
+}
+
+/// Evaluates a bound row-free expression (INSERT values: constants,
+/// parameters, arithmetic) to a single Value.
+Value EvalScalar(const Expr& expr) {
+  Batch one;
+  one.row_ids.push_back(0);
+  ColumnVector v = expr.Eval(one);
+  PIDX_CHECK(v.size() == 1);
+  return v.GetValue(0);
+}
+
+/// The row-finding plan of a SQL UPDATE/DELETE: a scan of every schema
+/// column plus the bound WHERE. Shared by execution (MatchingRows) and
+/// EXPLAIN so the rendered plan is the executed one.
+LogicalPtr MatchingRowsPlan(const Table& table,
+                            const sql::BoundStatement& bound) {
+  std::vector<std::size_t> cols;
+  for (std::size_t c = 0; c < table.schema().num_fields(); ++c) {
+    cols.push_back(c);
+  }
+  LogicalPtr plan = LScan(table, std::move(cols));
+  if (bound.where != nullptr) {
+    plan = LSelect(std::move(plan), bound.where, bound.where_selectivity);
+  }
+  return plan;
+}
+
+/// The rows of `table` matching `bound.where` (all of them when null),
+/// materialized with every schema column — the row-finding phase of SQL
+/// UPDATE/DELETE. Runs serially: the caller holds the table's exclusive
+/// lock, so no patch rewrites or parallelism are worth the setup.
+Batch MatchingRows(const Table& table, const sql::BoundStatement& bound) {
+  OperatorPtr op = CompilePlan(MatchingRowsPlan(table, bound));
+  return Collect(*op);
+}
+
+Status BindParams(const sql::BoundStatement& bound,
+                  std::vector<Value> params) {
+  if (params.size() != bound.param_slots->size()) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(bound.param_slots->size()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ColumnType want = bound.param_types[i];
+    if (params[i].type() == ColumnType::kInt64 &&
+        want == ColumnType::kDouble) {
+      params[i] = Value(static_cast<double>(params[i].AsInt64()));
+    }
+    if (params[i].type() != want) {
+      return Status::InvalidArgument(
+          "parameter ?" + std::to_string(i + 1) + " expects " +
+          ColumnTypeName(want) + ", got " +
+          ColumnTypeName(params[i].type()));
+    }
+    (*bound.param_slots)[i] = std::move(params[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct PreparedStatement::Impl {
+  Session session;
+  sql::BoundStatement bound;
+  std::string sql;
+};
+
+Result<PreparedStatement> Session::Prepare(std::string_view sql) {
+  Result<sql::Statement> parsed = sql::ParseStatement(sql);
+  if (!parsed.ok()) return parsed.status();
+  Result<sql::BoundStatement> bound =
+      sql::BindStatement(parsed.value(), engine_->catalog());
+  if (!bound.ok()) return bound.status();
+  auto impl = std::make_shared<PreparedStatement::Impl>(
+      PreparedStatement::Impl{*this, std::move(bound).value(),
+                              std::string(sql)});
+  return PreparedStatement(std::move(impl));
+}
+
+Result<QueryResult> Session::Sql(std::string_view sql,
+                                 std::vector<Value> params) {
+  Result<PreparedStatement> prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
+  return prepared.value().Execute(std::move(params));
+}
+
+std::size_t PreparedStatement::num_params() const {
+  return impl_->bound.param_slots->size();
+}
+
+const std::string& PreparedStatement::sql() const { return impl_->sql; }
+
+Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
+  const sql::BoundStatement& bound = impl_->bound;
+  PIDX_RETURN_NOT_OK(BindParams(bound, std::move(params)));
+  Session& session = impl_->session;
+
+  switch (bound.kind) {
+    case sql::Statement::Kind::kSelect: {
+      // The rewriter transforms plans in place, so each run optimizes a
+      // fresh clone of the cached bound plan.
+      Result<QueryResult> result = session.Execute(ClonePlan(bound.plan));
+      if (!result.ok()) return result.status();
+      QueryResult out = std::move(result).value();
+      out.column_names = bound.column_names;
+      // A COUNT-only global aggregate over an empty input still returns
+      // its one mandatory row (of zeros); see BoundStatement.
+      if (bound.global_count_only && out.rows.num_rows() == 0) {
+        if (out.rows.columns.empty()) {
+          out.rows.Reset(std::vector<ColumnType>(bound.column_names.size(),
+                                                 ColumnType::kInt64));
+        }
+        for (ColumnVector& c : out.rows.columns) {
+          c.AppendValue(Value(std::int64_t{0}));
+        }
+        out.rows.row_ids.push_back(0);
+      }
+      if (bound.has_post_limit) TruncateBatch(&out.rows, bound.post_limit);
+      return out;
+    }
+    case sql::Statement::Kind::kInsert: {
+      std::vector<Row> rows;
+      for (const std::vector<ExprPtr>& row : bound.insert_rows) {
+        Row r;
+        for (const ExprPtr& cell : row) r.cells.push_back(EvalScalar(*cell));
+        rows.push_back(std::move(r));
+      }
+      QueryResult out;
+      out.rows_affected = rows.size();
+      PIDX_RETURN_NOT_OK(session.ExecuteUpdate(
+          bound.table, UpdateQuery::Insert(std::move(rows))));
+      return out;
+    }
+    case sql::Statement::Kind::kUpdate: {
+      QueryResult out;
+      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWith(
+          bound.table, [&](const Table& table) -> Result<UpdateQuery> {
+            Batch matches = MatchingRows(table, bound);
+            std::vector<CellUpdate> cells;
+            for (const auto& [col, expr] : bound.set_exprs) {
+              ColumnVector values = expr->Eval(matches);
+              for (std::size_t r = 0; r < matches.num_rows(); ++r) {
+                cells.push_back(
+                    {matches.row_ids[r], col, values.GetValue(r)});
+              }
+            }
+            out.rows_affected = matches.num_rows();
+            return UpdateQuery::Modify(std::move(cells));
+          }));
+      return out;
+    }
+    case sql::Statement::Kind::kDelete: {
+      QueryResult out;
+      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWith(
+          bound.table, [&](const Table& table) -> Result<UpdateQuery> {
+            Batch matches = MatchingRows(table, bound);
+            out.rows_affected = matches.num_rows();
+            return UpdateQuery::Delete(std::move(matches.row_ids));
+          }));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> Session::Explain(std::string_view sql) {
+  Result<sql::Statement> parsed = sql::ParseStatement(sql);
+  if (!parsed.ok()) return parsed.status();
+  Result<sql::BoundStatement> bound_result =
+      sql::BindStatement(parsed.value(), engine_->catalog());
+  if (!bound_result.ok()) return bound_result.status();
+  const sql::BoundStatement& bound = bound_result.value();
+
+  switch (bound.kind) {
+    case sql::Statement::Kind::kSelect: {
+      // Shared-lock the scanned tables like Execute does: the rewriter
+      // and the row-count annotations read table state.
+      std::vector<Catalog::TableRef> refs;
+      CollectPlanTableRefs(*bound.plan, engine_->catalog(), &refs);
+      std::vector<std::shared_lock<std::shared_mutex>> guards;
+      guards.reserve(refs.size());
+      for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
+      LogicalPtr optimized =
+          OptimizePlan(ClonePlan(bound.plan), engine_->catalog().manager(),
+                       engine_->options().optimizer);
+      std::string out = ExplainPlan(optimized);
+      if (bound.has_post_limit) {
+        out = "Limit(" + std::to_string(bound.post_limit) + ")\n" +
+              Indent(out);
+      }
+      return out;
+    }
+    case sql::Statement::Kind::kInsert:
+      return "Insert(table='" + bound.table + "', rows=" +
+             std::to_string(bound.insert_rows.size()) + ")\n";
+    case sql::Statement::Kind::kUpdate:
+    case sql::Statement::Kind::kDelete: {
+      // Shared-lock the target: the rendered row-matching plan reads
+      // table state (row counts), like the SELECT branch above.
+      Catalog::TableRef ref = engine_->catalog().Ref(bound.table);
+      if (!ref) {
+        return Status::NotFound("table '" + bound.table + "' was dropped");
+      }
+      std::shared_lock<std::shared_mutex> guard(*ref.lock);
+      const Table* table = ref.table;
+      std::string head;
+      if (bound.kind == sql::Statement::Kind::kUpdate) {
+        head = "Update(table='" + bound.table + "', set=[";
+        for (std::size_t i = 0; i < bound.set_exprs.size(); ++i) {
+          if (i > 0) head += ", ";
+          head += "#" + std::to_string(bound.set_exprs[i].first) + " := " +
+                  bound.set_exprs[i].second->ToString();
+        }
+        head += "])\n";
+      } else {
+        head = "Delete(table='" + bound.table + "')\n";
+      }
+      return head + Indent(ExplainPlan(MatchingRowsPlan(*table, bound)));
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace patchindex

@@ -8,6 +8,24 @@ namespace patchindex {
 
 namespace {
 
+const char* CmpOpName(Expr::CmpOp op) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return "=";
+    case Expr::CmpOp::kNe:
+      return "!=";
+    case Expr::CmpOp::kLt:
+      return "<";
+    case Expr::CmpOp::kLe:
+      return "<=";
+    case Expr::CmpOp::kGt:
+      return ">";
+    case Expr::CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
 class ColumnExpr : public Expr {
  public:
   explicit ColumnExpr(std::size_t idx) : idx_(idx) {}
@@ -20,6 +38,7 @@ class ColumnExpr : public Expr {
     PIDX_CHECK(idx_ < batch.columns.size());
     return batch.columns[idx_];  // copy; acceptable at our scale
   }
+  std::string ToString() const override { return "#" + std::to_string(idx_); }
   int column_index() const override { return static_cast<int>(idx_); }
 
  private:
@@ -38,6 +57,10 @@ class ConstExpr : public Expr {
     const std::size_t n = batch.num_rows();
     for (std::size_t i = 0; i < n; ++i) out.AppendValue(v_);
     return out;
+  }
+  std::string ToString() const override {
+    if (v_.type() == ColumnType::kString) return "'" + v_.AsString() + "'";
+    return v_.ToString();
   }
   const Value& value() const { return v_; }
 
@@ -100,6 +123,10 @@ class CmpExpr : public Expr {
     }
     return out;
   }
+  std::string ToString() const override {
+    return "(" + l_->ToString() + " " + CmpOpName(op_) + " " +
+           r_->ToString() + ")";
+  }
 
  private:
   CmpOp op_;
@@ -146,6 +173,17 @@ class BoolExpr : public Expr {
       }
     }
     return out;
+  }
+  std::string ToString() const override {
+    switch (op_) {
+      case BoolOp::kAnd:
+        return "(" + l_->ToString() + " AND " + r_->ToString() + ")";
+      case BoolOp::kOr:
+        return "(" + l_->ToString() + " OR " + r_->ToString() + ")";
+      case BoolOp::kNot:
+        return "(NOT " + l_->ToString() + ")";
+    }
+    return "?";
   }
 
  private:
@@ -237,10 +275,102 @@ class ArithExpr : public Expr {
     }
     return out;
   }
+  std::string ToString() const override {
+    const char* op = "?";
+    switch (op_) {
+      case ArithOp::kAdd:
+        op = "+";
+        break;
+      case ArithOp::kSub:
+        op = "-";
+        break;
+      case ArithOp::kMul:
+        op = "*";
+        break;
+      case ArithOp::kDiv:
+        op = "/";
+        break;
+    }
+    return "(" + l_->ToString() + " " + op + " " + r_->ToString() + ")";
+  }
 
  private:
   ArithOp op_;
   ExprPtr l_, r_;
+};
+
+/// INT64 <-> DOUBLE conversion. Casting to the operand's own type copies
+/// it through; string casts are a binder-time error and trip the check.
+class CastExpr : public Expr {
+ public:
+  CastExpr(ExprPtr e, ColumnType to) : e_(std::move(e)), to_(to) {
+    PIDX_CHECK_MSG(to_ != ColumnType::kString,
+                   "casts to string are not supported");
+  }
+  Kind kind() const override { return Kind::kCast; }
+  ColumnType OutputType(const std::vector<ColumnType>&) const override {
+    return to_;
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    ColumnVector in = e_->Eval(batch);
+    if (in.type == to_) return in;
+    PIDX_CHECK_MSG(in.type != ColumnType::kString,
+                   "casts from string are not supported");
+    ColumnVector out(to_);
+    const std::size_t n = in.size();
+    if (to_ == ColumnType::kDouble) {
+      out.f64.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.f64.push_back(static_cast<double>(in.i64[i]));
+      }
+    } else {
+      out.i64.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.i64.push_back(static_cast<std::int64_t>(in.f64[i]));
+      }
+    }
+    return out;
+  }
+  std::string ToString() const override {
+    return std::string(ColumnTypeName(to_)) + "(" + e_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr e_;
+  ColumnType to_;
+};
+
+/// A prepared-statement `?` slot; see ParamRef() in the header.
+class ParamExpr : public Expr {
+ public:
+  ParamExpr(std::shared_ptr<const std::vector<Value>> slots,
+            std::size_t ordinal, ColumnType type)
+      : slots_(std::move(slots)), ordinal_(ordinal), type_(type) {}
+  Kind kind() const override { return Kind::kParam; }
+  ColumnType OutputType(const std::vector<ColumnType>&) const override {
+    return type_;
+  }
+  ColumnVector Eval(const Batch& batch) const override {
+    PIDX_CHECK_MSG(ordinal_ < slots_->size(),
+                   "parameter slot not bound before execution");
+    Value v = (*slots_)[ordinal_];
+    if (v.type() == ColumnType::kInt64 && type_ == ColumnType::kDouble) {
+      v = Value(static_cast<double>(v.AsInt64()));
+    }
+    PIDX_CHECK_MSG(v.type() == type_, "parameter value type mismatch");
+    ColumnVector out(type_);
+    const std::size_t n = batch.num_rows();
+    for (std::size_t i = 0; i < n; ++i) out.AppendValue(v);
+    return out;
+  }
+  std::string ToString() const override {
+    return "?" + std::to_string(ordinal_ + 1);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Value>> slots_;
+  std::size_t ordinal_;
+  ColumnType type_;
 };
 
 }  // namespace
@@ -294,6 +424,15 @@ ExprPtr Mul(ExprPtr l, ExprPtr r) {
 }
 ExprPtr Div(ExprPtr l, ExprPtr r) {
   return std::make_shared<ArithExpr>(ArithOp::kDiv, std::move(l), std::move(r));
+}
+
+ExprPtr Cast(ExprPtr e, ColumnType to) {
+  return std::make_shared<CastExpr>(std::move(e), to);
+}
+
+ExprPtr ParamRef(std::shared_ptr<const std::vector<Value>> slots,
+                 std::size_t ordinal, ColumnType type) {
+  return std::make_shared<ParamExpr>(std::move(slots), ordinal, type);
 }
 
 ExprPtr InList(ExprPtr x, const std::vector<Value>& values) {

@@ -13,8 +13,8 @@ namespace patchindex {
 /// Scalar expression over the columns of a batch. Comparisons and boolean
 /// connectives produce INT64 0/1 vectors, which SelectOperator interprets
 /// as selection masks; arithmetic promotes to DOUBLE when either operand
-/// is DOUBLE. Rich enough for the TPC-H subset (Q3/Q7/Q12) and the
-/// update-handling queries.
+/// is DOUBLE. Rich enough for the TPC-H subset (Q3/Q7/Q12), the
+/// update-handling queries, and the predicates the SQL binder emits.
 class Expr {
  public:
   enum class Kind {
@@ -28,6 +28,8 @@ class Expr {
     kSub,
     kMul,
     kDiv,
+    kCast,
+    kParam,
   };
   enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
@@ -35,6 +37,11 @@ class Expr {
   virtual Kind kind() const = 0;
   virtual ColumnType OutputType(const std::vector<ColumnType>& input) const = 0;
   virtual ColumnVector Eval(const Batch& batch) const = 0;
+
+  /// Human-readable rendering — `(#0 = 42)`, `(#1 AND (NOT #2))` — used by
+  /// EXPLAIN output and the SQL front-end tests. Column references render
+  /// as `#<input index>`; parameters as `?<ordinal+1>`.
+  virtual std::string ToString() const = 0;
 
   /// For kColumn expressions: the referenced input column; -1 otherwise.
   /// Lets the optimizer trace column provenance through projections.
@@ -65,6 +72,19 @@ ExprPtr Div(ExprPtr l, ExprPtr r);
 
 /// x IN (v1, v2, ...) as a disjunction of equalities.
 ExprPtr InList(ExprPtr x, const std::vector<Value>& values);
+
+/// Converts `e` to `to` (INT64 <-> DOUBLE; casting to the expression's own
+/// type is the identity). The SQL binder inserts casts to reconcile mixed
+/// INT64/DOUBLE comparisons and assignments; string casts are not
+/// supported and must be rejected at binding time.
+ExprPtr Cast(ExprPtr e, ColumnType to);
+
+/// A `?` placeholder of a prepared statement: evaluates to the current
+/// value of slot `ordinal` in the shared `slots` vector, coerced to
+/// `type` (INT64 widens to DOUBLE). The runner writes the slots before
+/// each execution, so one bound plan serves every parameter binding.
+ExprPtr ParamRef(std::shared_ptr<const std::vector<Value>> slots,
+                 std::size_t ordinal, ColumnType type);
 
 }  // namespace patchindex
 

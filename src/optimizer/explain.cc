@@ -21,6 +21,7 @@ const char* ConstraintName(ConstraintKind kind) {
 void Render(const LogicalNode& node, int depth, std::string* out) {
   out->append(static_cast<std::size_t>(depth) * 2, ' ');
   char buf[160];
+  buf[0] = '\0';
   switch (node.kind) {
     case LogicalNode::Kind::kScan:
       std::snprintf(buf, sizeof(buf), "Scan(%zu cols, %llu rows%s)",
@@ -29,13 +30,22 @@ void Render(const LogicalNode& node, int depth, std::string* out) {
                         node.table->num_visible_rows()),
                     node.scan_sorted_col >= 0 ? ", sorted" : "");
       break;
-    case LogicalNode::Kind::kSelect:
-      std::snprintf(buf, sizeof(buf), "Select(sel=%.2f)", node.selectivity);
+    case LogicalNode::Kind::kSelect: {
+      std::snprintf(buf, sizeof(buf), ", sel=%.2f)", node.selectivity);
+      out->append("Select(");
+      out->append(node.predicate != nullptr ? node.predicate->ToString()
+                                            : "?");
       break;
-    case LogicalNode::Kind::kProject:
-      std::snprintf(buf, sizeof(buf), "Project(%zu exprs)",
-                    node.exprs.size());
+    }
+    case LogicalNode::Kind::kProject: {
+      std::snprintf(buf, sizeof(buf), ")");
+      out->append("Project(");
+      for (std::size_t i = 0; i < node.exprs.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(node.exprs[i]->ToString());
+      }
       break;
+    }
     case LogicalNode::Kind::kJoin:
       std::snprintf(buf, sizeof(buf), "Join(keys %zu=%zu)%s", node.left_key,
                     node.right_key,

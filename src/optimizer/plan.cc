@@ -72,6 +72,13 @@ LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys,
   return n;
 }
 
+LogicalPtr ClonePlan(const LogicalPtr& plan) {
+  if (plan == nullptr) return nullptr;
+  auto n = std::make_shared<LogicalNode>(*plan);  // copies all payload fields
+  for (auto& child : n->children) child = ClonePlan(child);
+  return n;
+}
+
 std::vector<ColumnType> LogicalOutputTypes(const LogicalNode& node) {
   switch (node.kind) {
     case LogicalNode::Kind::kScan: {

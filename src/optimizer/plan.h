@@ -90,6 +90,13 @@ LogicalPtr LAggregate(LogicalPtr child, std::vector<std::size_t> group_cols,
 LogicalPtr LSort(LogicalPtr child, std::vector<SortKeySpec> keys,
                  std::size_t limit = 0);
 
+/// Deep copy of a plan tree's nodes. The PatchIndex rewriter transforms
+/// plans in place, so a caller that keeps a bound plan for repeated
+/// execution (prepared statements) hands out a clone per run. Node
+/// payloads that are not themselves plan structure — tables, expressions,
+/// index pointers — stay shared.
+LogicalPtr ClonePlan(const LogicalPtr& plan);
+
 /// Output column types of a logical node.
 std::vector<ColumnType> LogicalOutputTypes(const LogicalNode& node);
 

@@ -39,6 +39,34 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
   }
 
   switch (node->kind) {
+    case LogicalNode::Kind::kScan: {
+      // Sortedness inference: a zero-exception ascending NSC index on a
+      // scanned column proves the stored order sorted by it — the
+      // annotation the kPatchJoin rewrite needs on its non-fact input.
+      // Inferred here, not at plan-build time, because it must reflect
+      // the table state of *this* execution (the optimizer runs under
+      // the session's shared table locks; a cached/prepared plan may be
+      // re-run long after updates broke the sort order).
+      if (node->scan_sorted_col >= 0 || node->table == nullptr ||
+          !node->table->pdt().empty()) {
+        break;
+      }
+      for (const PatchIndex* idx : manager.IndexesOn(*node->table)) {
+        if (idx->constraint() != ConstraintKind::kNearlySorted ||
+            !idx->ascending() || idx->NumPatches() != 0 ||
+            idx->patches().NumRows() != node->table->num_rows()) {
+          continue;
+        }
+        for (std::size_t i = 0; i < node->columns.size(); ++i) {
+          if (node->columns[i] == idx->column()) {
+            node->scan_sorted_col = static_cast<int>(i);
+            break;
+          }
+        }
+        if (node->scan_sorted_col >= 0) break;
+      }
+      break;
+    }
     case LogicalNode::Kind::kDistinct: {
       if (node->group_cols.size() != 1) break;
       const PatchIndex* idx =

@@ -1,0 +1,85 @@
+#include "sql/ast.h"
+
+namespace patchindex::sql {
+
+namespace {
+
+const char* OpName(ParseExpr::Op op) {
+  switch (op) {
+    case ParseExpr::Op::kEq:
+      return "=";
+    case ParseExpr::Op::kNe:
+      return "!=";
+    case ParseExpr::Op::kLt:
+      return "<";
+    case ParseExpr::Op::kLe:
+      return "<=";
+    case ParseExpr::Op::kGt:
+      return ">";
+    case ParseExpr::Op::kGe:
+      return ">=";
+    case ParseExpr::Op::kAnd:
+      return "AND";
+    case ParseExpr::Op::kOr:
+      return "OR";
+    case ParseExpr::Op::kNot:
+      return "NOT";
+    case ParseExpr::Op::kNeg:
+      return "-";
+    case ParseExpr::Op::kAdd:
+      return "+";
+    case ParseExpr::Op::kSub:
+      return "-";
+    case ParseExpr::Op::kMul:
+      return "*";
+    case ParseExpr::Op::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ParseExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kIntLit:
+      return std::to_string(i64);
+    case Kind::kDoubleLit:
+      return std::to_string(f64);
+    case Kind::kStringLit:
+      return "'" + str + "'";
+    case Kind::kParam:
+      return "?" + std::to_string(param_ordinal + 1);
+    case Kind::kUnary:
+      return std::string("(") + OpName(op) + " " + children[0]->ToString() +
+             ")";
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + OpName(op) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = name + "(";
+      if (star_arg) {
+        out += "*";
+      } else {
+        for (std::size_t i = 0; i < children.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += children[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+    case Kind::kInList: {
+      std::string out = children[0]->ToString() + " IN (";
+      for (std::size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace patchindex::sql

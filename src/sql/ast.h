@@ -1,0 +1,144 @@
+#ifndef PATCHINDEX_SQL_AST_H_
+#define PATCHINDEX_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace patchindex::sql {
+
+/// Unbound scalar expression as parsed. Names are unresolved; the binder
+/// turns these into `patchindex::Expr` trees with column indices.
+struct ParseExpr;
+using ParseExprPtr = std::shared_ptr<ParseExpr>;
+
+struct ParseExpr {
+  enum class Kind {
+    kColumn,     // [qualifier.]name
+    kIntLit,     // i64
+    kDoubleLit,  // f64
+    kStringLit,  // str
+    kParam,      // `?`, param_ordinal
+    kUnary,      // op (kNot/kNeg), children[0]
+    kBinary,     // op, children[0] op children[1]
+    kCall,       // name(children...) — aggregate functions; star_arg = (*)
+    kInList,     // children[0] IN (children[1..])
+  };
+  enum class Op {
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kNeg,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+
+  Kind kind = Kind::kColumn;
+  SourceLoc loc;
+  std::string qualifier;  // kColumn: table name or alias; may be empty
+  std::string name;       // kColumn / kCall (function name, lowercased)
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  std::string str;
+  std::size_t param_ordinal = 0;
+  Op op = Op::kEq;
+  bool star_arg = false;  // kCall: COUNT(*)
+  std::vector<ParseExprPtr> children;
+
+  /// Canonical rendering for parser tests and error messages, e.g.
+  /// `(t.a + 1)`, `count(*)`, `x IN (1, 2)`.
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  ParseExprPtr expr;  // null when star
+  std::string alias;
+  bool star = false;
+  SourceLoc loc;
+};
+
+struct TableClause {
+  std::string table;
+  std::string alias;  // display qualifier; defaults to the table name
+  SourceLoc loc;
+
+  const std::string& Qualifier() const { return alias.empty() ? table : alias; }
+};
+
+/// `JOIN <table> ON <col> = <col>` — inner equi joins only.
+struct JoinClause {
+  TableClause table;
+  ParseExprPtr left_key;   // both sides are column refs
+  ParseExprPtr right_key;
+  SourceLoc loc;
+};
+
+struct OrderItem {
+  ParseExprPtr expr;  // column ref, ordinal literal, or aggregate call
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableClause from;
+  std::vector<JoinClause> joins;
+  ParseExprPtr where;  // may be null
+  std::vector<ParseExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::int64_t limit = -1;  // -1 = no LIMIT
+};
+
+struct InsertStatement {
+  std::string table;
+  SourceLoc table_loc;
+  std::vector<std::string> columns;  // empty = schema order; else must
+                                     // cover every column exactly once
+  std::vector<std::vector<ParseExprPtr>> rows;
+};
+
+struct UpdateStatement {
+  struct SetClause {
+    std::string column;
+    SourceLoc loc;
+    ParseExprPtr value;
+  };
+  std::string table;
+  SourceLoc table_loc;
+  std::vector<SetClause> sets;
+  ParseExprPtr where;  // may be null (updates every row)
+};
+
+struct DeleteStatement {
+  std::string table;
+  SourceLoc table_loc;
+  ParseExprPtr where;  // may be null (deletes every row)
+};
+
+/// One parsed SQL statement; exactly the member matching `kind` is set.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kSelect;
+  std::shared_ptr<SelectStatement> select;
+  std::shared_ptr<InsertStatement> insert;
+  std::shared_ptr<UpdateStatement> update;
+  std::shared_ptr<DeleteStatement> del;
+  /// Number of `?` placeholders (ordinals are assigned left to right).
+  std::size_t num_params = 0;
+};
+
+}  // namespace patchindex::sql
+
+#endif  // PATCHINDEX_SQL_AST_H_

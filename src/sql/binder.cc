@@ -1,0 +1,1221 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "exec/expression.h"
+#include "patchindex/manager.h"
+
+namespace patchindex::sql {
+
+namespace {
+
+/// One column of an intermediate result during binding.
+struct ColumnInfo {
+  std::string qualifier;  // table alias; empty for derived columns
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+/// The columns a scalar expression may reference, with SQL resolution
+/// rules (optional qualifier, ambiguity detection, case-insensitive).
+struct BindScope {
+  std::vector<ColumnInfo> cols;
+
+  /// Index of the matching column; kInvalidArgument on unknown/ambiguous.
+  Result<std::size_t> Resolve(const std::string& qualifier,
+                              const std::string& name,
+                              const SourceLoc& loc) const {
+    int found = -1;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (!EqualsNoCase(cols[i].name, name)) continue;
+      if (!qualifier.empty() && !EqualsNoCase(cols[i].qualifier, qualifier)) {
+        continue;
+      }
+      if (found >= 0) {
+        return Status::InvalidArgument(
+            "ambiguous column '" + name + "' (matches " +
+            cols[found].qualifier + "." + cols[found].name + " and " +
+            cols[i].qualifier + "." + cols[i].name + ") at " + loc.ToString());
+      }
+      found = static_cast<int>(i);
+    }
+    if (found < 0) {
+      return Status::InvalidArgument(
+          "unknown column '" +
+          (qualifier.empty() ? name : qualifier + "." + name) + "' at " +
+          loc.ToString());
+    }
+    return static_cast<std::size_t>(found);
+  }
+};
+
+/// Visits every kColumn node of an expression tree.
+template <typename Fn>
+void WalkColumns(const ParseExpr& e, Fn&& fn) {
+  if (e.kind == ParseExpr::Kind::kColumn) fn(e);
+  for (const ParseExprPtr& child : e.children) WalkColumns(*child, fn);
+}
+
+bool ContainsAggregate(const ParseExpr& e) {
+  if (e.kind == ParseExpr::Kind::kCall) return true;
+  for (const ParseExprPtr& child : e.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+double GuessSelectivity(const ParseExpr& e) {
+  if (e.kind == ParseExpr::Kind::kBinary) {
+    switch (e.op) {
+      case ParseExpr::Op::kEq:
+        return 0.1;
+      case ParseExpr::Op::kLt:
+      case ParseExpr::Op::kLe:
+      case ParseExpr::Op::kGt:
+      case ParseExpr::Op::kGe:
+        return 0.3;
+      default:
+        break;
+    }
+  }
+  if (e.kind == ParseExpr::Kind::kInList) return 0.2;
+  return 0.5;
+}
+
+/// A table occurrence in FROM/JOIN, with the pruned scan layout.
+struct Entry {
+  const Table* table = nullptr;
+  std::string qualifier;
+  SourceLoc loc;
+  std::set<std::size_t> used;            // original column indices
+  std::vector<std::size_t> scan_cols;    // sorted `used` (scan layout)
+  std::map<std::size_t, std::size_t> orig_to_scan;
+};
+
+class Binder {
+ public:
+  Binder(const Catalog& catalog, std::size_t num_params)
+      : catalog_(catalog),
+        slots_(std::make_shared<std::vector<Value>>(num_params)),
+        param_types_(num_params) {}
+
+  Result<BoundStatement> Bind(const Statement& stmt) {
+    BoundStatement out;
+    out.kind = stmt.kind;
+    Status st;
+    switch (stmt.kind) {
+      case Statement::Kind::kSelect:
+        st = BindSelect(*stmt.select, &out);
+        break;
+      case Statement::Kind::kInsert:
+        st = BindInsert(*stmt.insert, &out);
+        break;
+      case Statement::Kind::kUpdate:
+        st = BindUpdate(*stmt.update, &out);
+        break;
+      case Statement::Kind::kDelete:
+        st = BindDelete(*stmt.del, &out);
+        break;
+    }
+    if (!st.ok()) return st;
+    for (std::size_t i = 0; i < param_types_.size(); ++i) {
+      if (!param_types_[i].has_value()) {
+        return Status::InvalidArgument(
+            "cannot infer the type of parameter ?" + std::to_string(i + 1) +
+            "; compare or combine it with a typed operand");
+      }
+    }
+    out.param_slots = slots_;
+    for (const auto& t : param_types_) out.param_types.push_back(*t);
+    return out;
+  }
+
+ private:
+  // ------------------------------------------------------------- scalars
+
+  /// Binds a scalar (non-aggregate) expression against `scope`. `hint`
+  /// types parameters that have no context of their own (INSERT values,
+  /// SET right-hand sides).
+  Result<std::pair<ExprPtr, ColumnType>> BindScalar(
+      const ParseExpr& e, const BindScope& scope,
+      std::optional<ColumnType> hint = std::nullopt) {
+    switch (e.kind) {
+      case ParseExpr::Kind::kColumn: {
+        Result<std::size_t> pos = scope.Resolve(e.qualifier, e.name, e.loc);
+        if (!pos.ok()) return pos.status();
+        return std::make_pair(Col(pos.value()),
+                              scope.cols[pos.value()].type);
+      }
+      case ParseExpr::Kind::kIntLit:
+        if (hint == ColumnType::kDouble) {
+          return std::make_pair(ConstDouble(static_cast<double>(e.i64)),
+                                ColumnType::kDouble);
+        }
+        return std::make_pair(ConstInt(e.i64), ColumnType::kInt64);
+      case ParseExpr::Kind::kDoubleLit:
+        return std::make_pair(ConstDouble(e.f64), ColumnType::kDouble);
+      case ParseExpr::Kind::kStringLit:
+        return std::make_pair(ConstString(e.str), ColumnType::kString);
+      case ParseExpr::Kind::kParam: {
+        std::optional<ColumnType>& slot = param_types_[e.param_ordinal];
+        if (!slot.has_value()) {
+          if (!hint.has_value()) {
+            return Status::InvalidArgument(
+                "cannot infer the type of parameter ?" +
+                std::to_string(e.param_ordinal + 1) + " at " +
+                e.loc.ToString());
+          }
+          slot = hint;
+        }
+        return std::make_pair(
+            ParamRef(slots_, e.param_ordinal, *slot), *slot);
+      }
+      case ParseExpr::Kind::kUnary: {
+        if (e.op == ParseExpr::Op::kNot) {
+          Result<std::pair<ExprPtr, ColumnType>> inner =
+              BindScalar(*e.children[0], scope);
+          if (!inner.ok()) return inner.status();
+          if (inner.value().second != ColumnType::kInt64) {
+            return Status::InvalidArgument(
+                "NOT expects a boolean (INT64) operand at " +
+                e.loc.ToString());
+          }
+          return std::make_pair(Not(inner.value().first), ColumnType::kInt64);
+        }
+        // kNeg: 0 - x.
+        Result<std::pair<ExprPtr, ColumnType>> inner =
+            BindScalar(*e.children[0], scope, hint);
+        if (!inner.ok()) return inner.status();
+        if (inner.value().second == ColumnType::kString) {
+          return Status::InvalidArgument("cannot negate a STRING at " +
+                                         e.loc.ToString());
+        }
+        ExprPtr zero = inner.value().second == ColumnType::kDouble
+                           ? ConstDouble(0.0)
+                           : ConstInt(0);
+        return std::make_pair(Sub(std::move(zero), inner.value().first),
+                              inner.value().second);
+      }
+      case ParseExpr::Kind::kBinary:
+        return BindBinary(e, scope, hint);
+      case ParseExpr::Kind::kCall:
+        return Status::InvalidArgument(
+            "aggregate function '" + e.name +
+            "' is only allowed in the select list at " + e.loc.ToString());
+      case ParseExpr::Kind::kInList:
+        return BindInList(e, scope);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Result<std::pair<ExprPtr, ColumnType>> BindBinary(
+      const ParseExpr& e, const BindScope& scope,
+      std::optional<ColumnType> hint) {
+    const bool is_cmp = e.op == ParseExpr::Op::kEq ||
+                        e.op == ParseExpr::Op::kNe ||
+                        e.op == ParseExpr::Op::kLt ||
+                        e.op == ParseExpr::Op::kLe ||
+                        e.op == ParseExpr::Op::kGt ||
+                        e.op == ParseExpr::Op::kGe;
+    const bool is_bool =
+        e.op == ParseExpr::Op::kAnd || e.op == ParseExpr::Op::kOr;
+
+    if (is_bool) {
+      Result<std::pair<ExprPtr, ColumnType>> l =
+          BindScalar(*e.children[0], scope);
+      if (!l.ok()) return l.status();
+      Result<std::pair<ExprPtr, ColumnType>> r =
+          BindScalar(*e.children[1], scope);
+      if (!r.ok()) return r.status();
+      if (l.value().second != ColumnType::kInt64 ||
+          r.value().second != ColumnType::kInt64) {
+        return Status::InvalidArgument(
+            std::string(e.op == ParseExpr::Op::kAnd ? "AND" : "OR") +
+            " expects boolean (INT64) operands at " + e.loc.ToString());
+      }
+      ExprPtr out = e.op == ParseExpr::Op::kAnd
+                        ? And(l.value().first, r.value().first)
+                        : Or(l.value().first, r.value().first);
+      return std::make_pair(std::move(out), ColumnType::kInt64);
+    }
+
+    // Comparison / arithmetic: bind the non-parameter side first so a bare
+    // `?` on the other side inherits its type.
+    const ParseExpr& le = *e.children[0];
+    const ParseExpr& re = *e.children[1];
+    const bool l_param = le.kind == ParseExpr::Kind::kParam &&
+                         !param_types_[le.param_ordinal].has_value();
+    ExprPtr lx, rx;
+    ColumnType lt, rt;
+    if (l_param) {
+      Result<std::pair<ExprPtr, ColumnType>> r =
+          BindScalar(re, scope, hint);
+      if (!r.ok()) return r.status();
+      rx = r.value().first;
+      rt = r.value().second;
+      Result<std::pair<ExprPtr, ColumnType>> l = BindScalar(le, scope, rt);
+      if (!l.ok()) return l.status();
+      lx = l.value().first;
+      lt = l.value().second;
+    } else {
+      Result<std::pair<ExprPtr, ColumnType>> l =
+          BindScalar(le, scope, hint);
+      if (!l.ok()) return l.status();
+      lx = l.value().first;
+      lt = l.value().second;
+      Result<std::pair<ExprPtr, ColumnType>> r = BindScalar(re, scope, lt);
+      if (!r.ok()) return r.status();
+      rx = r.value().first;
+      rt = r.value().second;
+    }
+
+    if (is_cmp) {
+      PIDX_RETURN_NOT_OK(
+          ReconcileTypes(&lx, &lt, &rx, &rt, "compare", e.loc));
+      Expr::CmpOp op;
+      switch (e.op) {
+        case ParseExpr::Op::kEq:
+          op = Expr::CmpOp::kEq;
+          break;
+        case ParseExpr::Op::kNe:
+          op = Expr::CmpOp::kNe;
+          break;
+        case ParseExpr::Op::kLt:
+          op = Expr::CmpOp::kLt;
+          break;
+        case ParseExpr::Op::kLe:
+          op = Expr::CmpOp::kLe;
+          break;
+        case ParseExpr::Op::kGt:
+          op = Expr::CmpOp::kGt;
+          break;
+        default:
+          op = Expr::CmpOp::kGe;
+          break;
+      }
+      return std::make_pair(Cmp(op, std::move(lx), std::move(rx)),
+                            ColumnType::kInt64);
+    }
+
+    // Arithmetic.
+    if (lt == ColumnType::kString || rt == ColumnType::kString) {
+      return Status::InvalidArgument("arithmetic over STRING operands at " +
+                                     e.loc.ToString());
+    }
+    const ColumnType out_type =
+        (lt == ColumnType::kDouble || rt == ColumnType::kDouble)
+            ? ColumnType::kDouble
+            : ColumnType::kInt64;
+    ExprPtr out;
+    switch (e.op) {
+      case ParseExpr::Op::kAdd:
+        out = Add(std::move(lx), std::move(rx));
+        break;
+      case ParseExpr::Op::kSub:
+        out = Sub(std::move(lx), std::move(rx));
+        break;
+      case ParseExpr::Op::kMul:
+        out = Mul(std::move(lx), std::move(rx));
+        break;
+      case ParseExpr::Op::kDiv:
+        out = Div(std::move(lx), std::move(rx));
+        break;
+      default:
+        return Status::Internal("unexpected arithmetic operator");
+    }
+    return std::make_pair(std::move(out), out_type);
+  }
+
+  Result<std::pair<ExprPtr, ColumnType>> BindInList(const ParseExpr& e,
+                                                    const BindScope& scope) {
+    Result<std::pair<ExprPtr, ColumnType>> lhs =
+        BindScalar(*e.children[0], scope);
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr acc;
+    for (std::size_t i = 1; i < e.children.size(); ++i) {
+      Result<std::pair<ExprPtr, ColumnType>> elem =
+          BindScalar(*e.children[i], scope, lhs.value().second);
+      if (!elem.ok()) return elem.status();
+      ExprPtr lx = lhs.value().first;
+      ColumnType lt = lhs.value().second;
+      ExprPtr rx = elem.value().first;
+      ColumnType rt = elem.value().second;
+      PIDX_RETURN_NOT_OK(
+          ReconcileTypes(&lx, &lt, &rx, &rt, "compare", e.loc));
+      ExprPtr eq = Eq(std::move(lx), std::move(rx));
+      acc = acc ? Or(std::move(acc), std::move(eq)) : std::move(eq);
+    }
+    return std::make_pair(std::move(acc), ColumnType::kInt64);
+  }
+
+  /// Makes both sides the same type, widening INT64 to DOUBLE; anything
+  /// else mixed is an error.
+  Status ReconcileTypes(ExprPtr* l, ColumnType* lt, ExprPtr* r,
+                        ColumnType* rt, const char* verb,
+                        const SourceLoc& loc) {
+    if (*lt == *rt) return Status::OK();
+    if (*lt == ColumnType::kInt64 && *rt == ColumnType::kDouble) {
+      *l = Cast(std::move(*l), ColumnType::kDouble);
+      *lt = ColumnType::kDouble;
+      return Status::OK();
+    }
+    if (*lt == ColumnType::kDouble && *rt == ColumnType::kInt64) {
+      *r = Cast(std::move(*r), ColumnType::kDouble);
+      *rt = ColumnType::kDouble;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(std::string("type mismatch: cannot ") +
+                                   verb + " " + ColumnTypeName(*lt) +
+                                   " with " + ColumnTypeName(*rt) + " at " +
+                                   loc.ToString());
+  }
+
+  // -------------------------------------------------------------- select
+
+  Result<Entry> MakeEntry(const TableClause& clause) {
+    const Table* table = catalog_.FindTable(clause.table);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table '" + clause.table + "' at " +
+                              clause.loc.ToString());
+    }
+    if (table->schema().num_fields() == 0) {
+      return Status::InvalidArgument("table '" + clause.table +
+                                     "' has no columns");
+    }
+    Entry e;
+    e.table = table;
+    e.qualifier = clause.Qualifier();
+    e.loc = clause.loc;
+    return e;
+  }
+
+  /// (entry index, original column) a reference resolves to, across all
+  /// FROM/JOIN entries.
+  Result<std::pair<std::size_t, std::size_t>> ResolveToEntry(
+      const std::vector<Entry>& entries, const std::string& qualifier,
+      const std::string& name, const SourceLoc& loc) {
+    int fe = -1, fc = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (!qualifier.empty() &&
+          !EqualsNoCase(entries[i].qualifier, qualifier)) {
+        continue;
+      }
+      const Schema& schema = entries[i].table->schema();
+      for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+        if (!EqualsNoCase(schema.field(c).name, name)) continue;
+        if (fe >= 0) {
+          return Status::InvalidArgument(
+              "ambiguous column '" + name + "' (matches " +
+              entries[fe].qualifier + "." + name + " and " +
+              entries[i].qualifier + "." + name + ") at " + loc.ToString());
+        }
+        fe = static_cast<int>(i);
+        fc = static_cast<int>(c);
+      }
+    }
+    if (fe < 0) {
+      return Status::InvalidArgument(
+          "unknown column '" +
+          (qualifier.empty() ? name : qualifier + "." + name) + "' at " +
+          loc.ToString());
+    }
+    return std::make_pair(static_cast<std::size_t>(fe),
+                          static_cast<std::size_t>(fc));
+  }
+
+  /// Splits a WHERE tree into AND-ed conjuncts.
+  static void SplitConjuncts(const ParseExprPtr& e,
+                             std::vector<ParseExprPtr>* out) {
+    if (e->kind == ParseExpr::Kind::kBinary &&
+        e->op == ParseExpr::Op::kAnd) {
+      SplitConjuncts(e->children[0], out);
+      SplitConjuncts(e->children[1], out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  Status BindSelect(const SelectStatement& sel, BoundStatement* out) {
+    // FROM entries.
+    std::vector<Entry> entries;
+    {
+      Result<Entry> e = MakeEntry(sel.from);
+      if (!e.ok()) return e.status();
+      entries.push_back(std::move(e).value());
+    }
+    for (const JoinClause& join : sel.joins) {
+      Result<Entry> e = MakeEntry(join.table);
+      if (!e.ok()) return e.status();
+      entries.push_back(std::move(e).value());
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < entries.size(); ++j) {
+        if (EqualsNoCase(entries[i].qualifier, entries[j].qualifier)) {
+          return Status::InvalidArgument(
+              "duplicate table name/alias '" + entries[i].qualifier +
+              "' at " + entries[j].loc.ToString() +
+              " (alias one of the occurrences)");
+        }
+      }
+    }
+
+    // Expand `*` into one item per column, FROM order.
+    std::vector<SelectItem> items;
+    for (const SelectItem& item : sel.items) {
+      if (!item.star) {
+        items.push_back(item);
+        continue;
+      }
+      for (const Entry& entry : entries) {
+        const Schema& schema = entry.table->schema();
+        for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+          SelectItem expanded;
+          expanded.loc = item.loc;
+          auto ref = std::make_shared<ParseExpr>();
+          ref->kind = ParseExpr::Kind::kColumn;
+          ref->qualifier = entry.qualifier;
+          ref->name = schema.field(c).name;
+          ref->loc = item.loc;
+          expanded.expr = std::move(ref);
+          items.push_back(std::move(expanded));
+        }
+      }
+    }
+    if (items.empty()) {
+      return Status::InvalidArgument("empty select list");
+    }
+
+    // Collect used columns (select list, WHERE, GROUP BY, join keys; plus
+    // ORDER BY names that resolve to input columns rather than aliases).
+    Status collect = Status::OK();
+    auto mark = [&](const ParseExpr& ref) {
+      if (!collect.ok()) return;
+      Result<std::pair<std::size_t, std::size_t>> r =
+          ResolveToEntry(entries, ref.qualifier, ref.name, ref.loc);
+      if (!r.ok()) {
+        collect = r.status();
+        return;
+      }
+      entries[r.value().first].used.insert(r.value().second);
+    };
+    for (const SelectItem& item : items) WalkColumns(*item.expr, mark);
+    if (sel.where != nullptr) WalkColumns(*sel.where, mark);
+    for (const ParseExprPtr& g : sel.group_by) WalkColumns(*g, mark);
+    for (const JoinClause& join : sel.joins) {
+      WalkColumns(*join.left_key, mark);
+      WalkColumns(*join.right_key, mark);
+    }
+    if (!collect.ok()) return collect;
+    for (const OrderItem& o : sel.order_by) {
+      WalkColumns(*o.expr, [&](const ParseExpr& ref) {
+        if (ref.qualifier.empty()) {
+          for (const SelectItem& item : items) {
+            if (EqualsNoCase(item.alias, ref.name)) return;  // alias wins
+          }
+        }
+        Result<std::pair<std::size_t, std::size_t>> r =
+            ResolveToEntry(entries, ref.qualifier, ref.name, ref.loc);
+        if (r.ok()) entries[r.value().first].used.insert(r.value().second);
+        // Unresolvable ORDER BY names are diagnosed during ORDER BY
+        // binding, where aliases and ordinals are in scope.
+      });
+    }
+
+    // Scan layouts; a table referenced by no column still scans its first
+    // column (the executor has no zero-column scan).
+    for (Entry& entry : entries) {
+      if (entry.used.empty()) entry.used.insert(0);
+      entry.scan_cols.assign(entry.used.begin(), entry.used.end());
+      for (std::size_t i = 0; i < entry.scan_cols.size(); ++i) {
+        entry.orig_to_scan[entry.scan_cols[i]] = i;
+      }
+    }
+
+    // Per-entry plans: scan + pushed-down single-table conjuncts.
+    std::vector<ParseExprPtr> conjuncts;
+    if (sel.where != nullptr) SplitConjuncts(sel.where, &conjuncts);
+    std::vector<LogicalPtr> entry_plans;
+    std::vector<BindScope> entry_scopes;
+    // Scans carry no sortedness annotation here: the PatchIndex rewriter
+    // infers it per execution, under the session's table locks, so cached
+    // bound plans stay correct across updates.
+    for (const Entry& entry : entries) {
+      entry_plans.push_back(LScan(*entry.table, entry.scan_cols));
+      BindScope scope;
+      for (std::size_t c : entry.scan_cols) {
+        scope.cols.push_back({entry.qualifier,
+                              entry.table->schema().field(c).name,
+                              entry.table->schema().field(c).type});
+      }
+      entry_scopes.push_back(std::move(scope));
+    }
+    std::vector<ParseExprPtr> late_conjuncts;
+    for (const ParseExprPtr& conjunct : conjuncts) {
+      if (ContainsAggregate(*conjunct)) {
+        return Status::InvalidArgument(
+            "aggregate function in WHERE at " + conjunct->loc.ToString());
+      }
+      std::set<std::size_t> touched;
+      Status st = Status::OK();
+      WalkColumns(*conjunct, [&](const ParseExpr& ref) {
+        if (!st.ok()) return;
+        Result<std::pair<std::size_t, std::size_t>> r =
+            ResolveToEntry(entries, ref.qualifier, ref.name, ref.loc);
+        if (!r.ok()) {
+          st = r.status();
+          return;
+        }
+        touched.insert(r.value().first);
+      });
+      if (!st.ok()) return st;
+      if (touched.size() == 1) {
+        const std::size_t e = *touched.begin();
+        Result<std::pair<ExprPtr, ColumnType>> bound =
+            BindScalar(*conjunct, entry_scopes[e]);
+        if (!bound.ok()) return bound.status();
+        if (bound.value().second != ColumnType::kInt64) {
+          return Status::InvalidArgument(
+              "WHERE expects a boolean (INT64) predicate at " +
+              conjunct->loc.ToString());
+        }
+        entry_plans[e] = LSelect(entry_plans[e], bound.value().first,
+                                 GuessSelectivity(*conjunct));
+      } else {
+        late_conjuncts.push_back(conjunct);
+      }
+    }
+
+    // Left-deep join tree; the joined scope is the concatenation of the
+    // entry scan scopes in FROM order.
+    LogicalPtr cur = entry_plans[0];
+    BindScope scope = entry_scopes[0];
+    std::vector<std::size_t> entry_offset(entries.size(), 0);
+    for (std::size_t j = 0; j < sel.joins.size(); ++j) {
+      const JoinClause& join = sel.joins[j];
+      const std::size_t new_entry = j + 1;
+      entry_offset[new_entry] = scope.cols.size();
+      auto side = [&](const ParseExpr& ref)
+          -> Result<std::pair<bool, std::size_t>> {
+        // (is_new_side, position within that side's current output)
+        Result<std::pair<std::size_t, std::size_t>> r =
+            ResolveToEntry(entries, ref.qualifier, ref.name, ref.loc);
+        if (!r.ok()) return r.status();
+        const std::size_t e = r.value().first;
+        const std::size_t scan_pos =
+            entries[e].orig_to_scan.at(r.value().second);
+        if (e == new_entry) return std::make_pair(true, scan_pos);
+        if (e < new_entry) {
+          return std::make_pair(false, entry_offset[e] + scan_pos);
+        }
+        return Status::InvalidArgument(
+            "join condition references table '" + entries[e].qualifier +
+            "' before it is joined, at " + ref.loc.ToString());
+      };
+      Result<std::pair<bool, std::size_t>> l = side(*join.left_key);
+      if (!l.ok()) return l.status();
+      Result<std::pair<bool, std::size_t>> r = side(*join.right_key);
+      if (!r.ok()) return r.status();
+      if (l.value().first == r.value().first) {
+        return Status::InvalidArgument(
+            "join condition must relate the joined table to a previous "
+            "one, at " + join.loc.ToString());
+      }
+      const std::size_t left_pos =
+          l.value().first ? r.value().second : l.value().second;
+      const std::size_t right_pos =
+          l.value().first ? l.value().second : r.value().second;
+      if (scope.cols[left_pos].type != ColumnType::kInt64 ||
+          entry_scopes[new_entry].cols[right_pos].type !=
+              ColumnType::kInt64) {
+        return Status::InvalidArgument(
+            "join keys must be INT64 columns, at " + join.loc.ToString());
+      }
+      cur = LJoin(cur, entry_plans[new_entry], left_pos, right_pos);
+      for (const ColumnInfo& c : entry_scopes[new_entry].cols) {
+        scope.cols.push_back(c);
+      }
+    }
+
+    // Cross-table conjuncts above the joins.
+    for (const ParseExprPtr& conjunct : late_conjuncts) {
+      Result<std::pair<ExprPtr, ColumnType>> bound =
+          BindScalar(*conjunct, scope);
+      if (!bound.ok()) return bound.status();
+      if (bound.value().second != ColumnType::kInt64) {
+        return Status::InvalidArgument(
+            "WHERE expects a boolean (INT64) predicate at " +
+            conjunct->loc.ToString());
+      }
+      cur = LSelect(cur, bound.value().first, GuessSelectivity(*conjunct));
+    }
+
+    return BindSelectOutput(sel, items, std::move(cur), std::move(scope),
+                            out);
+  }
+
+  /// Everything above the joined/filtered input: aggregation, DISTINCT,
+  /// ORDER BY placement, projection and LIMIT.
+  Status BindSelectOutput(const SelectStatement& sel,
+                          const std::vector<SelectItem>& items,
+                          LogicalPtr cur, BindScope scope,
+                          BoundStatement* out) {
+    const bool has_group = !sel.group_by.empty();
+    bool has_agg = false;
+    for (const SelectItem& item : items) {
+      if (ContainsAggregate(*item.expr)) has_agg = true;
+    }
+
+    // Per final output column: the projection expression over `cur`'s
+    // output, and — when the item is a plain column of `cur` — its
+    // position there (lets ORDER BY sort below the projection).
+    std::vector<ExprPtr> proj_exprs;
+    std::vector<std::optional<std::size_t>> direct;
+    std::vector<std::string> names;
+    std::vector<ColumnType> types;
+    // Canonical agg rendering per item ("count(*)"), for ORDER BY
+    // matching; empty for non-aggregate items.
+    std::vector<std::string> agg_text(items.size());
+
+    if (has_group || has_agg) {
+      Status st = BindAggregation(sel, items, &cur, &scope, &proj_exprs,
+                                  &direct, &names, &types, &agg_text);
+      if (!st.ok()) return st;
+      if (!has_group) {
+        out->global_count_only = true;
+        for (const SelectItem& item : items) {
+          if (item.expr->kind != ParseExpr::Kind::kCall ||
+              item.expr->name != "count") {
+            out->global_count_only = false;
+          }
+        }
+      }
+    } else {
+      for (const SelectItem& item : items) {
+        Result<std::pair<ExprPtr, ColumnType>> bound =
+            BindScalar(*item.expr, scope);
+        if (!bound.ok()) return bound.status();
+        proj_exprs.push_back(bound.value().first);
+        types.push_back(bound.value().second);
+        const int col = bound.value().first->column_index();
+        direct.push_back(col >= 0 ? std::optional<std::size_t>(col)
+                                  : std::nullopt);
+        if (!item.alias.empty()) {
+          names.push_back(item.alias);
+        } else if (item.expr->kind == ParseExpr::Kind::kColumn) {
+          names.push_back(item.expr->name);
+        } else {
+          names.push_back(item.expr->ToString());
+        }
+      }
+    }
+
+    auto projection_is_identity = [&]() {
+      if (proj_exprs.size() != scope.cols.size()) return false;
+      for (std::size_t i = 0; i < proj_exprs.size(); ++i) {
+        if (!direct[i].has_value() || *direct[i] != i) return false;
+      }
+      return true;
+    };
+
+    // DISTINCT folds the projection into the Distinct node when every
+    // item is a plain column — keeping the select-chain shape below it.
+    bool projected = false;  // projection already applied to `cur`
+    if (sel.distinct) {
+      bool all_direct = true;
+      for (const auto& d : direct) {
+        if (!d.has_value()) all_direct = false;
+      }
+      std::vector<std::size_t> cols;
+      if (all_direct) {
+        for (const auto& d : direct) cols.push_back(*d);
+        cur = LDistinct(std::move(cur), std::move(cols));
+      } else {
+        for (std::size_t i = 0; i < proj_exprs.size(); ++i) {
+          cols.push_back(i);
+        }
+        cur = LProject(std::move(cur), proj_exprs);
+        cur = LDistinct(std::move(cur), std::move(cols));
+      }
+      scope.cols.clear();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        scope.cols.push_back({"", names[i], types[i]});
+        proj_exprs[i] = Col(i);
+        direct[i] = i;
+      }
+      projected = true;
+    }
+
+    // ORDER BY: resolve every key to an item index or a position in
+    // `cur`'s output.
+    struct Key {
+      std::optional<std::size_t> item;     // select-list item index
+      std::optional<std::size_t> raw_pos;  // position in `cur`'s output
+      bool ascending = true;
+    };
+    std::vector<Key> keys;
+    for (const OrderItem& o : sel.order_by) {
+      Key key;
+      key.ascending = o.ascending;
+      const ParseExpr& e = *o.expr;
+      if (e.kind == ParseExpr::Kind::kIntLit) {
+        if (e.i64 < 1 || e.i64 > static_cast<std::int64_t>(items.size())) {
+          return Status::InvalidArgument(
+              "ORDER BY position " + std::to_string(e.i64) +
+              " is out of range at " + e.loc.ToString());
+        }
+        key.item = static_cast<std::size_t>(e.i64 - 1);
+      } else if (e.kind == ParseExpr::Kind::kCall) {
+        const std::string text = ToLowerAscii(e.ToString());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (agg_text[i] == text) key.item = i;
+        }
+        if (!key.item.has_value()) {
+          return Status::InvalidArgument(
+              "ORDER BY aggregate '" + e.ToString() +
+              "' does not appear in the select list at " + e.loc.ToString());
+        }
+      } else {
+        // Column name: explicit alias first, then the input, then output
+        // names.
+        if (e.qualifier.empty()) {
+          for (std::size_t i = 0; i < items.size(); ++i) {
+            if (EqualsNoCase(items[i].alias, e.name)) key.item = i;
+          }
+        }
+        if (!key.item.has_value()) {
+          Result<std::size_t> pos = scope.Resolve(e.qualifier, e.name, e.loc);
+          if (pos.ok()) {
+            key.raw_pos = pos.value();
+          } else if (e.qualifier.empty()) {
+            for (std::size_t i = 0; i < names.size(); ++i) {
+              if (EqualsNoCase(names[i], e.name)) key.item = i;
+            }
+          }
+          if (!key.item.has_value() && !key.raw_pos.has_value()) {
+            return pos.status();
+          }
+        }
+      }
+      keys.push_back(key);
+    }
+
+    const bool has_limit = sel.limit >= 0;
+    const std::size_t limit =
+        has_limit ? static_cast<std::size_t>(sel.limit) : 0;
+    const bool identity = projected || projection_is_identity();
+
+    if (!keys.empty()) {
+      // Prefer sorting below the projection (select-chain shape; allows
+      // ordering by non-selected columns).
+      bool all_below = true;
+      std::vector<SortKeySpec> below;
+      for (const Key& key : keys) {
+        std::optional<std::size_t> pos = key.raw_pos;
+        if (!pos.has_value() && key.item.has_value() &&
+            direct[*key.item].has_value()) {
+          pos = direct[*key.item];
+        }
+        if (!pos.has_value()) {
+          all_below = false;
+          break;
+        }
+        below.push_back({*pos, key.ascending});
+      }
+      if (all_below) {
+        cur = LSort(std::move(cur), std::move(below), limit);
+        if (!identity) cur = LProject(std::move(cur), proj_exprs);
+      } else {
+        // Sort above the projection: every key must name a select item.
+        if (!identity) cur = LProject(std::move(cur), proj_exprs);
+        std::vector<SortKeySpec> above;
+        for (const Key& key : keys) {
+          std::optional<std::size_t> pos = key.item;
+          if (!pos.has_value() && identity) pos = key.raw_pos;
+          if (!pos.has_value() && key.raw_pos.has_value()) {
+            // A raw input column: find the item projecting it.
+            for (std::size_t i = 0; i < direct.size(); ++i) {
+              if (direct[i].has_value() && *direct[i] == *key.raw_pos) {
+                pos = i;
+              }
+            }
+          }
+          if (!pos.has_value()) {
+            return Status::InvalidArgument(
+                "ORDER BY cannot mix computed select items with columns "
+                "that are not in the select list");
+          }
+          above.push_back({*pos, key.ascending});
+        }
+        cur = LSort(std::move(cur), std::move(above), limit);
+      }
+      // kSort's limit 0 means "full sort", so `LIMIT 0` truncates the
+      // materialized result instead.
+      if (has_limit && limit == 0) {
+        out->has_post_limit = true;
+        out->post_limit = 0;
+      }
+    } else {
+      if (!identity) cur = LProject(std::move(cur), proj_exprs);
+      out->has_post_limit = has_limit;
+      out->post_limit = limit;
+    }
+
+    out->plan = std::move(cur);
+    out->column_names = std::move(names);
+    return Status::OK();
+  }
+
+  /// GROUP BY / aggregate binding: builds the Aggregate node and the
+  /// projection mapping select items onto its output.
+  Status BindAggregation(const SelectStatement& sel,
+                         const std::vector<SelectItem>& items,
+                         LogicalPtr* cur, BindScope* scope,
+                         std::vector<ExprPtr>* proj_exprs,
+                         std::vector<std::optional<std::size_t>>* direct,
+                         std::vector<std::string>* names,
+                         std::vector<ColumnType>* types,
+                         std::vector<std::string>* agg_text) {
+    const bool global = sel.group_by.empty();
+
+    std::vector<std::size_t> group_pos;  // positions in `cur`'s output
+    for (const ParseExprPtr& g : sel.group_by) {
+      Result<std::size_t> pos = scope->Resolve(g->qualifier, g->name, g->loc);
+      if (!pos.ok()) return pos.status();
+      group_pos.push_back(pos.value());
+    }
+
+    // Classify the items; aggregate arguments must be plain columns.
+    struct ItemPlan {
+      bool is_group = false;
+      std::size_t group_idx = 0;  // index into group_pos
+      bool is_avg = false;
+      std::size_t agg_idx = 0;    // first AggSpec of this item
+    };
+    std::vector<AggSpec> specs;
+    std::vector<ItemPlan> plans;
+    for (const SelectItem& item : items) {
+      const ParseExpr& e = *item.expr;
+      ItemPlan plan;
+      if (e.kind == ParseExpr::Kind::kColumn) {
+        Result<std::size_t> pos = scope->Resolve(e.qualifier, e.name, e.loc);
+        if (!pos.ok()) return pos.status();
+        bool in_group = false;
+        for (std::size_t i = 0; i < group_pos.size(); ++i) {
+          if (group_pos[i] == pos.value()) {
+            plan.is_group = true;
+            plan.group_idx = i;
+            in_group = true;
+          }
+        }
+        if (!in_group) {
+          return Status::InvalidArgument(
+              "column '" + e.name +
+              "' must appear in GROUP BY or inside an aggregate, at " +
+              e.loc.ToString());
+        }
+      } else if (e.kind == ParseExpr::Kind::kCall) {
+        plan.agg_idx = specs.size();
+        std::size_t arg_pos = 0;
+        ColumnType arg_type = ColumnType::kInt64;
+        if (!e.star_arg) {
+          const ParseExpr& arg = *e.children[0];
+          if (arg.kind != ParseExpr::Kind::kColumn) {
+            return Status::InvalidArgument(
+                "aggregate arguments must be plain columns, at " +
+                arg.loc.ToString());
+          }
+          Result<std::size_t> pos =
+              scope->Resolve(arg.qualifier, arg.name, arg.loc);
+          if (!pos.ok()) return pos.status();
+          arg_pos = pos.value();
+          arg_type = scope->cols[arg_pos].type;
+        }
+        if (e.name == "count") {
+          specs.push_back({AggOp::kCount, arg_pos});
+        } else if (e.name == "sum" || e.name == "avg") {
+          if (e.star_arg) {
+            return Status::InvalidArgument(e.name + "(*) is not valid at " +
+                                           e.loc.ToString());
+          }
+          if (arg_type == ColumnType::kString) {
+            return Status::InvalidArgument(
+                e.name + " expects a numeric column, at " + e.loc.ToString());
+          }
+          specs.push_back({AggOp::kSum, arg_pos});
+          if (e.name == "avg") {
+            plan.is_avg = true;
+            specs.push_back({AggOp::kCount, arg_pos});
+          }
+        } else if (e.name == "min" || e.name == "max") {
+          if (e.star_arg) {
+            return Status::InvalidArgument(e.name + "(*) is not valid at " +
+                                           e.loc.ToString());
+          }
+          specs.push_back(
+              {e.name == "min" ? AggOp::kMin : AggOp::kMax, arg_pos});
+        } else {
+          return Status::InvalidArgument("unknown aggregate '" + e.name +
+                                         "' at " + e.loc.ToString());
+        }
+      } else {
+        return Status::InvalidArgument(
+            "select items under GROUP BY must be grouping columns or "
+            "aggregates (expressions over aggregates are not supported), "
+            "at " + e.loc.ToString());
+      }
+      plans.push_back(plan);
+    }
+
+    // Output types of the aggregate node inputs, for result typing.
+    std::vector<ColumnType> in_types;
+    for (const ColumnInfo& c : scope->cols) in_types.push_back(c.type);
+
+    std::size_t agg_base;  // position of the first AggSpec output
+    if (global) {
+      // No grouping: aggregate over a constant key, dropped afterwards.
+      std::vector<ExprPtr> pre;
+      pre.push_back(ConstInt(0));
+      for (std::size_t i = 0; i < scope->cols.size(); ++i) {
+        pre.push_back(Col(i));
+      }
+      *cur = LProject(std::move(*cur), std::move(pre));
+      for (AggSpec& spec : specs) ++spec.column;
+      *cur = LAggregate(std::move(*cur), {0}, specs);
+      agg_base = 1;
+    } else {
+      *cur = LAggregate(std::move(*cur), group_pos, specs);
+      agg_base = group_pos.size();
+    }
+
+    // New scope: the aggregate's output.
+    BindScope agg_scope;
+    if (global) {
+      agg_scope.cols.push_back({"", "<const>", ColumnType::kInt64});
+    } else {
+      for (std::size_t pos : group_pos) agg_scope.cols.push_back(scope->cols[pos]);
+    }
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const AggSpec& spec = specs[s];
+      ColumnType t = ColumnType::kInt64;
+      if (spec.op != AggOp::kCount) {
+        const std::size_t src = global ? spec.column - 1 : spec.column;
+        t = in_types[src];
+      }
+      agg_scope.cols.push_back({"", "<agg>", t});
+    }
+
+    // Projection over the aggregate output.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const SelectItem& item = items[i];
+      const ItemPlan& plan = plans[i];
+      std::string name = item.alias;
+      if (plan.is_group) {
+        const std::size_t pos = global ? 0 : plan.group_idx;
+        proj_exprs->push_back(Col(pos));
+        direct->push_back(pos);
+        types->push_back(agg_scope.cols[pos].type);
+        if (name.empty()) name = item.expr->name;
+      } else {
+        const std::size_t pos = agg_base + plan.agg_idx;
+        (*agg_text)[i] = ToLowerAscii(item.expr->ToString());
+        if (plan.is_avg) {
+          proj_exprs->push_back(
+              Div(Cast(Col(pos), ColumnType::kDouble), Col(pos + 1)));
+          direct->push_back(std::nullopt);
+          types->push_back(ColumnType::kDouble);
+        } else {
+          proj_exprs->push_back(Col(pos));
+          direct->push_back(pos);
+          types->push_back(agg_scope.cols[pos].type);
+        }
+        if (name.empty()) name = item.expr->ToString();
+      }
+      names->push_back(std::move(name));
+    }
+
+    *scope = std::move(agg_scope);
+    return Status::OK();
+  }
+
+  // ----------------------------------------------------------------- DML
+
+  Result<const Table*> ResolveDmlTable(const std::string& name,
+                                       const SourceLoc& loc) {
+    const Table* table = catalog_.FindTable(name);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table '" + name + "' at " +
+                              loc.ToString());
+    }
+    return table;
+  }
+
+  BindScope FullTableScope(const std::string& qualifier, const Table& table) {
+    BindScope scope;
+    for (const Field& f : table.schema().fields()) {
+      scope.cols.push_back({qualifier, f.name, f.type});
+    }
+    return scope;
+  }
+
+  /// Binds a DML WHERE (over the full schema) into `out`.
+  Status BindDmlWhere(const ParseExprPtr& where, const BindScope& scope,
+                      BoundStatement* out) {
+    if (where == nullptr) return Status::OK();
+    if (ContainsAggregate(*where)) {
+      return Status::InvalidArgument("aggregate function in WHERE at " +
+                                     where->loc.ToString());
+    }
+    Result<std::pair<ExprPtr, ColumnType>> bound = BindScalar(*where, scope);
+    if (!bound.ok()) return bound.status();
+    if (bound.value().second != ColumnType::kInt64) {
+      return Status::InvalidArgument(
+          "WHERE expects a boolean (INT64) predicate at " +
+          where->loc.ToString());
+    }
+    out->where = bound.value().first;
+    out->where_selectivity = GuessSelectivity(*where);
+    return Status::OK();
+  }
+
+  Status BindInsert(const InsertStatement& ins, BoundStatement* out) {
+    Result<const Table*> table = ResolveDmlTable(ins.table, ins.table_loc);
+    if (!table.ok()) return table.status();
+    const Schema& schema = table.value()->schema();
+    out->table = ins.table;
+
+    // Column list: a permutation of the schema (no DEFAULT support).
+    std::vector<std::size_t> targets;  // value position -> schema column
+    if (ins.columns.empty()) {
+      for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+        targets.push_back(c);
+      }
+    } else {
+      if (ins.columns.size() != schema.num_fields()) {
+        return Status::InvalidArgument(
+            "INSERT column list must mention every column of '" + ins.table +
+            "' exactly once (no DEFAULT values)");
+      }
+      std::set<std::size_t> seen;
+      for (const std::string& name : ins.columns) {
+        int idx = -1;
+        for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+          if (EqualsNoCase(schema.field(c).name, name)) {
+            idx = static_cast<int>(c);
+          }
+        }
+        if (idx < 0) {
+          return Status::InvalidArgument("unknown column '" + name +
+                                         "' in INSERT column list");
+        }
+        if (!seen.insert(static_cast<std::size_t>(idx)).second) {
+          return Status::InvalidArgument("duplicate column '" + name +
+                                         "' in INSERT column list");
+        }
+        targets.push_back(static_cast<std::size_t>(idx));
+      }
+    }
+
+    const BindScope empty_scope;  // INSERT values are column-free
+    for (const std::vector<ParseExprPtr>& row : ins.rows) {
+      if (row.size() != targets.size()) {
+        return Status::InvalidArgument(
+            "INSERT row has " + std::to_string(row.size()) +
+            " values, expected " + std::to_string(targets.size()));
+      }
+      std::vector<ExprPtr> bound_row(schema.num_fields());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const std::size_t col = targets[i];
+        const ColumnType want = schema.field(col).type;
+        Result<std::pair<ExprPtr, ColumnType>> bound =
+            BindScalar(*row[i], empty_scope, want);
+        if (!bound.ok()) return bound.status();
+        ExprPtr expr = bound.value().first;
+        ColumnType got = bound.value().second;
+        if (got != want) {
+          if (got == ColumnType::kInt64 && want == ColumnType::kDouble) {
+            expr = Cast(std::move(expr), ColumnType::kDouble);
+          } else {
+            return Status::InvalidArgument(
+                "cannot insert " + std::string(ColumnTypeName(got)) +
+                " into " + ColumnTypeName(want) + " column '" +
+                schema.field(col).name + "' at " + row[i]->loc.ToString());
+          }
+        }
+        bound_row[col] = std::move(expr);
+      }
+      out->insert_rows.push_back(std::move(bound_row));
+    }
+    return Status::OK();
+  }
+
+  Status BindUpdate(const UpdateStatement& upd, BoundStatement* out) {
+    Result<const Table*> table = ResolveDmlTable(upd.table, upd.table_loc);
+    if (!table.ok()) return table.status();
+    const Schema& schema = table.value()->schema();
+    out->table = upd.table;
+    const BindScope scope = FullTableScope(upd.table, *table.value());
+
+    std::set<std::size_t> set_cols;
+    for (const UpdateStatement::SetClause& set : upd.sets) {
+      int idx = -1;
+      for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+        if (EqualsNoCase(schema.field(c).name, set.column)) {
+          idx = static_cast<int>(c);
+        }
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column '" + set.column +
+                                       "' at " + set.loc.ToString());
+      }
+      if (!set_cols.insert(static_cast<std::size_t>(idx)).second) {
+        return Status::InvalidArgument("column '" + set.column +
+                                       "' is SET twice at " +
+                                       set.loc.ToString());
+      }
+      const ColumnType want = schema.field(idx).type;
+      Result<std::pair<ExprPtr, ColumnType>> bound =
+          BindScalar(*set.value, scope, want);
+      if (!bound.ok()) return bound.status();
+      ExprPtr expr = bound.value().first;
+      const ColumnType got = bound.value().second;
+      if (got != want) {
+        if (got == ColumnType::kInt64 && want == ColumnType::kDouble) {
+          expr = Cast(std::move(expr), ColumnType::kDouble);
+        } else {
+          return Status::InvalidArgument(
+              "cannot assign " + std::string(ColumnTypeName(got)) + " to " +
+              ColumnTypeName(want) + " column '" + set.column + "' at " +
+              set.loc.ToString());
+        }
+      }
+      out->set_exprs.emplace_back(static_cast<std::size_t>(idx),
+                                  std::move(expr));
+    }
+    return BindDmlWhere(upd.where, scope, out);
+  }
+
+  Status BindDelete(const DeleteStatement& del, BoundStatement* out) {
+    Result<const Table*> table = ResolveDmlTable(del.table, del.table_loc);
+    if (!table.ok()) return table.status();
+    out->table = del.table;
+    const BindScope scope = FullTableScope(del.table, *table.value());
+    return BindDmlWhere(del.where, scope, out);
+  }
+
+  const Catalog& catalog_;
+  std::shared_ptr<std::vector<Value>> slots_;
+  std::vector<std::optional<ColumnType>> param_types_;
+};
+
+}  // namespace
+
+Result<BoundStatement> BindStatement(const Statement& stmt,
+                                     const Catalog& catalog) {
+  return Binder(catalog, stmt.num_params).Bind(stmt);
+}
+
+}  // namespace patchindex::sql

@@ -1,0 +1,97 @@
+#ifndef PATCHINDEX_SQL_BINDER_H_
+#define PATCHINDEX_SQL_BINDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "optimizer/plan.h"
+#include "sql/ast.h"
+
+namespace patchindex::sql {
+
+/// A bound (name-resolved, type-checked) SQL statement, ready to execute
+/// any number of times. Binding decides the plan shape the PatchIndex
+/// rewriter sees:
+///
+///  - scans read only the columns the statement references;
+///  - single-table WHERE conjuncts are pushed below joins, as a select
+///    chain above the scan (the paper's "subtree X" shape);
+///  - the final projection is elided when it is the identity, and
+///    DISTINCT over plain columns skips the projection entirely — so
+///    `SELECT DISTINCT v FROM t WHERE k < 9` binds to
+///    Distinct(Select(Scan)), the exact kPatchDistinct pattern;
+///  - ORDER BY keys that name input columns sort *below* the projection
+///    (the kPatchSort pattern, and what lets you order by a non-selected
+///    column); keys naming computed select items sort above it.
+///
+/// Scans are bound without a sortedness annotation: the PatchIndex
+/// rewriter infers it per execution (from a zero-exception ascending NSC
+/// index), under the session's table locks, so a cached bound plan stays
+/// correct when later updates break a table's sort order.
+///
+/// `?` parameters live in `param_slots`, read at evaluation time by
+/// ParamRef expressions embedded in the plan, so one bound statement
+/// serves every parameter binding. Slot types are inferred from context
+/// (the column a parameter is compared to or assigned into).
+///
+/// The bound plan holds raw `Table*` pointers into the catalog: executing
+/// a statement bound before a DROP TABLE of one of its tables is
+/// undefined, like any retained LogicalNode plan.
+struct BoundStatement {
+  Statement::Kind kind = Statement::Kind::kSelect;
+
+  // kSelect
+  LogicalPtr plan;
+  std::vector<std::string> column_names;
+  /// LIMIT handled outside the plan: without ORDER BY there is no sort
+  /// node to cut on (and `LIMIT 0` cannot ride on kSort, whose limit 0
+  /// means "unlimited"), so the runner truncates the materialized result
+  /// to `post_limit` rows when `has_post_limit` is set.
+  bool has_post_limit = false;
+  std::size_t post_limit = 0;
+
+  /// True when the statement is a global aggregate (no GROUP BY) whose
+  /// select list is COUNT aggregates only. COUNT is the one aggregate
+  /// with a well-defined value over zero rows, so the runner emits the
+  /// SQL-mandated single row (of zeros) when the input is empty; global
+  /// aggregates mixing MIN/MAX/SUM/AVG still return zero rows there
+  /// (the engine has no NULLs to put in those columns).
+  bool global_count_only = false;
+
+  // DML target (kInsert/kUpdate/kDelete)
+  std::string table;
+
+  /// kInsert: one expression per row and schema column (schema order, the
+  /// column-list permutation already applied). Expressions are
+  /// column-free: constants, parameters and arithmetic over them.
+  std::vector<std::vector<ExprPtr>> insert_rows;
+
+  /// kUpdate/kDelete: predicate over a scan of the *full* table schema
+  /// (expression column i = schema column i); null means every row.
+  ExprPtr where;
+  double where_selectivity = 0.5;
+
+  /// kUpdate: (schema column, value expression over the full schema).
+  std::vector<std::pair<std::size_t, ExprPtr>> set_exprs;
+
+  /// Parameter slots, written by the runner before each execution.
+  std::shared_ptr<std::vector<Value>> param_slots;
+  /// Inferred slot types; incoming INT64 values widen to DOUBLE slots.
+  std::vector<ColumnType> param_types;
+};
+
+/// Resolves `stmt` against the catalog. Fails with kNotFound for unknown
+/// tables, kInvalidArgument for unknown/ambiguous columns, type
+/// mismatches, aggregate misuse, or uninferable parameter types — always
+/// naming the offending token's source position.
+Result<BoundStatement> BindStatement(const Statement& stmt,
+                                     const Catalog& catalog);
+
+}  // namespace patchindex::sql
+
+#endif  // PATCHINDEX_SQL_BINDER_H_

@@ -1,0 +1,227 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace patchindex::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+char ToLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::string ToLowerAscii(std::string s) {
+  for (char& c : s) c = ToLower(c);
+  return s;
+}
+
+bool EqualsNoCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ToLower(a[i]) != ToLower(b[i])) return false;
+  }
+  return true;
+}
+
+bool Token::Is(std::string_view kw) const {
+  return kind == TokenKind::kIdentifier && EqualsNoCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  SourceLoc loc;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      if (sql[i] == '\n') {
+        ++loc.line;
+        loc.column = 1;
+      } else {
+        ++loc.column;
+      }
+    }
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(msg + " at " + loc.ToString());
+  };
+  auto push = [&](TokenKind kind, std::string text, SourceLoc at) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.loc = at;
+    out.push_back(std::move(t));
+  };
+
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') advance(1);
+      continue;
+    }
+    const SourceLoc at = loc;
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < sql.size() && IsIdentChar(sql[j])) ++j;
+      push(TokenKind::kIdentifier, std::string(sql.substr(i, j - i)), at);
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_double = false;
+      while (j < sql.size() && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+        ++j;
+      }
+      if (j + 1 < sql.size() && sql[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < sql.size() &&
+               std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          ++j;
+        }
+      }
+      if (j < sql.size() && IsIdentStart(sql[j])) {
+        return error("malformed number '" +
+                     std::string(sql.substr(i, j + 1 - i)) + "'");
+      }
+      const std::string text(sql.substr(i, j - i));
+      Token t;
+      t.loc = at;
+      t.text = text;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.f64 = std::strtod(text.c_str(), nullptr);
+      } else {
+        errno = 0;
+        t.kind = TokenKind::kIntLiteral;
+        t.i64 = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) return error("integer literal out of range");
+      }
+      out.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      std::size_t j = i + 1;
+      while (true) {
+        if (j >= sql.size()) return error("unterminated string literal");
+        if (sql[j] == '\'') {
+          if (j + 1 < sql.size() && sql[j + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      push(TokenKind::kStringLiteral, std::move(value), at);
+      advance(j + 1 - i);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", at);
+        advance(1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", at);
+        advance(1);
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", at);
+        advance(1);
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", at);
+        advance(1);
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", at);
+        advance(1);
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";", at);
+        advance(1);
+        continue;
+      case '?':
+        push(TokenKind::kQuestion, "?", at);
+        advance(1);
+        continue;
+      case '+':
+        push(TokenKind::kPlus, "+", at);
+        advance(1);
+        continue;
+      case '-':
+        push(TokenKind::kMinus, "-", at);
+        advance(1);
+        continue;
+      case '/':
+        push(TokenKind::kSlash, "/", at);
+        advance(1);
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", at);
+        advance(1);
+        continue;
+      case '!':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", at);
+          advance(2);
+          continue;
+        }
+        return error("unexpected character '!'");
+      case '<':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", at);
+          advance(2);
+        } else if (i + 1 < sql.size() && sql[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", at);
+          advance(2);
+        } else {
+          push(TokenKind::kLt, "<", at);
+          advance(1);
+        }
+        continue;
+      case '>':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", at);
+          advance(2);
+        } else {
+          push(TokenKind::kGt, ">", at);
+          advance(1);
+        }
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.loc = loc;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace patchindex::sql

@@ -1,0 +1,79 @@
+#ifndef PATCHINDEX_SQL_LEXER_H_
+#define PATCHINDEX_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace patchindex::sql {
+
+/// 1-based position of a token in the statement text, for error messages
+/// ("syntax error at line 2, column 14").
+struct SourceLoc {
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+};
+
+enum class TokenKind {
+  kIdentifier,     // bare word; keyword-ness is decided by the parser
+  kIntLiteral,     // 123
+  kDoubleLiteral,  // 1.5
+  kStringLiteral,  // 'abc' ('' escapes a quote)
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,  // `*`: select-star, COUNT(*) or multiplication — context decides
+  kSemicolon,
+  kQuestion,  // `?` prepared-statement parameter
+  kEq,
+  kNe,  // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Raw text (identifier spelling, literal text, operator); string
+  /// literals hold the unescaped content without quotes.
+  std::string text;
+  std::int64_t i64 = 0;  // kIntLiteral
+  double f64 = 0.0;      // kDoubleLiteral
+  SourceLoc loc;
+
+  /// Case-insensitive keyword test (identifiers only). `kw` must be
+  /// lowercase.
+  bool Is(std::string_view kw) const;
+};
+
+/// Splits `sql` into tokens (whitespace and `--` line comments skipped),
+/// ending with a kEnd token. Fails with kInvalidArgument on unterminated
+/// strings, malformed numbers, or characters outside the language, with
+/// the offending position in the message.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+/// ASCII-lowercases `s`. SQL identifiers and keywords match
+/// case-insensitively; lexer, parser and binder all go through these two
+/// helpers so the rules cannot drift apart.
+std::string ToLowerAscii(std::string s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsNoCase(std::string_view a, std::string_view b);
+
+}  // namespace patchindex::sql
+
+#endif  // PATCHINDEX_SQL_LEXER_H_

@@ -109,6 +109,52 @@ Result<std::unique_ptr<Table>> LoadCsvTable(const std::string& path,
   return table;
 }
 
+Result<Schema> InferCsvSchema(const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  const std::vector<std::string> names = SplitLine(line, delimiter);
+
+  auto parses_as = [](const std::string& text, ColumnType type) {
+    Value ignored;
+    return ParseCell(text, type, 0, &ignored).ok();
+  };
+  // Start every column at INT64 and widen as cells contradict it.
+  std::vector<ColumnType> types(names.size(), ColumnType::kInt64);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitLine(line, delimiter);
+    if (fields.size() != names.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(names.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      if (types[c] == ColumnType::kInt64 &&
+          !parses_as(fields[c], ColumnType::kInt64)) {
+        types[c] = ColumnType::kDouble;
+      }
+      if (types[c] == ColumnType::kDouble &&
+          !parses_as(fields[c], ColumnType::kDouble)) {
+        types[c] = ColumnType::kString;
+      }
+    }
+  }
+  std::vector<Field> fields;
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    fields.push_back({names[c], types[c]});
+  }
+  return Schema(std::move(fields));
+}
+
 Status WriteCsvTable(const Table& table, const std::string& path,
                      char delimiter) {
   std::ofstream out(path);

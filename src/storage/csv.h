@@ -27,6 +27,13 @@ Result<std::unique_ptr<Table>> LoadCsvTable(const std::string& path,
 Status WriteCsvTable(const Table& table, const std::string& path,
                      char delimiter = ',');
 
+/// Derives a schema from the file itself: column names from the header
+/// line, each column's type from scanning every data cell — INT64 when
+/// all cells parse as integers, DOUBLE when all parse as numbers, STRING
+/// otherwise. An all-empty column is STRING. Feeds the `.load` path of
+/// tools/pisql, where no schema is declared up front.
+Result<Schema> InferCsvSchema(const std::string& path, char delimiter = ',');
+
 }  // namespace patchindex
 
 #endif  // PATCHINDEX_STORAGE_CSV_H_

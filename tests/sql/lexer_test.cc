@@ -1,0 +1,101 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace patchindex::sql {
+namespace {
+
+std::vector<Token> Lex(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.value_or({});
+}
+
+TEST(LexerTest, TokenizesSelectStatement) {
+  const auto tokens = Lex("SELECT a.b, 12 FROM t WHERE x >= 1.5;");
+  ASSERT_EQ(tokens.size(), 14u);  // incl. kEnd
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE(tokens[0].Is("select"));
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[3].text, "b");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[5].i64, 12);
+  EXPECT_TRUE(tokens[6].Is("from"));
+  EXPECT_TRUE(tokens[8].Is("where"));
+  EXPECT_EQ(tokens[10].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[11].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[11].f64, 1.5);
+  EXPECT_EQ(tokens[12].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[13].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive) {
+  const auto tokens = Lex("SeLeCt");
+  EXPECT_TRUE(tokens[0].Is("select"));
+  EXPECT_FALSE(tokens[0].Is("from"));
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  const auto tokens = Lex("SELECT x\nFROM t");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.column, 8u);
+  EXPECT_EQ(tokens[2].loc.line, 2u);  // FROM
+  EXPECT_EQ(tokens[2].loc.column, 1u);
+  EXPECT_EQ(tokens[3].loc.column, 6u);  // t
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  const auto tokens = Lex("'it''s' 'two words'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_EQ(tokens[1].text, "two words");
+}
+
+TEST(LexerTest, OperatorsAndParams) {
+  const auto tokens = Lex("= != <> < <= > >= + - * / ? ( )");
+  const TokenKind expected[] = {
+      TokenKind::kEq,   TokenKind::kNe,       TokenKind::kNe,
+      TokenKind::kLt,   TokenKind::kLe,       TokenKind::kGt,
+      TokenKind::kGe,   TokenKind::kPlus,     TokenKind::kMinus,
+      TokenKind::kStar, TokenKind::kSlash,    TokenKind::kQuestion,
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kEnd};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, SkipsLineComments) {
+  const auto tokens = Lex("SELECT 1 -- the answer\n+ 2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPlus);
+  EXPECT_EQ(tokens[3].i64, 2);
+}
+
+TEST(LexerTest, UnterminatedStringFailsWithPosition) {
+  Result<std::vector<Token>> r = Tokenize("SELECT 'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unterminated string"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find("line 1, column 8"),
+            std::string::npos);
+}
+
+TEST(LexerTest, RejectsUnknownCharactersAndMalformedNumbers) {
+  EXPECT_FALSE(Tokenize("SELECT #x").ok());
+  EXPECT_FALSE(Tokenize("SELECT 12abc").ok());
+  EXPECT_FALSE(Tokenize("SELECT a ! b").ok());
+}
+
+TEST(LexerTest, NegativeNumbersAreMinusThenLiteral) {
+  const auto tokens = Lex("-3");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[1].i64, 3);
+}
+
+}  // namespace
+}  // namespace patchindex::sql

@@ -1,0 +1,311 @@
+// pisql — an interactive SQL shell over the PatchIndex engine.
+//
+// Usage: pisql [script.sql]
+//
+// Reads from the script file when given, from stdin otherwise (a prompt
+// is shown only on a terminal, so piped sessions produce clean,
+// diffable output — CI smoke-tests rely on that). SQL statements end
+// with `;` and may span lines; meta commands start with `.`:
+//
+//   .load <file.csv> <table>        load a CSV (schema inferred)
+//   .gen nuc|nsc <table> <rows> [rate]   generate a workload table
+//   .index <table> <column> nuc|nsc|ncc  create a PatchIndex
+//   .tables / .schema <table>       catalog introspection
+//   .explain <sql>                  optimized plan (no execution)
+//   .counters                       executor path counters
+//   .timer on|off                   per-query wall time
+//   .help / .quit
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "storage/csv.h"
+#include "workload/generator.h"
+
+using namespace patchindex;
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+void PrintBatch(const Batch& rows, const std::vector<std::string>& names) {
+  std::string header;
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    if (c > 0) header += " | ";
+    header += names[c];
+  }
+  std::printf("%s\n", header.c_str());
+  std::printf("%s\n", std::string(header.size(), '-').c_str());
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    std::string line;
+    for (std::size_t c = 0; c < rows.columns.size(); ++c) {
+      if (c > 0) line += " | ";
+      line += rows.columns[c].GetValue(r).ToString();
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+class Shell {
+ public:
+  Shell() : session_(engine_.CreateSession()) {}
+
+  /// Returns false when the session should end (.quit / EOF handling is
+  /// the caller's).
+  bool HandleLine(const std::string& line) {
+    const std::string trimmed = Trim(line);
+    if (pending_.empty() && trimmed.empty()) return true;
+    if (pending_.empty() && trimmed.rfind("--", 0) == 0) return true;
+    if (pending_.empty() && trimmed[0] == '.') return HandleMeta(trimmed);
+    pending_ += (pending_.empty() ? "" : "\n") + line;
+    // Execute every complete statement in the buffer — one line may hold
+    // several, split at `;` outside string literals (the '' escape is
+    // two quotes, so plain toggling handles it).
+    std::size_t start = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const char c = pending_[i];
+      if (c == '\'') in_string = !in_string;
+      if (c == ';' && !in_string) {
+        const std::string stmt = pending_.substr(start, i + 1 - start);
+        if (Trim(stmt) != ";") RunSql(stmt);
+        start = i + 1;
+      }
+    }
+    pending_.erase(0, start);
+    if (Trim(pending_).empty()) pending_.clear();
+    return true;
+  }
+
+  bool pending() const { return !pending_.empty(); }
+
+ private:
+  static std::string Trim(const std::string& s) {
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  }
+
+  void RunSql(const std::string& sql) {
+    WallTimer timer;
+    Result<QueryResult> result = session_.Sql(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    const QueryResult& qr = result.value();
+    if (!qr.column_names.empty()) {
+      PrintBatch(qr.rows, qr.column_names);
+      std::printf("(%zu rows)\n", qr.rows.num_rows());
+    } else {
+      std::printf("(%llu rows affected)\n",
+                  static_cast<unsigned long long>(qr.rows_affected));
+    }
+    if (timer_) std::printf("time: %.3f ms\n", timer.ElapsedSeconds() * 1e3);
+  }
+
+  bool HandleMeta(const std::string& line) {
+    const std::vector<std::string> words = SplitWords(line);
+    const std::string& cmd = words[0];
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      std::printf(
+          ".load <file.csv> <table>             load a CSV (schema "
+          "inferred)\n"
+          ".gen nuc|nsc <table> <rows> [rate]   generate a workload table\n"
+          ".index <table> <column> nuc|nsc|ncc  create a PatchIndex\n"
+          ".tables / .schema <table>            catalog introspection\n"
+          ".explain <sql>                       optimized plan\n"
+          ".counters                            executor path counters\n"
+          ".timer on|off                        per-query wall time\n"
+          ".quit                                leave\n"
+          "SQL statements end with ';' and may span lines.\n");
+      return true;
+    }
+    if (cmd == ".tables") {
+      for (const std::string& name : engine_.catalog().TableNames()) {
+        const Table* t = engine_.catalog().FindTable(name);
+        std::printf("%s (%llu rows)\n", name.c_str(),
+                    static_cast<unsigned long long>(t->num_visible_rows()));
+      }
+      return true;
+    }
+    if (cmd == ".schema" && words.size() == 2) {
+      const Table* t = engine_.catalog().FindTable(words[1]);
+      if (t == nullptr) {
+        std::printf("error: unknown table '%s'\n", words[1].c_str());
+        return true;
+      }
+      for (const Field& f : t->schema().fields()) {
+        std::printf("%s %s\n", f.name.c_str(), ColumnTypeName(f.type));
+      }
+      return true;
+    }
+    if (cmd == ".load" && words.size() == 3) {
+      Result<Schema> schema = InferCsvSchema(words[1]);
+      if (!schema.ok()) {
+        std::printf("error: %s\n", schema.status().ToString().c_str());
+        return true;
+      }
+      Result<std::unique_ptr<Table>> table =
+          LoadCsvTable(words[1], schema.value());
+      if (!table.ok()) {
+        std::printf("error: %s\n", table.status().ToString().c_str());
+        return true;
+      }
+      const auto rows = table.value()->num_rows();
+      Result<Table*> added =
+          engine_.catalog().AddTable(words[2], std::move(table).value());
+      if (!added.ok()) {
+        std::printf("error: %s\n", added.status().ToString().c_str());
+        return true;
+      }
+      std::printf("loaded %llu rows into '%s'\n",
+                  static_cast<unsigned long long>(rows), words[2].c_str());
+      return true;
+    }
+    if (cmd == ".gen" && (words.size() == 4 || words.size() == 5)) {
+      GeneratorConfig cfg;
+      cfg.num_rows = std::strtoull(words[3].c_str(), nullptr, 10);
+      if (words.size() == 5) {
+        cfg.exception_rate = std::strtod(words[4].c_str(), nullptr);
+      }
+      Table table = words[1] == "nsc" ? GenerateNscTable(cfg)
+                                      : GenerateNucTable(cfg);
+      Result<Table*> added = engine_.catalog().AddTable(
+          words[2], std::make_unique<Table>(std::move(table)));
+      if (!added.ok()) {
+        std::printf("error: %s\n", added.status().ToString().c_str());
+        return true;
+      }
+      std::printf("generated %s table '%s' (%llu rows, %.0f%% exceptions)\n",
+                  words[1] == "nsc" ? "NSC" : "NUC", words[2].c_str(),
+                  static_cast<unsigned long long>(cfg.num_rows),
+                  cfg.exception_rate * 100.0);
+      return true;
+    }
+    if (cmd == ".index" && words.size() == 4) {
+      const Table* t = engine_.catalog().FindTable(words[1]);
+      if (t == nullptr) {
+        std::printf("error: unknown table '%s'\n", words[1].c_str());
+        return true;
+      }
+      const int col = t->schema().ColumnIndex(words[2]);
+      if (col < 0) {
+        std::printf("error: unknown column '%s'\n", words[2].c_str());
+        return true;
+      }
+      ConstraintKind kind;
+      if (words[3] == "nuc" || words[3] == "NUC") {
+        kind = ConstraintKind::kNearlyUnique;
+      } else if (words[3] == "nsc" || words[3] == "NSC") {
+        kind = ConstraintKind::kNearlySorted;
+      } else if (words[3] == "ncc" || words[3] == "NCC") {
+        kind = ConstraintKind::kNearlyConstant;
+      } else {
+        std::printf("error: constraint must be nuc, nsc or ncc\n");
+        return true;
+      }
+      Status st = session_.CreatePatchIndex(
+          words[1], static_cast<std::size_t>(col), kind);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return true;
+      }
+      // Report the observed exception rate.
+      for (const PatchIndex* idx :
+           engine_.catalog().manager().IndexesOn(*t)) {
+        if (idx->column() == static_cast<std::size_t>(col) &&
+            idx->constraint() == kind) {
+          std::printf("created %s index on %s.%s (%.2f%% exceptions)\n",
+                      words[3] == "ncc" || words[3] == "NCC"   ? "NCC"
+                      : words[3] == "nsc" || words[3] == "NSC" ? "NSC"
+                                                               : "NUC",
+                      words[1].c_str(), words[2].c_str(),
+                      idx->exception_rate() * 100.0);
+        }
+      }
+      return true;
+    }
+    if (cmd == ".explain" && words.size() >= 2) {
+      const std::string sql = Trim(line.substr(std::string(".explain").size()));
+      Result<std::string> plan = session_.Explain(sql);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan.value().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".counters") {
+      const ExecPathCounters& c = session_.path_counters();
+      std::printf("parallel_pipelines=%llu parallel_joins=%llu "
+                  "parallel_sorts=%llu serial_fallbacks=%llu\n",
+                  static_cast<unsigned long long>(c.parallel_pipelines.load()),
+                  static_cast<unsigned long long>(c.parallel_joins.load()),
+                  static_cast<unsigned long long>(c.parallel_sorts.load()),
+                  static_cast<unsigned long long>(c.serial_fallbacks.load()));
+      return true;
+    }
+    if (cmd == ".timer" && words.size() == 2) {
+      timer_ = words[1] == "on";
+      std::printf("timer %s\n", timer_ ? "on" : "off");
+      return true;
+    }
+    std::printf("error: unknown or malformed command '%s' (try .help)\n",
+                cmd.c_str());
+    return true;
+  }
+
+  Engine engine_;
+  Session session_;
+  std::string pending_;
+  bool timer_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "cannot open script: %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  }
+  const bool tty = argc <= 1 && isatty(fileno(stdin)) != 0;
+
+  Shell shell;
+  if (tty) {
+    std::printf("pisql — PatchIndex SQL shell (.help for commands)\n");
+  }
+  std::string line;
+  while (true) {
+    if (tty) {
+      std::printf(shell.pending() ? "  ...> " : "pisql> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(*in, line)) break;
+    if (!shell.HandleLine(line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+-- pisql smoke script, diffed against pisql_smoke.expected in CI.
+-- Everything here must be deterministic: the generator seed is fixed,
+-- and every multi-row SELECT carries an ORDER BY.
+.gen nuc demo 20000 0.05
+.index demo val nuc
+.tables
+.schema demo
+SELECT COUNT(*) FROM demo;
+.explain SELECT DISTINCT val FROM demo
+SELECT key, val FROM demo WHERE key < 5 ORDER BY key;
+INSERT INTO demo VALUES (20000, 7);
+UPDATE demo SET val = 99 WHERE key = 20000;
+SELECT key, val FROM demo WHERE key = 20000 ORDER BY key;
+DELETE FROM demo WHERE key = 20000;
+SELECT COUNT(*) AS n FROM demo;
+-- two statements on one line, and a COUNT over an empty match:
+SELECT COUNT(*) FROM demo WHERE key < 3; SELECT COUNT(*) FROM demo WHERE key < 0;
+.quit
