@@ -5,18 +5,50 @@
 namespace patchindex {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
-  return AddTable(name, std::make_unique<Table>(std::move(schema)));
+  Result<PartitionedTable*> created =
+      CreatePartitionedTable(name, std::move(schema), 1);
+  if (!created.ok()) return created.status();
+  return &created.value()->partition(0);
+}
+
+Result<PartitionedTable*> Catalog::CreatePartitionedTable(
+    const std::string& name, Schema schema, std::size_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("a table needs at least one partition");
+  }
+  if (num_partitions > kMaxPartitions) {
+    // Partitions are eagerly allocated; an unchecked count from SQL
+    // (`PARTITIONS 4000000000`) must fail as a status, not as bad_alloc.
+    return Status::InvalidArgument(
+        "partition count " + std::to_string(num_partitions) +
+        " exceeds the maximum of " + std::to_string(kMaxPartitions));
+  }
+  return AddPartitionedTable(
+      name, std::make_unique<PartitionedTable>(std::move(schema),
+                                               num_partitions));
 }
 
 Result<Table*> Catalog::AddTable(const std::string& name,
                                  std::unique_ptr<Table> table) {
+  Schema schema = table->schema();
+  std::vector<std::unique_ptr<Table>> parts;
+  parts.push_back(std::move(table));
+  Result<PartitionedTable*> added = AddPartitionedTable(
+      name, std::make_unique<PartitionedTable>(std::move(schema),
+                                               std::move(parts)));
+  if (!added.ok()) return added.status();
+  return &added.value()->partition(0);
+}
+
+Result<PartitionedTable*> Catalog::AddPartitionedTable(
+    const std::string& name, std::unique_ptr<PartitionedTable> table) {
   std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   auto entry = std::make_shared<Entry>();
   entry->table = std::move(table);
-  Table* handle = entry->table.get();
+  PartitionedTable* handle = entry->table.get();
   tables_.emplace(name, std::move(entry));
   return handle;
 }
@@ -24,13 +56,25 @@ Result<Table*> Catalog::AddTable(const std::string& name,
 Table* Catalog::FindTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second->table.get();
+  if (it == tables_.end() || it->second->table->num_partitions() != 1) {
+    return nullptr;
+  }
+  return &it->second->table->partition(0);
 }
 
 const Table* Catalog::FindTable(const std::string& name) const {
+  return const_cast<Catalog*>(this)->FindTable(name);
+}
+
+PartitionedTable* Catalog::FindPartitionedTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second->table.get();
+}
+
+const PartitionedTable* Catalog::FindPartitionedTable(
+    const std::string& name) const {
+  return const_cast<Catalog*>(this)->FindPartitionedTable(name);
 }
 
 Status Catalog::DropTable(const std::string& name) {
@@ -64,12 +108,31 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+Catalog::TableRef Catalog::MakeRef(const std::shared_ptr<Entry>& entry) const {
+  TableRef ref;
+  ref.ptable = entry->table.get();
+  ref.table = entry->table->num_partitions() == 1
+                  ? &entry->table->partition(0)
+                  : nullptr;
+  ref.lock = &entry->lock;
+  ref.owner = entry;
+  return ref;
+}
+
 Catalog::TableRef Catalog::Ref(const Table& table) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, entry] : tables_) {
-    if (entry->table.get() == &table) {
-      return {entry->table.get(), &entry->lock, entry};
+    for (std::size_t p = 0; p < entry->table->num_partitions(); ++p) {
+      if (&entry->table->partition(p) == &table) return MakeRef(entry);
     }
+  }
+  return {};
+}
+
+Catalog::TableRef Catalog::Ref(const PartitionedTable& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : tables_) {
+    if (entry->table.get() == &table) return MakeRef(entry);
   }
   return {};
 }
@@ -78,7 +141,7 @@ Catalog::TableRef Catalog::Ref(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return {};
-  return {it->second->table.get(), &it->second->lock, it->second};
+  return MakeRef(it->second);
 }
 
 }  // namespace patchindex

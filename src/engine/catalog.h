@@ -21,6 +21,14 @@ namespace patchindex {
 /// (HandleUpdateQuery + checkpoint + maintenance), which mutates the base
 /// columns, the PDT and the patch sets.
 ///
+/// Every catalog entry is a PartitionedTable — the engine's storage unit
+/// (paper §3.2: discovery, patch maintenance and query processing are
+/// partition-local). Single-partition tables keep the historical plain
+/// `Table*` view via FindTable/TableRef::table; multi-partition tables
+/// are reached through FindPartitionedTable / TableRef::ptable. The lock
+/// covers the whole partitioned table: update queries may touch several
+/// partitions (and commit them in parallel) under one exclusive lock.
+///
 /// The catalog map itself is guarded by a separate mutex; table pointers
 /// and their locks stay stable until DropTable.
 ///
@@ -36,22 +44,45 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  /// Creates an empty table; fails when the name is taken.
+  /// Creates an empty single-partition table; fails when the name is
+  /// taken. The historical single-table API.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
 
-  /// Registers an already-populated table under `name` (bulk-load path).
+  /// Hard ceiling on a table's partition count: partitions are eagerly
+  /// allocated, so an absurd SQL `PARTITIONS n` must be rejected with a
+  /// status instead of exhausting memory.
+  static constexpr std::size_t kMaxPartitions = 4096;
+
+  /// Creates an empty table with `num_partitions` partitions
+  /// (1 <= n <= kMaxPartitions).
+  Result<PartitionedTable*> CreatePartitionedTable(const std::string& name,
+                                                   Schema schema,
+                                                   std::size_t num_partitions);
+
+  /// Registers an already-populated table under `name` (bulk-load path);
+  /// it becomes the single partition of a PartitionedTable entry.
   Result<Table*> AddTable(const std::string& name,
                           std::unique_ptr<Table> table);
 
-  /// nullptr when absent.
+  /// Registers an already-populated partitioned table under `name`.
+  Result<PartitionedTable*> AddPartitionedTable(
+      const std::string& name, std::unique_ptr<PartitionedTable> table);
+
+  /// The single-table view: partition 0 of a single-partition entry;
+  /// nullptr when absent *or* multi-partition (callers that understand
+  /// partitions use FindPartitionedTable).
   Table* FindTable(const std::string& name);
   const Table* FindTable(const std::string& name) const;
 
-  /// Drops the table and every PatchIndex on it, serialized behind the
-  /// table's exclusive lock. Sessions that already resolved a TableRef
-  /// keep table and lock alive until they release it, so a racing read
-  /// query finishes against the (de-cataloged, index-less) table instead
-  /// of touching freed memory.
+  /// nullptr when absent.
+  PartitionedTable* FindPartitionedTable(const std::string& name);
+  const PartitionedTable* FindPartitionedTable(const std::string& name) const;
+
+  /// Drops the table and every PatchIndex on it (all partitions),
+  /// serialized behind the table's exclusive lock. Sessions that already
+  /// resolved a TableRef keep table and lock alive until they release it,
+  /// so a racing read query finishes against the (de-cataloged,
+  /// index-less) table instead of touching freed memory.
   Status DropTable(const std::string& name);
 
   std::vector<std::string> TableNames() const;
@@ -64,6 +95,9 @@ class Catalog {
   /// the window between resolving the lock and acquiring it, during which
   /// a concurrent DropTable could otherwise free them.
   struct TableRef {
+    PartitionedTable* ptable = nullptr;
+    /// Partition 0 for single-partition entries, nullptr otherwise (the
+    /// historical plain-table view).
     Table* table = nullptr;
     std::shared_mutex* lock = nullptr;
     std::shared_ptr<void> owner;
@@ -72,15 +106,19 @@ class Catalog {
   };
 
   /// Resolves `table` / `name` to a handle; an empty handle when not
-  /// catalog-owned (plans over free-standing tables run unguarded).
+  /// catalog-owned (plans over free-standing tables run unguarded). The
+  /// Table& overload matches any partition of an entry.
   TableRef Ref(const Table& table) const;
+  TableRef Ref(const PartitionedTable& table) const;
   TableRef Ref(const std::string& name) const;
 
  private:
   struct Entry {
-    std::unique_ptr<Table> table;
+    std::unique_ptr<PartitionedTable> table;
     mutable std::shared_mutex lock;
   };
+
+  TableRef MakeRef(const std::shared_ptr<Entry>& entry) const;
 
   mutable std::mutex mu_;  // guards tables_ (the map, not the rows)
   std::map<std::string, std::shared_ptr<Entry>> tables_;

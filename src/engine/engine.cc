@@ -39,13 +39,11 @@ Session Engine::CreateSession() { return Session(this); }
 
 namespace {
 
-void CollectScanTables(const LogicalNode& node,
-                       std::vector<const Table*>* tables) {
-  if (node.kind == LogicalNode::Kind::kScan && node.table != nullptr) {
-    tables->push_back(node.table);
-  }
+void CollectScanNodes(const LogicalNode& node,
+                      std::vector<const LogicalNode*>* scans) {
+  if (node.kind == LogicalNode::Kind::kScan) scans->push_back(&node);
   for (const auto& child : node.children) {
-    CollectScanTables(*child, tables);
+    CollectScanNodes(*child, scans);
   }
 }
 
@@ -53,10 +51,15 @@ void CollectScanTables(const LogicalNode& node,
 
 void CollectPlanTableRefs(const LogicalNode& plan, const Catalog& catalog,
                           std::vector<Catalog::TableRef>* refs) {
-  std::vector<const Table*> tables;
-  CollectScanTables(plan, &tables);
-  for (const Table* table : tables) {
-    Catalog::TableRef ref = catalog.Ref(*table);
+  std::vector<const LogicalNode*> scans;
+  CollectScanNodes(plan, &scans);
+  for (const LogicalNode* scan : scans) {
+    Catalog::TableRef ref;
+    if (scan->ptable != nullptr) {
+      ref = catalog.Ref(*scan->ptable);
+    } else if (scan->table != nullptr) {
+      ref = catalog.Ref(*scan->table);
+    }
     if (ref) refs->push_back(std::move(ref));
   }
   std::sort(refs->begin(), refs->end(),
@@ -122,9 +125,11 @@ namespace {
 /// exclusive lock already held by the caller. Validates before buffering
 /// so a rejected query leaves no partial PDT (including cell types: a
 /// wrong-typed value would otherwise surface as an exception out of the
-/// index update handlers).
-Status ApplyUpdateLocked(Table* table, PatchIndexManager& manager,
-                         UpdateQuery query) {
+/// index update handlers). Deltas are routed to their owning partitions
+/// — rows are addressed by table-global rowIDs — and the dirty
+/// partitions commit partition-locally, in parallel on `pool`.
+Status ApplyUpdateLocked(PartitionedTable* table, PatchIndexManager& manager,
+                         ThreadPool* pool, UpdateQuery query) {
   const int kinds = (query.inserts.empty() ? 0 : 1) +
                     (query.deletes.empty() ? 0 : 1) +
                     (query.modifies.empty() ? 0 : 1);
@@ -135,40 +140,48 @@ Status ApplyUpdateLocked(Table* table, PatchIndexManager& manager,
         "statement inserts, modifies or deletes)");
   }
 
+  const Schema& schema = table->schema();
+  const std::uint64_t num_rows = table->num_rows();
   for (const Row& row : query.inserts) {
-    if (row.cells.size() != table->schema().num_fields()) {
+    if (row.cells.size() != schema.num_fields()) {
       return Status::InvalidArgument("insert row arity mismatch");
     }
     for (std::size_t c = 0; c < row.cells.size(); ++c) {
-      if (row.cells[c].type() != table->schema().field(c).type) {
+      if (row.cells[c].type() != schema.field(c).type) {
         return Status::InvalidArgument("insert value type mismatch");
       }
     }
   }
   for (RowId row : query.deletes) {
-    if (row >= table->num_rows()) {
+    if (row >= num_rows) {
       return Status::OutOfRange("delete position beyond base table");
     }
   }
   for (const CellUpdate& cell : query.modifies) {
-    if (cell.row >= table->num_rows()) {
+    if (cell.row >= num_rows) {
       return Status::OutOfRange("modify position beyond base table");
     }
-    if (cell.column >= table->schema().num_fields()) {
+    if (cell.column >= schema.num_fields()) {
       return Status::InvalidArgument("modify column out of range");
     }
-    if (cell.value.type() != table->schema().field(cell.column).type) {
+    if (cell.value.type() != schema.field(cell.column).type) {
       return Status::InvalidArgument("modify value type mismatch");
     }
   }
 
   for (Row& row : query.inserts) table->BufferInsert(std::move(row));
-  for (RowId row : query.deletes) PIDX_RETURN_NOT_OK(table->BufferDelete(row));
-  for (CellUpdate& cell : query.modifies) {
+  for (RowId row : query.deletes) {
+    const PartitionedTable::RowLocation loc = table->ResolveRow(row);
     PIDX_RETURN_NOT_OK(
-        table->BufferModify(cell.row, cell.column, std::move(cell.value)));
+        table->partition(loc.partition).BufferDelete(loc.local_row));
   }
-  return manager.CommitUpdateQuery(*table);
+  for (CellUpdate& cell : query.modifies) {
+    const PartitionedTable::RowLocation loc = table->ResolveRow(cell.row);
+    PIDX_RETURN_NOT_OK(table->partition(loc.partition)
+                           .BufferModify(loc.local_row, cell.column,
+                                         std::move(cell.value)));
+  }
+  return manager.CommitUpdateQuery(*table, pool);
 }
 
 }  // namespace
@@ -177,29 +190,30 @@ Status Session::ExecuteUpdate(const std::string& table_name,
                               UpdateQuery query) {
   return ExecuteUpdateWith(
       table_name,
-      [&query](const Table&) -> Result<UpdateQuery> {
+      [&query](const PartitionedTable&) -> Result<UpdateQuery> {
         return std::move(query);
       });
 }
 
 Status Session::ExecuteUpdateWith(
     const std::string& table_name,
-    const std::function<Result<UpdateQuery>(const Table&)>& build) {
+    const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
+        build) {
   Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
   if (!ref) {
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
-  Table* table = ref.table;
+  PartitionedTable* table = ref.ptable;
   std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
   // Recheck under the lock: a concurrent DropTable may have de-cataloged
   // the table between Ref() and lock acquisition.
-  if (engine_->catalog_.FindTable(table_name) != table) {
+  if (engine_->catalog_.FindPartitionedTable(table_name) != table) {
     return Status::NotFound("table '" + table_name + "' was dropped");
   }
   Result<UpdateQuery> query = build(*table);
   if (!query.ok()) return query.status();
   return ApplyUpdateLocked(table, engine_->catalog_.manager(),
-                           std::move(query).value());
+                           &engine_->pool(), std::move(query).value());
 }
 
 Status Session::CreatePatchIndex(const std::string& table_name,
@@ -210,14 +224,14 @@ Status Session::CreatePatchIndex(const std::string& table_name,
   if (!ref) {
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
-  Table* table = ref.table;
+  PartitionedTable* table = ref.ptable;
   std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
   // Recheck under the lock (see ExecuteUpdate): registering an index on a
   // concurrently dropped table would leave it dangling in the manager.
-  if (engine_->catalog_.FindTable(table_name) != table) {
+  if (engine_->catalog_.FindPartitionedTable(table_name) != table) {
     return Status::NotFound("table '" + table_name + "' was dropped");
   }
-  if (!table->pdt().empty()) {
+  if (!table->pdt_empty()) {
     return Status::InvalidArgument(
         "table has pending deltas; commit the update query first");
   }
@@ -228,15 +242,36 @@ Status Session::CreatePatchIndex(const std::string& table_name,
     return Status::InvalidArgument(
         "approximate constraints are defined over INT64 columns");
   }
+  // Which partitions already carry this (column, constraint) index? A
+  // commit-time maintenance failure drops exactly the broken partition's
+  // index, so coverage can be partial — re-creating then fills only the
+  // gaps instead of failing with AlreadyExists forever.
+  std::vector<bool> covered(table->num_partitions(), false);
   for (const PatchIndex* idx :
        engine_->catalog_.manager().IndexesOn(*table)) {
-    if (idx->column() == column && idx->constraint() == constraint) {
-      return Status::AlreadyExists(
-          "an index of this constraint already exists on the column");
+    if (idx->column() != column || idx->constraint() != constraint) continue;
+    for (std::size_t p = 0; p < table->num_partitions(); ++p) {
+      if (&idx->table() == &table->partition(p)) covered[p] = true;
     }
   }
-  engine_->catalog_.manager().CreateIndex(*table, column, constraint,
-                                          options);
+  std::size_t missing = 0;
+  for (bool c : covered) missing += c ? 0 : 1;
+  if (missing == 0) {
+    return Status::AlreadyExists(
+        "an index of this constraint already exists on the column");
+  }
+  if (missing == table->num_partitions()) {
+    // One index per partition, created partition-locally in parallel
+    // (paper §3.2); a single-partition table degenerates to one index.
+    engine_->catalog_.manager().CreatePartitionedIndex(*table, column,
+                                                       constraint, options);
+  } else {
+    for (std::size_t p = 0; p < table->num_partitions(); ++p) {
+      if (covered[p]) continue;
+      engine_->catalog_.manager().CreateIndex(table->partition(p), column,
+                                              constraint, options);
+    }
+  }
   return Status::OK();
 }
 

@@ -34,6 +34,11 @@ struct EngineOptions {
   /// (used for A/B comparison and by the equivalence tests).
   bool enable_parallel_execution = true;
 
+  /// Partitions a CREATE TABLE statement without a PARTITIONS clause
+  /// gets (the session default of the paper's §3.2 partition-local
+  /// processing). 1 keeps the historical single-partition behavior.
+  std::size_t default_table_partitions = 1;
+
   /// Options forwarded to the PatchIndex rewriter.
   OptimizerOptions optimizer;
 };
@@ -158,10 +163,18 @@ class Session {
                               const OptimizerOptions& optimizer);
 
   /// Runs an update query against a catalog table under its exclusive
-  /// lock: buffers the delta in the table's PDT, runs every affected
-  /// PatchIndex's update handling, checkpoints, and runs post-checkpoint
-  /// maintenance (the paper's §5 protocol, via
-  /// PatchIndexManager::CommitUpdateQuery).
+  /// lock: routes each delta to its owning partition (rows are addressed
+  /// by table-global rowIDs; inserts go to the least-loaded partition),
+  /// buffers them in the partitions' PDTs, then commits partition-locally
+  /// — per dirty partition the full §5 protocol (update handling,
+  /// checkpoint, post-checkpoint maintenance) runs on the engine's thread
+  /// pool, partitions in parallel, via
+  /// PatchIndexManager::CommitUpdateQuery(PartitionedTable&).
+  ///
+  /// All-or-nothing index contract: on an index-maintenance failure the
+  /// data change still commits, exactly the broken indexes are dropped,
+  /// and a kConstraintViolation status reports it — a registered index is
+  /// never left silently stale.
   Status ExecuteUpdate(const std::string& table, UpdateQuery query);
 
   /// Like ExecuteUpdate, but the delta is computed from the table's
@@ -171,7 +184,8 @@ class Session {
   /// writers. `build` must not touch other catalog tables (lock order).
   Status ExecuteUpdateWith(
       const std::string& table,
-      const std::function<Result<UpdateQuery>(const Table&)>& build);
+      const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
+          build);
 
   /// Parses, binds and runs one SQL text statement (see sql/parser.h for
   /// the grammar). SELECTs return rows with column_names set; INSERT /
@@ -192,7 +206,9 @@ class Session {
   Result<std::string> Explain(std::string_view sql);
 
   /// Creates a PatchIndex on a catalog table (exclusive lock; the table
-  /// must have no pending deltas).
+  /// must have no pending deltas). On a partitioned table this registers
+  /// one index per partition — discovery runs partition-locally and in
+  /// parallel (paper §3.2).
   Status CreatePatchIndex(const std::string& table, std::size_t column,
                           ConstraintKind constraint,
                           PatchIndexOptions options = {});

@@ -20,17 +20,69 @@
 namespace patchindex {
 namespace {
 
+/// The storage behind one scan node, flattened to partitions: a plain
+/// table is a single "partition" at global base 0; a multi-partition
+/// PartitionedTable lists every partition with its global visible-row
+/// offset (scans add it to their rowIDs so output rowIDs are
+/// table-global).
+struct ScanTarget {
+  std::vector<const Table*> parts;
+  std::vector<std::uint64_t> bases;
+
+  /// The full-table morsel spec: every partition's base rows plus an
+  /// inserts morsel per partition with pending PDT inserts.
+  std::vector<MorselPartition> FullWork() const {
+    std::vector<MorselPartition> work;
+    work.reserve(parts.size());
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      MorselPartition m;
+      m.partition = p;
+      m.ranges = {{0, parts[p]->num_rows()}};
+      m.with_inserts = !parts[p]->pdt().inserts().empty();
+      work.push_back(std::move(m));
+    }
+    return work;
+  }
+};
+
+ScanTarget TargetOf(const LogicalNode& scan) {
+  ScanTarget target;
+  if (scan.table != nullptr) {
+    target.parts.push_back(scan.table);
+    target.bases.push_back(0);
+    return target;
+  }
+  PIDX_CHECK(scan.ptable != nullptr);
+  // Offsets accumulate *visible* rows: each partition emits exactly its
+  // visible positions [0, visible_p) (deletes compact, inserts append),
+  // so visible offsets keep global rowIDs contiguous and unique for any
+  // pending deltas. With a clean PDT — the only state in which scan
+  // rowIDs are fed back into updates, under the exclusive lock —
+  // visible == base, matching PartitionedTable::ResolveRow exactly.
+  std::uint64_t base = 0;
+  for (std::size_t p = 0; p < scan.ptable->num_partitions(); ++p) {
+    const Table& part = scan.ptable->partition(p);
+    target.parts.push_back(&part);
+    target.bases.push_back(base);
+    base += part.num_visible_rows();
+  }
+  return target;
+}
+
 /// Pull-based scan source that repeatedly claims a morsel from the shared
-/// queue and scans it. Base morsels scan their row range with pending
-/// inserts suppressed; the dedicated inserts morsel scans only the PDT
+/// queue and scans it — morsels may come from any partition of the scan
+/// target, so workers flow freely across partitions. Base morsels scan
+/// their partition-local row range with pending inserts suppressed; a
+/// partition's dedicated inserts morsel scans only that partition's PDT
 /// inserts, so each pending insert is emitted exactly once across all
 /// workers. The patch filter (when set) is fused into every morsel's scan,
 /// exactly as in the serial PatchIndex scan.
 class MorselSourceOperator : public Operator {
  public:
-  MorselSourceOperator(const Table& table, std::vector<std::size_t> columns,
+  MorselSourceOperator(const ScanTarget* target,
+                       std::vector<std::size_t> columns,
                        ScanOptions scan_options, MorselQueue* queue)
-      : table_(table),
+      : target_(target),
         cols_(std::move(columns)),
         options_(scan_options),
         queue_(queue) {}
@@ -38,7 +90,8 @@ class MorselSourceOperator : public Operator {
   std::vector<ColumnType> OutputTypes() const override {
     std::vector<ColumnType> types;
     types.reserve(cols_.size());
-    for (std::size_t c : cols_) types.push_back(table_.schema().field(c).type);
+    const Schema& schema = target_->parts[0]->schema();
+    for (std::size_t c : cols_) types.push_back(schema.field(c).type);
     return types;
   }
 
@@ -53,6 +106,7 @@ class MorselSourceOperator : public Operator {
           return false;
         }
         ScanOptions opts = options_;
+        opts.row_id_offset = target_->bases[morsel.partition];
         if (morsel.kind == Morsel::Kind::kBase) {
           opts.source = ScanSource::kVisible;
           opts.scan_inserts = false;
@@ -60,7 +114,8 @@ class MorselSourceOperator : public Operator {
         } else {
           opts.source = ScanSource::kInsertsOnly;
         }
-        current_ = std::make_unique<ScanOperator>(table_, cols_, opts);
+        current_ = std::make_unique<ScanOperator>(
+            *target_->parts[morsel.partition], cols_, opts);
         current_->Open();
       }
       if (current_->Next(out)) return true;
@@ -72,7 +127,7 @@ class MorselSourceOperator : public Operator {
   void Close() override { current_.reset(); }
 
  private:
-  const Table& table_;
+  const ScanTarget* target_;
   std::vector<std::size_t> cols_;
   ScanOptions options_;
   MorselQueue* queue_;
@@ -98,7 +153,8 @@ bool AnalyzeChain(const LogicalNode& node, bool selects_only,
     top_down.push_back(cur);
     cur = cur->children[0].get();
   }
-  if (cur->kind != LogicalNode::Kind::kScan || cur->table == nullptr) {
+  if (cur->kind != LogicalNode::Kind::kScan ||
+      (cur->table == nullptr && cur->ptable == nullptr)) {
     return false;
   }
   spec->scan = cur;
@@ -122,12 +178,13 @@ OperatorPtr ApplyUnaryOps(OperatorPtr op,
 }
 
 /// Instantiates one worker's copy of the pipeline over the shared queue.
-OperatorPtr BuildWorkerChain(const ChainSpec& spec,
+/// `target` must outlive the pipeline (the callers keep it on the stack
+/// for the duration of the parallel phase).
+OperatorPtr BuildWorkerChain(const ChainSpec& spec, const ScanTarget* target,
                              const ScanOptions& scan_options,
                              MorselQueue* queue) {
   return ApplyUnaryOps(std::make_unique<MorselSourceOperator>(
-                           *spec.scan->table, spec.scan->columns,
-                           scan_options, queue),
+                           target, spec.scan->columns, scan_options, queue),
                        spec.ops);
 }
 
@@ -166,7 +223,8 @@ bool AnalyzeShape(const LogicalNode& plan, PlanShape* shape) {
     top_down.push_back(cur);
     cur = cur->children[0].get();
   }
-  if (cur->kind == LogicalNode::Kind::kScan && cur->table != nullptr) {
+  if (cur->kind == LogicalNode::Kind::kScan &&
+      (cur->table != nullptr || cur->ptable != nullptr)) {
     shape->chain.scan = cur;
     shape->chain.ops.assign(top_down.rbegin(), top_down.rend());
     return true;
@@ -427,14 +485,13 @@ class PartitionProbeOperator : public Operator {
 /// proves unique skip duplicate chaining (exceptions and pending inserts
 /// take the chained path; see JoinHashTable for why this stays exact).
 std::vector<JoinHashTable> BuildJoinPartitions(
-    const ChainSpec& build_spec, std::size_t build_key,
-    const std::vector<ColumnType>& build_types, const PatchIndex* build_nuc,
-    std::size_t mask, ThreadPool& pool, const ParallelExecOptions& options) {
+    const ChainSpec& build_spec, const ScanTarget& build_target,
+    std::size_t build_key, const std::vector<ColumnType>& build_types,
+    const PatchIndex* build_nuc, std::size_t mask, ThreadPool& pool,
+    const ParallelExecOptions& options) {
   const std::size_t workers = pool.num_threads();
   const std::size_t num_partitions = mask + 1;
-  const Table& table = *build_spec.scan->table;
-  MorselQueue queue({{0, table.num_rows()}}, !table.pdt().inserts().empty(),
-                    options.morsel_rows);
+  MorselQueue queue(build_target.FullWork(), options.morsel_rows);
   const ScanOptions scan_opts;
 
   std::vector<std::vector<Batch>> spill(workers);
@@ -445,7 +502,8 @@ std::vector<JoinHashTable> BuildJoinPartitions(
       std::vector<Batch>& local = spill[w];
       local.resize(num_partitions);
       for (Batch& b : local) b.Reset(build_types);
-      OperatorPtr pipeline = BuildWorkerChain(build_spec, scan_opts, &queue);
+      OperatorPtr pipeline =
+          BuildWorkerChain(build_spec, &build_target, scan_opts, &queue);
       pipeline->Open();
       Batch in;
       while (pipeline->Next(&in)) {
@@ -507,7 +565,10 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
   if (!AnalyzeChain(*node.children[0], /*selects_only=*/true, &spec)) {
     return false;
   }
+  // Patch rewrites only fire on single-table scans (FindIndex requires
+  // the plain-table view), so the target is always one partition here.
   const Table& table = *spec.scan->table;
+  const ScanTarget target = TargetOf(*spec.scan);
   if (table.num_visible_rows() < options.min_parallel_rows) return false;
   const bool has_inserts = !table.pdt().inserts().empty();
   const std::vector<RowRange> full{{0, table.num_rows()}};
@@ -531,10 +592,10 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
     ScanOptions exclude_opts;
     exclude_opts.patch_filter = idx;
     exclude_opts.patch_mode = PatchSelectMode::kExcludePatches;
-    std::vector<Batch> parts =
-        RunWorkers(pool, [&spec, &exclude_opts, &exclude_queue, &group_exprs] {
+    std::vector<Batch> parts = RunWorkers(
+        pool, [&spec, &target, &exclude_opts, &exclude_queue, &group_exprs] {
           return std::make_unique<ProjectOperator>(
-              BuildWorkerChain(spec, exclude_opts, &exclude_queue),
+              BuildWorkerChain(spec, &target, exclude_opts, &exclude_queue),
               group_exprs);
         });
     Batch excluded = ConcatParts(std::move(parts), out_types);
@@ -548,10 +609,10 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
   use_opts.patch_filter = idx;
   use_opts.patch_mode = PatchSelectMode::kUsePatches;
   std::vector<Batch> parts =
-      RunWorkers(pool, [&spec, &use_opts, &use_queue, &node] {
+      RunWorkers(pool, [&spec, &target, &use_opts, &use_queue, &node] {
         return std::make_unique<HashAggregateOperator>(
-            BuildWorkerChain(spec, use_opts, &use_queue), node.group_cols,
-            std::vector<AggSpec>{});
+            BuildWorkerChain(spec, &target, use_opts, &use_queue),
+            node.group_cols, std::vector<AggSpec>{});
       });
   HashAggregateOperator merge(
       std::make_unique<InMemorySource>(ConcatParts(std::move(parts),
@@ -604,10 +665,10 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
   // running the serial tree. For a join, the larger input drives.
   std::uint64_t driving_rows;
   if (shape.join != nullptr) {
-    driving_rows = std::max(shape.left.scan->table->num_visible_rows(),
-                            shape.right.scan->table->num_visible_rows());
+    driving_rows = std::max(ScanVisibleRows(*shape.left.scan),
+                            ScanVisibleRows(*shape.right.scan));
   } else {
-    driving_rows = shape.chain.scan->table->num_visible_rows();
+    driving_rows = ScanVisibleRows(*shape.chain.scan);
   }
   if (driving_rows < options.min_parallel_rows) return false;
 
@@ -648,19 +709,19 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
     }
     const std::size_t mask = (std::size_t{1} << partition_bits) - 1;
 
-    const std::vector<JoinHashTable> partitions = BuildJoinPartitions(
-        build_spec, build_key, build_types, build_nuc, mask, pool, options);
+    const ScanTarget build_target = TargetOf(*build_spec.scan);
+    const std::vector<JoinHashTable> partitions =
+        BuildJoinPartitions(build_spec, build_target, build_key, build_types,
+                            build_nuc, mask, pool, options);
 
-    const Table& probe_table = *probe_spec.scan->table;
-    MorselQueue probe_queue({{0, probe_table.num_rows()}},
-                            !probe_table.pdt().inserts().empty(),
-                            options.morsel_rows);
+    const ScanTarget probe_target = TargetOf(*probe_spec.scan);
+    MorselQueue probe_queue(probe_target.FullWork(), options.morsel_rows);
     const ScanOptions scan_opts;
     parts = RunWorkers(
         pool,
         [&] {
-          OperatorPtr op = BuildWorkerChain(probe_spec, scan_opts,
-                                            &probe_queue);
+          OperatorPtr op = BuildWorkerChain(probe_spec, &probe_target,
+                                            scan_opts, &probe_queue);
           op = std::make_unique<PartitionProbeOperator>(
               std::move(op), &partitions, mask, probe_key, build_left,
               build_types);
@@ -676,14 +737,14 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
         },
         post);
   } else {
-    const Table& table = *shape.chain.scan->table;
-    MorselQueue queue({{0, table.num_rows()}},
-                      !table.pdt().inserts().empty(), options.morsel_rows);
+    const ScanTarget target = TargetOf(*shape.chain.scan);
+    MorselQueue queue(target.FullWork(), options.morsel_rows);
     const ScanOptions scan_opts;  // plain kVisible scan, as the serial tree
     parts = RunWorkers(
         pool,
         [&] {
-          OperatorPtr op = BuildWorkerChain(shape.chain, scan_opts, &queue);
+          OperatorPtr op =
+              BuildWorkerChain(shape.chain, &target, scan_opts, &queue);
           if (shape.agg != nullptr) {
             op = std::make_unique<HashAggregateOperator>(
                 std::move(op), shape.agg->group_cols,

@@ -37,7 +37,10 @@ struct ParallelExecReport {
 
 /// True when `plan` (after optimization) has a shape the morsel-driven
 /// executor handles:
-///   - a Scan / Select / Project pipeline over one table,
+///   - a Scan / Select / Project pipeline over one table — plain or
+///     partitioned (a partitioned scan draws morsels from every
+///     partition through one shared queue, offsetting rowIDs to the
+///     table-global numbering),
 ///   - optionally with an inner equi join of two such pipelines at the
 ///     bottom (partition-parallel build over the build side's morsels, a
 ///     barrier, then a parallel probe fused into the probe pipeline;

@@ -6,33 +6,52 @@
 
 namespace patchindex {
 
-MorselQueue::MorselQueue(const std::vector<RowRange>& base_ranges,
-                         bool with_inserts, std::size_t morsel_rows)
-    : with_inserts_(with_inserts) {
+void MorselQueue::Chop(const std::vector<MorselPartition>& partitions,
+                       std::size_t morsel_rows) {
   PIDX_CHECK(morsel_rows >= 1);
-  for (const RowRange& range : base_ranges) {
-    RowId begin = range.begin;
-    while (begin < range.end) {
-      const RowId end = std::min<RowId>(range.end, begin + morsel_rows);
-      morsels_.push_back({begin, end});
-      begin = end;
+  for (const MorselPartition& part : partitions) {
+    for (const RowRange& range : part.ranges) {
+      RowId begin = range.begin;
+      while (begin < range.end) {
+        const RowId end = std::min<RowId>(range.end, begin + morsel_rows);
+        Morsel m;
+        m.kind = Morsel::Kind::kBase;
+        m.partition = part.partition;
+        m.range = {begin, end};
+        morsels_.push_back(m);
+        begin = end;
+      }
     }
   }
+  num_base_ = morsels_.size();
+  for (const MorselPartition& part : partitions) {
+    if (!part.with_inserts) continue;
+    Morsel m;
+    m.kind = Morsel::Kind::kInserts;
+    m.partition = part.partition;
+    morsels_.push_back(m);
+  }
+}
+
+MorselQueue::MorselQueue(const std::vector<RowRange>& base_ranges,
+                         bool with_inserts, std::size_t morsel_rows) {
+  MorselPartition part;
+  part.partition = 0;
+  part.ranges = base_ranges;
+  part.with_inserts = with_inserts;
+  Chop({part}, morsel_rows);
+}
+
+MorselQueue::MorselQueue(const std::vector<MorselPartition>& partitions,
+                         std::size_t morsel_rows) {
+  Chop(partitions, morsel_rows);
 }
 
 bool MorselQueue::Next(Morsel* out) {
   const std::size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
-  if (idx < morsels_.size()) {
-    out->kind = Morsel::Kind::kBase;
-    out->range = morsels_[idx];
-    return true;
-  }
-  if (with_inserts_ && idx == morsels_.size()) {
-    out->kind = Morsel::Kind::kInserts;
-    out->range = {0, 0};
-    return true;
-  }
-  return false;
+  if (idx >= morsels_.size()) return false;
+  *out = morsels_[idx];
+  return true;
 }
 
 }  // namespace patchindex

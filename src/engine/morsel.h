@@ -15,19 +15,31 @@ namespace patchindex {
 inline constexpr std::size_t kDefaultMorselRows = 64 * 1024;
 
 /// A unit of scan work claimed by a worker: either a contiguous base-row
-/// range, or the single pseudo-morsel covering the table's pending PDT
-/// inserts (which one worker scans via ScanSource::kInsertsOnly so they
-/// are emitted exactly once).
+/// range of one partition, or the single pseudo-morsel covering that
+/// partition's pending PDT inserts (which one worker scans via
+/// ScanSource::kInsertsOnly so they are emitted exactly once). For plain
+/// (unpartitioned) tables `partition` is always 0.
 struct Morsel {
   enum class Kind { kBase, kInserts };
   Kind kind = Kind::kBase;
-  RowRange range{0, 0};  // base-row range; unused for kInserts
+  std::size_t partition = 0;
+  RowRange range{0, 0};  // partition-local base-row range; unused for kInserts
+};
+
+/// Scan work of one partition, for MorselQueue construction.
+struct MorselPartition {
+  std::size_t partition = 0;
+  std::vector<RowRange> ranges;  // partition-local base-row ranges
+  bool with_inserts = false;     // partition has pending PDT inserts
 };
 
 /// Shared work queue the morsel-driven executor's workers pull from.
-/// Morsels are pre-chopped at construction; claiming is one relaxed
-/// fetch_add, so any number of workers can drain the queue without locks
-/// and faster workers automatically steal the remaining work.
+/// Morsels are pre-chopped at construction — across every partition of a
+/// partitioned table, so one queue drives a whole-table scan and workers
+/// flow freely between partitions (paper §3.2: partitioning is
+/// transparent to query processing). Claiming is one relaxed fetch_add,
+/// so any number of workers can drain the queue without locks and faster
+/// workers automatically steal the remaining work.
 ///
 /// Thread-safety: construction is single-threaded; afterwards the morsel
 /// list is immutable and Next() may be called from any number of threads
@@ -36,17 +48,27 @@ struct Morsel {
 /// has drained.
 class MorselQueue {
  public:
+  /// Single-table convenience: all ranges belong to partition 0.
   MorselQueue(const std::vector<RowRange>& base_ranges, bool with_inserts,
               std::size_t morsel_rows = kDefaultMorselRows);
+
+  /// Partition-aware construction: each partition's ranges are chopped
+  /// independently; partitions with pending inserts get one dedicated
+  /// inserts morsel each (appended after all base morsels).
+  explicit MorselQueue(const std::vector<MorselPartition>& partitions,
+                       std::size_t morsel_rows = kDefaultMorselRows);
 
   /// Claims the next morsel; false when the queue is drained.
   bool Next(Morsel* out);
 
-  std::size_t num_base_morsels() const { return morsels_.size(); }
+  std::size_t num_base_morsels() const { return num_base_; }
 
  private:
-  std::vector<RowRange> morsels_;
-  bool with_inserts_;
+  void Chop(const std::vector<MorselPartition>& partitions,
+            std::size_t morsel_rows);
+
+  std::vector<Morsel> morsels_;  // base morsels, then inserts morsels
+  std::size_t num_base_ = 0;
   std::atomic<std::size_t> next_{0};
 };
 

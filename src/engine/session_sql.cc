@@ -58,8 +58,10 @@ Value EvalScalar(const Expr& expr) {
 
 /// The row-finding plan of a SQL UPDATE/DELETE: a scan of every schema
 /// column plus the bound WHERE. Shared by execution (MatchingRows) and
-/// EXPLAIN so the rendered plan is the executed one.
-LogicalPtr MatchingRowsPlan(const Table& table,
+/// EXPLAIN so the rendered plan is the executed one. The scan emits
+/// table-global rowIDs (partition scans offset by their base), which is
+/// exactly how ExecuteUpdate addresses delta rows.
+LogicalPtr MatchingRowsPlan(const PartitionedTable& table,
                             const sql::BoundStatement& bound) {
   std::vector<std::size_t> cols;
   for (std::size_t c = 0; c < table.schema().num_fields(); ++c) {
@@ -76,7 +78,8 @@ LogicalPtr MatchingRowsPlan(const Table& table,
 /// materialized with every schema column — the row-finding phase of SQL
 /// UPDATE/DELETE. Runs serially: the caller holds the table's exclusive
 /// lock, so no patch rewrites or parallelism are worth the setup.
-Batch MatchingRows(const Table& table, const sql::BoundStatement& bound) {
+Batch MatchingRows(const PartitionedTable& table,
+                   const sql::BoundStatement& bound) {
   OperatorPtr op = CompilePlan(MatchingRowsPlan(table, bound));
   return Collect(*op);
 }
@@ -182,7 +185,8 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
     case sql::Statement::Kind::kUpdate: {
       QueryResult out;
       PIDX_RETURN_NOT_OK(session.ExecuteUpdateWith(
-          bound.table, [&](const Table& table) -> Result<UpdateQuery> {
+          bound.table,
+          [&](const PartitionedTable& table) -> Result<UpdateQuery> {
             Batch matches = MatchingRows(table, bound);
             std::vector<CellUpdate> cells;
             for (const auto& [col, expr] : bound.set_exprs) {
@@ -200,12 +204,28 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
     case sql::Statement::Kind::kDelete: {
       QueryResult out;
       PIDX_RETURN_NOT_OK(session.ExecuteUpdateWith(
-          bound.table, [&](const Table& table) -> Result<UpdateQuery> {
+          bound.table,
+          [&](const PartitionedTable& table) -> Result<UpdateQuery> {
             Batch matches = MatchingRows(table, bound);
             out.rows_affected = matches.num_rows();
             return UpdateQuery::Delete(std::move(matches.row_ids));
           }));
       return out;
+    }
+    case sql::Statement::Kind::kCreateTable: {
+      // No PARTITIONS clause -> the engine's session default.
+      std::size_t partitions = bound.create_partitions;
+      if (partitions == 0) {
+        partitions =
+            std::max<std::size_t>(1,
+                                  session.engine_->options()
+                                      .default_table_partitions);
+      }
+      Result<PartitionedTable*> created =
+          session.engine_->catalog().CreatePartitionedTable(
+              bound.table, bound.create_schema, partitions);
+      if (!created.ok()) return created.status();
+      return QueryResult{};
     }
   }
   return Status::Internal("unhandled statement kind");
@@ -250,7 +270,7 @@ Result<std::string> Session::Explain(std::string_view sql) {
         return Status::NotFound("table '" + bound.table + "' was dropped");
       }
       std::shared_lock<std::shared_mutex> guard(*ref.lock);
-      const Table* table = ref.table;
+      const PartitionedTable* table = ref.ptable;
       std::string head;
       if (bound.kind == sql::Statement::Kind::kUpdate) {
         head = "Update(table='" + bound.table + "', set=[";
@@ -265,6 +285,14 @@ Result<std::string> Session::Explain(std::string_view sql) {
       }
       return head + Indent(ExplainPlan(MatchingRowsPlan(*table, bound)));
     }
+    case sql::Statement::Kind::kCreateTable:
+      return "CreateTable(table='" + bound.table + "', cols=" +
+             std::to_string(bound.create_schema.num_fields()) +
+             ", partitions=" +
+             (bound.create_partitions == 0
+                  ? "default"
+                  : std::to_string(bound.create_partitions)) +
+             ")\n";
   }
   return Status::Internal("unhandled statement kind");
 }

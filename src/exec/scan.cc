@@ -125,13 +125,14 @@ bool ScanOperator::EmitBaseRows(Batch* out) {
             break;
         }
       }
+      const std::uint64_t off = options_.row_id_offset;
       if (options_.append_rowid_column) {
         auto& rid_col = out->columns[cols_.size()].i64;
         for (RowId r = begin; r < end; ++r) {
-          rid_col.push_back(static_cast<std::int64_t>(r));
+          rid_col.push_back(static_cast<std::int64_t>(r + off));
         }
       }
-      for (RowId r = begin; r < end; ++r) out->row_ids.push_back(r);
+      for (RowId r = begin; r < end; ++r) out->row_ids.push_back(r + off);
     };
 
     while (out->num_rows() < kBatchSize &&
@@ -210,9 +211,10 @@ bool ScanOperator::EmitBaseRows(Batch* out) {
       AppendCell(out->columns[i], table_.column(c), b);
     }
     if (options_.append_rowid_column) {
-      out->columns[cols_.size()].i64.push_back(static_cast<std::int64_t>(rid));
+      out->columns[cols_.size()].i64.push_back(
+          static_cast<std::int64_t>(rid + options_.row_id_offset));
     }
-    out->row_ids.push_back(rid);
+    out->row_ids.push_back(rid + options_.row_id_offset);
   }
   return out->num_rows() >= kBatchSize;
 }
@@ -237,7 +239,7 @@ bool ScanOperator::EmitInsertRows(Batch* out) {
     for (std::size_t i = 0; i < cols_.size(); ++i) {
       out->columns[i].AppendValue(row.cells[cols_[i]]);
     }
-    const RowId rid = pending_rid;
+    const RowId rid = pending_rid + options_.row_id_offset;
     if (options_.append_rowid_column) {
       out->columns[cols_.size()].i64.push_back(static_cast<std::int64_t>(rid));
     }

@@ -53,6 +53,13 @@ struct ScanOptions {
   /// project and compare rowIDs of join sides).
   bool append_rowid_column = false;
 
+  /// Added to every emitted rowID (row_ids and the appended rowID
+  /// column). A scan of one partition of a PartitionedTable sets this to
+  /// the partition's global base so rowIDs are table-global; patch
+  /// filters still see partition-local positions (the filter is applied
+  /// before the offset). 0 for plain tables.
+  std::uint64_t row_id_offset = 0;
+
   /// PatchIndex scan (paper §3.3): merge the patch information on-the-fly
   /// into the scan, emitting either only constraint-satisfying tuples
   /// (kExcludePatches) or only the exceptions (kUsePatches). Fused into

@@ -24,11 +24,19 @@ void Render(const LogicalNode& node, int depth, std::string* out) {
   buf[0] = '\0';
   switch (node.kind) {
     case LogicalNode::Kind::kScan:
-      std::snprintf(buf, sizeof(buf), "Scan(%zu cols, %llu rows%s)",
-                    node.columns.size(),
-                    static_cast<unsigned long long>(
-                        node.table->num_visible_rows()),
-                    node.scan_sorted_col >= 0 ? ", sorted" : "");
+      if (node.ptable != nullptr && node.ptable->num_partitions() > 1) {
+        std::snprintf(buf, sizeof(buf),
+                      "Scan(%zu cols, %llu rows, %zu partitions%s)",
+                      node.columns.size(),
+                      static_cast<unsigned long long>(ScanVisibleRows(node)),
+                      node.ptable->num_partitions(),
+                      node.scan_sorted_col >= 0 ? ", sorted" : "");
+      } else {
+        std::snprintf(buf, sizeof(buf), "Scan(%zu cols, %llu rows%s)",
+                      node.columns.size(),
+                      static_cast<unsigned long long>(ScanVisibleRows(node)),
+                      node.scan_sorted_col >= 0 ? ", sorted" : "");
+      }
       break;
     case LogicalNode::Kind::kSelect: {
       std::snprintf(buf, sizeof(buf), ", sel=%.2f)", node.selectivity);

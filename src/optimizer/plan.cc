@@ -17,6 +17,34 @@ LogicalPtr LScan(const Table& table, std::vector<std::size_t> columns,
   return n;
 }
 
+LogicalPtr LScan(const PartitionedTable& table,
+                 std::vector<std::size_t> columns, int sorted_col) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = LogicalNode::Kind::kScan;
+  n->ptable = &table;
+  // Single partition: also expose the plain-table view so the whole
+  // single-table machinery (patch rewrites, NUC annotations, serial
+  // scans) applies unchanged.
+  if (table.num_partitions() == 1) n->table = &table.partition(0);
+  n->columns = std::move(columns);
+  n->scan_sorted_col = sorted_col;
+  return n;
+}
+
+const Schema& ScanSchema(const LogicalNode& scan) {
+  PIDX_CHECK(scan.kind == LogicalNode::Kind::kScan);
+  if (scan.table != nullptr) return scan.table->schema();
+  PIDX_CHECK(scan.ptable != nullptr);
+  return scan.ptable->schema();
+}
+
+std::uint64_t ScanVisibleRows(const LogicalNode& scan) {
+  PIDX_CHECK(scan.kind == LogicalNode::Kind::kScan);
+  if (scan.ptable != nullptr) return scan.ptable->num_visible_rows();
+  PIDX_CHECK(scan.table != nullptr);
+  return scan.table->num_visible_rows();
+}
+
 LogicalPtr LSelect(LogicalPtr child, ExprPtr predicate, double selectivity) {
   auto n = std::make_shared<LogicalNode>();
   n->kind = LogicalNode::Kind::kSelect;
@@ -83,8 +111,9 @@ std::vector<ColumnType> LogicalOutputTypes(const LogicalNode& node) {
   switch (node.kind) {
     case LogicalNode::Kind::kScan: {
       std::vector<ColumnType> out;
+      const Schema& schema = ScanSchema(node);
       for (std::size_t c : node.columns) {
-        out.push_back(node.table->schema().field(c).type);
+        out.push_back(schema.field(c).type);
       }
       return out;
     }
@@ -163,7 +192,7 @@ namespace {
 // Rows of the base table(s) feeding `node`, before any selections.
 double BaseTableRows(const LogicalNode& node) {
   if (node.kind == LogicalNode::Kind::kScan) {
-    return static_cast<double>(node.table->num_visible_rows());
+    return static_cast<double>(ScanVisibleRows(node));
   }
   double total = 0;
   for (const auto& c : node.children) total = std::max(total, BaseTableRows(*c));
@@ -174,7 +203,7 @@ double BaseTableRows(const LogicalNode& node) {
 double EstimateCardinality(const LogicalNode& node) {
   switch (node.kind) {
     case LogicalNode::Kind::kScan:
-      return static_cast<double>(node.table->num_visible_rows());
+      return static_cast<double>(ScanVisibleRows(node));
     case LogicalNode::Kind::kSelect:
       return node.selectivity * EstimateCardinality(*node.children[0]);
     case LogicalNode::Kind::kProject:

@@ -33,8 +33,14 @@ struct LogicalNode {
   Kind kind;
   std::vector<std::shared_ptr<LogicalNode>> children;
 
-  // kScan
+  // kScan. Exactly one of `table` / a multi-partition `ptable` drives the
+  // scan: for a single-partition PartitionedTable both are set (table
+  // points at partition 0, so every single-table code path — patch
+  // rewrites included — applies unchanged); for a multi-partition table
+  // `table` stays null and the scan draws from every partition, emitting
+  // table-global rowIDs (ScanOptions::row_id_offset).
   const Table* table = nullptr;
+  const PartitionedTable* ptable = nullptr;
   std::vector<std::size_t> columns;
   /// Index (into `columns`) of a column the stored table order is sorted
   /// by, or -1. Seeds the sortedness propagation the join rewrite needs.
@@ -79,6 +85,15 @@ using LogicalPtr = std::shared_ptr<LogicalNode>;
 
 LogicalPtr LScan(const Table& table, std::vector<std::size_t> columns,
                  int sorted_col = -1);
+/// Scan of a partitioned table. Single-partition tables also populate
+/// `table` (see LogicalNode) and behave exactly like a plain scan.
+LogicalPtr LScan(const PartitionedTable& table,
+                 std::vector<std::size_t> columns, int sorted_col = -1);
+
+/// The schema behind a scan node, whichever representation backs it.
+const Schema& ScanSchema(const LogicalNode& scan);
+/// Visible rows behind a scan node, across partitions.
+std::uint64_t ScanVisibleRows(const LogicalNode& scan);
 LogicalPtr LSelect(LogicalPtr child, ExprPtr predicate,
                    double selectivity = 0.5);
 LogicalPtr LProject(LogicalPtr child, std::vector<ExprPtr> exprs);

@@ -21,7 +21,14 @@ const PatchIndex* FindIndex(const PatchIndexManager& manager,
                             const LogicalNode& chain, std::size_t output_col,
                             ConstraintKind kind) {
   const LogicalNode* scan = SelectChainScan(chain);
-  if (scan == nullptr || output_col >= scan->columns.size()) return nullptr;
+  // Multi-partition scans have no single table-level index; their indexes
+  // are partition-local (used by discovery/maintenance and the
+  // per-partition sortedness inference below, not by the single-index
+  // patch rewrites).
+  if (scan == nullptr || scan->table == nullptr ||
+      output_col >= scan->columns.size()) {
+    return nullptr;
+  }
   const std::size_t table_col = scan->columns[output_col];
   for (PatchIndex* idx : manager.IndexesOn(*scan->table)) {
     if (idx->constraint() == kind && idx->column() == table_col &&
@@ -30,6 +37,44 @@ const PatchIndex* FindIndex(const PatchIndexManager& manager,
     }
   }
   return nullptr;
+}
+
+/// Table-level sortedness proof for one partition: a zero-exception
+/// ascending NSC index on `table_col` covering every row.
+bool PartitionProvedSorted(const PatchIndexManager& manager,
+                           const Table& partition, std::size_t table_col) {
+  for (const PatchIndex* idx : manager.IndexesOn(partition)) {
+    if (idx->constraint() == ConstraintKind::kNearlySorted &&
+        idx->ascending() && idx->column() == table_col &&
+        idx->NumPatches() == 0 &&
+        idx->patches().NumRows() == partition.num_rows()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Sortedness inference for a multi-partition scan, partition-locally:
+/// every partition must carry a zero-exception ascending NSC proof on the
+/// column, and the partition boundaries must be non-decreasing (last
+/// value of partition p <= first value of partition p+1), because global
+/// rowID order concatenates the partitions.
+bool PartitionedScanProvedSorted(const PatchIndexManager& manager,
+                                 const PartitionedTable& table,
+                                 std::size_t table_col) {
+  bool have_prev = false;
+  std::int64_t prev_last = 0;
+  for (std::size_t p = 0; p < table.num_partitions(); ++p) {
+    const Table& part = table.partition(p);
+    if (!part.pdt().empty()) return false;
+    if (part.num_rows() == 0) continue;
+    if (!PartitionProvedSorted(manager, part, table_col)) return false;
+    const Column& col = part.column(table_col);
+    if (have_prev && col.GetInt64(0) < prev_last) return false;
+    prev_last = col.GetInt64(part.num_rows() - 1);
+    have_prev = true;
+  }
+  return true;
 }
 
 LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
@@ -47,23 +92,26 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
       // the table state of *this* execution (the optimizer runs under
       // the session's shared table locks; a cached/prepared plan may be
       // re-run long after updates broke the sort order).
-      if (node->scan_sorted_col >= 0 || node->table == nullptr ||
-          !node->table->pdt().empty()) {
-        break;
-      }
-      for (const PatchIndex* idx : manager.IndexesOn(*node->table)) {
-        if (idx->constraint() != ConstraintKind::kNearlySorted ||
-            !idx->ascending() || idx->NumPatches() != 0 ||
-            idx->patches().NumRows() != node->table->num_rows()) {
-          continue;
-        }
+      if (node->scan_sorted_col >= 0) break;
+      if (node->table != nullptr) {
+        if (!node->table->pdt().empty()) break;
         for (std::size_t i = 0; i < node->columns.size(); ++i) {
-          if (node->columns[i] == idx->column()) {
+          if (PartitionProvedSorted(manager, *node->table,
+                                    node->columns[i])) {
             node->scan_sorted_col = static_cast<int>(i);
             break;
           }
         }
-        if (node->scan_sorted_col >= 0) break;
+      } else if (node->ptable != nullptr) {
+        // Multi-partition: the inference runs partition-locally and lifts
+        // to a global claim only when the partition boundaries line up.
+        for (std::size_t i = 0; i < node->columns.size(); ++i) {
+          if (PartitionedScanProvedSorted(manager, *node->ptable,
+                                          node->columns[i])) {
+            node->scan_sorted_col = static_cast<int>(i);
+            break;
+          }
+        }
       }
       break;
     }
@@ -171,8 +219,28 @@ OperatorPtr CompileChainWithPatchFilter(const LogicalNode& node,
 
 OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
   switch (node.kind) {
-    case LogicalNode::Kind::kScan:
-      return std::make_unique<ScanOperator>(*node.table, node.columns);
+    case LogicalNode::Kind::kScan: {
+      if (node.table != nullptr) {
+        return std::make_unique<ScanOperator>(*node.table, node.columns);
+      }
+      // Multi-partition scan: concatenate the partitions in order, each
+      // scan offsetting its rowIDs by the partition's global base so the
+      // output rowIDs address the whole table (visible-row numbering —
+      // DML row-finding runs with empty PDTs, where visible == base).
+      PIDX_CHECK(node.ptable != nullptr);
+      std::vector<OperatorPtr> parts;
+      std::uint64_t base = 0;
+      for (std::size_t p = 0; p < node.ptable->num_partitions(); ++p) {
+        const Table& part = node.ptable->partition(p);
+        ScanOptions sopt;
+        sopt.row_id_offset = base;
+        parts.push_back(
+            std::make_unique<ScanOperator>(part, node.columns, sopt));
+        base += part.num_visible_rows();
+      }
+      if (parts.size() == 1) return std::move(parts[0]);
+      return std::make_unique<UnionOperator>(std::move(parts));
+    }
     case LogicalNode::Kind::kSelect:
       return std::make_unique<SelectOperator>(
           Compile(*node.children[0], options), node.predicate);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "patchindex/patch_index.h"
 #include "storage/table.h"
 
@@ -14,7 +15,8 @@ namespace patchindex {
 /// Owns the PatchIndexes of one or more tables and drives the update
 /// protocol: buffered update query -> constraint-specific handling ->
 /// checkpoint -> incremental maintenance. Data partitioning is transparent
-/// (paper §3.2): for a PartitionedTable, create one index per partition.
+/// (paper §3.2): for a PartitionedTable, one index exists per partition
+/// per column, with partition-local discovery, patch bitmaps and commit.
 ///
 /// The index registry itself is internally synchronized, so sessions may
 /// register/drop/enumerate indexes of different tables concurrently (the
@@ -39,16 +41,37 @@ class PatchIndexManager {
   /// All indexes defined on `table`.
   std::vector<PatchIndex*> IndexesOn(const Table& table) const;
 
+  /// All indexes defined on any partition of `table`.
+  std::vector<PatchIndex*> IndexesOn(const PartitionedTable& table) const;
+
   /// Destroys every index defined on `table`; returns how many were
   /// dropped. Required before the owning catalog frees the table — the
   /// indexes hold a reference to it.
   std::size_t DropIndexesOn(const Table& table);
+  std::size_t DropIndexesOn(const PartitionedTable& table);
+
+  /// Destroys one index by handle; false when it is not registered.
+  bool DropIndex(PatchIndex* index);
 
   /// Commits the update query buffered in `table`'s PDT: runs every
   /// affected index's update handling, checkpoints the table, then runs
   /// post-checkpoint maintenance. This is the paper's "handle updates
   /// immediately after they occur" protocol (§5).
+  ///
+  /// All-or-nothing per index: the table's delta always commits (the
+  /// checkpoint is unconditional once the PDT validates), and an index
+  /// either completes both maintenance phases or is dropped from the
+  /// registry entirely. A partial failure can therefore never leave a
+  /// registered index silently stale against the checkpointed table; the
+  /// returned status names the dropped indexes. A kInvalidArgument return
+  /// (mixed delta kinds) leaves table and indexes untouched.
   Status CommitUpdateQuery(Table& table);
+
+  /// Per-partition commit of a partitioned table: each dirty partition
+  /// (non-empty PDT) runs the full handle -> checkpoint -> maintenance
+  /// protocol partition-locally, in parallel on `pool` when given. The
+  /// same all-or-nothing index contract applies per partition.
+  Status CommitUpdateQuery(PartitionedTable& table, ThreadPool* pool = nullptr);
 
   std::size_t num_indexes() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -56,6 +79,9 @@ class PatchIndexManager {
   }
 
  private:
+  /// The single-partition protocol with the PDT already validated.
+  Status CommitValidated(Table& table);
+
   mutable std::mutex mu_;  // guards the registry, not the indexes' state
   std::vector<std::unique_ptr<PatchIndex>> indexes_;
 };

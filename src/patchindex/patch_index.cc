@@ -124,6 +124,9 @@ void PatchIndex::EnsureMinMax() {
 }
 
 Status PatchIndex::HandleUpdateQuery() {
+  if (options_.maintenance_fault_hook) {
+    PIDX_RETURN_NOT_OK(options_.maintenance_fault_hook("handle"));
+  }
   const PositionalDelta& pdt = table_->pdt();
   const int kinds = (pdt.inserts().empty() ? 0 : 1) +
                     (pdt.deletes().empty() ? 0 : 1) +
@@ -193,6 +196,9 @@ Status PatchIndex::HandleDelete() {
 }
 
 Status PatchIndex::AfterCheckpoint() {
+  if (options_.maintenance_fault_hook) {
+    PIDX_RETURN_NOT_OK(options_.maintenance_fault_hook("after"));
+  }
   switch (pending_) {
     case PendingKind::kInsert:
       if (minmax_ != nullptr) {

@@ -2,6 +2,7 @@
 #define PATCHINDEX_PATCHINDEX_PATCH_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,13 @@ struct PatchIndexOptions {
   /// index is globally recomputed (the paper suggests this as the answer
   /// to the gradual optimality loss of §5.1/§5.3). 1.0 disables it.
   double recompute_threshold = 1.0;
+
+  /// Test support: invoked at the start of HandleUpdateQuery (phase
+  /// "handle") and AfterCheckpoint (phase "after"); a non-OK return is
+  /// surfaced as that phase's failure. Lets tests drive the commit
+  /// protocol's partial-failure handling (broken indexes must be dropped,
+  /// never left stale) without corrupting real constraint state.
+  std::function<Status(const char* phase)> maintenance_fault_hook;
 };
 
 /// Snapshot of a PatchIndex's materialized state, used by checkpoint

@@ -126,15 +126,35 @@ struct DeleteStatement {
   ParseExprPtr where;  // may be null (deletes every row)
 };
 
+/// `CREATE TABLE name (col type, ...) [PARTITIONS n]`. Type names are
+/// resolved by the binder (INT64/BIGINT/INT, DOUBLE/FLOAT/REAL,
+/// STRING/TEXT/VARCHAR).
+struct CreateTableStatement {
+  struct ColumnDef {
+    std::string name;
+    SourceLoc loc;
+    std::string type_name;  // lowercased
+    SourceLoc type_loc;
+  };
+  std::string table;
+  SourceLoc table_loc;
+  std::vector<ColumnDef> columns;
+  /// Partition count of the PARTITIONS clause; -1 = none given (the
+  /// engine's session default applies).
+  std::int64_t partitions = -1;
+  SourceLoc partitions_loc;
+};
+
 /// One parsed SQL statement; exactly the member matching `kind` is set.
 struct Statement {
-  enum class Kind { kSelect, kInsert, kUpdate, kDelete };
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete, kCreateTable };
 
   Kind kind = Kind::kSelect;
   std::shared_ptr<SelectStatement> select;
   std::shared_ptr<InsertStatement> insert;
   std::shared_ptr<UpdateStatement> update;
   std::shared_ptr<DeleteStatement> del;
+  std::shared_ptr<CreateTableStatement> create;
   /// Number of `?` placeholders (ordinals are assigned left to right).
   std::size_t num_params = 0;
 };

@@ -88,7 +88,7 @@ double GuessSelectivity(const ParseExpr& e) {
 
 /// A table occurrence in FROM/JOIN, with the pruned scan layout.
 struct Entry {
-  const Table* table = nullptr;
+  const PartitionedTable* table = nullptr;
   std::string qualifier;
   SourceLoc loc;
   std::set<std::size_t> used;            // original column indices
@@ -119,6 +119,9 @@ class Binder {
         break;
       case Statement::Kind::kDelete:
         st = BindDelete(*stmt.del, &out);
+        break;
+      case Statement::Kind::kCreateTable:
+        st = BindCreateTable(*stmt.create, &out);
         break;
     }
     if (!st.ok()) return st;
@@ -377,7 +380,8 @@ class Binder {
   // -------------------------------------------------------------- select
 
   Result<Entry> MakeEntry(const TableClause& clause) {
-    const Table* table = catalog_.FindTable(clause.table);
+    const PartitionedTable* table =
+        catalog_.FindPartitionedTable(clause.table);
     if (table == nullptr) {
       return Status::NotFound("unknown table '" + clause.table + "' at " +
                               clause.loc.ToString());
@@ -1023,8 +1027,12 @@ class Binder {
         const std::size_t pos = agg_base + plan.agg_idx;
         (*agg_text)[i] = ToLowerAscii(item.expr->ToString());
         if (plan.is_avg) {
-          proj_exprs->push_back(
-              Div(Cast(Col(pos), ColumnType::kDouble), Col(pos + 1)));
+          // AVG = SUM / COUNT with *both* operands cast to DOUBLE: the
+          // result is always DOUBLE and no integer division can occur
+          // anywhere on the path, even over INT64 columns.
+          proj_exprs->push_back(Div(Cast(Col(pos), ColumnType::kDouble),
+                                    Cast(Col(pos + 1),
+                                         ColumnType::kDouble)));
           direct->push_back(std::nullopt);
           types->push_back(ColumnType::kDouble);
         } else {
@@ -1043,9 +1051,9 @@ class Binder {
 
   // ----------------------------------------------------------------- DML
 
-  Result<const Table*> ResolveDmlTable(const std::string& name,
-                                       const SourceLoc& loc) {
-    const Table* table = catalog_.FindTable(name);
+  Result<const PartitionedTable*> ResolveDmlTable(const std::string& name,
+                                                  const SourceLoc& loc) {
+    const PartitionedTable* table = catalog_.FindPartitionedTable(name);
     if (table == nullptr) {
       return Status::NotFound("unknown table '" + name + "' at " +
                               loc.ToString());
@@ -1053,7 +1061,8 @@ class Binder {
     return table;
   }
 
-  BindScope FullTableScope(const std::string& qualifier, const Table& table) {
+  BindScope FullTableScope(const std::string& qualifier,
+                           const PartitionedTable& table) {
     BindScope scope;
     for (const Field& f : table.schema().fields()) {
       scope.cols.push_back({qualifier, f.name, f.type});
@@ -1082,7 +1091,7 @@ class Binder {
   }
 
   Status BindInsert(const InsertStatement& ins, BoundStatement* out) {
-    Result<const Table*> table = ResolveDmlTable(ins.table, ins.table_loc);
+    Result<const PartitionedTable*> table = ResolveDmlTable(ins.table, ins.table_loc);
     if (!table.ok()) return table.status();
     const Schema& schema = table.value()->schema();
     out->table = ins.table;
@@ -1153,7 +1162,7 @@ class Binder {
   }
 
   Status BindUpdate(const UpdateStatement& upd, BoundStatement* out) {
-    Result<const Table*> table = ResolveDmlTable(upd.table, upd.table_loc);
+    Result<const PartitionedTable*> table = ResolveDmlTable(upd.table, upd.table_loc);
     if (!table.ok()) return table.status();
     const Schema& schema = table.value()->schema();
     out->table = upd.table;
@@ -1198,8 +1207,51 @@ class Binder {
     return BindDmlWhere(upd.where, scope, out);
   }
 
+  Status BindCreateTable(const CreateTableStatement& create,
+                         BoundStatement* out) {
+    out->table = create.table;
+    std::vector<Field> fields;
+    for (const CreateTableStatement::ColumnDef& col : create.columns) {
+      ColumnType type;
+      if (col.type_name == "int64" || col.type_name == "bigint" ||
+          col.type_name == "int") {
+        type = ColumnType::kInt64;
+      } else if (col.type_name == "double" || col.type_name == "float" ||
+                 col.type_name == "real") {
+        type = ColumnType::kDouble;
+      } else if (col.type_name == "string" || col.type_name == "text" ||
+                 col.type_name == "varchar") {
+        type = ColumnType::kString;
+      } else {
+        return Status::InvalidArgument(
+            "unknown column type '" + col.type_name + "' at " +
+            col.type_loc.ToString() +
+            " (INT64/BIGINT/INT, DOUBLE/FLOAT/REAL, STRING/TEXT/VARCHAR)");
+      }
+      for (const Field& f : fields) {
+        if (EqualsNoCase(f.name, col.name)) {
+          return Status::InvalidArgument("duplicate column '" + col.name +
+                                         "' at " + col.loc.ToString());
+        }
+      }
+      fields.push_back({col.name, type});
+    }
+    out->create_schema = Schema(std::move(fields));
+    out->create_partitions =
+        create.partitions < 0 ? 0
+                              : static_cast<std::size_t>(create.partitions);
+    // Existence is checked again at execution (under the catalog's own
+    // lock); failing early here gives prepared statements the same error.
+    if (catalog_.FindPartitionedTable(create.table) != nullptr) {
+      return Status::AlreadyExists("table '" + create.table +
+                                   "' already exists at " +
+                                   create.table_loc.ToString());
+    }
+    return Status::OK();
+  }
+
   Status BindDelete(const DeleteStatement& del, BoundStatement* out) {
-    Result<const Table*> table = ResolveDmlTable(del.table, del.table_loc);
+    Result<const PartitionedTable*> table = ResolveDmlTable(del.table, del.table_loc);
     if (!table.ok()) return table.status();
     out->table = del.table;
     const BindScope scope = FullTableScope(del.table, *table.value());

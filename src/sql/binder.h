@@ -39,9 +39,11 @@ namespace patchindex::sql {
 /// serves every parameter binding. Slot types are inferred from context
 /// (the column a parameter is compared to or assigned into).
 ///
-/// The bound plan holds raw `Table*` pointers into the catalog: executing
+/// The bound plan holds raw table pointers into the catalog: executing
 /// a statement bound before a DROP TABLE of one of its tables is
-/// undefined, like any retained LogicalNode plan.
+/// undefined, like any retained LogicalNode plan. Scans bind against the
+/// catalog's PartitionedTable entries — a multi-partition scan draws from
+/// every partition and emits table-global rowIDs.
 struct BoundStatement {
   Statement::Kind kind = Statement::Kind::kSelect;
 
@@ -63,8 +65,13 @@ struct BoundStatement {
   /// (the engine has no NULLs to put in those columns).
   bool global_count_only = false;
 
-  // DML target (kInsert/kUpdate/kDelete)
+  // DML / DDL target (kInsert/kUpdate/kDelete/kCreateTable)
   std::string table;
+
+  /// kCreateTable: the resolved schema and partition count (0 = no
+  /// PARTITIONS clause; the engine's session default applies).
+  Schema create_schema;
+  std::size_t create_partitions = 0;
 
   /// kInsert: one expression per row and schema column (schema order, the
   /// column-list permutation already applied). Expressions are

@@ -42,6 +42,11 @@ bool Token::Is(std::string_view kw) const {
 Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> out;
   SourceLoc loc;
+  // Where the last token ended: the kEnd token is anchored here, so an
+  // "unexpected end of input" error in a multi-line statement points just
+  // past the last real token instead of past any trailing whitespace
+  // (e.g. the empty line after a trailing newline).
+  SourceLoc last_end;
   std::size_t i = 0;
 
   auto advance = [&](std::size_t n) {
@@ -53,6 +58,10 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         ++loc.column;
       }
     }
+  };
+  auto advance_token = [&](std::size_t n) {
+    advance(n);
+    last_end = loc;
   };
   auto error = [&](const std::string& msg) {
     return Status::InvalidArgument(msg + " at " + loc.ToString());
@@ -80,7 +89,7 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       std::size_t j = i;
       while (j < sql.size() && IsIdentChar(sql[j])) ++j;
       push(TokenKind::kIdentifier, std::string(sql.substr(i, j - i)), at);
-      advance(j - i);
+      advance_token(j - i);
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -116,7 +125,7 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         if (errno == ERANGE) return error("integer literal out of range");
       }
       out.push_back(std::move(t));
-      advance(j - i);
+      advance_token(j - i);
       continue;
     }
     if (c == '\'') {
@@ -136,80 +145,80 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         ++j;
       }
       push(TokenKind::kStringLiteral, std::move(value), at);
-      advance(j + 1 - i);
+      advance_token(j + 1 - i);
       continue;
     }
     switch (c) {
       case '(':
         push(TokenKind::kLParen, "(", at);
-        advance(1);
+        advance_token(1);
         continue;
       case ')':
         push(TokenKind::kRParen, ")", at);
-        advance(1);
+        advance_token(1);
         continue;
       case ',':
         push(TokenKind::kComma, ",", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '.':
         push(TokenKind::kDot, ".", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '*':
         push(TokenKind::kStar, "*", at);
-        advance(1);
+        advance_token(1);
         continue;
       case ';':
         push(TokenKind::kSemicolon, ";", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '?':
         push(TokenKind::kQuestion, "?", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '+':
         push(TokenKind::kPlus, "+", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '-':
         push(TokenKind::kMinus, "-", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '/':
         push(TokenKind::kSlash, "/", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '=':
         push(TokenKind::kEq, "=", at);
-        advance(1);
+        advance_token(1);
         continue;
       case '!':
         if (i + 1 < sql.size() && sql[i + 1] == '=') {
           push(TokenKind::kNe, "!=", at);
-          advance(2);
+          advance_token(2);
           continue;
         }
         return error("unexpected character '!'");
       case '<':
         if (i + 1 < sql.size() && sql[i + 1] == '=') {
           push(TokenKind::kLe, "<=", at);
-          advance(2);
+          advance_token(2);
         } else if (i + 1 < sql.size() && sql[i + 1] == '>') {
           push(TokenKind::kNe, "<>", at);
-          advance(2);
+          advance_token(2);
         } else {
           push(TokenKind::kLt, "<", at);
-          advance(1);
+          advance_token(1);
         }
         continue;
       case '>':
         if (i + 1 < sql.size() && sql[i + 1] == '=') {
           push(TokenKind::kGe, ">=", at);
-          advance(2);
+          advance_token(2);
         } else {
           push(TokenKind::kGt, ">", at);
-          advance(1);
+          advance_token(1);
         }
         continue;
       default:
@@ -219,7 +228,7 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
 
   Token end;
   end.kind = TokenKind::kEnd;
-  end.loc = loc;
+  end.loc = out.empty() ? loc : last_end;
   out.push_back(std::move(end));
   return out;
 }

@@ -46,8 +46,11 @@ class Parser {
     } else if (t.Is("delete")) {
       stmt.kind = Statement::Kind::kDelete;
       stmt.del = ParseDelete();
+    } else if (t.Is("create")) {
+      stmt.kind = Statement::Kind::kCreateTable;
+      stmt.create = ParseCreateTable();
     } else {
-      Fail("expected SELECT, INSERT, UPDATE or DELETE", t);
+      Fail("expected SELECT, INSERT, UPDATE, DELETE or CREATE", t);
     }
     if (error_.ok()) {
       if (Cur().kind == TokenKind::kSemicolon) Advance();
@@ -190,6 +193,35 @@ class Parser {
       upd->where = ParseExprTop();
     }
     return upd;
+  }
+
+  std::shared_ptr<CreateTableStatement> ParseCreateTable() {
+    auto create = std::make_shared<CreateTableStatement>();
+    ExpectKeyword("create");
+    ExpectKeyword("table");
+    create->table_loc = Cur().loc;
+    create->table = ExpectIdentifier("table name");
+    Expect(TokenKind::kLParen, "'('");
+    do {
+      CreateTableStatement::ColumnDef col;
+      col.loc = Cur().loc;
+      col.name = ExpectIdentifier("column name");
+      col.type_loc = Cur().loc;
+      col.type_name = ToLowerAscii(ExpectIdentifier("column type"));
+      create->columns.push_back(std::move(col));
+    } while (error_.ok() && Accept(TokenKind::kComma));
+    Expect(TokenKind::kRParen, "')'");
+    if (error_.ok() && Cur().Is("partitions")) {
+      Advance();
+      create->partitions_loc = Cur().loc;
+      if (Cur().kind != TokenKind::kIntLiteral || Cur().i64 < 1) {
+        Fail("PARTITIONS expects a positive integer", Cur());
+        return create;
+      }
+      create->partitions = Cur().i64;
+      Advance();
+    }
+    return create;
   }
 
   std::shared_ptr<DeleteStatement> ParseDelete() {
@@ -410,7 +442,11 @@ class Parser {
         return ParseColumnRef();
       }
       default:
-        Fail("expected an expression, got '" + t.text + "'", t);
+        Fail("expected an expression, got '" +
+                 (t.kind == TokenKind::kEnd ? std::string("end of input")
+                                            : t.text) +
+             "'",
+             t);
         return e;
     }
   }

@@ -12,7 +12,7 @@ namespace patchindex::sql {
 /// grammar, in rough EBNF — identifiers and keywords are case-insensitive,
 /// `--` starts a line comment:
 ///
-///   statement  := select | insert | update | delete
+///   statement  := select | insert | update | delete | create
 ///   select     := SELECT [DISTINCT] items FROM table_ref {join}
 ///                 [WHERE expr] [GROUP BY column {, column}]
 ///                 [ORDER BY order_item {, order_item}] [LIMIT int]
@@ -25,6 +25,10 @@ namespace patchindex::sql {
 ///                 VALUES ( expr {, expr} ) {, ( expr {, expr} )}
 ///   update     := UPDATE name SET name = expr {, name = expr} [WHERE expr]
 ///   delete     := DELETE FROM name [WHERE expr]
+///   create     := CREATE TABLE name ( name type {, name type} )
+///                 [PARTITIONS int]
+///   type       := INT64|BIGINT|INT | DOUBLE|FLOAT|REAL
+///               | STRING|TEXT|VARCHAR
 ///
 ///   expr       := or_expr
 ///   or_expr    := and_expr {OR and_expr}

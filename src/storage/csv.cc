@@ -10,6 +10,13 @@ namespace patchindex {
 
 namespace {
 
+/// getline keeps the '\r' of CRLF line endings; left in place it would
+/// glue onto the last field and misclassify the column (or fail an
+/// integer parse outright).
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
 std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
   std::vector<std::string> fields;
   std::string field;
@@ -74,6 +81,7 @@ Result<std::unique_ptr<Table>> LoadCsvTable(const std::string& path,
       return Status::InvalidArgument("empty CSV file: " + path);
     }
     ++line_no;
+    StripTrailingCr(&line);
     const auto header = SplitLine(line, delimiter);
     if (header.size() != schema.num_fields()) {
       return Status::InvalidArgument(
@@ -90,6 +98,7 @@ Result<std::unique_ptr<Table>> LoadCsvTable(const std::string& path,
   }
   while (std::getline(in, line)) {
     ++line_no;
+    StripTrailingCr(&line);
     if (line.empty()) continue;
     const auto fields = SplitLine(line, delimiter);
     if (fields.size() != schema.num_fields()) {
@@ -118,6 +127,7 @@ Result<Schema> InferCsvSchema(const std::string& path, char delimiter) {
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty CSV file: " + path);
   }
+  StripTrailingCr(&line);
   const std::vector<std::string> names = SplitLine(line, delimiter);
 
   auto parses_as = [](const std::string& text, ColumnType type) {
@@ -129,6 +139,7 @@ Result<Schema> InferCsvSchema(const std::string& path, char delimiter) {
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    StripTrailingCr(&line);
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitLine(line, delimiter);
     if (fields.size() != names.size()) {

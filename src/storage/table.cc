@@ -104,9 +104,82 @@ PartitionedTable::PartitionedTable(Schema schema, std::size_t num_partitions)
   }
 }
 
+PartitionedTable::PartitionedTable(Schema schema,
+                                   std::vector<std::unique_ptr<Table>> parts)
+    : schema_(std::move(schema)), partitions_(std::move(parts)) {
+  PIDX_CHECK(!partitions_.empty());
+  for (const auto& p : partitions_) {
+    PIDX_CHECK(p != nullptr);
+    PIDX_CHECK(p->schema().num_fields() == schema_.num_fields());
+  }
+}
+
 std::uint64_t PartitionedTable::num_rows() const {
   std::uint64_t total = 0;
   for (const auto& p : partitions_) total += p->num_rows();
+  return total;
+}
+
+std::uint64_t PartitionedTable::num_visible_rows() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->num_visible_rows();
+  return total;
+}
+
+std::uint64_t PartitionedTable::partition_base(std::size_t i) const {
+  PIDX_CHECK(i < partitions_.size());
+  std::uint64_t base = 0;
+  for (std::size_t p = 0; p < i; ++p) base += partitions_[p]->num_rows();
+  return base;
+}
+
+PartitionedTable::RowLocation PartitionedTable::ResolveRow(
+    RowId global_row) const {
+  RowId local = global_row;
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const std::uint64_t n = partitions_[p]->num_rows();
+    if (local < n) return {p, local};
+    local -= n;
+  }
+  PIDX_CHECK_MSG(false, "global rowID beyond the partitioned table");
+  return {0, 0};
+}
+
+std::size_t PartitionedTable::LeastLoadedPartition(
+    bool count_pending_inserts) const {
+  std::size_t best = 0;
+  std::uint64_t best_rows = ~std::uint64_t{0};
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    std::uint64_t rows = partitions_[p]->num_rows();
+    if (count_pending_inserts) rows += partitions_[p]->pdt().inserts().size();
+    if (rows < best_rows) {
+      best = p;
+      best_rows = rows;
+    }
+  }
+  return best;
+}
+
+void PartitionedTable::AppendRow(const Row& row) {
+  partitions_[LeastLoadedPartition(/*count_pending_inserts=*/false)]
+      ->AppendRow(row);
+}
+
+void PartitionedTable::BufferInsert(Row row) {
+  partitions_[LeastLoadedPartition(/*count_pending_inserts=*/true)]
+      ->BufferInsert(std::move(row));
+}
+
+bool PartitionedTable::pdt_empty() const {
+  for (const auto& p : partitions_) {
+    if (!p->pdt().empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t PartitionedTable::MemoryUsageBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->MemoryUsageBytes();
   return total;
 }
 

@@ -95,18 +95,60 @@ class Table {
 
 /// A horizontally partitioned table: constraint discovery, index creation
 /// and query processing are performed partition-locally (paper §3.2).
+///
+/// Rows are addressed globally by concatenating the partitions in order:
+/// partition 0 holds global rows [0, n0), partition 1 holds [n0, n0+n1),
+/// and so on (partition_base / ResolveRow map between the two views).
+/// Scans over a partitioned table emit these global rowIDs (via
+/// ScanOptions::row_id_offset), so DML deltas computed from a scan route
+/// back to the owning partition.
 class PartitionedTable {
  public:
   PartitionedTable(Schema schema, std::size_t num_partitions);
+
+  /// Adopts already-populated partitions (bulk-load / catalog AddTable
+  /// path). Every partition must share `schema`'s layout.
+  PartitionedTable(Schema schema, std::vector<std::unique_ptr<Table>> parts);
 
   std::size_t num_partitions() const { return partitions_.size(); }
   Table& partition(std::size_t i) { return *partitions_[i]; }
   const Table& partition(std::size_t i) const { return *partitions_[i]; }
   const Schema& schema() const { return schema_; }
 
+  /// Base rows across all partitions (excluding pending PDT deltas).
   std::uint64_t num_rows() const;
+  /// Rows a scan would see across all partitions (deltas applied).
+  std::uint64_t num_visible_rows() const;
+
+  /// Global rowID of partition `i`'s first base row (sum of the base row
+  /// counts of the partitions before it).
+  std::uint64_t partition_base(std::size_t i) const;
+
+  /// Maps a global base rowID to its owning partition and the local row
+  /// within it. The rowID must be < num_rows().
+  struct RowLocation {
+    std::size_t partition;
+    RowId local_row;
+  };
+  RowLocation ResolveRow(RowId global_row) const;
+
+  /// Appends a row to the least-loaded partition (fewest base rows, ties
+  /// to the lowest index — round-robin when loading from empty). Bulk
+  /// loading path, mirroring Table::AppendRow.
+  void AppendRow(const Row& row);
+
+  /// Buffers an insert in the least-loaded partition's PDT (fewest base +
+  /// pending-insert rows), the update-query routing policy.
+  void BufferInsert(Row row);
+
+  /// True when no partition has pending PDT deltas.
+  bool pdt_empty() const;
+
+  std::uint64_t MemoryUsageBytes() const;
 
  private:
+  std::size_t LeastLoadedPartition(bool count_pending_inserts) const;
+
   Schema schema_;
   std::vector<std::unique_ptr<Table>> partitions_;
 };

@@ -99,6 +99,53 @@ TEST(CheckpointTest, CardinalityMismatchIsRejected) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, SaveThenCommitInvalidatesTheCheckpointPerPartition) {
+  // §3.4: a checkpoint is only valid for the table state it was taken
+  // from. After an update-commit changes a partition, loading that
+  // partition's checkpoint must fail with kConstraintViolation; a fresh
+  // save/load must agree with an index rebuilt from scratch. Exercised
+  // per partition — indexes and checkpoints are partition-local.
+  PartitionedTable pt(KvSchema(), 2);
+  for (int i = 0; i < 40; ++i) {
+    pt.AppendRow(
+        Row{{Value(static_cast<std::int64_t>(i)),
+             Value(static_cast<std::int64_t>(i % 2 == 0 ? i : 7))}});
+  }
+  PatchIndexManager mgr;
+  std::vector<PatchIndex*> indexes =
+      mgr.CreatePartitionedIndex(pt, 1, ConstraintKind::kNearlyUnique);
+  ASSERT_EQ(indexes.size(), 2u);
+
+  std::vector<std::string> paths;
+  for (std::size_t p = 0; p < 2; ++p) {
+    paths.push_back(TempPath(("percpart" + std::to_string(p) + ".pidx").c_str()));
+    ASSERT_TRUE(SavePatchIndexCheckpoint(*indexes[p], paths[p]).ok());
+  }
+
+  // Commit an update through the manager: every partition changes.
+  pt.BufferInsert(Row{{Value(std::int64_t{100}), Value(std::int64_t{7})}});
+  pt.BufferInsert(Row{{Value(std::int64_t{101}), Value(std::int64_t{7})}});
+  ASSERT_TRUE(mgr.CommitUpdateQuery(pt, nullptr).ok());
+
+  for (std::size_t p = 0; p < 2; ++p) {
+    // The pre-update checkpoint no longer matches the partition.
+    auto stale = LoadPatchIndexCheckpoint(paths[p], pt.partition(p));
+    ASSERT_FALSE(stale.ok()) << "partition " << p;
+    EXPECT_EQ(stale.status().code(), StatusCode::kConstraintViolation);
+
+    // A fresh save/load round-trip agrees with a rebuilt index.
+    ASSERT_TRUE(SavePatchIndexCheckpoint(*indexes[p], paths[p]).ok());
+    auto reloaded = LoadPatchIndexCheckpoint(paths[p], pt.partition(p));
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    auto rebuilt = PatchIndex::Create(pt.partition(p), 1,
+                                      ConstraintKind::kNearlyUnique);
+    EXPECT_EQ(reloaded.value()->patches().PatchRowIds(),
+              rebuilt->patches().PatchRowIds());
+    EXPECT_TRUE(reloaded.value()->CheckInvariant());
+    std::remove(paths[p].c_str());
+  }
+}
+
 TEST(CheckpointTest, MissingFile) {
   Table t = MakeTable({1});
   auto loaded = LoadPatchIndexCheckpoint(TempPath("nope.pidx"), t);

@@ -1,0 +1,186 @@
+// Regression tests for the update-commit protocol's partial-failure
+// handling: a mid-commit index-maintenance failure must never leave a
+// registered index silently stale against the checkpointed table. The
+// protocol is all-or-nothing per index — the data change commits, exactly
+// the broken indexes are dropped, and the status reports it.
+//
+// Failures are injected via PatchIndexOptions::maintenance_fault_hook, so
+// real constraint state is never corrupted by the test itself.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "patchindex/manager.h"
+
+namespace patchindex {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"key", ColumnType::kInt64}, {"val", ColumnType::kInt64}});
+}
+
+Table MakeTable(std::size_t rows) {
+  Table t(KvSchema());
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.AppendRow(Row{{Value(static_cast<std::int64_t>(i)),
+                     Value(static_cast<std::int64_t>(i * 10))}});
+  }
+  return t;
+}
+
+Row KvRow(std::int64_t key, std::int64_t val) {
+  return Row{{Value(key), Value(val)}};
+}
+
+/// Options whose hook fails in `phase` while `*armed` is true.
+PatchIndexOptions FaultyOptions(std::shared_ptr<std::atomic<bool>> armed,
+                                std::string phase) {
+  PatchIndexOptions o;
+  o.maintenance_fault_hook = [armed = std::move(armed),
+                              phase = std::move(phase)](const char* at) {
+    if (armed->load() && phase == at) {
+      return Status::Internal("injected " + phase + " fault");
+    }
+    return Status::OK();
+  };
+  return o;
+}
+
+TEST(CommitProtocolTest, AfterCheckpointFailureDropsOnlyTheBrokenIndex) {
+  Table t = MakeTable(64);
+  PatchIndexManager mgr;
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  // The faulty index registers FIRST: before the fix, its failure made
+  // CommitUpdateQuery return early, leaving the healthy index (which had
+  // already handled the delta) un-maintained but still registered.
+  mgr.CreateIndex(t, 0, ConstraintKind::kNearlySorted,
+                  FaultyOptions(armed, "after"));
+  PatchIndex* healthy = mgr.CreateIndex(t, 1, ConstraintKind::kNearlyUnique);
+  ASSERT_EQ(mgr.num_indexes(), 2u);
+
+  armed->store(true);
+  t.BufferInsert(KvRow(64, 640));
+  t.BufferInsert(KvRow(65, 650));
+  const Status st = mgr.CommitUpdateQuery(t);
+
+  // The data change committed regardless.
+  EXPECT_EQ(t.num_rows(), 66u);
+  EXPECT_TRUE(t.pdt().empty());
+  // The failure is surfaced, naming the drop.
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(st.message().find("dropped 1 patch index"), std::string::npos);
+  EXPECT_NE(st.message().find("injected after fault"), std::string::npos);
+  // Exactly the broken index is gone; the survivor is fully maintained —
+  // not stale against the checkpointed table.
+  ASSERT_EQ(mgr.num_indexes(), 1u);
+  ASSERT_EQ(mgr.IndexesOn(t).size(), 1u);
+  EXPECT_EQ(mgr.IndexesOn(t)[0], healthy);
+  EXPECT_EQ(healthy->NumRows(), t.num_rows());
+  EXPECT_TRUE(healthy->CheckInvariant());
+
+  // Subsequent commits run clean on the survivor.
+  armed->store(false);
+  t.BufferInsert(KvRow(66, 660));
+  EXPECT_TRUE(mgr.CommitUpdateQuery(t).ok());
+  EXPECT_EQ(healthy->NumRows(), 67u);
+}
+
+TEST(CommitProtocolTest, HandleFailureStillCommitsAndMaintainsSurvivors) {
+  Table t = MakeTable(32);
+  PatchIndexManager mgr;
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  mgr.CreateIndex(t, 1, ConstraintKind::kNearlyUnique,
+                  FaultyOptions(armed, "handle"));
+  PatchIndex* healthy = mgr.CreateIndex(t, 0, ConstraintKind::kNearlySorted);
+
+  ASSERT_TRUE(t.BufferDelete(3).ok());
+  const Status st = mgr.CommitUpdateQuery(t);
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(t.num_rows(), 31u);
+  ASSERT_EQ(mgr.IndexesOn(t).size(), 1u);
+  EXPECT_EQ(mgr.IndexesOn(t)[0], healthy);
+  EXPECT_EQ(healthy->NumRows(), 31u);
+  EXPECT_TRUE(healthy->CheckInvariant());
+}
+
+TEST(CommitProtocolTest, MixedDeltaKindsRejectedBeforeAnyStateChanges) {
+  Table t = MakeTable(16);
+  PatchIndexManager mgr;
+  PatchIndex* idx = mgr.CreateIndex(t, 1, ConstraintKind::kNearlyUnique);
+
+  t.BufferInsert(KvRow(16, 160));
+  ASSERT_TRUE(t.BufferDelete(0).ok());
+  const Status st = mgr.CommitUpdateQuery(t);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Nothing committed, nothing dropped: table and index are untouched.
+  EXPECT_EQ(t.num_rows(), 16u);
+  EXPECT_FALSE(t.pdt().empty());
+  EXPECT_EQ(mgr.num_indexes(), 1u);
+  EXPECT_EQ(idx->NumRows(), 16u);
+}
+
+TEST(CommitProtocolTest, PartitionedCommitIsPartitionLocal) {
+  PartitionedTable pt(KvSchema(), 3);
+  for (int i = 0; i < 90; ++i) {
+    pt.AppendRow(KvRow(i, i * 10));
+  }
+  PatchIndexManager mgr;
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  // Per-partition NUC indexes; partition 1's index carries the fault.
+  mgr.CreatePartitionedIndex(pt, 1, ConstraintKind::kNearlyUnique);
+  ASSERT_EQ(mgr.num_indexes(), 3u);
+  PatchIndex* faulty = mgr.CreateIndex(pt.partition(1), 0,
+                                       ConstraintKind::kNearlySorted,
+                                       FaultyOptions(armed, "after"));
+  (void)faulty;
+  ASSERT_EQ(mgr.num_indexes(), 4u);
+
+  // Dirty every partition, then commit in parallel on a pool.
+  armed->store(true);
+  pt.BufferInsert(KvRow(90, 900));
+  pt.BufferInsert(KvRow(91, 910));
+  pt.BufferInsert(KvRow(92, 920));
+  ASSERT_FALSE(pt.pdt_empty());
+  ThreadPool pool(3);
+  const Status st = mgr.CommitUpdateQuery(pt, &pool);
+
+  // Every partition checkpointed its delta...
+  EXPECT_TRUE(pt.pdt_empty());
+  EXPECT_EQ(pt.num_rows(), 93u);
+  // ...the broken index (and only it) is gone, the error names its
+  // partition, and the three per-partition NUCs are maintained.
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(st.message().find("partition 1"), std::string::npos);
+  EXPECT_EQ(mgr.num_indexes(), 3u);
+  for (PatchIndex* idx : mgr.IndexesOn(pt)) {
+    EXPECT_EQ(idx->constraint(), ConstraintKind::kNearlyUnique);
+    EXPECT_EQ(idx->NumRows(), idx->table().num_rows());
+    EXPECT_TRUE(idx->CheckInvariant());
+  }
+}
+
+TEST(CommitProtocolTest, PartitionedCommitValidatesEveryPartitionFirst) {
+  PartitionedTable pt(KvSchema(), 2);
+  for (int i = 0; i < 10; ++i) pt.AppendRow(KvRow(i, i));
+  PatchIndexManager mgr;
+  mgr.CreatePartitionedIndex(pt, 1, ConstraintKind::kNearlyUnique);
+
+  // Partition 0 gets a clean insert; partition 1 a mixed (invalid) delta.
+  pt.partition(0).BufferInsert(KvRow(100, 100));
+  pt.partition(1).BufferInsert(KvRow(101, 101));
+  ASSERT_TRUE(pt.partition(1).BufferDelete(0).ok());
+
+  const Status st = mgr.CommitUpdateQuery(pt, nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Neither partition committed: a sibling's invalid delta aborts the
+  // whole update before any checkpoint.
+  EXPECT_FALSE(pt.partition(0).pdt().empty());
+  EXPECT_FALSE(pt.partition(1).pdt().empty());
+  EXPECT_EQ(pt.num_rows(), 10u);
+  EXPECT_EQ(mgr.num_indexes(), 2u);
+}
+
+}  // namespace
+}  // namespace patchindex

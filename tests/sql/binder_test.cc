@@ -118,9 +118,10 @@ TEST_F(BinderTest, GoldenGlobalAggregate) {
 }
 
 TEST_F(BinderTest, GoldenAvgExpandsToSumOverCount) {
+  // Both operands cast to DOUBLE: AVG can never integer-divide.
   EXPECT_EQ(Explain("SELECT customer, AVG(total) FROM orders "
                     "GROUP BY customer"),
-            "Project(#0, (DOUBLE(#1) / #2))\n"
+            "Project(#0, (DOUBLE(#1) / DOUBLE(#2)))\n"
             "  Aggregate(groups=1, aggs=2)\n"
             "    Scan(2 cols, 100 rows)\n");
 }

@@ -120,5 +120,49 @@ TEST(ParserTest, JoinOnRequiresColumnEquality) {
   EXPECT_FALSE(ParseStatement("SELECT * FROM t JOIN u ON 1 = 1").ok());
 }
 
+TEST(ParserTest, MultiLineErrorsPointAtTheOffendingToken) {
+  // A keyword reached unexpectedly on line 3 reports line 3, not the
+  // statement start.
+  EXPECT_NE(ParseError("SELECT a,\n       b,\nFROM t")
+                .find("line 3, column 1"),
+            std::string::npos);
+  // The offending literal sits mid-line on line 2.
+  EXPECT_NE(ParseError("SELECT a FROM t\nWHERE a = 5x")
+                .find("line 2, column 11"),
+            std::string::npos);
+  // Lexer errors deep into a multi-line statement.
+  EXPECT_NE(ParseError("SELECT a\n  FROM t\n  WHERE a = 'oops")
+                .find("line 3, column 13"),
+            std::string::npos);
+  // An unexpected end of input anchors just past the last real token,
+  // not past the trailing newline (which would name a phantom line 2).
+  const std::string eoi = ParseError("SELECT a FROM t WHERE\n");
+  EXPECT_NE(eoi.find("expected an expression, got 'end of input'"),
+            std::string::npos);
+  EXPECT_NE(eoi.find("line 1, column 22"), std::string::npos);
+}
+
+TEST(ParserTest, CreateTableWithPartitions) {
+  const Statement stmt =
+      Parse("CREATE TABLE t (a INT64, b STRING, c DOUBLE) PARTITIONS 4");
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(stmt.create->table, "t");
+  ASSERT_EQ(stmt.create->columns.size(), 3u);
+  EXPECT_EQ(stmt.create->columns[0].name, "a");
+  EXPECT_EQ(stmt.create->columns[0].type_name, "int64");
+  EXPECT_EQ(stmt.create->columns[2].type_name, "double");
+  EXPECT_EQ(stmt.create->partitions, 4);
+
+  const Statement plain = Parse("CREATE TABLE u (x BIGINT)");
+  ASSERT_EQ(plain.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(plain.create->partitions, -1);  // session default
+
+  EXPECT_NE(ParseError("CREATE TABLE t (a INT64) PARTITIONS 0")
+                .find("PARTITIONS expects a positive integer"),
+            std::string::npos);
+  EXPECT_NE(ParseError("CREATE TABLE t ()").find("expected column name"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace patchindex::sql

@@ -410,6 +410,65 @@ TEST_F(SqlEquivalenceTest, CountOnlyGlobalAggregateOverEmptyInput) {
   EXPECT_EQ(RunSql("SELECT COUNT(*), MAX(val) FROM e").num_rows(), 0u);
 }
 
+TEST_F(SqlEquivalenceTest, AvgOverInt64IsAlwaysDouble) {
+  Table t(Schema({{"g", ColumnType::kInt64}, {"v", ColumnType::kInt64}}));
+  // Group 1: values 1, 2 -> AVG 1.5 (integer division would yield 1).
+  // Group 2: values 2, 3, 4 -> AVG 3.0.
+  // Group 3: single value 7 -> AVG 7.0.
+  for (auto [g, v] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {1, 1}, {1, 2}, {2, 2}, {2, 3}, {2, 4}, {3, 7}}) {
+    t.AppendRow(Row{{Value(g), Value(v)}});
+  }
+  sql_engine_.catalog().AddTable("a", std::make_unique<Table>(std::move(t)));
+
+  Batch grouped = RunSql("SELECT g, AVG(v) FROM a GROUP BY g ORDER BY g");
+  ASSERT_EQ(grouped.num_rows(), 3u);
+  ASSERT_EQ(grouped.columns[1].type, ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(grouped.columns[1].f64[0], 1.5);
+  EXPECT_DOUBLE_EQ(grouped.columns[1].f64[1], 3.0);
+  EXPECT_DOUBLE_EQ(grouped.columns[1].f64[2], 7.0);
+
+  // Global AVG: (1+2+2+3+4+7)/6 = 19/6, fractional — integer division
+  // anywhere on the path would truncate it.
+  Batch global = RunSql("SELECT AVG(v) FROM a");
+  ASSERT_EQ(global.num_rows(), 1u);
+  ASSERT_EQ(global.columns[0].type, ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(global.columns[0].f64[0], 19.0 / 6.0);
+
+  // ORDER BY on the AVG column sorts its DOUBLE values.
+  Batch ordered = RunSql("SELECT g, AVG(v) FROM a GROUP BY g ORDER BY avg(v)");
+  ASSERT_EQ(ordered.num_rows(), 3u);
+  EXPECT_EQ(ordered.columns[0].i64[0], 1);  // avg 1.5 first
+  EXPECT_EQ(ordered.columns[0].i64[2], 3);  // avg 7.0 last
+}
+
+TEST_F(SqlEquivalenceTest, AvgEmptyGroupVsEmptyInput) {
+  Table t(Schema({{"g", ColumnType::kInt64}, {"v", ColumnType::kInt64}}));
+  sql_engine_.catalog().AddTable("e2", std::make_unique<Table>(std::move(t)));
+
+  // Empty input, grouped: no groups exist, so zero rows — a group can
+  // only come into existence with at least one row behind it.
+  EXPECT_EQ(RunSql("SELECT g, AVG(v) FROM e2 GROUP BY g").num_rows(), 0u);
+  // Empty input, global non-COUNT aggregate: zero rows (the engine has
+  // no NULL to put in the AVG column); COUNT-only keeps its mandatory
+  // row — pinned in CountOnlyGlobalAggregateOverEmptyInput.
+  EXPECT_EQ(RunSql("SELECT AVG(v) FROM e2").num_rows(), 0u);
+  EXPECT_EQ(RunSql("SELECT COUNT(*), AVG(v) FROM e2").num_rows(), 0u);
+
+  // A WHERE that filters everything behaves exactly like empty input.
+  Result<QueryResult> insert =
+      sql_session_.Sql("INSERT INTO e2 VALUES (1, 5)");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(RunSql("SELECT g, AVG(v) FROM e2 WHERE v > 99 GROUP BY g")
+                .num_rows(),
+            0u);
+  EXPECT_EQ(RunSql("SELECT AVG(v) FROM e2 WHERE v > 99").num_rows(), 0u);
+  // And a surviving group averages exactly its rows.
+  Batch one = RunSql("SELECT g, AVG(v) FROM e2 GROUP BY g");
+  ASSERT_EQ(one.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(one.columns[1].f64[0], 5.0);
+}
+
 TEST_F(SqlEquivalenceTest, LimitZeroReturnsNoRows) {
   Table t(Schema({{"key", ColumnType::kInt64}}));
   for (std::int64_t i = 0; i < 10; ++i) t.AppendRow(Row{{Value(i)}});

@@ -88,5 +88,67 @@ TEST(CsvTest, MissingFile) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
+TEST(CsvInferTest, Int64OverflowWidensToDouble) {
+  const std::string path = TempPath("overflow.csv");
+  // 2^64 is far beyond INT64; the column must widen instead of erroring.
+  WriteFile(path, "a,b\n18446744073709551616,1\n2,3\n");
+  auto schema = InferCsvSchema(path);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema.value().field(0).type, ColumnType::kDouble);
+  EXPECT_EQ(schema.value().field(1).type, ColumnType::kInt64);
+  // The inferred schema must round-trip through the loader.
+  auto loaded = LoadCsvTable(path, schema.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value()->column(0).GetDouble(0), 18446744073709551616.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvInferTest, PlusPrefixedIntegersStayInt64) {
+  const std::string path = TempPath("plus.csv");
+  WriteFile(path, "a\n+5\n+0\n-3\n");
+  auto schema = InferCsvSchema(path);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().field(0).type, ColumnType::kInt64);
+  auto loaded = LoadCsvTable(path, schema.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->column(0).GetInt64(0), 5);
+  std::remove(path.c_str());
+}
+
+TEST(CsvInferTest, EmptyFieldWidensThroughDoubleToString) {
+  const std::string path = TempPath("emptyfield.csv");
+  // An empty cell fits neither INT64 nor DOUBLE: the full widening chain
+  // INT64 -> DOUBLE -> STRING fires on one cell, and later numeric rows
+  // cannot narrow it back.
+  WriteFile(path, "a,b\n1,2\n,3\n4,5\n");
+  auto schema = InferCsvSchema(path);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().field(0).type, ColumnType::kString);
+  EXPECT_EQ(schema.value().field(1).type, ColumnType::kInt64);
+  auto loaded = LoadCsvTable(path, schema.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->column(0).GetString(1), "");
+  std::remove(path.c_str());
+}
+
+TEST(CsvInferTest, CrlfAndTrailingNewlineDoNotMisclassify) {
+  const std::string path = TempPath("crlf.csv");
+  // CRLF line endings used to glue '\r' onto the last field, silently
+  // turning a numeric column into STRING (and the header name with it);
+  // the trailing newline must not add a phantom row either.
+  WriteFile(path, "x,y\r\n1,2\r\n3,4\r\n");
+  auto schema = InferCsvSchema(path);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().field(1).name, "y");
+  EXPECT_EQ(schema.value().field(0).type, ColumnType::kInt64);
+  EXPECT_EQ(schema.value().field(1).type, ColumnType::kInt64);
+  auto loaded = LoadCsvTable(path, schema.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_rows(), 2u);
+  EXPECT_EQ(loaded.value()->column(1).GetInt64(1), 4);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace patchindex

@@ -117,5 +117,63 @@ TEST(PartitionedTableTest, PartitionsAreIndependent) {
   EXPECT_EQ(pt.partition(1).num_rows(), 0u);
 }
 
+TEST(PartitionedTableTest, AppendRoutesToLeastLoadedPartition) {
+  PartitionedTable pt(TwoColSchema(), 3);
+  for (int i = 0; i < 7; ++i) pt.AppendRow(MakeRow(i, i));
+  // Least-loaded with ties to the lowest index == round-robin from empty.
+  EXPECT_EQ(pt.partition(0).num_rows(), 3u);
+  EXPECT_EQ(pt.partition(1).num_rows(), 2u);
+  EXPECT_EQ(pt.partition(2).num_rows(), 2u);
+  EXPECT_EQ(pt.num_rows(), 7u);
+}
+
+TEST(PartitionedTableTest, GlobalRowIdsConcatenatePartitions) {
+  PartitionedTable pt(TwoColSchema(), 3);
+  pt.partition(0).AppendRow(MakeRow(0, 0));
+  pt.partition(0).AppendRow(MakeRow(1, 1));
+  pt.partition(1).AppendRow(MakeRow(2, 2));
+  pt.partition(2).AppendRow(MakeRow(3, 3));
+  EXPECT_EQ(pt.partition_base(0), 0u);
+  EXPECT_EQ(pt.partition_base(1), 2u);
+  EXPECT_EQ(pt.partition_base(2), 3u);
+  const auto loc = pt.ResolveRow(2);
+  EXPECT_EQ(loc.partition, 1u);
+  EXPECT_EQ(loc.local_row, 0u);
+  const auto last = pt.ResolveRow(3);
+  EXPECT_EQ(last.partition, 2u);
+  EXPECT_EQ(last.local_row, 0u);
+}
+
+TEST(PartitionedTableTest, BufferInsertCountsPendingInserts) {
+  PartitionedTable pt(TwoColSchema(), 2);
+  pt.partition(0).AppendRow(MakeRow(0, 0));
+  // Partition 1 is emptier, so it gets the first buffered insert; the
+  // second balances back to partition 0 because pending inserts count
+  // toward the load (1 base+0 pending vs 0 base+1 pending ties, lowest
+  // index wins).
+  pt.BufferInsert(MakeRow(1, 1));
+  pt.BufferInsert(MakeRow(2, 2));
+  EXPECT_EQ(pt.partition(1).pdt().inserts().size(), 1u);
+  EXPECT_EQ(pt.partition(0).pdt().inserts().size(), 1u);
+  EXPECT_FALSE(pt.pdt_empty());
+  pt.partition(0).Checkpoint();
+  pt.partition(1).Checkpoint();
+  EXPECT_TRUE(pt.pdt_empty());
+  EXPECT_EQ(pt.num_visible_rows(), 3u);
+}
+
+TEST(PartitionedTableTest, AdoptsExistingTables) {
+  std::vector<std::unique_ptr<Table>> parts;
+  for (int p = 0; p < 2; ++p) {
+    auto t = std::make_unique<Table>(TwoColSchema());
+    t->AppendRow(MakeRow(p, p));
+    parts.push_back(std::move(t));
+  }
+  PartitionedTable pt(TwoColSchema(), std::move(parts));
+  EXPECT_EQ(pt.num_partitions(), 2u);
+  EXPECT_EQ(pt.num_rows(), 2u);
+  EXPECT_EQ(pt.partition(1).column(0).GetInt64(0), 1);
+}
+
 }  // namespace
 }  // namespace patchindex

@@ -7,10 +7,14 @@
 // diffable output — CI smoke-tests rely on that). SQL statements end
 // with `;` and may span lines; meta commands start with `.`:
 //
-//   .load <file.csv> <table>        load a CSV (schema inferred)
+//   .load <file.csv> <table> [parts]     load a CSV (schema inferred),
+//                                        optionally into N partitions
 //   .gen nuc|nsc <table> <rows> [rate]   generate a workload table
-//   .index <table> <column> nuc|nsc|ncc  create a PatchIndex
+//   .index <table> <column> nuc|nsc|ncc  create a PatchIndex (one per
+//                                        partition on partitioned tables)
 //   .tables / .schema <table>       catalog introspection
+//                                   (DDL: CREATE TABLE t (a INT64, ...)
+//                                    PARTITIONS n)
 //   .explain <sql>                  optimized plan (no execution)
 //   .counters                       executor path counters
 //   .timer on|off                   per-query wall time
@@ -126,7 +130,7 @@ class Shell {
     if (cmd == ".quit" || cmd == ".exit") return false;
     if (cmd == ".help") {
       std::printf(
-          ".load <file.csv> <table>             load a CSV (schema "
+          ".load <file.csv> <table> [parts]     load a CSV (schema "
           "inferred)\n"
           ".gen nuc|nsc <table> <rows> [rate]   generate a workload table\n"
           ".index <table> <column> nuc|nsc|ncc  create a PatchIndex\n"
@@ -140,14 +144,22 @@ class Shell {
     }
     if (cmd == ".tables") {
       for (const std::string& name : engine_.catalog().TableNames()) {
-        const Table* t = engine_.catalog().FindTable(name);
-        std::printf("%s (%llu rows)\n", name.c_str(),
-                    static_cast<unsigned long long>(t->num_visible_rows()));
+        const PartitionedTable* t =
+            engine_.catalog().FindPartitionedTable(name);
+        if (t->num_partitions() > 1) {
+          std::printf("%s (%llu rows, %zu partitions)\n", name.c_str(),
+                      static_cast<unsigned long long>(t->num_visible_rows()),
+                      t->num_partitions());
+        } else {
+          std::printf("%s (%llu rows)\n", name.c_str(),
+                      static_cast<unsigned long long>(t->num_visible_rows()));
+        }
       }
       return true;
     }
     if (cmd == ".schema" && words.size() == 2) {
-      const Table* t = engine_.catalog().FindTable(words[1]);
+      const PartitionedTable* t =
+          engine_.catalog().FindPartitionedTable(words[1]);
       if (t == nullptr) {
         std::printf("error: unknown table '%s'\n", words[1].c_str());
         return true;
@@ -157,7 +169,7 @@ class Shell {
       }
       return true;
     }
-    if (cmd == ".load" && words.size() == 3) {
+    if (cmd == ".load" && (words.size() == 3 || words.size() == 4)) {
       Result<Schema> schema = InferCsvSchema(words[1]);
       if (!schema.ok()) {
         std::printf("error: %s\n", schema.status().ToString().c_str());
@@ -170,14 +182,50 @@ class Shell {
         return true;
       }
       const auto rows = table.value()->num_rows();
-      Result<Table*> added =
-          engine_.catalog().AddTable(words[2], std::move(table).value());
+      std::size_t parts = 1;
+      if (words.size() == 4) {
+        char* end = nullptr;
+        parts = std::strtoull(words[3].c_str(), &end, 10);
+        if (end == words[3].c_str() || *end != '\0' || parts == 0 ||
+            parts > Catalog::kMaxPartitions) {
+          std::printf("error: partition count must be 1..%zu, got '%s'\n",
+                      Catalog::kMaxPartitions, words[3].c_str());
+          return true;
+        }
+      }
+      Status added = Status::OK();
+      if (parts > 1) {
+        // Redistribute the loaded rows over the partitions (least-loaded
+        // routing keeps them balanced).
+        auto pt = std::make_unique<PartitionedTable>(schema.value(), parts);
+        const Table& src = *table.value();
+        for (RowId r = 0; r < src.num_rows(); ++r) {
+          Row row;
+          for (std::size_t c = 0; c < schema.value().num_fields(); ++c) {
+            row.cells.push_back(src.column(c).Get(r));
+          }
+          pt->AppendRow(row);
+        }
+        added = engine_.catalog()
+                    .AddPartitionedTable(words[2], std::move(pt))
+                    .status();
+      } else {
+        added = engine_.catalog()
+                    .AddTable(words[2], std::move(table).value())
+                    .status();
+      }
       if (!added.ok()) {
-        std::printf("error: %s\n", added.status().ToString().c_str());
+        std::printf("error: %s\n", added.ToString().c_str());
         return true;
       }
-      std::printf("loaded %llu rows into '%s'\n",
-                  static_cast<unsigned long long>(rows), words[2].c_str());
+      if (parts > 1) {
+        std::printf("loaded %llu rows into '%s' (%zu partitions)\n",
+                    static_cast<unsigned long long>(rows), words[2].c_str(),
+                    parts);
+      } else {
+        std::printf("loaded %llu rows into '%s'\n",
+                    static_cast<unsigned long long>(rows), words[2].c_str());
+      }
       return true;
     }
     if (cmd == ".gen" && (words.size() == 4 || words.size() == 5)) {
@@ -201,7 +249,8 @@ class Shell {
       return true;
     }
     if (cmd == ".index" && words.size() == 4) {
-      const Table* t = engine_.catalog().FindTable(words[1]);
+      const PartitionedTable* t =
+          engine_.catalog().FindPartitionedTable(words[1]);
       if (t == nullptr) {
         std::printf("error: unknown table '%s'\n", words[1].c_str());
         return true;
@@ -228,18 +277,35 @@ class Shell {
         std::printf("error: %s\n", st.ToString().c_str());
         return true;
       }
-      // Report the observed exception rate.
+      // Report the observed exception rate across the per-partition
+      // indexes (one each; a single-partition table has exactly one).
+      std::uint64_t patches = 0;
+      std::uint64_t rows = 0;
       for (const PatchIndex* idx :
            engine_.catalog().manager().IndexesOn(*t)) {
         if (idx->column() == static_cast<std::size_t>(col) &&
             idx->constraint() == kind) {
-          std::printf("created %s index on %s.%s (%.2f%% exceptions)\n",
-                      words[3] == "ncc" || words[3] == "NCC"   ? "NCC"
-                      : words[3] == "nsc" || words[3] == "NSC" ? "NSC"
-                                                               : "NUC",
-                      words[1].c_str(), words[2].c_str(),
-                      idx->exception_rate() * 100.0);
+          patches += idx->NumPatches();
+          rows += idx->NumRows();
         }
+      }
+      const char* name = words[3] == "ncc" || words[3] == "NCC"   ? "NCC"
+                         : words[3] == "nsc" || words[3] == "NSC" ? "NSC"
+                                                                  : "NUC";
+      if (t->num_partitions() > 1) {
+        std::printf(
+            "created %s index on %s.%s (%zu partitions, %.2f%% "
+            "exceptions)\n",
+            name, words[1].c_str(), words[2].c_str(), t->num_partitions(),
+            rows == 0 ? 0.0
+                      : static_cast<double>(patches) /
+                            static_cast<double>(rows) * 100.0);
+      } else {
+        std::printf("created %s index on %s.%s (%.2f%% exceptions)\n", name,
+                    words[1].c_str(), words[2].c_str(),
+                    rows == 0 ? 0.0
+                              : static_cast<double>(patches) /
+                                    static_cast<double>(rows) * 100.0);
       }
       return true;
     }

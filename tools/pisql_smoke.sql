@@ -15,4 +15,13 @@ DELETE FROM demo WHERE key = 20000;
 SELECT COUNT(*) AS n FROM demo;
 -- two statements on one line, and a COUNT over an empty match:
 SELECT COUNT(*) FROM demo WHERE key < 3; SELECT COUNT(*) FROM demo WHERE key < 0;
+-- partitioned tables: DDL, per-partition DML routing, global rowIDs
+CREATE TABLE events (id INT64, kind INT64) PARTITIONS 4;
+INSERT INTO events VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (6, 60), (7, 70), (8, 80);
+.tables
+SELECT COUNT(*) FROM events;
+UPDATE events SET kind = 0 WHERE id > 6;
+SELECT id, kind FROM events ORDER BY id;
+DELETE FROM events WHERE id = 1;
+SELECT COUNT(*) AS remaining FROM events;
 .quit
