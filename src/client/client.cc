@@ -1,0 +1,238 @@
+#include "client/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/wire.h"
+
+namespace patchindex::net {
+
+PiClient::~PiClient() { Close(); }
+
+PiClient::PiClient(PiClient&& other) noexcept
+    : fd_(other.fd_),
+      last_error_line_(other.last_error_line_),
+      last_error_column_(other.last_error_column_) {
+  other.fd_ = -1;
+}
+
+PiClient& PiClient::operator=(PiClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    last_error_line_ = other.last_error_line_;
+    last_error_column_ = other.last_error_column_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status PiClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("cannot resolve '" + host +
+                               "': " + gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no usable address for '" + host + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Status::Unavailable("cannot connect to " + host + ":" +
+                                 service + ": " + std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    fd_ = fd;
+    break;
+  }
+  ::freeaddrinfo(res);
+  if (fd_ < 0) return last;
+
+  // Handshake.
+  WireWriter w;
+  w.PutU32(kProtocolVersion);
+  Status st = WriteFrame(fd_, FrameType::kHello, w.payload());
+  if (!st.ok()) return Fail(std::move(st));
+  std::string payload;
+  st = ReadResponse(static_cast<std::uint8_t>(FrameType::kWelcome),
+                    &payload);
+  if (!st.ok()) return Fail(std::move(st));
+  WireReader r(payload);
+  std::uint32_t version = 0;
+  st = r.GetU32(&version);
+  if (!st.ok()) return Fail(std::move(st));
+  if (version != kProtocolVersion) {
+    return Fail(Status::InvalidArgument(
+        "server answered protocol version " + std::to_string(version) +
+        ", client speaks " + std::to_string(kProtocolVersion)));
+  }
+  return Status::OK();
+}
+
+void PiClient::Close() {
+  if (fd_ < 0) return;
+  // Best effort: a Goodbye lets the server retire the connection without
+  // counting a dropped peer.
+  (void)WriteFrame(fd_, FrameType::kGoodbye, {});
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status PiClient::Fail(Status status) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return status;
+}
+
+Status PiClient::SendRequest(std::uint8_t type, const std::string& payload) {
+  last_error_line_ = 0;
+  last_error_column_ = 0;
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  Status st = WriteFrame(fd_, static_cast<FrameType>(type), payload);
+  if (!st.ok()) return Fail(std::move(st));
+  return Status::OK();
+}
+
+/// Reads the next response frame. A kError frame becomes that error
+/// (with the structured position captured); a transport failure or an
+/// unexpected frame type closes the connection.
+Status PiClient::ReadResponse(std::uint8_t expect, std::string* payload) {
+  FrameType type;
+  Status st = ReadFrame(fd_, &type, payload);
+  if (!st.ok()) return Fail(std::move(st));
+  if (type == FrameType::kError) {
+    WireReader r(*payload);
+    Status remote;
+    st = DecodeError(&r, &remote, &last_error_line_, &last_error_column_);
+    if (!st.ok()) return Fail(std::move(st));
+    return remote;
+  }
+  if (type != static_cast<FrameType>(expect)) {
+    return Fail(Status::InvalidArgument(
+        "protocol error: unexpected frame type " +
+        std::to_string(static_cast<int>(type)) + ", expected " +
+        std::to_string(static_cast<int>(expect))));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> PiClient::ReadResultResponse() {
+  std::string payload;
+  PIDX_RETURN_NOT_OK(ReadResponse(
+      static_cast<std::uint8_t>(FrameType::kResultHeader), &payload));
+  QueryResult result;
+  {
+    WireReader r(payload);
+    Status st = DecodeResultHeader(&r, &result);
+    if (!st.ok()) return Fail(std::move(st));
+  }
+  for (;;) {
+    FrameType type;
+    Status st = ReadFrame(fd_, &type, &payload);
+    if (!st.ok()) return Fail(std::move(st));
+    if (type == FrameType::kRowBatch) {
+      WireReader r(payload);
+      st = DecodeRowBatch(&r, &result.rows);
+      if (!st.ok()) return Fail(std::move(st));
+      continue;
+    }
+    if (type == FrameType::kResultEnd) {
+      WireReader r(payload);
+      std::uint64_t total = 0;
+      st = r.GetU64(&total);
+      if (!st.ok()) return Fail(std::move(st));
+      if (total != result.rows.num_rows()) {
+        return Fail(Status::Internal(
+            "result stream inconsistent: server announced " +
+            std::to_string(total) + " rows, got " +
+            std::to_string(result.rows.num_rows())));
+      }
+      return result;
+    }
+    return Fail(Status::InvalidArgument(
+        "protocol error: unexpected frame type " +
+        std::to_string(static_cast<int>(type)) + " inside a result set"));
+  }
+}
+
+Result<QueryResult> PiClient::Sql(std::string_view sql,
+                                  std::vector<Value> params) {
+  WireWriter w;
+  w.PutString(sql);
+  EncodeParams(&w, params);
+  PIDX_RETURN_NOT_OK(
+      SendRequest(static_cast<std::uint8_t>(FrameType::kQuery), w.payload()));
+  return ReadResultResponse();
+}
+
+Result<RemoteStatement> PiClient::Prepare(std::string_view sql) {
+  WireWriter w;
+  w.PutString(sql);
+  PIDX_RETURN_NOT_OK(SendRequest(
+      static_cast<std::uint8_t>(FrameType::kPrepare), w.payload()));
+  std::string payload;
+  PIDX_RETURN_NOT_OK(ReadResponse(
+      static_cast<std::uint8_t>(FrameType::kPrepared), &payload));
+  WireReader r(payload);
+  RemoteStatement stmt;
+  Status st = r.GetU64(&stmt.id);
+  if (st.ok()) st = r.GetU32(&stmt.num_params);
+  if (!st.ok()) return Fail(std::move(st));
+  return stmt;
+}
+
+Result<QueryResult> PiClient::Execute(const RemoteStatement& stmt,
+                                      std::vector<Value> params) {
+  WireWriter w;
+  w.PutU64(stmt.id);
+  EncodeParams(&w, params);
+  PIDX_RETURN_NOT_OK(SendRequest(
+      static_cast<std::uint8_t>(FrameType::kExecute), w.payload()));
+  return ReadResultResponse();
+}
+
+Status PiClient::CloseStatement(const RemoteStatement& stmt) {
+  WireWriter w;
+  w.PutU64(stmt.id);
+  PIDX_RETURN_NOT_OK(SendRequest(
+      static_cast<std::uint8_t>(FrameType::kCloseStmt), w.payload()));
+  std::string payload;
+  return ReadResponse(static_cast<std::uint8_t>(FrameType::kStmtClosed),
+                      &payload);
+}
+
+Result<std::string> PiClient::Meta(const std::string& line) {
+  WireWriter w;
+  w.PutString(line);
+  PIDX_RETURN_NOT_OK(
+      SendRequest(static_cast<std::uint8_t>(FrameType::kMeta), w.payload()));
+  std::string payload;
+  PIDX_RETURN_NOT_OK(ReadResponse(
+      static_cast<std::uint8_t>(FrameType::kMetaResult), &payload));
+  WireReader r(payload);
+  std::string out;
+  Status st = r.GetString(&out);
+  if (!st.ok()) return Fail(std::move(st));
+  return out;
+}
+
+}  // namespace patchindex::net

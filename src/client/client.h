@@ -1,0 +1,94 @@
+#ifndef PATCHINDEX_CLIENT_CLIENT_H_
+#define PATCHINDEX_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace patchindex::net {
+
+/// A prepared statement living on the server, identified by a wire id.
+/// Obtained from PiClient::Prepare; executed with PiClient::Execute.
+/// Valid for the lifetime of the connection that prepared it.
+struct RemoteStatement {
+  std::uint64_t id = 0;
+  std::uint32_t num_params = 0;
+};
+
+/// A blocking TCP client for PiServer, mirroring the in-process Session
+/// API: Sql / Prepare / Execute return the same QueryResult shape as
+/// Session::Sql, so code (and the pisql shell) can swap one for the
+/// other. Not thread-safe — one PiClient per thread, like one Session
+/// per thread of a connection pool; distinct PiClients are independent.
+///
+/// Errors come back with the server's Status code and message intact
+/// (including the "line L, column C" positions the SQL front end embeds),
+/// plus the structured source position from the error frame via
+/// last_error_line()/last_error_column().
+///
+/// A kUnavailable status means SERVER_BUSY (admission control) or a
+/// dropped connection; the message distinguishes them. After a transport
+/// error the connection is closed and every call fails until Connect is
+/// called again.
+class PiClient {
+ public:
+  PiClient() = default;
+  ~PiClient();
+
+  PiClient(const PiClient&) = delete;
+  PiClient& operator=(const PiClient&) = delete;
+  PiClient(PiClient&& other) noexcept;
+  PiClient& operator=(PiClient&& other) noexcept;
+
+  /// Connects and runs the protocol handshake. `host` is a hostname or
+  /// numeric address ("127.0.0.1", "::1", "db.internal").
+  Status Connect(const std::string& host, std::uint16_t port);
+
+  /// One SQL statement, like Session::Sql: SELECTs return rows with
+  /// column_names set, DML returns rows_affected.
+  Result<QueryResult> Sql(std::string_view sql,
+                          std::vector<Value> params = {});
+
+  /// Parses and binds `sql` server-side for repeated execution.
+  Result<RemoteStatement> Prepare(std::string_view sql);
+
+  /// Runs a prepared statement with `params` bound to its placeholders.
+  Result<QueryResult> Execute(const RemoteStatement& stmt,
+                              std::vector<Value> params = {});
+
+  /// Frees the server-side statement.
+  Status CloseStatement(const RemoteStatement& stmt);
+
+  /// Runs one pisql meta command (".tables", ".gen nuc t 1000", ...)
+  /// server-side, returning its printable output.
+  Result<std::string> Meta(const std::string& line);
+
+  /// Sends Goodbye and closes the socket; safe to call when already
+  /// closed. The destructor does the same.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Structured source position of the last kError frame (0,0 when the
+  /// error carried none). Reset by every request.
+  std::uint32_t last_error_line() const { return last_error_line_; }
+  std::uint32_t last_error_column() const { return last_error_column_; }
+
+ private:
+  Status SendRequest(std::uint8_t type, const std::string& payload);
+  Result<QueryResult> ReadResultResponse();
+  Status ReadResponse(std::uint8_t expect, std::string* payload);
+  Status Fail(Status status);  // closes the socket, passes `status` on
+
+  int fd_ = -1;
+  std::uint32_t last_error_line_ = 0;
+  std::uint32_t last_error_column_ = 0;
+};
+
+}  // namespace patchindex::net
+
+#endif  // PATCHINDEX_CLIENT_CLIENT_H_

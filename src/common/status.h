@@ -19,6 +19,10 @@ enum class StatusCode {
   kConstraintViolation,
   kInternal,
   kNotImplemented,
+  /// A service is temporarily unable to take the request (server at its
+  /// admission limit, connection shutting down); retrying later may
+  /// succeed. Used by the network server's SERVER_BUSY rejection.
+  kUnavailable,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
@@ -50,6 +54,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -84,6 +91,8 @@ class Status {
         return "Internal";
       case StatusCode::kNotImplemented:
         return "NotImplemented";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

@@ -1,10 +1,46 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
 namespace patchindex {
+
+std::optional<std::size_t> ParseThreadCountEnv(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  std::size_t n = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::size_t>(*p - '0');
+    if (n > kMaxThreadsEnv) return std::nullopt;
+  }
+  if (n == 0) return std::nullopt;
+  return n;
+}
+
+std::size_t DefaultThreadCount() {
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const char* env = std::getenv("PI_THREADS");
+  if (env == nullptr) return hardware;
+  const std::optional<std::size_t> parsed = ParseThreadCountEnv(env);
+  if (!parsed.has_value()) {
+    // Warn once: DefaultThreadCount is called per pool, and repeating
+    // the same complaint for every Engine would drown real output.
+    static bool warned = [&] {
+      std::fprintf(stderr,
+                   "PI_THREADS: ignoring invalid value '%s' (want 1..%zu); "
+                   "using hardware concurrency %zu\n",
+                   env, kMaxThreadsEnv, hardware);
+      return true;
+    }();
+    (void)warned;
+    return hardware;
+  }
+  return *parsed;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   PIDX_CHECK(num_threads >= 1);
@@ -76,8 +112,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Default() {
-  static ThreadPool* pool = new ThreadPool(
-      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
   return *pool;
 }
 

@@ -8,11 +8,29 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace patchindex {
+
+/// Upper bound a PI_THREADS override is accepted up to — far above any
+/// real machine, low enough that a typo ("10000" for "1000") cannot
+/// spawn an absurd number of workers.
+inline constexpr std::size_t kMaxThreadsEnv = 1024;
+
+/// Parses a PI_THREADS-style value: decimal digits only, 1..kMaxThreadsEnv.
+/// Returns nullopt on anything else (empty, trailing junk, zero, too
+/// large) — callers fall back to the hardware concurrency and warn.
+std::optional<std::size_t> ParseThreadCountEnv(const char* value);
+
+/// The default worker-pool size: the PI_THREADS environment variable
+/// when set and valid (an invalid value warns once on stderr and is
+/// ignored), the hardware concurrency otherwise. Lets deployments and CI
+/// size ThreadPool::Default() and every default-sized Engine without
+/// recompiling.
+std::size_t DefaultThreadCount();
 
 /// A fixed-size worker pool used by the sharded bitmap's parallel bulk
 /// delete (one task per shard touched) and by partition-parallel index
@@ -51,7 +69,10 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Process-wide pool sized to the hardware concurrency.
+  /// Process-wide pool sized by DefaultThreadCount() — the hardware
+  /// concurrency, or the PI_THREADS environment variable when set. The
+  /// size is fixed at first use; changing PI_THREADS later has no
+  /// effect on an already-created pool.
   static ThreadPool& Default();
 
  private:

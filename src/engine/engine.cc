@@ -30,7 +30,10 @@ UpdateQuery UpdateQuery::Modify(std::vector<CellUpdate> cells) {
 Engine::Engine(EngineOptions options) : options_(options) {
   std::size_t threads = options_.num_threads;
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    // Hardware concurrency, or the PI_THREADS override — deployments
+    // (piserver) and CI size default-configured engines without
+    // recompiling.
+    threads = DefaultThreadCount();
   }
   pool_ = std::make_unique<ThreadPool>(threads);
 }

@@ -20,7 +20,8 @@ namespace patchindex {
 
 struct EngineOptions {
   /// Worker threads for the morsel-driven executor; 0 = hardware
-  /// concurrency.
+  /// concurrency, overridable by the PI_THREADS environment variable
+  /// (see DefaultThreadCount in common/thread_pool.h).
   std::size_t num_threads = 0;
 
   /// Base rows per morsel.

@@ -1,0 +1,56 @@
+#ifndef PATCHINDEX_SERVER_META_COMMANDS_H_
+#define PATCHINDEX_SERVER_META_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace patchindex {
+
+/// Accumulates pisql-script lines and yields complete `;`-terminated
+/// SQL statements: one line may hold several statements, a statement
+/// may span lines, and semicolons inside string literals do not split
+/// (the '' escape is two quotes, so plain quote toggling handles it).
+/// Shared by the pisql shell and piserver --init so the two cannot
+/// drift apart in how they read the same scripts.
+class StatementSplitter {
+ public:
+  /// Feeds one raw script line; returns the statements it completed,
+  /// each including its terminating ';' (bare ";" statements are
+  /// dropped).
+  std::vector<std::string> Feed(const std::string& line);
+
+  /// True while a partial statement is buffered — the shell's
+  /// continuation prompt; an error for non-interactive script runners
+  /// reaching end of input.
+  bool pending() const { return !pending_.empty(); }
+
+ private:
+  std::string pending_;
+};
+
+/// Executes one pisql meta command (".tables", ".schema t", ".load ...",
+/// ".gen ...", ".index ...", ".explain <sql>", ".counters") against an
+/// engine + session, returning the printable output — the exact text the
+/// pisql shell shows, including "error: ..." lines for command-level
+/// failures (pisql keeps the session going after those, so they are
+/// output, not a Status).
+///
+/// This is the engine-side half of the shell, shared verbatim by local
+/// pisql and by PiServer's kMeta frame handler so `pisql --connect` runs
+/// the same scripts with byte-identical output. Purely client-side
+/// commands (.help, .timer, .quit) are handled by the shell and never
+/// reach this function; an unrecognized or malformed command returns the
+/// shell's usual "error: unknown or malformed command" text.
+///
+/// Thread safety: like any Session use — .load/.gen/.index take the
+/// catalog and table locks they need; concurrent meta commands from
+/// different connections behave like concurrent DDL.
+std::string RunMetaCommand(Engine& engine, Session& session,
+                           const std::string& line);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_SERVER_META_COMMANDS_H_

@@ -1,0 +1,179 @@
+#ifndef PATCHINDEX_SERVER_WIRE_H_
+#define PATCHINDEX_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "storage/value.h"
+
+namespace patchindex::net {
+
+/// The SQL-over-TCP wire protocol shared by PiServer and PiClient.
+///
+/// Every message is one length-prefixed frame:
+///
+///   u32 LE length | u8 type | payload[length - 1]
+///
+/// where `length` counts the type byte plus the payload. Integers are
+/// little-endian; doubles travel as their IEEE-754 bit pattern in a u64;
+/// strings are `u32 length + bytes` (no terminator, UTF-8 agnostic).
+///
+/// A session is: client sends kHello (its protocol version), server
+/// answers kWelcome (the negotiated version) or kError and closes. After
+/// the handshake the client sends request frames (kQuery, kPrepare,
+/// kExecute, kCloseStmt, kMeta, kGoodbye) and the server answers each
+/// request with exactly one response sequence, in request order:
+///
+///   kQuery / kExecute -> kResultHeader, kRowBatch*, kResultEnd | kError
+///   kPrepare          -> kPrepared | kError
+///   kCloseStmt        -> kStmtClosed | kError
+///   kMeta             -> kMetaResult | kError
+///
+/// Requests may be pipelined; the server bounds the per-connection queue
+/// and answers over-limit requests with a kError frame carrying
+/// StatusCode::kUnavailable (the SERVER_BUSY rejection) instead of
+/// growing without bound.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's size, both directions — a hostile or
+/// corrupt length prefix must not turn into a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Row and byte caps per kRowBatch frame while streaming a result set:
+/// a batch closes at whichever limit it hits first, so wide string rows
+/// cannot push one frame toward kMaxFrameBytes.
+inline constexpr std::size_t kRowsPerWireBatch = 4096;
+inline constexpr std::size_t kWireBatchSoftBytes = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  // client -> server
+  kHello = 1,      // u32 protocol version
+  kQuery = 2,      // string sql, params
+  kPrepare = 3,    // string sql
+  kExecute = 4,    // u64 statement id, params
+  kCloseStmt = 5,  // u64 statement id
+  kMeta = 6,       // string meta-command line (".tables", ".gen ...")
+  kGoodbye = 7,    // empty; client is done
+
+  // server -> client
+  kWelcome = 16,       // u32 protocol version
+  kResultHeader = 17,  // u64 rows_affected, u8 exec flags, columns
+  kRowBatch = 18,      // u32 row count, cells (typed by the header)
+  kResultEnd = 19,     // u64 total streamed rows
+  kError = 20,         // u8 status code, u32 line, u32 column, string msg
+  kPrepared = 21,      // u64 statement id, u32 parameter count
+  kStmtClosed = 22,    // empty
+  kMetaResult = 23,    // string printable output
+};
+
+/// Bit flags of kResultHeader's exec byte — QueryResult's execution-path
+/// booleans, so a remote client sees how its query ran.
+inline constexpr std::uint8_t kExecParallel = 1u << 0;
+inline constexpr std::uint8_t kExecParallelJoin = 1u << 1;
+inline constexpr std::uint8_t kExecParallelSort = 1u << 2;
+
+/// Serializes primitive values into a frame payload.
+class WireWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutF64(double v);
+  void PutString(std::string_view s);
+  /// Appends pre-encoded bytes (composing a frame from parts).
+  void PutRaw(std::string_view bytes) { buf_.append(bytes); }
+
+  const std::string& payload() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked deserialization of a frame payload. Every getter
+/// returns kInvalidArgument on truncation, so a malformed frame surfaces
+/// as a clean error instead of UB.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : buf_(payload) {}
+
+  Status GetU8(std::uint8_t* v);
+  Status GetU32(std::uint32_t* v);
+  Status GetU64(std::uint64_t* v);
+  Status GetI64(std::int64_t* v);
+  Status GetF64(double* v);
+  Status GetString(std::string* s);
+
+  /// True when the whole payload has been consumed — responders check it
+  /// to reject trailing garbage.
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+  /// Unconsumed payload bytes. Decoders use it to sanity-bound embedded
+  /// element counts before allocating.
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- frame I/O
+
+/// Writes one frame to a connected socket, looping over partial writes.
+/// Fails with kUnavailable when the peer has gone away (EPIPE /
+/// ECONNRESET), kInternal on other socket errors.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame. A clean EOF at a frame boundary yields kUnavailable
+/// ("connection closed by peer"); EOF inside a frame, an oversized length
+/// prefix, or an unknown socket error yield kInvalidArgument/kInternal.
+Status ReadFrame(int fd, FrameType* type, std::string* payload);
+
+// --------------------------------------------------- typed payload parts
+
+/// One dynamically-typed value: u8 type tag (ColumnType) + payload.
+void EncodeValue(WireWriter* w, const Value& v);
+Status DecodeValue(WireReader* r, Value* v);
+
+/// A parameter list: u32 count + values.
+void EncodeParams(WireWriter* w, const std::vector<Value>& params);
+Status DecodeParams(WireReader* r, std::vector<Value>* params);
+
+/// kResultHeader payload from a QueryResult (everything but the rows).
+void EncodeResultHeader(WireWriter* w, const QueryResult& result);
+/// Fills names/types/rows_affected/flags back in; `result->rows` is reset
+/// to the decoded column types, ready for AppendRowBatch.
+Status DecodeResultHeader(WireReader* r, QueryResult* result);
+
+/// One row's cells, typed by the batch's own column vectors (the
+/// decoder knows them from the header). The server composes
+/// byte-bounded kRowBatch frames from these: `u32 row count` +
+/// EncodeRow per row (see PiServer's SendResult).
+void EncodeRow(WireWriter* w, const Batch& rows, std::size_t r);
+/// Appends a kRowBatch's rows onto `rows` (already Reset to the header's
+/// types). Synthesizes sequential rowIDs — server rowIDs are an engine
+/// detail that does not travel.
+Status DecodeRowBatch(WireReader* r, Batch* rows);
+
+/// kError payload: u8 StatusCode, u32 line, u32 column (0,0 when the
+/// error carries no source position), string message. The position is
+/// extracted from the trailing "line L, column C" that the SQL front end
+/// embeds in its messages, so structured clients need not parse text.
+void EncodeError(WireWriter* w, const Status& status);
+/// Reconstructs the Status (same code, same message — ToString output is
+/// byte-identical across the wire). `line`/`column` may be null.
+Status DecodeError(WireReader* r, Status* status, std::uint32_t* line,
+                   std::uint32_t* column);
+
+/// Finds the last "line L, column C" occurrence in an error message.
+/// Returns false (and leaves outputs untouched) when there is none.
+bool ExtractSourceLoc(std::string_view message, std::uint32_t* line,
+                      std::uint32_t* column);
+
+}  // namespace patchindex::net
+
+#endif  // PATCHINDEX_SERVER_WIRE_H_

@@ -90,6 +90,9 @@ struct OrderItem {
 };
 
 struct SelectStatement {
+  /// Position of the SELECT keyword, anchoring statement-level errors
+  /// that have no better token to point at.
+  SourceLoc loc;
   bool distinct = false;
   std::vector<SelectItem> items;
   TableClause from;
@@ -105,6 +108,7 @@ struct InsertStatement {
   SourceLoc table_loc;
   std::vector<std::string> columns;  // empty = schema order; else must
                                      // cover every column exactly once
+  std::vector<SourceLoc> column_locs;  // parallel to `columns`
   std::vector<std::vector<ParseExprPtr>> rows;
 };
 
@@ -157,6 +161,9 @@ struct Statement {
   std::shared_ptr<CreateTableStatement> create;
   /// Number of `?` placeholders (ordinals are assigned left to right).
   std::size_t num_params = 0;
+  /// Position of each `?`, by ordinal — the binder anchors its
+  /// "cannot infer the type of parameter" diagnostics here.
+  std::vector<SourceLoc> param_locs;
 };
 
 }  // namespace patchindex::sql

@@ -98,10 +98,12 @@ struct Entry {
 
 class Binder {
  public:
-  Binder(const Catalog& catalog, std::size_t num_params)
+  Binder(const Catalog& catalog, std::size_t num_params,
+         std::vector<SourceLoc> param_locs)
       : catalog_(catalog),
         slots_(std::make_shared<std::vector<Value>>(num_params)),
-        param_types_(num_params) {}
+        param_types_(num_params),
+        param_locs_(std::move(param_locs)) {}
 
   Result<BoundStatement> Bind(const Statement& stmt) {
     BoundStatement out;
@@ -129,7 +131,9 @@ class Binder {
       if (!param_types_[i].has_value()) {
         return Status::InvalidArgument(
             "cannot infer the type of parameter ?" + std::to_string(i + 1) +
-            "; compare or combine it with a typed operand");
+            "; compare or combine it with a typed operand, at " +
+            (i < param_locs_.size() ? param_locs_[i] : SourceLoc{})
+                .ToString());
       }
     }
     out.param_slots = slots_;
@@ -388,7 +392,8 @@ class Binder {
     }
     if (table->schema().num_fields() == 0) {
       return Status::InvalidArgument("table '" + clause.table +
-                                     "' has no columns");
+                                     "' has no columns at " +
+                                     clause.loc.ToString());
     }
     Entry e;
     e.table = table;
@@ -490,7 +495,8 @@ class Binder {
       }
     }
     if (items.empty()) {
-      return Status::InvalidArgument("empty select list");
+      return Status::InvalidArgument("empty select list at " +
+                                     sel.loc.ToString());
     }
 
     // Collect used columns (select list, WHERE, GROUP BY, join keys; plus
@@ -759,11 +765,13 @@ class Binder {
       std::optional<std::size_t> item;     // select-list item index
       std::optional<std::size_t> raw_pos;  // position in `cur`'s output
       bool ascending = true;
+      SourceLoc loc;
     };
     std::vector<Key> keys;
     for (const OrderItem& o : sel.order_by) {
       Key key;
       key.ascending = o.ascending;
+      key.loc = o.expr->loc;
       const ParseExpr& e = *o.expr;
       if (e.kind == ParseExpr::Kind::kIntLit) {
         if (e.i64 < 1 || e.i64 > static_cast<std::int64_t>(items.size())) {
@@ -850,7 +858,8 @@ class Binder {
           if (!pos.has_value()) {
             return Status::InvalidArgument(
                 "ORDER BY cannot mix computed select items with columns "
-                "that are not in the select list");
+                "that are not in the select list, at " +
+                key.loc.ToString());
           }
           above.push_back({*pos, key.ascending});
         }
@@ -1106,10 +1115,14 @@ class Binder {
       if (ins.columns.size() != schema.num_fields()) {
         return Status::InvalidArgument(
             "INSERT column list must mention every column of '" + ins.table +
-            "' exactly once (no DEFAULT values)");
+            "' exactly once (no DEFAULT values) at " +
+            ins.table_loc.ToString());
       }
       std::set<std::size_t> seen;
-      for (const std::string& name : ins.columns) {
+      for (std::size_t i = 0; i < ins.columns.size(); ++i) {
+        const std::string& name = ins.columns[i];
+        const SourceLoc loc =
+            i < ins.column_locs.size() ? ins.column_locs[i] : ins.table_loc;
         int idx = -1;
         for (std::size_t c = 0; c < schema.num_fields(); ++c) {
           if (EqualsNoCase(schema.field(c).name, name)) {
@@ -1118,11 +1131,13 @@ class Binder {
         }
         if (idx < 0) {
           return Status::InvalidArgument("unknown column '" + name +
-                                         "' in INSERT column list");
+                                         "' in INSERT column list at " +
+                                         loc.ToString());
         }
         if (!seen.insert(static_cast<std::size_t>(idx)).second) {
           return Status::InvalidArgument("duplicate column '" + name +
-                                         "' in INSERT column list");
+                                         "' in INSERT column list at " +
+                                         loc.ToString());
         }
         targets.push_back(static_cast<std::size_t>(idx));
       }
@@ -1133,7 +1148,8 @@ class Binder {
       if (row.size() != targets.size()) {
         return Status::InvalidArgument(
             "INSERT row has " + std::to_string(row.size()) +
-            " values, expected " + std::to_string(targets.size()));
+            " values, expected " + std::to_string(targets.size()) + " at " +
+            (row.empty() ? ins.table_loc : row[0]->loc).ToString());
       }
       std::vector<ExprPtr> bound_row(schema.num_fields());
       for (std::size_t i = 0; i < row.size(); ++i) {
@@ -1261,13 +1277,14 @@ class Binder {
   const Catalog& catalog_;
   std::shared_ptr<std::vector<Value>> slots_;
   std::vector<std::optional<ColumnType>> param_types_;
+  std::vector<SourceLoc> param_locs_;
 };
 
 }  // namespace
 
 Result<BoundStatement> BindStatement(const Statement& stmt,
                                      const Catalog& catalog) {
-  return Binder(catalog, stmt.num_params).Bind(stmt);
+  return Binder(catalog, stmt.num_params, stmt.param_locs).Bind(stmt);
 }
 
 }  // namespace patchindex::sql

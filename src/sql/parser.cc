@@ -60,6 +60,7 @@ class Parser {
     }
     if (!error_.ok()) return error_;
     stmt.num_params = num_params_;
+    stmt.param_locs = std::move(param_locs_);
     return stmt;
   }
 
@@ -68,6 +69,7 @@ class Parser {
 
   std::shared_ptr<SelectStatement> ParseSelect() {
     auto sel = std::make_shared<SelectStatement>();
+    sel->loc = Cur().loc;
     ExpectKeyword("select");
     if (Cur().Is("distinct")) {
       sel->distinct = true;
@@ -157,6 +159,7 @@ class Parser {
     ins->table = ExpectIdentifier("table name");
     if (Accept(TokenKind::kLParen)) {
       do {
+        ins->column_locs.push_back(Cur().loc);
         ins->columns.push_back(ExpectIdentifier("column name"));
       } while (error_.ok() && Accept(TokenKind::kComma));
       Expect(TokenKind::kRParen, "')'");
@@ -411,6 +414,7 @@ class Parser {
       case TokenKind::kQuestion:
         e->kind = ParseExpr::Kind::kParam;
         e->param_ordinal = num_params_++;
+        param_locs_.push_back(t.loc);
         Advance();
         return e;
       case TokenKind::kLParen: {
@@ -579,6 +583,7 @@ class Parser {
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   std::size_t num_params_ = 0;
+  std::vector<SourceLoc> param_locs_;
   Status error_ = Status::OK();
 };
 

@@ -59,5 +59,24 @@ TEST(ThreadPoolTest, DefaultPoolIsUsable) {
   EXPECT_EQ(x.load(), 42);
 }
 
+TEST(ThreadPoolTest, ParseThreadCountEnvValidation) {
+  // The PI_THREADS parser: decimal digits only, 1..kMaxThreadsEnv.
+  // (ThreadPool::Default() itself is process-global and may already be
+  // constructed by another test, so the validation logic is what's
+  // testable here; DefaultThreadCount applies it to the env variable.)
+  EXPECT_EQ(ParseThreadCountEnv("1"), std::size_t{1});
+  EXPECT_EQ(ParseThreadCountEnv("8"), std::size_t{8});
+  EXPECT_EQ(ParseThreadCountEnv("1024"), std::size_t{1024});
+  EXPECT_EQ(ParseThreadCountEnv(nullptr), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv(""), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv("0"), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv("-4"), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv("4x"), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv(" 4"), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv("4.5"), std::nullopt);
+  EXPECT_EQ(ParseThreadCountEnv("1025"), std::nullopt);       // > cap
+  EXPECT_EQ(ParseThreadCountEnv("99999999999"), std::nullopt);  // overflow
+}
+
 }  // namespace
 }  // namespace patchindex

@@ -210,6 +210,39 @@ TEST_F(BinderTest, ErrorMessages) {
             std::string::npos);
 }
 
+TEST_F(BinderTest, AuditedErrorsCarryPositions) {
+  // Golden messages for the binder error paths that historically lacked
+  // a source position — every parser/binder error now ends in
+  // "line L, column C" (runtime parameter-binding errors, which have no
+  // source text, are the one exemption).
+  ASSERT_TRUE(
+      engine_.catalog().CreateTable("empty", Schema(std::vector<Field>{}))
+          .ok());
+  EXPECT_EQ(BindError("SELECT * FROM empty"),
+            "table 'empty' has no columns at line 1, column 15");
+  EXPECT_EQ(BindError("INSERT INTO customers VALUES (1)"),
+            "INSERT row has 1 values, expected 2 at line 1, column 31");
+  EXPECT_EQ(BindError("INSERT INTO customers (id) VALUES (1)"),
+            "INSERT column list must mention every column of 'customers' "
+            "exactly once (no DEFAULT values) at line 1, column 13");
+  EXPECT_EQ(
+      BindError("INSERT INTO customers (id, nope) VALUES (1, 2)"),
+      "unknown column 'nope' in INSERT column list at line 1, column 28");
+  EXPECT_EQ(
+      BindError("INSERT INTO customers (id, id) VALUES (1, 2)"),
+      "duplicate column 'id' in INSERT column list at line 1, column 28");
+  EXPECT_EQ(BindError("SELECT id + 1 AS x FROM orders ORDER BY x, total"),
+            "ORDER BY cannot mix computed select items with columns that "
+            "are not in the select list, at line 1, column 44");
+  EXPECT_EQ(BindError("SELECT o.id FROM orders JOIN orders ON "
+                      "orders.id = orders.id"),
+            "duplicate table name/alias 'orders' at line 1, column 30 "
+            "(alias one of the occurrences)");
+  // Positions track the true line in multi-line statements.
+  EXPECT_EQ(BindError("SELECT id\nFROM orders\nWHERE nope = 1"),
+            "unknown column 'nope' at line 3, column 7");
+}
+
 TEST_F(BinderTest, PatchRewritesFireOnSqlPlans) {
   // NUC distinct.
   GeneratorConfig cfg;

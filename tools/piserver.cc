@@ -1,0 +1,201 @@
+// piserver — the standalone SQL-over-TCP daemon.
+//
+// Usage:
+//   piserver [--host H] [--port P] [--workers N] [--max-inflight N]
+//            [--max-queue N] [--max-connections N] [--threads N]
+//            [--no-meta] [--init script.sql]
+//
+// Starts a PiServer over a fresh engine and serves until SIGINT/SIGTERM,
+// then shuts down gracefully (in-flight queries drain, results are
+// delivered). Prints one "listening on host:port" line once ready —
+// scripts wait for it before connecting. `--init` runs a pisql script
+// (SQL + meta commands) against the engine before accepting connections,
+// for pre-loading tables. `--threads` sizes the engine's morsel worker
+// pool (the PI_THREADS environment variable does the same for every
+// default-sized pool in the process).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "server/meta_commands.h"
+#include "server/server.h"
+
+using namespace patchindex;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseSize(const char* text, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--workers N] [--max-inflight N]\n"
+      "          [--max-queue N] [--max-connections N] [--threads N]\n"
+      "          [--no-meta] [--init script.sql]\n",
+      argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ServerOptions options;
+  options.port = 5433;
+  EngineOptions engine_options;
+  std::string init_script;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    std::size_t n = 0;
+    if (arg == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return Usage(argv[0]);
+      options.host = v;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr || !ParseSize(v, &n) || n > 65535) {
+        std::fprintf(stderr, "--port expects 0..65535\n");
+        return Usage(argv[0]);
+      }
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--workers") {
+      const char* v = next("--workers");
+      if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
+      options.query_workers = n;
+    } else if (arg == "--max-inflight") {
+      const char* v = next("--max-inflight");
+      if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
+      options.max_inflight_queries = n;
+    } else if (arg == "--max-queue") {
+      const char* v = next("--max-queue");
+      if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
+      options.max_connection_queue = n;
+    } else if (arg == "--max-connections") {
+      const char* v = next("--max-connections");
+      if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
+      options.max_connections = n;
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
+      engine_options.num_threads = n;
+    } else if (arg == "--no-meta") {
+      options.enable_meta_commands = false;
+    } else if (arg == "--init") {
+      const char* v = next("--init");
+      if (v == nullptr) return Usage(argv[0]);
+      init_script = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  Engine engine(engine_options);
+
+  if (!init_script.empty()) {
+    std::ifstream in(init_script);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open init script: %s\n",
+                   init_script.c_str());
+      return 1;
+    }
+    // Same script rules as the pisql shell: StatementSplitter handles
+    // multi-statement lines, multi-line statements, and ';' inside
+    // string literals; meta commands and comments apply per line.
+    Session session = engine.CreateSession();
+    StatementSplitter splitter;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string trimmed = line;
+      const std::size_t b = trimmed.find_first_not_of(" \t\r\n");
+      trimmed = b == std::string::npos ? "" : trimmed.substr(b);
+      if (!splitter.pending()) {
+        if (trimmed.empty() || trimmed.rfind("--", 0) == 0) continue;
+        if (trimmed[0] == '.') {
+          // Client-side shell commands in a pisql script: .quit ends the
+          // script (pisql_smoke.sql ends with one), .help/.timer shape
+          // shell output only — neither is an engine command.
+          const std::string cmd =
+              trimmed.substr(0, trimmed.find_first_of(" \t"));
+          if (cmd == ".quit" || cmd == ".exit") break;
+          if (cmd == ".help" || cmd == ".timer") continue;
+          const std::string out = RunMetaCommand(engine, session, trimmed);
+          if (out.rfind("error:", 0) == 0) {
+            std::fprintf(stderr, "init: %s", out.c_str());
+            return 1;
+          }
+          continue;
+        }
+      }
+      for (const std::string& stmt : splitter.Feed(line)) {
+        Result<QueryResult> r = session.Sql(stmt);
+        if (!r.ok()) {
+          std::fprintf(stderr, "init: %s\n", r.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    if (splitter.pending()) {
+      std::fprintf(stderr,
+                   "init: unterminated statement at end of script "
+                   "(missing ';')\n");
+      return 1;
+    }
+  }
+
+  net::PiServer server(engine, options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("listening on %s:%u\n", server.host().c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    struct timespec ts {0, 100 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+
+  std::printf("shutting down (draining in-flight queries)\n");
+  std::fflush(stdout);
+  server.Stop();
+  const net::ServerStats& stats = server.stats();
+  std::printf("served %llu queries over %llu connections "
+              "(%llu rejected busy)\n",
+              static_cast<unsigned long long>(stats.queries_executed.load()),
+              static_cast<unsigned long long>(
+                  stats.connections_accepted.load()),
+              static_cast<unsigned long long>(
+                  stats.queries_rejected_busy.load()));
+  return 0;
+}

@@ -1,6 +1,12 @@
 // pisql — an interactive SQL shell over the PatchIndex engine.
 //
-// Usage: pisql [script.sql]
+// Usage: pisql [--connect host:port] [script.sql]
+//
+// Runs against an in-process engine by default; with --connect it speaks
+// the wire protocol to a running piserver instead, through the same
+// shell — every meta command below executes server-side there (.load
+// resolves paths on the server), so the same script produces the same
+// output either way.
 //
 // Reads from the script file when given, from stdin otherwise (a prompt
 // is shown only on a terminal, so piped sessions produce clean,
@@ -23,29 +29,20 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
+#include "client/client.h"
 #include "common/timer.h"
 #include "engine/engine.h"
-#include "storage/csv.h"
-#include "workload/generator.h"
+#include "server/meta_commands.h"
 
 using namespace patchindex;
 
 namespace {
-
-std::vector<std::string> SplitWords(const std::string& line) {
-  std::vector<std::string> words;
-  std::istringstream in(line);
-  std::string word;
-  while (in >> word) words.push_back(word);
-  return words;
-}
 
 void PrintBatch(const Batch& rows, const std::vector<std::string>& names) {
   std::string header;
@@ -65,38 +62,64 @@ void PrintBatch(const Batch& rows, const std::vector<std::string>& names) {
   }
 }
 
+/// Where the shell's statements run: an in-process engine or a remote
+/// piserver. Both return the same QueryResult shape and the same meta
+/// command text, so the shell cannot tell them apart.
+class ShellBackend {
+ public:
+  virtual ~ShellBackend() = default;
+  virtual Result<QueryResult> Sql(const std::string& sql) = 0;
+  virtual Result<std::string> Meta(const std::string& line) = 0;
+};
+
+class LocalBackend : public ShellBackend {
+ public:
+  LocalBackend() : session_(engine_.CreateSession()) {}
+
+  Result<QueryResult> Sql(const std::string& sql) override {
+    return session_.Sql(sql);
+  }
+  Result<std::string> Meta(const std::string& line) override {
+    return RunMetaCommand(engine_, session_, line);
+  }
+
+ private:
+  Engine engine_;
+  Session session_;
+};
+
+class RemoteBackend : public ShellBackend {
+ public:
+  explicit RemoteBackend(net::PiClient client) : client_(std::move(client)) {}
+
+  Result<QueryResult> Sql(const std::string& sql) override {
+    return client_.Sql(sql);
+  }
+  Result<std::string> Meta(const std::string& line) override {
+    return client_.Meta(line);
+  }
+
+ private:
+  net::PiClient client_;
+};
+
 class Shell {
  public:
-  Shell() : session_(engine_.CreateSession()) {}
+  explicit Shell(std::unique_ptr<ShellBackend> backend)
+      : backend_(std::move(backend)) {}
 
   /// Returns false when the session should end (.quit / EOF handling is
   /// the caller's).
   bool HandleLine(const std::string& line) {
     const std::string trimmed = Trim(line);
-    if (pending_.empty() && trimmed.empty()) return true;
-    if (pending_.empty() && trimmed.rfind("--", 0) == 0) return true;
-    if (pending_.empty() && trimmed[0] == '.') return HandleMeta(trimmed);
-    pending_ += (pending_.empty() ? "" : "\n") + line;
-    // Execute every complete statement in the buffer — one line may hold
-    // several, split at `;` outside string literals (the '' escape is
-    // two quotes, so plain toggling handles it).
-    std::size_t start = 0;
-    bool in_string = false;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      const char c = pending_[i];
-      if (c == '\'') in_string = !in_string;
-      if (c == ';' && !in_string) {
-        const std::string stmt = pending_.substr(start, i + 1 - start);
-        if (Trim(stmt) != ";") RunSql(stmt);
-        start = i + 1;
-      }
-    }
-    pending_.erase(0, start);
-    if (Trim(pending_).empty()) pending_.clear();
+    if (!splitter_.pending() && trimmed.empty()) return true;
+    if (!splitter_.pending() && trimmed.rfind("--", 0) == 0) return true;
+    if (!splitter_.pending() && trimmed[0] == '.') return HandleMeta(trimmed);
+    for (const std::string& stmt : splitter_.Feed(line)) RunSql(stmt);
     return true;
   }
 
-  bool pending() const { return !pending_.empty(); }
+  bool pending() const { return splitter_.pending(); }
 
  private:
   static std::string Trim(const std::string& s) {
@@ -108,7 +131,7 @@ class Shell {
 
   void RunSql(const std::string& sql) {
     WallTimer timer;
-    Result<QueryResult> result = session_.Sql(sql);
+    Result<QueryResult> result = backend_->Sql(sql);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return;
@@ -125,8 +148,9 @@ class Shell {
   }
 
   bool HandleMeta(const std::string& line) {
-    const std::vector<std::string> words = SplitWords(line);
-    const std::string& cmd = words[0];
+    // Purely client-side commands; everything else runs engine-side
+    // (locally or on the server) through the backend.
+    const std::string cmd = line.substr(0, line.find_first_of(" \t"));
     if (cmd == ".quit" || cmd == ".exit") return false;
     if (cmd == ".help") {
       std::printf(
@@ -142,225 +166,91 @@ class Shell {
           "SQL statements end with ';' and may span lines.\n");
       return true;
     }
-    if (cmd == ".tables") {
-      for (const std::string& name : engine_.catalog().TableNames()) {
-        const PartitionedTable* t =
-            engine_.catalog().FindPartitionedTable(name);
-        if (t->num_partitions() > 1) {
-          std::printf("%s (%llu rows, %zu partitions)\n", name.c_str(),
-                      static_cast<unsigned long long>(t->num_visible_rows()),
-                      t->num_partitions());
-        } else {
-          std::printf("%s (%llu rows)\n", name.c_str(),
-                      static_cast<unsigned long long>(t->num_visible_rows()));
-        }
+    if (cmd == ".timer" && line.find_first_of(" \t") != std::string::npos) {
+      const std::string arg = Trim(line.substr(line.find_first_of(" \t")));
+      if (arg.find_first_of(" \t") == std::string::npos && !arg.empty()) {
+        timer_ = arg == "on";
+        std::printf("timer %s\n", timer_ ? "on" : "off");
+        return true;
       }
-      return true;
     }
-    if (cmd == ".schema" && words.size() == 2) {
-      const PartitionedTable* t =
-          engine_.catalog().FindPartitionedTable(words[1]);
-      if (t == nullptr) {
-        std::printf("error: unknown table '%s'\n", words[1].c_str());
-        return true;
-      }
-      for (const Field& f : t->schema().fields()) {
-        std::printf("%s %s\n", f.name.c_str(), ColumnTypeName(f.type));
-      }
-      return true;
+    Result<std::string> out = backend_->Meta(line);
+    if (!out.ok()) {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+    } else {
+      std::fputs(out.value().c_str(), stdout);
     }
-    if (cmd == ".load" && (words.size() == 3 || words.size() == 4)) {
-      Result<Schema> schema = InferCsvSchema(words[1]);
-      if (!schema.ok()) {
-        std::printf("error: %s\n", schema.status().ToString().c_str());
-        return true;
-      }
-      Result<std::unique_ptr<Table>> table =
-          LoadCsvTable(words[1], schema.value());
-      if (!table.ok()) {
-        std::printf("error: %s\n", table.status().ToString().c_str());
-        return true;
-      }
-      const auto rows = table.value()->num_rows();
-      std::size_t parts = 1;
-      if (words.size() == 4) {
-        char* end = nullptr;
-        parts = std::strtoull(words[3].c_str(), &end, 10);
-        if (end == words[3].c_str() || *end != '\0' || parts == 0 ||
-            parts > Catalog::kMaxPartitions) {
-          std::printf("error: partition count must be 1..%zu, got '%s'\n",
-                      Catalog::kMaxPartitions, words[3].c_str());
-          return true;
-        }
-      }
-      Status added = Status::OK();
-      if (parts > 1) {
-        // Redistribute the loaded rows over the partitions (least-loaded
-        // routing keeps them balanced).
-        auto pt = std::make_unique<PartitionedTable>(schema.value(), parts);
-        const Table& src = *table.value();
-        for (RowId r = 0; r < src.num_rows(); ++r) {
-          Row row;
-          for (std::size_t c = 0; c < schema.value().num_fields(); ++c) {
-            row.cells.push_back(src.column(c).Get(r));
-          }
-          pt->AppendRow(row);
-        }
-        added = engine_.catalog()
-                    .AddPartitionedTable(words[2], std::move(pt))
-                    .status();
-      } else {
-        added = engine_.catalog()
-                    .AddTable(words[2], std::move(table).value())
-                    .status();
-      }
-      if (!added.ok()) {
-        std::printf("error: %s\n", added.ToString().c_str());
-        return true;
-      }
-      if (parts > 1) {
-        std::printf("loaded %llu rows into '%s' (%zu partitions)\n",
-                    static_cast<unsigned long long>(rows), words[2].c_str(),
-                    parts);
-      } else {
-        std::printf("loaded %llu rows into '%s'\n",
-                    static_cast<unsigned long long>(rows), words[2].c_str());
-      }
-      return true;
-    }
-    if (cmd == ".gen" && (words.size() == 4 || words.size() == 5)) {
-      GeneratorConfig cfg;
-      cfg.num_rows = std::strtoull(words[3].c_str(), nullptr, 10);
-      if (words.size() == 5) {
-        cfg.exception_rate = std::strtod(words[4].c_str(), nullptr);
-      }
-      Table table = words[1] == "nsc" ? GenerateNscTable(cfg)
-                                      : GenerateNucTable(cfg);
-      Result<Table*> added = engine_.catalog().AddTable(
-          words[2], std::make_unique<Table>(std::move(table)));
-      if (!added.ok()) {
-        std::printf("error: %s\n", added.status().ToString().c_str());
-        return true;
-      }
-      std::printf("generated %s table '%s' (%llu rows, %.0f%% exceptions)\n",
-                  words[1] == "nsc" ? "NSC" : "NUC", words[2].c_str(),
-                  static_cast<unsigned long long>(cfg.num_rows),
-                  cfg.exception_rate * 100.0);
-      return true;
-    }
-    if (cmd == ".index" && words.size() == 4) {
-      const PartitionedTable* t =
-          engine_.catalog().FindPartitionedTable(words[1]);
-      if (t == nullptr) {
-        std::printf("error: unknown table '%s'\n", words[1].c_str());
-        return true;
-      }
-      const int col = t->schema().ColumnIndex(words[2]);
-      if (col < 0) {
-        std::printf("error: unknown column '%s'\n", words[2].c_str());
-        return true;
-      }
-      ConstraintKind kind;
-      if (words[3] == "nuc" || words[3] == "NUC") {
-        kind = ConstraintKind::kNearlyUnique;
-      } else if (words[3] == "nsc" || words[3] == "NSC") {
-        kind = ConstraintKind::kNearlySorted;
-      } else if (words[3] == "ncc" || words[3] == "NCC") {
-        kind = ConstraintKind::kNearlyConstant;
-      } else {
-        std::printf("error: constraint must be nuc, nsc or ncc\n");
-        return true;
-      }
-      Status st = session_.CreatePatchIndex(
-          words[1], static_cast<std::size_t>(col), kind);
-      if (!st.ok()) {
-        std::printf("error: %s\n", st.ToString().c_str());
-        return true;
-      }
-      // Report the observed exception rate across the per-partition
-      // indexes (one each; a single-partition table has exactly one).
-      std::uint64_t patches = 0;
-      std::uint64_t rows = 0;
-      for (const PatchIndex* idx :
-           engine_.catalog().manager().IndexesOn(*t)) {
-        if (idx->column() == static_cast<std::size_t>(col) &&
-            idx->constraint() == kind) {
-          patches += idx->NumPatches();
-          rows += idx->NumRows();
-        }
-      }
-      const char* name = words[3] == "ncc" || words[3] == "NCC"   ? "NCC"
-                         : words[3] == "nsc" || words[3] == "NSC" ? "NSC"
-                                                                  : "NUC";
-      if (t->num_partitions() > 1) {
-        std::printf(
-            "created %s index on %s.%s (%zu partitions, %.2f%% "
-            "exceptions)\n",
-            name, words[1].c_str(), words[2].c_str(), t->num_partitions(),
-            rows == 0 ? 0.0
-                      : static_cast<double>(patches) /
-                            static_cast<double>(rows) * 100.0);
-      } else {
-        std::printf("created %s index on %s.%s (%.2f%% exceptions)\n", name,
-                    words[1].c_str(), words[2].c_str(),
-                    rows == 0 ? 0.0
-                              : static_cast<double>(patches) /
-                                    static_cast<double>(rows) * 100.0);
-      }
-      return true;
-    }
-    if (cmd == ".explain" && words.size() >= 2) {
-      const std::string sql = Trim(line.substr(std::string(".explain").size()));
-      Result<std::string> plan = session_.Explain(sql);
-      if (!plan.ok()) {
-        std::printf("error: %s\n", plan.status().ToString().c_str());
-      } else {
-        std::printf("%s", plan.value().c_str());
-      }
-      return true;
-    }
-    if (cmd == ".counters") {
-      const ExecPathCounters& c = session_.path_counters();
-      std::printf("parallel_pipelines=%llu parallel_joins=%llu "
-                  "parallel_sorts=%llu serial_fallbacks=%llu\n",
-                  static_cast<unsigned long long>(c.parallel_pipelines.load()),
-                  static_cast<unsigned long long>(c.parallel_joins.load()),
-                  static_cast<unsigned long long>(c.parallel_sorts.load()),
-                  static_cast<unsigned long long>(c.serial_fallbacks.load()));
-      return true;
-    }
-    if (cmd == ".timer" && words.size() == 2) {
-      timer_ = words[1] == "on";
-      std::printf("timer %s\n", timer_ ? "on" : "off");
-      return true;
-    }
-    std::printf("error: unknown or malformed command '%s' (try .help)\n",
-                cmd.c_str());
     return true;
   }
 
-  Engine engine_;
-  Session session_;
-  std::string pending_;
+  std::unique_ptr<ShellBackend> backend_;
+  StatementSplitter splitter_;
   bool timer_ = false;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string connect;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(std::string("--connect=").size());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: pisql [--connect host:port] [script.sql]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 1;
+    } else {
+      script = arg;
+    }
+  }
+
+  std::unique_ptr<ShellBackend> backend;
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos || colon + 1 == connect.size()) {
+      std::fprintf(stderr, "--connect expects host:port, got '%s'\n",
+                   connect.c_str());
+      return 1;
+    }
+    const std::string host = connect.substr(0, colon);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(connect.c_str() + colon + 1,
+                                            &end, 10);
+    if (*end != '\0' || port == 0 || port > 65535) {
+      std::fprintf(stderr, "--connect: bad port in '%s'\n", connect.c_str());
+      return 1;
+    }
+    net::PiClient client;
+    Status st = client.Connect(host, static_cast<std::uint16_t>(port));
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot connect to %s: %s\n", connect.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    backend = std::make_unique<RemoteBackend>(std::move(client));
+  } else {
+    backend = std::make_unique<LocalBackend>();
+  }
+
   std::ifstream file;
   std::istream* in = &std::cin;
-  if (argc > 1) {
-    file.open(argv[1]);
+  if (!script.empty()) {
+    file.open(script);
     if (!file.is_open()) {
-      std::fprintf(stderr, "cannot open script: %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open script: %s\n", script.c_str());
       return 1;
     }
     in = &file;
   }
-  const bool tty = argc <= 1 && isatty(fileno(stdin)) != 0;
+  const bool tty = script.empty() && isatty(fileno(stdin)) != 0;
 
-  Shell shell;
+  Shell shell(std::move(backend));
   if (tty) {
     std::printf("pisql — PatchIndex SQL shell (.help for commands)\n");
   }
