@@ -133,8 +133,10 @@ void WriteEngineJson(const char* path,
     std::printf("!! cannot write %s\n", path);
     return;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteMachineJson(f);
   std::fprintf(f,
-               "{\n  \"bench\": \"bench_fig6 engine partition sweep\",\n"
+               "  \"bench\": \"bench_fig6 engine partition sweep\",\n"
                "  \"rows\": %llu,\n  \"update_batch\": %zu,\n"
                "  \"scan_reps\": %d,\n  \"results\": [\n",
                static_cast<unsigned long long>(kEngineRows), kUpdateBatch,

@@ -166,17 +166,18 @@ void WriteJson(const char* path, std::uint64_t rows,
     std::printf("!! cannot write %s\n", path);
     return;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteMachineJson(f);
   std::fprintf(f,
-               "{\n  \"bench\": \"bench_parallel_scan join sweep\",\n"
+               "  \"bench\": \"bench_parallel_scan join sweep\",\n"
                "  \"fact_rows\": %llu,\n  \"dim_rows\": %llu,\n"
-               "  \"reps\": %d,\n  \"hardware_threads\": %u,\n"
-               "  \"note\": \"speedups need hardware_threads >= the swept "
-               "thread counts; on fewer cores the sweep measures "
+               "  \"reps\": %d,\n"
+               "  \"note\": \"speedups need machine.hardware_threads >= the "
+               "swept thread counts; on fewer cores the sweep measures "
                "oversubscription overhead, not scaling\",\n"
                "  \"results\": [\n",
                static_cast<unsigned long long>(rows),
-               static_cast<unsigned long long>(rows / 8), kReps,
-               std::thread::hardware_concurrency());
+               static_cast<unsigned long long>(rows / 8), kReps);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     std::fprintf(f,

@@ -9,6 +9,12 @@
 // swept over 1 / 4 / 16 / 64 concurrent connections. Each sweep runs a
 // fixed total query count split across the clients, so qps across
 // sweeps is comparable. SERVER_BUSY rejections are retried and counted.
+// Per sweep, p50/p95/p99 server-side query latency is read off the
+// pidx_server_query_latency_us histogram (snapshot delta around the
+// sweep; log-bucketed, so percentiles resolve to a power-of-two upper
+// bound). Before the sweeps, the same point workload runs against a
+// second server whose engine has enable_metrics=false — the recorded
+// enabled/disabled qps pair is the metrics-overhead acceptance number.
 // Results go to BENCH_server.json.
 //
 // Usage: bench_server_throughput [rows] [queries_per_sweep]
@@ -17,6 +23,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +31,7 @@
 #include "bench_util.h"
 #include "client/client.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "workload/generator.h"
 
@@ -37,18 +45,23 @@ struct SweepResult {
   std::uint64_t queries = 0;
   std::uint64_t busy_retries = 0;
   double seconds = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
   double qps() const { return seconds > 0 ? queries / seconds : 0; }
 };
 
-SweepResult RunSweep(net::PiServer& server, std::size_t clients,
-                     std::uint64_t total_queries, std::uint64_t rows,
-                     bool mixed, std::uint64_t salt) {
+SweepResult RunSweep(net::PiServer& server, Engine& engine,
+                     std::size_t clients, std::uint64_t total_queries,
+                     std::uint64_t rows, bool mixed, std::uint64_t salt) {
   std::atomic<std::uint64_t> busy{0};
   std::atomic<std::uint64_t> errors{0};
   std::vector<std::thread> threads;
   threads.reserve(clients);
   const std::uint64_t per_client = total_queries / clients;
 
+  obs::HistogramSnapshot before =
+      engine.metrics().HistogramSnapshotOf("pidx_server_query_latency_us");
   WallTimer timer;
   for (std::size_t t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
@@ -91,12 +104,48 @@ SweepResult RunSweep(net::PiServer& server, std::size_t clients,
   result.queries = per_client * clients;
   result.busy_retries = busy.load();
   result.seconds = timer.ElapsedSeconds();
+  obs::HistogramSnapshot delta =
+      engine.metrics().HistogramSnapshotOf("pidx_server_query_latency_us");
+  delta.Subtract(before);
+  result.p50_us = delta.Percentile(0.50);
+  result.p95_us = delta.Percentile(0.95);
+  result.p99_us = delta.Percentile(0.99);
   if (errors.load() > 0) {
     std::fprintf(stderr, "%llu queries failed; aborting\n",
                  static_cast<unsigned long long>(errors.load()));
     std::exit(1);
   }
   return result;
+}
+
+/// A fresh engine holding the NUC table `t` (with its NUC index), with
+/// metric recording on or off — the two arms of the overhead comparison
+/// see byte-identical data (same kBenchSeed).
+std::unique_ptr<Engine> MakeEngine(std::uint64_t rows, bool enable_metrics) {
+  EngineOptions options;
+  options.enable_metrics = enable_metrics;
+  auto engine = std::make_unique<Engine>(options);
+  Session session = engine->CreateSession();
+  GeneratorConfig cfg;
+  cfg.num_rows = rows;
+  cfg.exception_rate = 0.05;
+  cfg.seed = kBenchSeed;
+  engine->catalog().AddTable("t",
+                             std::make_unique<Table>(GenerateNucTable(cfg)));
+  if (!session.CreatePatchIndex("t", 1, ConstraintKind::kNearlyUnique).ok()) {
+    std::fprintf(stderr, "index creation failed\n");
+    std::exit(1);
+  }
+  return engine;
+}
+
+net::ServerOptions MakeServerOptions() {
+  net::ServerOptions options;
+  options.port = 0;
+  options.max_connections = 128;
+  options.max_inflight_queries = 96;
+  options.query_workers = std::max<std::size_t>(4, DefaultThreadCount());
+  return options;
 }
 
 }  // namespace
@@ -107,50 +156,84 @@ int main(int argc, char** argv) {
   const std::uint64_t queries =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000;
 
-  Engine engine;
-  {
-    Session session = engine.CreateSession();
-    GeneratorConfig cfg;
-    cfg.num_rows = rows;
-    cfg.exception_rate = 0.05;
-    cfg.seed = kBenchSeed;
-    engine.catalog().AddTable(
-        "t", std::make_unique<Table>(GenerateNucTable(cfg)));
-    if (!session.CreatePatchIndex("t", 1, ConstraintKind::kNearlyUnique)
-             .ok()) {
-      std::fprintf(stderr, "index creation failed\n");
-      return 1;
-    }
-  }
-
-  net::ServerOptions options;
-  options.port = 0;
-  options.max_connections = 128;
-  options.max_inflight_queries = 96;
-  options.query_workers = std::max<std::size_t>(4, DefaultThreadCount());
-  net::PiServer server(engine, options);
+  const net::ServerOptions options = MakeServerOptions();
+  std::unique_ptr<Engine> engine = MakeEngine(rows, /*enable_metrics=*/true);
+  net::PiServer server(*engine, options);
   Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
     return 1;
   }
 
+  // Metrics-overhead pair: the same point-SELECT workload against this
+  // server (metrics recording on, the default) and against a second one
+  // whose engine has enable_metrics=false. Point SELECTs leave the table
+  // untouched, so running the pair before the sweeps keeps both arms on
+  // pristine data. The arms alternate (A/B/A/B, best-of-5 each) so slow
+  // scheduler drift hits both equally instead of biasing whichever arm
+  // ran second.
+  constexpr int kOverheadReps = 5;
+  constexpr std::size_t kOverheadClients = 4;
+  double enabled_s = 1e100;
+  double disabled_s = 1e100;
+  {
+    std::unique_ptr<Engine> baseline =
+        MakeEngine(rows, /*enable_metrics=*/false);
+    net::PiServer baseline_server(*baseline, MakeServerOptions());
+    st = baseline_server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot start baseline server: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      const SweepResult on =
+          RunSweep(server, *engine, kOverheadClients, queries, rows,
+                   /*mixed=*/false, /*salt=*/100 + rep);
+      if (on.seconds < enabled_s) enabled_s = on.seconds;
+      const SweepResult off =
+          RunSweep(baseline_server, *baseline, kOverheadClients, queries,
+                   rows, /*mixed=*/false, /*salt=*/200 + rep);
+      if (off.seconds < disabled_s) disabled_s = off.seconds;
+    }
+    baseline_server.Stop();
+  }
+  const double enabled_qps = queries / enabled_s;
+  const double disabled_qps = queries / disabled_s;
+  const double overhead_pct =
+      disabled_qps > 0 ? (disabled_qps - enabled_qps) / disabled_qps * 100.0
+                       : 0.0;
+  std::printf("metrics overhead (point, clients=%zu, best of %d): "
+              "enabled %9.0f qps, disabled %9.0f qps, overhead %.2f%%\n",
+              kOverheadClients, kOverheadReps, enabled_qps, disabled_qps,
+              overhead_pct);
+
   std::FILE* json = std::fopen("BENCH_server.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_server.json\n");
     return 1;
   }
+  std::fprintf(json, "{\n");
+  WriteMachineJson(json);
   std::fprintf(json,
-               "{\n  \"bench\": \"bench_server_throughput\",\n"
+               "  \"bench\": \"bench_server_throughput\",\n"
                "  \"rows\": %llu,\n  \"queries_per_sweep\": %llu,\n"
                "  \"query_workers\": %zu,\n"
                "  \"note\": \"full-stack qps over loopback TCP; mixed = "
                "90%% point SELECT + 10%% single-row UPDATE; busy_retries "
-               "= SERVER_BUSY rejections retried by clients\",\n"
+               "= SERVER_BUSY rejections retried by clients; p50/p95/p99 "
+               "come from the log-bucketed server latency histogram "
+               "(bucket upper bounds, so power-of-two resolution)\",\n"
+               "  \"metrics_overhead\": {\"workload\": \"point\", "
+               "\"clients\": %zu, \"reps\": %d, "
+               "\"metrics_enabled_qps\": %.1f, "
+               "\"metrics_disabled_qps\": %.1f, "
+               "\"overhead_pct\": %.2f},\n"
                "  \"results\": [\n",
                static_cast<unsigned long long>(rows),
                static_cast<unsigned long long>(queries),
-               options.query_workers);
+               options.query_workers, kOverheadClients, kOverheadReps,
+               enabled_qps, disabled_qps, overhead_pct);
 
   const std::size_t sweeps[] = {1, 4, 16, 64};
   bool first = true;
@@ -158,20 +241,22 @@ int main(int argc, char** argv) {
   for (const bool mixed : {false, true}) {
     for (const std::size_t clients : sweeps) {
       const SweepResult r =
-          RunSweep(server, clients, queries, rows, mixed, ++salt);
+          RunSweep(server, *engine, clients, queries, rows, mixed, ++salt);
       std::printf("%-5s clients=%2zu  queries=%6llu  %8.3f s  %9.0f qps"
+                  "  p50=%.0fus p95=%.0fus p99=%.0fus"
                   "  (busy retries %llu)\n",
                   mixed ? "mixed" : "point", r.clients,
                   static_cast<unsigned long long>(r.queries), r.seconds,
-                  r.qps(),
+                  r.qps(), r.p50_us, r.p95_us, r.p99_us,
                   static_cast<unsigned long long>(r.busy_retries));
       std::fprintf(json,
                    "%s    {\"workload\": \"%s\", \"clients\": %zu, "
                    "\"queries\": %llu, \"seconds\": %.4f, \"qps\": %.1f, "
+                   "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
                    "\"busy_retries\": %llu}",
                    first ? "" : ",\n", mixed ? "mixed" : "point", r.clients,
                    static_cast<unsigned long long>(r.queries), r.seconds,
-                   r.qps(),
+                   r.qps(), r.p50_us, r.p95_us, r.p99_us,
                    static_cast<unsigned long long>(r.busy_retries));
       first = false;
     }

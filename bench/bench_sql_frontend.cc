@@ -97,8 +97,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open BENCH_sql.json\n");
     return 1;
   }
+  std::fprintf(json, "{\n");
+  WriteMachineJson(json);
   std::fprintf(json,
-               "{\n  \"bench\": \"bench_sql_frontend\",\n"
+               "  \"bench\": \"bench_sql_frontend\",\n"
                "  \"rows\": %llu,\n  \"reps\": %d,\n"
                "  \"note\": \"prepare = parse+bind only; sql - handplan = "
                "front-end tax per query; sql - prepared = what bound-plan "

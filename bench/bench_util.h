@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <functional>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/timer.h"
@@ -46,6 +48,28 @@ inline double TimeBest(int reps, const std::function<void()>& fn) {
 /// Drains a freshly built plan, returning the row count (so the work is
 /// not optimized away).
 inline std::uint64_t Drain(Operator& op) { return CountRows(op); }
+
+/// Appends the machine/build metadata line every BENCH_*.json carries so
+/// recorded numbers can be matched to the hardware and build that
+/// produced them. Emits `  "machine": {...},\n` — call it right after
+/// printing the opening `{` of the top-level object.
+inline void WriteMachineJson(std::FILE* f) {
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) != nullptr) {
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  }
+#ifdef NDEBUG
+  const char* build = "Release";
+#else
+  const char* build = "Debug";
+#endif
+  std::fprintf(f,
+               "  \"machine\": {\"hardware_threads\": %u, "
+               "\"build\": \"%s\", \"timestamp\": \"%s\"},\n",
+               std::thread::hardware_concurrency(), build, stamp);
+}
 
 }  // namespace patchindex::bench
 

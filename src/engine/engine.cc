@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "exec/operator.h"
 
 namespace patchindex {
@@ -36,6 +37,31 @@ Engine::Engine(EngineOptions options) : options_(options) {
     threads = DefaultThreadCount();
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  if (options_.enable_metrics) {
+    obs::MetricsRegistry& r = *metrics_;
+    m_.read_queries = r.GetCounter(
+        "pidx_read_queries_total", "Read queries executed (plans and SQL)");
+    m_.update_queries = r.GetCounter("pidx_update_queries_total",
+                                     "Update queries committed");
+    m_.sql_statements = r.GetCounter("pidx_sql_statements_total",
+                                     "SQL statements executed");
+    m_.query_latency_us = r.GetHistogram(
+        "pidx_query_latency_us", "End-to-end SQL statement latency");
+    m_.phase_parse_us =
+        r.GetHistogram("pidx_phase_parse_us", "SQL parse phase");
+    m_.phase_bind_us = r.GetHistogram("pidx_phase_bind_us", "Bind phase");
+    m_.phase_optimize_us =
+        r.GetHistogram("pidx_phase_optimize_us", "Plan optimization phase");
+    m_.phase_execute_us = r.GetHistogram(
+        "pidx_phase_execute_us", "Plan execution / DML delta-build phase");
+    m_.phase_commit_wait_us =
+        r.GetHistogram("pidx_phase_commit_wait_us",
+                       "Wait for the table's exclusive lock (DML)");
+    m_.phase_commit_us = r.GetHistogram(
+        "pidx_phase_commit_us", "PatchIndex commit protocol phase (DML)");
+  }
 }
 
 Session Engine::CreateSession() { return Session(this); }
@@ -78,12 +104,22 @@ void CollectPlanTableRefs(const LogicalNode& plan, const Catalog& catalog,
 }
 
 Result<QueryResult> Session::Execute(LogicalPtr plan) {
-  return Execute(std::move(plan), engine_->options_.optimizer);
+  return ExecuteProfiled(std::move(plan), engine_->options_.optimizer,
+                         /*profile=*/nullptr, /*profile_ops=*/false);
 }
 
 Result<QueryResult> Session::Execute(LogicalPtr plan,
                                      const OptimizerOptions& optimizer) {
+  return ExecuteProfiled(std::move(plan), optimizer, /*profile=*/nullptr,
+                         /*profile_ops=*/false);
+}
+
+Result<QueryResult> Session::ExecuteProfiled(LogicalPtr plan,
+                                             const OptimizerOptions& optimizer,
+                                             obs::QueryProfile* profile,
+                                             bool profile_ops) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  const Engine::MetricSet& m = engine_->m_;
 
   // Shared-lock every catalog table the plan scans, in a deterministic
   // (address) order so concurrent sessions cannot deadlock against the
@@ -95,14 +131,21 @@ Result<QueryResult> Session::Execute(LogicalPtr plan,
   guards.reserve(refs.size());
   for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
 
+  WallTimer optimize_timer;
   LogicalPtr optimized =
       OptimizePlan(std::move(plan), engine_->catalog_.manager(), optimizer);
+  const std::int64_t optimize_ns = optimize_timer.ElapsedNanos();
+
+  obs::ExecProfile exec_profile;
+  obs::ExecProfile* ops = profile_ops ? &exec_profile : nullptr;
 
   QueryResult result;
   ParallelExecOptions parallel_options;
   parallel_options.morsel_rows = engine_->options_.morsel_rows;
   parallel_options.min_parallel_rows = engine_->options_.min_parallel_rows;
+  parallel_options.profile = ops;
   ParallelExecReport report;
+  WallTimer execute_timer;
   if (engine_->options_.enable_parallel_execution &&
       ExecuteParallel(*optimized, engine_->pool(), parallel_options,
                       &result.rows, &report)) {
@@ -115,9 +158,25 @@ Result<QueryResult> Session::Execute(LogicalPtr plan,
       counters_->parallel_pipelines.fetch_add(1);
     }
   } else {
-    OperatorPtr op = CompilePlan(optimized, optimizer);
+    OperatorPtr op = CompilePlan(optimized, optimizer, ops);
     result.rows = Collect(*op);
     counters_->serial_fallbacks.fetch_add(1);
+  }
+  const std::int64_t execute_ns = execute_timer.ElapsedNanos();
+
+  if (m.read_queries != nullptr) {
+    m.read_queries->Add(1);
+    m.phase_optimize_us->RecordNanos(optimize_ns);
+    m.phase_execute_us->RecordNanos(execute_ns);
+  }
+  if (profile != nullptr) {
+    profile->optimize_ms = static_cast<double>(optimize_ns) / 1e6;
+    profile->execute_ms = static_cast<double>(execute_ns) / 1e6;
+    profile->parallel = result.parallel;
+    profile->parallel_join = result.parallel_join;
+    profile->parallel_sort = result.parallel_sort;
+    profile->pool_workers = engine_->pool().num_threads();
+    if (ops != nullptr) obs::FillOpProfiles(*optimized, exec_profile, profile);
   }
   return result;
 }
@@ -202,21 +261,49 @@ Status Session::ExecuteUpdateWith(
     const std::string& table_name,
     const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
         build) {
+  return ExecuteUpdateWithProfiled(table_name, build, /*profile=*/nullptr);
+}
+
+Status Session::ExecuteUpdateWithProfiled(
+    const std::string& table_name,
+    const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
+        build,
+    obs::QueryProfile* profile) {
+  const Engine::MetricSet& m = engine_->m_;
   Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
   if (!ref) {
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
   PartitionedTable* table = ref.ptable;
+  WallTimer lock_timer;
   std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
+  const std::int64_t lock_ns = lock_timer.ElapsedNanos();
   // Recheck under the lock: a concurrent DropTable may have de-cataloged
   // the table between Ref() and lock acquisition.
   if (engine_->catalog_.FindPartitionedTable(table_name) != table) {
     return Status::NotFound("table '" + table_name + "' was dropped");
   }
+  WallTimer build_timer;
   Result<UpdateQuery> query = build(*table);
   if (!query.ok()) return query.status();
-  return ApplyUpdateLocked(table, engine_->catalog_.manager(),
-                           &engine_->pool(), std::move(query).value());
+  const std::int64_t build_ns = build_timer.ElapsedNanos();
+  WallTimer commit_timer;
+  Status status = ApplyUpdateLocked(table, engine_->catalog_.manager(),
+                                    &engine_->pool(),
+                                    std::move(query).value());
+  const std::int64_t commit_ns = commit_timer.ElapsedNanos();
+  if (m.update_queries != nullptr) {
+    m.update_queries->Add(1);
+    m.phase_commit_wait_us->RecordNanos(lock_ns);
+    m.phase_execute_us->RecordNanos(build_ns);
+    m.phase_commit_us->RecordNanos(commit_ns);
+  }
+  if (profile != nullptr) {
+    profile->commit_wait_ms = static_cast<double>(lock_ns) / 1e6;
+    profile->execute_ms = static_cast<double>(build_ns) / 1e6;
+    profile->commit_ms = static_cast<double>(commit_ns) / 1e6;
+  }
+  return status;
 }
 
 Status Session::CreatePatchIndex(const std::string& table_name,

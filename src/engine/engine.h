@@ -14,6 +14,8 @@
 #include "common/thread_pool.h"
 #include "engine/catalog.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "optimizer/rewriter.h"
 
 namespace patchindex {
@@ -39,6 +41,14 @@ struct EngineOptions {
   /// gets (the session default of the paper's §3.2 partition-local
   /// processing). 1 keeps the historical single-partition behavior.
   std::size_t default_table_partitions = 1;
+
+  /// Runtime switch for the observability layer: when true (default)
+  /// every query records its phase spans (parse/bind/optimize/execute/
+  /// commit) into the engine's metrics registry and attaches a
+  /// QueryResult::profile. False skips all recording — the baseline the
+  /// metrics-overhead benchmark compares against. Operator-level
+  /// profiling (EXPLAIN ANALYZE) is per-query and unaffected.
+  bool enable_metrics = true;
 
   /// Options forwarded to the PatchIndex rewriter.
   OptimizerOptions optimizer;
@@ -66,6 +76,10 @@ struct QueryResult {
   /// (implies `parallel`). False when the sort was applied serially to
   /// an already merged aggregate result.
   bool parallel_sort = false;
+  /// Phase spans (and, for EXPLAIN ANALYZE, per-operator measurements)
+  /// of this query. Set by the SQL path when EngineOptions::enable_metrics
+  /// is on; null otherwise (and for hand-built plans run via Execute).
+  std::shared_ptr<obs::QueryProfile> profile;
 };
 
 /// Which execution path the session's queries took, answering "did my
@@ -130,14 +144,40 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   ThreadPool& pool() { return *pool_; }
 
+  /// The engine-wide metrics registry: query/statement counters and
+  /// phase-latency histograms, plus whatever other layers (the server)
+  /// register into it. Always present — recording by the engine itself is
+  /// gated by EngineOptions::enable_metrics; external registrations work
+  /// either way.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
   Session CreateSession();
 
  private:
   friend class Session;
+  friend class PreparedStatement;
+
+  /// Hot-path handles into `metrics_`, resolved once at construction. All
+  /// null when EngineOptions::enable_metrics is false, so call sites test
+  /// one pointer and skip recording entirely.
+  struct MetricSet {
+    obs::Counter* read_queries = nullptr;
+    obs::Counter* update_queries = nullptr;
+    obs::Counter* sql_statements = nullptr;
+    obs::Histogram* query_latency_us = nullptr;
+    obs::Histogram* phase_parse_us = nullptr;
+    obs::Histogram* phase_bind_us = nullptr;
+    obs::Histogram* phase_optimize_us = nullptr;
+    obs::Histogram* phase_execute_us = nullptr;
+    obs::Histogram* phase_commit_wait_us = nullptr;
+    obs::Histogram* phase_commit_us = nullptr;
+  };
 
   EngineOptions options_;
   Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  MetricSet m_;
 };
 
 /// A client handle onto the engine. Sessions are cheap to create, hold
@@ -223,6 +263,26 @@ class Session {
   friend class PreparedStatement;
   explicit Session(Engine* engine)
       : engine_(engine), counters_(std::make_shared<ExecPathCounters>()) {}
+
+  /// The one read-query execution path. Phase spans (optimize/execute),
+  /// execution flags and pool size go into `profile` when non-null;
+  /// `profile_ops` additionally wraps every operator to measure rows and
+  /// per-worker wall time (EXPLAIN ANALYZE), filling `profile->ops`.
+  /// Engine metric recording is independent of both and gated only by
+  /// EngineOptions::enable_metrics.
+  Result<QueryResult> ExecuteProfiled(LogicalPtr plan,
+                                      const OptimizerOptions& optimizer,
+                                      obs::QueryProfile* profile,
+                                      bool profile_ops);
+
+  /// ExecuteUpdateWith plus phase measurement: lock-wait, delta build
+  /// (`execute`) and commit spans go into `profile` when non-null, and
+  /// into the engine's phase histograms when metrics are enabled.
+  Status ExecuteUpdateWithProfiled(
+      const std::string& table,
+      const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
+          build,
+      obs::QueryProfile* profile);
 
   Engine* engine_;
   std::shared_ptr<ExecPathCounters> counters_;

@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "exec/aggregate.h"
 #include "exec/hash_join.h"
 #include "exec/project.h"
 #include "exec/scan.h"
 #include "exec/select.h"
 #include "exec/sort_merge.h"
+#include "obs/profile.h"
+#include "obs/profiled_operator.h"
 #include "patchindex/patch_index.h"
 
 namespace patchindex {
@@ -81,11 +84,13 @@ class MorselSourceOperator : public Operator {
  public:
   MorselSourceOperator(const ScanTarget* target,
                        std::vector<std::size_t> columns,
-                       ScanOptions scan_options, MorselQueue* queue)
+                       ScanOptions scan_options, MorselQueue* queue,
+                       obs::NodeStats* stats = nullptr)
       : target_(target),
         cols_(std::move(columns)),
         options_(scan_options),
-        queue_(queue) {}
+        queue_(queue),
+        stats_(stats) {}
 
   std::vector<ColumnType> OutputTypes() const override {
     std::vector<ColumnType> types;
@@ -104,6 +109,9 @@ class MorselSourceOperator : public Operator {
         if (!queue_->Next(&morsel)) {
           out->Reset(OutputTypes());
           return false;
+        }
+        if (stats_ != nullptr) {
+          stats_->morsels.fetch_add(1, std::memory_order_relaxed);
         }
         ScanOptions opts = options_;
         opts.row_id_offset = target_->bases[morsel.partition];
@@ -131,8 +139,22 @@ class MorselSourceOperator : public Operator {
   std::vector<std::size_t> cols_;
   ScanOptions options_;
   MorselQueue* queue_;
+  obs::NodeStats* stats_;
   OperatorPtr current_;
 };
+
+/// Wraps `op` in a ProfiledOperator recording into `node`'s accumulator
+/// when profiling is on; passes it through untouched otherwise. The node
+/// must have been registered (ExecProfile::RegisterPlan) — workers call
+/// this concurrently and may only do read-only lookups.
+OperatorPtr MaybeProfile(OperatorPtr op, obs::ExecProfile* profile,
+                         const LogicalNode* node, bool count_rows = true) {
+  if (profile == nullptr) return op;
+  obs::NodeStats* stats = profile->Find(node);
+  PIDX_CHECK(stats != nullptr);
+  return std::make_unique<obs::ProfiledOperator>(std::move(op), stats,
+                                                 count_rows);
+}
 
 /// A Scan/Select/Project pipeline decomposed for per-worker instantiation:
 /// the scan leaf plus the unary operators above it, bottom-up.
@@ -166,13 +188,15 @@ bool AnalyzeChain(const LogicalNode& node, bool selects_only,
 /// Expression trees are shared between workers (they are immutable and
 /// Eval() is const); operator instances are per-worker.
 OperatorPtr ApplyUnaryOps(OperatorPtr op,
-                          const std::vector<const LogicalNode*>& ops) {
+                          const std::vector<const LogicalNode*>& ops,
+                          obs::ExecProfile* profile = nullptr) {
   for (const LogicalNode* node : ops) {
     if (node->kind == LogicalNode::Kind::kSelect) {
       op = std::make_unique<SelectOperator>(std::move(op), node->predicate);
     } else {
       op = std::make_unique<ProjectOperator>(std::move(op), node->exprs);
     }
+    op = MaybeProfile(std::move(op), profile, node);
   }
   return op;
 }
@@ -182,10 +206,13 @@ OperatorPtr ApplyUnaryOps(OperatorPtr op,
 /// for the duration of the parallel phase).
 OperatorPtr BuildWorkerChain(const ChainSpec& spec, const ScanTarget* target,
                              const ScanOptions& scan_options,
-                             MorselQueue* queue) {
-  return ApplyUnaryOps(std::make_unique<MorselSourceOperator>(
-                           target, spec.scan->columns, scan_options, queue),
-                       spec.ops);
+                             MorselQueue* queue,
+                             obs::ExecProfile* profile = nullptr) {
+  OperatorPtr scan = std::make_unique<MorselSourceOperator>(
+      target, spec.scan->columns, scan_options, queue,
+      profile != nullptr ? profile->Find(spec.scan) : nullptr);
+  return ApplyUnaryOps(MaybeProfile(std::move(scan), profile, spec.scan),
+                       spec.ops, profile);
 }
 
 /// The full shape the morsel executor handles (PatchDistinct aside): an
@@ -488,7 +515,7 @@ std::vector<JoinHashTable> BuildJoinPartitions(
     const ChainSpec& build_spec, const ScanTarget& build_target,
     std::size_t build_key, const std::vector<ColumnType>& build_types,
     const PatchIndex* build_nuc, std::size_t mask, ThreadPool& pool,
-    const ParallelExecOptions& options) {
+    const ParallelExecOptions& options, obs::ExecProfile* profile) {
   const std::size_t workers = pool.num_threads();
   const std::size_t num_partitions = mask + 1;
   MorselQueue queue(build_target.FullWork(), options.morsel_rows);
@@ -502,8 +529,8 @@ std::vector<JoinHashTable> BuildJoinPartitions(
       std::vector<Batch>& local = spill[w];
       local.resize(num_partitions);
       for (Batch& b : local) b.Reset(build_types);
-      OperatorPtr pipeline =
-          BuildWorkerChain(build_spec, &build_target, scan_opts, &queue);
+      OperatorPtr pipeline = BuildWorkerChain(build_spec, &build_target,
+                                              scan_opts, &queue, profile);
       pipeline->Open();
       Batch in;
       while (pipeline->Next(&in)) {
@@ -570,6 +597,9 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
   const Table& table = *spec.scan->table;
   const ScanTarget target = TargetOf(*spec.scan);
   if (table.num_visible_rows() < options.min_parallel_rows) return false;
+  obs::ExecProfile* profile = options.profile;
+  if (profile != nullptr) profile->RegisterPlan(node);
+  WallTimer total_timer;
   const bool has_inserts = !table.pdt().inserts().empty();
   const std::vector<RowRange> full{{0, table.num_rows()}};
   const std::vector<ColumnType> out_types = LogicalOutputTypes(node);
@@ -593,9 +623,11 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
     exclude_opts.patch_filter = idx;
     exclude_opts.patch_mode = PatchSelectMode::kExcludePatches;
     std::vector<Batch> parts = RunWorkers(
-        pool, [&spec, &target, &exclude_opts, &exclude_queue, &group_exprs] {
+        pool, [&spec, &target, &exclude_opts, &exclude_queue, &group_exprs,
+               profile]() -> OperatorPtr {
           return std::make_unique<ProjectOperator>(
-              BuildWorkerChain(spec, &target, exclude_opts, &exclude_queue),
+              BuildWorkerChain(spec, &target, exclude_opts, &exclude_queue,
+                               profile),
               group_exprs);
         });
     Batch excluded = ConcatParts(std::move(parts), out_types);
@@ -608,10 +640,12 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
   ScanOptions use_opts;
   use_opts.patch_filter = idx;
   use_opts.patch_mode = PatchSelectMode::kUsePatches;
-  std::vector<Batch> parts =
-      RunWorkers(pool, [&spec, &target, &use_opts, &use_queue, &node] {
+  std::vector<Batch> parts = RunWorkers(
+      pool,
+      [&spec, &target, &use_opts, &use_queue, &node,
+       profile]() -> OperatorPtr {
         return std::make_unique<HashAggregateOperator>(
-            BuildWorkerChain(spec, &target, use_opts, &use_queue),
+            BuildWorkerChain(spec, &target, use_opts, &use_queue, profile),
             node.group_cols, std::vector<AggSpec>{});
       });
   HashAggregateOperator merge(
@@ -632,6 +666,17 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
     patches = std::move(filtered);
   }
   AppendBatch(&result, std::move(patches));
+  if (profile != nullptr) {
+    // The PatchDistinct node itself is the coordinator's merge: final
+    // rows and end-to-end wall time (its scan chain ran twice — once per
+    // phase — so the chain nodes below it accumulate both passes).
+    obs::NodeStats* stats = profile->Find(&node);
+    stats->rows.store(result.num_rows(), std::memory_order_relaxed);
+    stats->workers.store(1, std::memory_order_relaxed);
+    stats->time_ns.store(
+        static_cast<std::uint64_t>(total_timer.ElapsedNanos()),
+        std::memory_order_relaxed);
+  }
   *out = std::move(result);
   return true;
 }
@@ -672,6 +717,9 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
   }
   if (driving_rows < options.min_parallel_rows) return false;
 
+  obs::ExecProfile* profile = options.profile;
+  if (profile != nullptr) profile->RegisterPlan(plan);
+
   // A Sort directly over the pipeline runs as per-worker local sorts plus
   // a k-way merge; a Sort over an Aggregate is applied serially to the
   // merged (small) aggregate result instead.
@@ -679,8 +727,16 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
   std::function<void(Batch*)> post;
   if (local_sort) {
     const LogicalNode* sort = shape.sort;
-    post = [sort](Batch* part) {
+    obs::NodeStats* sort_stats =
+        profile != nullptr ? profile->Find(sort) : nullptr;
+    post = [sort, sort_stats](Batch* part) {
+      WallTimer timer;
       SortBatchRows(part, sort->sort_keys, sort->limit);
+      if (sort_stats != nullptr) {
+        sort_stats->workers.fetch_add(1, std::memory_order_relaxed);
+        sort_stats->AddWorkerTime(
+            static_cast<std::uint64_t>(timer.ElapsedNanos()));
+      }
     };
   }
 
@@ -710,9 +766,15 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
     const std::size_t mask = (std::size_t{1} << partition_bits) - 1;
 
     const ScanTarget build_target = TargetOf(*build_spec.scan);
+    WallTimer build_timer;
     const std::vector<JoinHashTable> partitions =
         BuildJoinPartitions(build_spec, build_target, build_key, build_types,
-                            build_nuc, mask, pool, options);
+                            build_nuc, mask, pool, options, profile);
+    if (profile != nullptr) {
+      profile->Find(shape.join)->build_ns.store(
+          static_cast<std::uint64_t>(build_timer.ElapsedNanos()),
+          std::memory_order_relaxed);
+    }
 
     const ScanTarget probe_target = TargetOf(*probe_spec.scan);
     MorselQueue probe_queue(probe_target.FullWork(), options.morsel_rows);
@@ -721,17 +783,22 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
         pool,
         [&] {
           OperatorPtr op = BuildWorkerChain(probe_spec, &probe_target,
-                                            scan_opts, &probe_queue);
+                                            scan_opts, &probe_queue, profile);
           op = std::make_unique<PartitionProbeOperator>(
               std::move(op), &partitions, mask, probe_key, build_left,
               build_types);
-          op = ApplyUnaryOps(std::move(op), shape.mid_ops);
+          op = MaybeProfile(std::move(op), profile, shape.join);
+          op = ApplyUnaryOps(std::move(op), shape.mid_ops, profile);
           if (shape.agg != nullptr) {
             op = std::make_unique<HashAggregateOperator>(
                 std::move(op), shape.agg->group_cols,
                 shape.agg->kind == LogicalNode::Kind::kAggregate
                     ? shape.agg->aggs
                     : std::vector<AggSpec>{});
+            // Per-worker partial-group counts depend on morsel scheduling;
+            // the coordinator stores the merged count below instead.
+            op = MaybeProfile(std::move(op), profile, shape.agg,
+                              /*count_rows=*/false);
           }
           return op;
         },
@@ -743,14 +810,16 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
     parts = RunWorkers(
         pool,
         [&] {
-          OperatorPtr op =
-              BuildWorkerChain(shape.chain, &target, scan_opts, &queue);
+          OperatorPtr op = BuildWorkerChain(shape.chain, &target, scan_opts,
+                                            &queue, profile);
           if (shape.agg != nullptr) {
             op = std::make_unique<HashAggregateOperator>(
                 std::move(op), shape.agg->group_cols,
                 shape.agg->kind == LogicalNode::Kind::kAggregate
                     ? shape.agg->aggs
                     : std::vector<AggSpec>{});
+            op = MaybeProfile(std::move(op), profile, shape.agg,
+                              /*count_rows=*/false);
           }
           return op;
         },
@@ -759,18 +828,42 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
 
   const std::vector<ColumnType> out_types = LogicalOutputTypes(plan);
   if (shape.agg != nullptr) {
+    WallTimer merge_timer;
     Batch merged = MergeAggregateParts(
         std::move(parts), out_types, shape.agg->group_cols.size(),
         shape.agg->kind == LogicalNode::Kind::kAggregate
             ? shape.agg->aggs
             : std::vector<AggSpec>{});
+    if (profile != nullptr) {
+      obs::NodeStats* agg_stats = profile->Find(shape.agg);
+      agg_stats->rows.store(merged.num_rows(), std::memory_order_relaxed);
+      agg_stats->time_ns.fetch_add(
+          static_cast<std::uint64_t>(merge_timer.ElapsedNanos()),
+          std::memory_order_relaxed);
+    }
     if (shape.sort != nullptr) {
+      WallTimer sort_timer;
       SortBatchRows(&merged, shape.sort->sort_keys, shape.sort->limit);
+      if (profile != nullptr) {
+        obs::NodeStats* sort_stats = profile->Find(shape.sort);
+        sort_stats->rows.store(merged.num_rows(), std::memory_order_relaxed);
+        sort_stats->workers.store(1, std::memory_order_relaxed);
+        sort_stats->AddWorkerTime(
+            static_cast<std::uint64_t>(sort_timer.ElapsedNanos()));
+      }
     }
     *out = std::move(merged);
   } else if (local_sort) {
+    WallTimer merge_timer;
     *out = MergeSortedBatches(std::move(parts), shape.sort->sort_keys,
                               shape.sort->limit);
+    if (profile != nullptr) {
+      obs::NodeStats* sort_stats = profile->Find(shape.sort);
+      sort_stats->rows.store(out->num_rows(), std::memory_order_relaxed);
+      sort_stats->time_ns.fetch_add(
+          static_cast<std::uint64_t>(merge_timer.ElapsedNanos()),
+          std::memory_order_relaxed);
+    }
   } else {
     *out = ConcatParts(std::move(parts), out_types);
   }

@@ -10,6 +10,10 @@
 
 namespace patchindex {
 
+namespace obs {
+class ExecProfile;
+}
+
 struct ParallelExecOptions {
   /// Base rows per morsel.
   std::size_t morsel_rows = kDefaultMorselRows;
@@ -19,6 +23,11 @@ struct ParallelExecOptions {
   /// the scan. 0 forces the parallel path (used by the equivalence
   /// tests).
   std::size_t min_parallel_rows = 16 * kBatchSize;
+
+  /// When set, every worker operator is wrapped to record rows, morsel
+  /// counts, and per-worker wall time into this accumulator (EXPLAIN
+  /// ANALYZE). Null — the default — adds no per-batch work.
+  obs::ExecProfile* profile = nullptr;
 };
 
 /// What the parallel executor did with a plan, for the Session's

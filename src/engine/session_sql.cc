@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "engine/engine.h"
 #include "optimizer/explain.h"
 #include "optimizer/rewriter.h"
@@ -84,6 +85,34 @@ Batch MatchingRows(const PartitionedTable& table,
   return Collect(*op);
 }
 
+/// Wraps `lines` as a result set: one STRING column named `column`, one
+/// row per line — the shape of EXPLAIN / EXPLAIN ANALYZE output, which
+/// flows through every result path (local, prepared, wire protocol)
+/// unchanged.
+QueryResult TextResult(const std::string& column,
+                       const std::vector<std::string>& lines) {
+  QueryResult out;
+  out.column_names = {column};
+  out.rows.Reset({ColumnType::kString});
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out.rows.columns[0].AppendValue(Value(lines[i]));
+    out.rows.row_ids.push_back(i);
+  }
+  return out;
+}
+
+/// Splits rendered explain text (newline-terminated lines) into rows.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < text.size();) {
+    std::size_t nl = text.find('\n', i);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(i, nl - i));
+    i = nl + 1;
+  }
+  return lines;
+}
+
 Status BindParams(const sql::BoundStatement& bound,
                   std::vector<Value> params) {
   if (params.size() != bound.param_slots->size()) {
@@ -110,21 +139,40 @@ Status BindParams(const sql::BoundStatement& bound,
 
 }  // namespace
 
+Result<std::string> ExplainBound(Engine* engine,
+                                 const sql::BoundStatement& bound);
+
 struct PreparedStatement::Impl {
   Session session;
   sql::BoundStatement bound;
   std::string sql;
+  /// Front-end spans measured once by Prepare, copied into every
+  /// execution's profile (a prepared statement parses/binds once; a
+  /// one-shot Session::Sql pays them per call).
+  double parse_ms = 0.0;
+  double bind_ms = 0.0;
 };
 
 Result<PreparedStatement> Session::Prepare(std::string_view sql) {
+  const Engine::MetricSet& m = engine_->m_;
+  WallTimer parse_timer;
   Result<sql::Statement> parsed = sql::ParseStatement(sql);
   if (!parsed.ok()) return parsed.status();
+  const std::int64_t parse_ns = parse_timer.ElapsedNanos();
+  WallTimer bind_timer;
   Result<sql::BoundStatement> bound =
       sql::BindStatement(parsed.value(), engine_->catalog());
   if (!bound.ok()) return bound.status();
+  const std::int64_t bind_ns = bind_timer.ElapsedNanos();
+  if (m.phase_parse_us != nullptr) {
+    m.phase_parse_us->RecordNanos(parse_ns);
+    m.phase_bind_us->RecordNanos(bind_ns);
+  }
   auto impl = std::make_shared<PreparedStatement::Impl>(
       PreparedStatement::Impl{*this, std::move(bound).value(),
                               std::string(sql)});
+  impl->parse_ms = static_cast<double>(parse_ns) / 1e6;
+  impl->bind_ms = static_cast<double>(bind_ns) / 1e6;
   return PreparedStatement(std::move(impl));
 }
 
@@ -145,12 +193,34 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
   const sql::BoundStatement& bound = impl_->bound;
   PIDX_RETURN_NOT_OK(BindParams(bound, std::move(params)));
   Session& session = impl_->session;
+  const Engine::MetricSet& m = session.engine_->m_;
 
+  // Plain EXPLAIN renders the would-be plan without executing; ANALYZE
+  // (below) executes with operator profiling and renders measurements.
+  if (bound.explain && !bound.analyze) {
+    Result<std::string> text = ExplainBound(session.engine_, bound);
+    if (!text.ok()) return text.status();
+    return TextResult("plan", SplitLines(text.value()));
+  }
+
+  // One QueryProfile per execution: phase spans always (when metrics are
+  // on), per-operator measurements only for EXPLAIN ANALYZE.
+  std::shared_ptr<obs::QueryProfile> profile;
+  if (m.sql_statements != nullptr || bound.analyze) {
+    profile = std::make_shared<obs::QueryProfile>();
+    profile->parse_ms = impl_->parse_ms;
+    profile->bind_ms = impl_->bind_ms;
+  }
+  WallTimer total_timer;
+
+  Result<QueryResult> executed = [&]() -> Result<QueryResult> {
   switch (bound.kind) {
     case sql::Statement::Kind::kSelect: {
       // The rewriter transforms plans in place, so each run optimizes a
       // fresh clone of the cached bound plan.
-      Result<QueryResult> result = session.Execute(ClonePlan(bound.plan));
+      Result<QueryResult> result = session.ExecuteProfiled(
+          ClonePlan(bound.plan), session.engine_->options().optimizer,
+          profile.get(), /*profile_ops=*/bound.analyze);
       if (!result.ok()) return result.status();
       QueryResult out = std::move(result).value();
       out.column_names = bound.column_names;
@@ -178,13 +248,17 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
       }
       QueryResult out;
       out.rows_affected = rows.size();
-      PIDX_RETURN_NOT_OK(session.ExecuteUpdate(
-          bound.table, UpdateQuery::Insert(std::move(rows))));
+      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWithProfiled(
+          bound.table,
+          [&rows](const PartitionedTable&) -> Result<UpdateQuery> {
+            return UpdateQuery::Insert(std::move(rows));
+          },
+          profile.get()));
       return out;
     }
     case sql::Statement::Kind::kUpdate: {
       QueryResult out;
-      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWith(
+      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWithProfiled(
           bound.table,
           [&](const PartitionedTable& table) -> Result<UpdateQuery> {
             Batch matches = MatchingRows(table, bound);
@@ -198,18 +272,20 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
             }
             out.rows_affected = matches.num_rows();
             return UpdateQuery::Modify(std::move(cells));
-          }));
+          },
+          profile.get()));
       return out;
     }
     case sql::Statement::Kind::kDelete: {
       QueryResult out;
-      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWith(
+      PIDX_RETURN_NOT_OK(session.ExecuteUpdateWithProfiled(
           bound.table,
           [&](const PartitionedTable& table) -> Result<UpdateQuery> {
             Batch matches = MatchingRows(table, bound);
             out.rows_affected = matches.num_rows();
             return UpdateQuery::Delete(std::move(matches.row_ids));
-          }));
+          },
+          profile.get()));
       return out;
     }
     case sql::Statement::Kind::kCreateTable: {
@@ -229,28 +305,47 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
     }
   }
   return Status::Internal("unhandled statement kind");
+  }();
+
+  if (!executed.ok()) return executed.status();
+  QueryResult out = std::move(executed).value();
+  const std::int64_t total_ns = total_timer.ElapsedNanos();
+  if (m.sql_statements != nullptr) {
+    m.sql_statements->Add(1);
+    m.query_latency_us->RecordNanos(total_ns);
+  }
+  if (profile != nullptr) {
+    // Total = this execution plus the statement's (possibly amortized)
+    // parse/bind spans, so the breakdown sums to the total.
+    profile->total_ms = profile->parse_ms + profile->bind_ms +
+                        static_cast<double>(total_ns) / 1e6;
+    out.profile = profile;
+  }
+  if (bound.analyze) {
+    QueryResult analyzed = TextResult("plan", profile->RenderLines());
+    analyzed.profile = profile;
+    return analyzed;
+  }
+  return out;
 }
 
-Result<std::string> Session::Explain(std::string_view sql) {
-  Result<sql::Statement> parsed = sql::ParseStatement(sql);
-  if (!parsed.ok()) return parsed.status();
-  Result<sql::BoundStatement> bound_result =
-      sql::BindStatement(parsed.value(), engine_->catalog());
-  if (!bound_result.ok()) return bound_result.status();
-  const sql::BoundStatement& bound = bound_result.value();
-
+/// The EXPLAIN rendering of a bound statement — shared by
+/// Session::Explain and the SQL `EXPLAIN <stmt>` prefix so both produce
+/// byte-identical plans.
+Result<std::string> ExplainBound(Engine* engine,
+                                 const sql::BoundStatement& bound) {
   switch (bound.kind) {
     case sql::Statement::Kind::kSelect: {
       // Shared-lock the scanned tables like Execute does: the rewriter
       // and the row-count annotations read table state.
       std::vector<Catalog::TableRef> refs;
-      CollectPlanTableRefs(*bound.plan, engine_->catalog(), &refs);
+      CollectPlanTableRefs(*bound.plan, engine->catalog(), &refs);
       std::vector<std::shared_lock<std::shared_mutex>> guards;
       guards.reserve(refs.size());
       for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
       LogicalPtr optimized =
-          OptimizePlan(ClonePlan(bound.plan), engine_->catalog().manager(),
-                       engine_->options().optimizer);
+          OptimizePlan(ClonePlan(bound.plan), engine->catalog().manager(),
+                       engine->options().optimizer);
       std::string out = ExplainPlan(optimized);
       if (bound.has_post_limit) {
         out = "Limit(" + std::to_string(bound.post_limit) + ")\n" +
@@ -265,7 +360,7 @@ Result<std::string> Session::Explain(std::string_view sql) {
     case sql::Statement::Kind::kDelete: {
       // Shared-lock the target: the rendered row-matching plan reads
       // table state (row counts), like the SELECT branch above.
-      Catalog::TableRef ref = engine_->catalog().Ref(bound.table);
+      Catalog::TableRef ref = engine->catalog().Ref(bound.table);
       if (!ref) {
         return Status::NotFound("table '" + bound.table + "' was dropped");
       }
@@ -295,6 +390,15 @@ Result<std::string> Session::Explain(std::string_view sql) {
              ")\n";
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> Session::Explain(std::string_view sql) {
+  Result<sql::Statement> parsed = sql::ParseStatement(sql);
+  if (!parsed.ok()) return parsed.status();
+  Result<sql::BoundStatement> bound =
+      sql::BindStatement(parsed.value(), engine_->catalog());
+  if (!bound.ok()) return bound.status();
+  return ExplainBound(engine_, bound.value());
 }
 
 }  // namespace patchindex

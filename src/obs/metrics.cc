@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace patchindex::obs {
+
+namespace {
+
+/// Appends printf-formatted text to `out` (registry renderers only run at
+/// snapshot time, so the extra formatting cost is fine).
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min(sizeof(buf) - 1, std::size_t(n)));
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || c == '_' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t ThisThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kStripes - 1);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return static_cast<double>(BucketUpperUs(b));
+    }
+  }
+  return static_cast<double>(BucketUpperUs(kHistogramBuckets - 1));
+}
+
+HistogramSnapshot& HistogramSnapshot::Subtract(const HistogramSnapshot& base) {
+  count -= std::min(count, base.count);
+  sum_us -= std::min(sum_us, base.sum_us);
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] -= std::min(buckets[b], base.buckets[b]);
+  }
+  return *this;
+}
+
+std::size_t Histogram::BucketOf(std::uint64_t us) {
+  if (us == 0) return 0;
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(us));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& s : shards_) {
+    snap.sum_us += s.sum_us.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += n;
+      snap.count += n;
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreateLocked(
+    const std::string& name, const std::string& help, Kind kind) {
+  PIDX_CHECK(ValidMetricName(name));
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name) {
+      PIDX_CHECK(e->kind == kind);
+      return e.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, help, Kind::kCounter);
+  if (e->counter == nullptr) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, help, Kind::kGauge);
+  if (e->gauge == nullptr) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, help, Kind::kHistogram);
+  if (e->histogram == nullptr) e->histogram = std::make_unique<Histogram>();
+  return e->histogram.get();
+}
+
+void MetricsRegistry::SetCallback(const std::string& name,
+                                  const std::string& help,
+                                  std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, help, Kind::kCallback);
+  e->callback = std::move(fn);
+}
+
+HistogramSnapshot MetricsRegistry::HistogramSnapshotOf(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name && e->kind == Kind::kHistogram &&
+        e->histogram != nullptr) {
+      return e->histogram->Snapshot();
+    }
+  }
+  return HistogramSnapshot{};
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    Appendf(&out, "# HELP %s %s\n", e->name.c_str(), e->help.c_str());
+    switch (e->kind) {
+      case Kind::kCounter:
+      case Kind::kCallback: {
+        const std::uint64_t v = e->kind == Kind::kCounter
+                                    ? e->counter->Value()
+                                    : (e->callback ? e->callback() : 0);
+        Appendf(&out, "# TYPE %s counter\n", e->name.c_str());
+        Appendf(&out, "%s %llu\n", e->name.c_str(),
+                static_cast<unsigned long long>(v));
+        break;
+      }
+      case Kind::kGauge:
+        Appendf(&out, "# TYPE %s gauge\n", e->name.c_str());
+        Appendf(&out, "%s %lld\n", e->name.c_str(),
+                static_cast<long long>(e->gauge->Value()));
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = e->histogram->Snapshot();
+        Appendf(&out, "# TYPE %s histogram\n", e->name.c_str());
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          cumulative += snap.buckets[b];
+          // Skip interior empty buckets to keep scrapes small; always
+          // emit the first bucket and +Inf so the series is well-formed.
+          if (snap.buckets[b] == 0 && b != 0) continue;
+          Appendf(&out, "%s_bucket{le=\"%llu\"} %llu\n", e->name.c_str(),
+                  static_cast<unsigned long long>(
+                      HistogramSnapshot::BucketUpperUs(b)),
+                  static_cast<unsigned long long>(cumulative));
+        }
+        Appendf(&out, "%s_bucket{le=\"+Inf\"} %llu\n", e->name.c_str(),
+                static_cast<unsigned long long>(snap.count));
+        Appendf(&out, "%s_sum %llu\n", e->name.c_str(),
+                static_cast<unsigned long long>(snap.sum_us));
+        Appendf(&out, "%s_count %llu\n", e->name.c_str(),
+                static_cast<unsigned long long>(snap.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+      case Kind::kCallback: {
+        const std::uint64_t v = e->kind == Kind::kCounter
+                                    ? e->counter->Value()
+                                    : (e->callback ? e->callback() : 0);
+        Appendf(&out, "%s %llu\n", e->name.c_str(),
+                static_cast<unsigned long long>(v));
+        break;
+      }
+      case Kind::kGauge:
+        Appendf(&out, "%s %lld\n", e->name.c_str(),
+                static_cast<long long>(e->gauge->Value()));
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = e->histogram->Snapshot();
+        Appendf(&out,
+                "%s count=%llu mean=%.1fus p50=%.0fus p95=%.0fus p99=%.0fus\n",
+                e->name.c_str(), static_cast<unsigned long long>(snap.count),
+                snap.MeanUs(), snap.Percentile(0.50), snap.Percentile(0.95),
+                snap.Percentile(0.99));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace patchindex::obs

@@ -1,0 +1,179 @@
+#ifndef PATCHINDEX_OBS_METRICS_H_
+#define PATCHINDEX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace patchindex::obs {
+
+/// How many shards every counter/histogram spreads its writes over.
+/// Threads are assigned a stable shard by arrival order, so with up to
+/// kStripes concurrently-writing threads the hot path is an uncontended
+/// relaxed fetch_add on a thread-private cache line; beyond that threads
+/// share shards but never block.
+inline constexpr std::size_t kStripes = 16;
+
+/// The calling thread's shard index (stable for the thread's lifetime).
+std::size_t ThisThreadStripe();
+
+/// A monotonically increasing counter. Writes are sharded (see kStripes);
+/// Value() sums the shards, so reads are approximate only in that they
+/// may miss increments still in flight — never double-count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    shards_[ThisThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kStripes> shards_;
+};
+
+/// A point-in-time value (e.g. open connections). Single atomic — gauges
+/// are not hot-path.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Bucket count of every latency histogram. Bucket b holds values whose
+/// bit width is b (microseconds): bucket 0 holds exactly 0, bucket b>0
+/// holds [2^(b-1), 2^b - 1]. 40 buckets reach ~2^39 us (~6 days); larger
+/// values clamp into the last bucket.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// A merged view of one histogram: total count, total sum (microseconds)
+/// and per-bucket counts. Supports subtraction for interval measurements
+/// (benchmarks snapshot before/after a sweep).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Upper bound (microseconds) of bucket `b` — the resolution limit of
+  /// every percentile read off this histogram.
+  static std::uint64_t BucketUpperUs(std::size_t b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+
+  /// The q-quantile (q in [0,1]) as the upper bound of the bucket where
+  /// the cumulative count crosses q * count; 0 when empty.
+  double Percentile(double q) const;
+
+  double MeanUs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_us) /
+                            static_cast<double>(count);
+  }
+
+  /// Subtracts `base` (an earlier snapshot of the same histogram),
+  /// turning two cumulative snapshots into an interval one.
+  HistogramSnapshot& Subtract(const HistogramSnapshot& base);
+};
+
+/// A log-bucketed latency histogram over microsecond values. Writes are
+/// sharded like Counter's: the hot path is two uncontended relaxed
+/// increments (bucket + sum). Snapshot() merges the shards.
+class Histogram {
+ public:
+  static std::size_t BucketOf(std::uint64_t us);
+
+  void Record(std::uint64_t us) {
+    Shard& s = shards_[ThisThreadStripe()];
+    s.buckets[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    s.sum_us.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  void RecordNanos(std::int64_t ns) {
+    Record(ns <= 0 ? 0 : static_cast<std::uint64_t>(ns) / 1000);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> sum_us{0};
+  };
+  std::array<Shard, kStripes> shards_;
+};
+
+/// A named collection of metrics with two renderings: Prometheus
+/// exposition text (the piserver --metrics-port endpoint) and a compact
+/// human-readable form (the .stats meta command).
+///
+/// Get* calls are get-or-create: asking for an existing name returns the
+/// same object (so the engine and the server can share one registry), and
+/// asking for an existing name with a different metric kind is a
+/// programming error. Callbacks render as counters whose value is read at
+/// render time — how ServerStats folds in without changing its struct.
+/// Registration takes a mutex; recording on the returned objects is
+/// lock-free. Returned pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help);
+
+  /// Registers (or replaces) a counter whose value is pulled from `fn`
+  /// at render/snapshot time.
+  void SetCallback(const std::string& name, const std::string& help,
+                   std::function<std::uint64_t()> fn);
+
+  /// Merged snapshot of one histogram; a zero snapshot when `name` is
+  /// unknown (or not a histogram).
+  HistogramSnapshot HistogramSnapshotOf(const std::string& name) const;
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE
+  /// comments, counters and gauges as plain samples, histograms as
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+  std::string RenderPrometheus() const;
+
+  /// Compact human-readable rendering, one metric per line; histograms
+  /// show count/mean/p50/p95/p99.
+  std::string RenderText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<std::uint64_t()> callback;
+  };
+
+  Entry* FindOrCreateLocked(const std::string& name, const std::string& help,
+                            Kind kind);
+
+  mutable std::mutex mu_;
+  /// Insertion order, for stable rendering; entries are never removed.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace patchindex::obs
+
+#endif  // PATCHINDEX_OBS_METRICS_H_

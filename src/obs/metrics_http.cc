@@ -1,0 +1,174 @@
+#include "obs/metrics_http.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace patchindex::obs {
+
+namespace {
+
+/// Sends all of `data`, looping over partial writes. Scrape responses
+/// are small; a failed or slow peer just loses its response.
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string HttpResponse(const std::string& status_line,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + status_line + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const MetricsRegistry& registry,
+                                     std::string host, std::uint16_t port)
+    : registry_(registry), host_(std::move(host)), port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start() {
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal(std::string("pipe failed: ") +
+                            std::strerror(errno));
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port_);
+  const int rc = ::getaddrinfo(host_.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return Status::Unavailable("cannot resolve metrics address '" + host_ +
+                               "': " + gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no usable address for '" + host_ + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 16) != 0) {
+      last = Status::Unavailable("cannot listen on " + host_ + ":" + service +
+                                 ": " + std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    sockaddr_storage bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    listen_fd_ = fd;
+    break;
+  }
+  ::freeaddrinfo(res);
+  if (listen_fd_ < 0) {
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return last;
+  }
+  started_ = true;
+  loop_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!started_) return;
+  const char byte = 'x';
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (loop_.joinable()) loop_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  started_ = false;
+}
+
+void MetricsHttpServer::Loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP)) != 0) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    // A peer that connects and sends nothing must not park the loop.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(cfd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+    // Read up to the end of the request head; the request line is all we
+    // route on (no request bodies on a scrape endpoint).
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+      const ssize_t got = ::recv(cfd, buf, sizeof buf, 0);
+      if (got <= 0) break;
+      req.append(buf, static_cast<std::size_t>(got));
+    }
+    const std::size_t eol = req.find("\r\n");
+    if (eol == std::string::npos) {
+      SendAll(cfd, HttpResponse("400 Bad Request", "text/plain",
+                                "malformed request\n"));
+      ::close(cfd);
+      continue;
+    }
+    const std::string line = req.substr(0, eol);
+    // Accept "GET /metrics" with an optional query string.
+    const bool is_metrics =
+        line.rfind("GET /metrics", 0) == 0 &&
+        (line.size() == 12 || line[12] == ' ' || line[12] == '?');
+    if (is_metrics) {
+      SendAll(cfd,
+              HttpResponse("200 OK", "text/plain; version=0.0.4",
+                           registry_.RenderPrometheus()));
+    } else {
+      SendAll(cfd,
+              HttpResponse("404 Not Found", "text/plain", "not found\n"));
+    }
+    ::close(cfd);
+  }
+}
+
+}  // namespace patchindex::obs

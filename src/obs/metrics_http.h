@@ -1,0 +1,55 @@
+#ifndef PATCHINDEX_OBS_METRICS_HTTP_H_
+#define PATCHINDEX_OBS_METRICS_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace patchindex::obs {
+
+/// A minimal HTTP/1.1 endpoint serving one resource: `GET /metrics`
+/// returns the registry in Prometheus exposition text format (0.0.4).
+/// Anything else is answered 404; malformed requests 400. Connections
+/// are handled one at a time on a single accept-loop thread and closed
+/// after each response (`Connection: close`) — a scrape endpoint, not a
+/// web server. Reads carry a short timeout so a silent connect cannot
+/// stall scraping.
+///
+/// The registry must outlive the endpoint. Start/Stop from one thread.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(const MetricsRegistry& registry, std::string host,
+                    std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds and starts the accept loop. kUnavailable when the address
+  /// cannot be bound.
+  Status Start();
+
+  /// Stops accepting and joins the loop thread; idempotent.
+  void Stop();
+
+  /// The bound TCP port (resolves port 0). Valid after Start().
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void Loop();
+
+  const MetricsRegistry& registry_;
+  std::string host_;
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  bool started_ = false;
+  std::thread loop_;
+};
+
+}  // namespace patchindex::obs
+
+#endif  // PATCHINDEX_OBS_METRICS_HTTP_H_

@@ -20,6 +20,15 @@ const char* ConstraintName(ConstraintKind kind) {
 
 void Render(const LogicalNode& node, int depth, std::string* out) {
   out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->append(PlanNodeLabel(node));
+  out->push_back('\n');
+  for (const auto& child : node.children) Render(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PlanNodeLabel(const LogicalNode& node) {
+  std::string label;
   char buf[160];
   buf[0] = '\0';
   switch (node.kind) {
@@ -40,17 +49,17 @@ void Render(const LogicalNode& node, int depth, std::string* out) {
       break;
     case LogicalNode::Kind::kSelect: {
       std::snprintf(buf, sizeof(buf), ", sel=%.2f)", node.selectivity);
-      out->append("Select(");
-      out->append(node.predicate != nullptr ? node.predicate->ToString()
-                                            : "?");
+      label.append("Select(");
+      label.append(node.predicate != nullptr ? node.predicate->ToString()
+                                             : "?");
       break;
     }
     case LogicalNode::Kind::kProject: {
       std::snprintf(buf, sizeof(buf), ")");
-      out->append("Project(");
+      label.append("Project(");
       for (std::size_t i = 0; i < node.exprs.size(); ++i) {
-        if (i > 0) out->append(", ");
-        out->append(node.exprs[i]->ToString());
+        if (i > 0) label.append(", ");
+        label.append(node.exprs[i]->ToString());
       }
       break;
     }
@@ -95,12 +104,9 @@ void Render(const LogicalNode& node, int depth, std::string* out) {
                     node.pidx->exception_rate() * 100.0);
       break;
   }
-  out->append(buf);
-  out->push_back('\n');
-  for (const auto& child : node.children) Render(*child, depth + 1, out);
+  label.append(buf);
+  return label;
 }
-
-}  // namespace
 
 std::string ExplainPlan(const LogicalPtr& plan) {
   std::string out;

@@ -18,6 +18,11 @@ namespace patchindex {
 ///           ...
 std::string ExplainPlan(const LogicalPtr& plan);
 
+/// One node's EXPLAIN label without indentation or children — e.g.
+/// `Join(keys 0=1)` — shared between ExplainPlan and the EXPLAIN ANALYZE
+/// profile renderer so both show identical operator names.
+std::string PlanNodeLabel(const LogicalNode& node);
+
 }  // namespace patchindex
 
 #endif  // PATCHINDEX_OPTIMIZER_EXPLAIN_H_

@@ -10,6 +10,8 @@
 #include "exec/reuse.h"
 #include "exec/scan.h"
 #include "exec/select.h"
+#include "obs/profile.h"
+#include "obs/profiled_operator.h"
 
 namespace patchindex {
 
@@ -196,7 +198,17 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
   return node;
 }
 
-OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options);
+OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options,
+                    obs::ExecProfile* profile);
+
+/// Wraps `op` to record `node`'s rows and wall time when serial-path
+/// profiling is on; identity otherwise.
+OperatorPtr MaybeProfile(OperatorPtr op, obs::ExecProfile* profile,
+                         const LogicalNode& node) {
+  if (profile == nullptr) return op;
+  return std::make_unique<obs::ProfiledOperator>(std::move(op),
+                                                 &profile->StatsFor(&node));
+}
 
 /// Compiles a select-chain with the PatchIndex selection fused into the
 /// scan (the PatchIndex scan of §3.3: the selection modes merge the patch
@@ -204,20 +216,28 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options);
 OperatorPtr CompileChainWithPatchFilter(const LogicalNode& node,
                                         const PatchIndex* idx,
                                         PatchSelectMode mode,
-                                        const OptimizerOptions& options) {
+                                        const OptimizerOptions& options,
+                                        obs::ExecProfile* profile) {
   if (node.kind == LogicalNode::Kind::kScan) {
     ScanOptions sopt;
     sopt.patch_filter = idx;
     sopt.patch_mode = mode;
-    return std::make_unique<ScanOperator>(*node.table, node.columns, sopt);
+    return MaybeProfile(
+        std::make_unique<ScanOperator>(*node.table, node.columns, sopt),
+        profile, node);
   }
   PIDX_CHECK(node.kind == LogicalNode::Kind::kSelect);
   OperatorPtr child =
-      CompileChainWithPatchFilter(*node.children[0], idx, mode, options);
-  return std::make_unique<SelectOperator>(std::move(child), node.predicate);
+      CompileChainWithPatchFilter(*node.children[0], idx, mode, options,
+                                  profile);
+  return MaybeProfile(
+      std::make_unique<SelectOperator>(std::move(child), node.predicate),
+      profile, node);
 }
 
-OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
+OperatorPtr CompileNode(const LogicalNode& node,
+                        const OptimizerOptions& options,
+                        obs::ExecProfile* profile) {
   switch (node.kind) {
     case LogicalNode::Kind::kScan: {
       if (node.table != nullptr) {
@@ -243,10 +263,10 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
     }
     case LogicalNode::Kind::kSelect:
       return std::make_unique<SelectOperator>(
-          Compile(*node.children[0], options), node.predicate);
+          Compile(*node.children[0], options, profile), node.predicate);
     case LogicalNode::Kind::kProject:
       return std::make_unique<ProjectOperator>(
-          Compile(*node.children[0], options), node.exprs);
+          Compile(*node.children[0], options, profile), node.exprs);
     case LogicalNode::Kind::kJoin: {
       // Build on the side with the lower estimated cardinality (§3.3);
       // restore the logical left-then-right column order afterwards.
@@ -259,8 +279,10 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
       // the right child regardless of cardinalities — hash joins only
       // preserve the probe side's order.
       const bool build_left = SortedOutputColumn(node) >= 0 || l <= r;
-      OperatorPtr build = Compile(*node.children[build_left ? 0 : 1], options);
-      OperatorPtr probe = Compile(*node.children[build_left ? 1 : 0], options);
+      OperatorPtr build =
+          Compile(*node.children[build_left ? 0 : 1], options, profile);
+      OperatorPtr probe =
+          Compile(*node.children[build_left ? 1 : 0], options, profile);
       HashJoinOptions join_options;
       join_options.build_unique_filter =
           build_left ? node.left_key_nuc : node.right_key_nuc;
@@ -282,14 +304,16 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
     }
     case LogicalNode::Kind::kDistinct:
       return std::make_unique<HashAggregateOperator>(
-          Compile(*node.children[0], options), node.group_cols,
+          Compile(*node.children[0], options, profile), node.group_cols,
           std::vector<AggSpec>{});
     case LogicalNode::Kind::kAggregate:
       return std::make_unique<HashAggregateOperator>(
-          Compile(*node.children[0], options), node.group_cols, node.aggs);
+          Compile(*node.children[0], options, profile), node.group_cols,
+          node.aggs);
     case LogicalNode::Kind::kSort:
       return std::make_unique<SortOperator>(
-          Compile(*node.children[0], options), node.sort_keys, node.limit);
+          Compile(*node.children[0], options, profile), node.sort_keys,
+          node.limit);
 
     case LogicalNode::Kind::kPatchDistinct: {
       const LogicalNode& chain = *node.children[0];
@@ -315,7 +339,7 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
               std::make_unique<HashAggregateOperator>(
                   CompileChainWithPatchFilter(
                       chain, node.pidx, PatchSelectMode::kUsePatches,
-                      options),
+                      options, profile),
                   node.group_cols, std::vector<AggSpec>{}),
               Ne(Col(0), ConstInt(node.pidx->constant_value())));
           branches.push_back(std::move(use));
@@ -331,8 +355,8 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
       if (options.zero_branch_pruning && node.pidx->NumPatches() == 0) {
         // ZBP (§6.3): the patches subtree has cardinality 0 and the
         // exclude selection passes everything — both are dropped.
-        return std::make_unique<ProjectOperator>(Compile(chain, options),
-                                                 std::move(group_proj));
+        return std::make_unique<ProjectOperator>(
+            Compile(chain, options, profile), std::move(group_proj));
       }
       if (options.zero_branch_pruning &&
           node.pidx->NumPatches() == node.pidx->NumRows()) {
@@ -342,7 +366,7 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
         return std::make_unique<HashAggregateOperator>(
             CompileChainWithPatchFilter(chain, node.pidx,
                                         PatchSelectMode::kUsePatches,
-                                        options),
+                                        options, profile),
             node.group_cols, std::vector<AggSpec>{});
       }
       // Figure 2 left: the aggregation is dropped from the subtree that
@@ -350,11 +374,12 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
       OperatorPtr excl = std::make_unique<ProjectOperator>(
           CompileChainWithPatchFilter(chain, node.pidx,
                                       PatchSelectMode::kExcludePatches,
-                                      options),
+                                      options, profile),
           group_proj);
       OperatorPtr use = std::make_unique<HashAggregateOperator>(
           CompileChainWithPatchFilter(chain, node.pidx,
-                                      PatchSelectMode::kUsePatches, options),
+                                      PatchSelectMode::kUsePatches, options,
+                                      profile),
           node.group_cols, std::vector<AggSpec>{});
       std::vector<OperatorPtr> branches;
       branches.push_back(std::move(excl));
@@ -365,7 +390,7 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
     case LogicalNode::Kind::kPatchSort: {
       const LogicalNode& chain = *node.children[0];
       if (options.zero_branch_pruning && node.pidx->NumPatches() == 0) {
-        return Compile(chain, options);  // stored order already sorted
+        return Compile(chain, options, profile);  // stored order already sorted
       }
       if (options.zero_branch_pruning &&
           node.pidx->NumPatches() == node.pidx->NumRows()) {
@@ -373,16 +398,17 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
         return std::make_unique<SortOperator>(
             CompileChainWithPatchFilter(chain, node.pidx,
                                         PatchSelectMode::kUsePatches,
-                                        options),
+                                        options, profile),
             node.sort_keys);
       }
       // The sort operator becomes obsolete for the non-patches; only the
       // patches are sorted, and a Merge preserves the global order.
       OperatorPtr excl = CompileChainWithPatchFilter(
-          chain, node.pidx, PatchSelectMode::kExcludePatches, options);
+          chain, node.pidx, PatchSelectMode::kExcludePatches, options, profile);
       OperatorPtr use = std::make_unique<SortOperator>(
           CompileChainWithPatchFilter(chain, node.pidx,
-                                      PatchSelectMode::kUsePatches, options),
+                                      PatchSelectMode::kUsePatches, options,
+                                      profile),
           node.sort_keys);
       std::vector<OperatorPtr> branches;
       branches.push_back(std::move(excl));
@@ -396,8 +422,8 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
       const LogicalNode& fact = *node.children[1];
       if (options.zero_branch_pruning && node.pidx->NumPatches() == 0) {
         return std::make_unique<MergeJoinOperator>(
-            Compile(x, options), Compile(fact, options), node.left_key,
-            node.right_key);
+            Compile(x, options, profile), Compile(fact, options, profile),
+            node.left_key, node.right_key);
       }
       // Figure 2 right: X is buffered (ReuseCache) and consumed by both
       // cloned subtrees; the non-patches side uses the MergeJoin, the
@@ -406,26 +432,27 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
       OperatorPtr x_second;
       if (options.buffer_shared_subtrees) {
         auto buffer = MakeReuseBuffer();
-        x_first = std::make_unique<ReuseCacheOperator>(Compile(x, options),
-                                                       buffer);
+        x_first = std::make_unique<ReuseCacheOperator>(
+            Compile(x, options, profile), buffer);
         x_second = std::make_unique<ReuseLoadOperator>(buffer,
                                                        LogicalOutputTypes(x));
       } else {
         // Ablation: compute X twice.
-        x_first = Compile(x, options);
-        x_second = Compile(x, options);
+        x_first = Compile(x, options, profile);
+        x_second = Compile(x, options, profile);
       }
       OperatorPtr merge_branch = std::make_unique<MergeJoinOperator>(
           std::move(x_first),
           CompileChainWithPatchFilter(fact, node.pidx,
                                       PatchSelectMode::kExcludePatches,
-                                      options),
+                                      options, profile),
           node.left_key, node.right_key);
       // Probe = replayed X, build = patches; output is X-then-fact, the
       // same layout the MergeJoin produces.
       OperatorPtr hash_branch = std::make_unique<HashJoinOperator>(
           CompileChainWithPatchFilter(fact, node.pidx,
-                                      PatchSelectMode::kUsePatches, options),
+                                      PatchSelectMode::kUsePatches, options,
+                                      profile),
           std::move(x_second), node.right_key, node.left_key);
       std::vector<OperatorPtr> branches;
       branches.push_back(std::move(merge_branch));
@@ -437,6 +464,11 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options) {
   return nullptr;
 }
 
+OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options,
+                    obs::ExecProfile* profile) {
+  return MaybeProfile(CompileNode(node, options, profile), profile, node);
+}
+
 }  // namespace
 
 LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
@@ -446,8 +478,9 @@ LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
 }
 
 OperatorPtr CompilePlan(const LogicalPtr& plan,
-                        const OptimizerOptions& options) {
-  return Compile(*plan, options);
+                        const OptimizerOptions& options,
+                        obs::ExecProfile* profile) {
+  return Compile(*plan, options, profile);
 }
 
 OperatorPtr PlanQuery(LogicalPtr plan, const PatchIndexManager& manager,

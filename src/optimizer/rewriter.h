@@ -10,6 +10,10 @@
 
 namespace patchindex {
 
+namespace obs {
+class ExecProfile;
+}
+
 struct OptimizerOptions {
   /// Apply the PatchIndex rewrites of §3.3 where an index matches.
   bool enable_patch_rewrites = true;
@@ -44,9 +48,13 @@ LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
 
 /// Lowers a (possibly rewritten) logical plan to a physical operator
 /// tree. Zero-branch pruning is applied here, where exact patch counts
-/// are known.
+/// are known. When `profile` is non-null every node's operator is wrapped
+/// to record rows and wall time into it (EXPLAIN ANALYZE on the serial
+/// path); patch-rewrite sub-operators attribute to their rewrite node's
+/// chain, which may execute twice (once per branch).
 OperatorPtr CompilePlan(const LogicalPtr& plan,
-                        const OptimizerOptions& options = {});
+                        const OptimizerOptions& options = {},
+                        obs::ExecProfile* profile = nullptr);
 
 /// Convenience: optimize + compile.
 OperatorPtr PlanQuery(LogicalPtr plan, const PatchIndexManager& manager,

@@ -266,6 +266,10 @@ std::string MetaCounters(Session& session) {
   return out;
 }
 
+/// The engine's metrics registry in one-line-per-metric text form —
+/// counters, gauges, and histogram summaries (count/mean/percentiles).
+std::string MetaStats(Engine& engine) { return engine.metrics().RenderText(); }
+
 }  // namespace
 
 std::string RunMetaCommand(Engine& engine, Session& session,
@@ -292,6 +296,7 @@ std::string RunMetaCommand(Engine& engine, Session& session,
     return MetaExplain(session, line);
   }
   if (cmd == ".counters") return MetaCounters(session);
+  if (cmd == ".stats") return MetaStats(engine);
   return "error: unknown or malformed command '" + cmd + "' (try .help)\n";
 }
 

@@ -10,11 +10,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "server/meta_commands.h"
 #include "server/wire.h"
 
@@ -34,6 +39,9 @@ struct Task {
   std::uint64_t stmt_id = 0;
   Status error;  // kFatal: the protocol error to report before closing
   std::string reject_reason;
+  /// When the reader queued the task — the worker records the queue wait
+  /// (pickup time minus this) into pidx_server_queue_wait_us.
+  std::chrono::steady_clock::time_point enqueued;
 };
 
 /// Per-client state. The reader thread decodes frames into `queue`;
@@ -179,6 +187,64 @@ Status SendResult(int fd, const QueryResult& result) {
 PiServer::PiServer(Engine& engine, ServerOptions options)
     : engine_(engine), options_(std::move(options)) {}
 
+void PiServer::RegisterMetrics() {
+  obs::MetricsRegistry& r = engine_.metrics();
+  // ServerStats folded into the registry as callbacks: one source of
+  // truth, zero extra per-query work. Stop() freezes them to their final
+  // values so the registry stays valid after the server is destroyed.
+  const ServerStats* stats = &stats_;
+  r.SetCallback("pidx_server_connections_accepted_total",
+                "Client connections accepted",
+                [stats] { return stats->connections_accepted.load(); });
+  r.SetCallback("pidx_server_connections_rejected_total",
+                "Connections rejected at the connection limit",
+                [stats] { return stats->connections_rejected.load(); });
+  r.SetCallback("pidx_server_queries_executed_total",
+                "Queries executed (kQuery + kExecute frames)",
+                [stats] { return stats->queries_executed.load(); });
+  r.SetCallback("pidx_server_queries_rejected_busy_total",
+                "Queries rejected with SERVER_BUSY",
+                [stats] { return stats->queries_rejected_busy.load(); });
+  r.SetCallback("pidx_server_protocol_errors_total",
+                "Malformed frames / handshake failures",
+                [stats] { return stats->protocol_errors.load(); });
+  if (engine_.options().enable_metrics) {
+    query_latency_us_ = r.GetHistogram(
+        "pidx_server_query_latency_us",
+        "End-to-end query time in a server worker (execute + respond)");
+    queue_wait_us_ = r.GetHistogram(
+        "pidx_server_queue_wait_us",
+        "Admitted-task wait between enqueue and worker pickup");
+    slow_queries_ = r.GetCounter(
+        "pidx_server_slow_queries_total",
+        "Queries at or over ServerOptions::slow_query_ms");
+  }
+}
+
+void PiServer::LogSlowQuery(const std::string& sql, double total_ms,
+                            const obs::QueryProfile* profile) {
+  if (slow_queries_ != nullptr) slow_queries_->Add(1);
+  char buf[256];
+  std::string line;
+  std::snprintf(buf, sizeof buf, "slow query (%.3f ms): ", total_ms);
+  line += buf;
+  line += sql;
+  if (profile != nullptr) {
+    std::snprintf(buf, sizeof buf,
+                  " -- phases: parse=%.3fms bind=%.3fms optimize=%.3fms "
+                  "execute=%.3fms lock=%.3fms commit=%.3fms",
+                  profile->parse_ms, profile->bind_ms, profile->optimize_ms,
+                  profile->execute_ms, profile->commit_wait_ms,
+                  profile->commit_ms);
+    line += buf;
+  }
+  if (options_.slow_query_sink) {
+    options_.slow_query_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
 PiServer::~PiServer() { Stop(); }
 
 Status PiServer::Start() {
@@ -197,6 +263,7 @@ Status PiServer::Start() {
   }
   started_ = true;
   stopping_.store(false);
+  RegisterMetrics();
   const std::size_t workers = std::max<std::size_t>(1, options_.query_workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
@@ -270,6 +337,32 @@ void PiServer::Stop() {
     ready_.clear();
     workers_stop_ = false;
   }
+
+  // Freeze the ServerStats callbacks to their final values: the engine's
+  // registry outlives this server, and a callback reading freed memory
+  // would be a use-after-free on the next render.
+  obs::MetricsRegistry& r = engine_.metrics();
+  const std::uint64_t accepted = stats_.connections_accepted.load();
+  r.SetCallback("pidx_server_connections_accepted_total",
+                "Client connections accepted",
+                [accepted] { return accepted; });
+  const std::uint64_t rejected = stats_.connections_rejected.load();
+  r.SetCallback("pidx_server_connections_rejected_total",
+                "Connections rejected at the connection limit",
+                [rejected] { return rejected; });
+  const std::uint64_t executed = stats_.queries_executed.load();
+  r.SetCallback("pidx_server_queries_executed_total",
+                "Queries executed (kQuery + kExecute frames)",
+                [executed] { return executed; });
+  const std::uint64_t busy = stats_.queries_rejected_busy.load();
+  r.SetCallback("pidx_server_queries_rejected_busy_total",
+                "Queries rejected with SERVER_BUSY",
+                [busy] { return busy; });
+  const std::uint64_t proto = stats_.protocol_errors.load();
+  r.SetCallback("pidx_server_protocol_errors_total",
+                "Malformed frames / handshake failures",
+                [proto] { return proto; });
+
   started_ = false;
 }
 
@@ -519,6 +612,7 @@ void PiServer::EnqueueTask(const std::shared_ptr<Connection>& conn,
         }
       }
     }
+    task.enqueued = std::chrono::steady_clock::now();
     conn->queue.push_back(std::move(task));
     if (!conn->worker_active && !conn->in_ready) {
       conn->in_ready = true;
@@ -552,6 +646,12 @@ void PiServer::WorkerLoop() {
       conn->worker_active = true;
       task = std::move(conn->queue.front());
       conn->queue.pop_front();
+    }
+    if (queue_wait_us_ != nullptr && task.admitted) {
+      queue_wait_us_->RecordNanos(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count());
     }
 
     ProcessTask(conn, task);
@@ -631,12 +731,23 @@ void PiServer::ProcessTask(const std::shared_ptr<Connection>& conn,
   switch (task.kind) {
     case Task::Kind::kQuery: {
       stats_.queries_executed.fetch_add(1);
+      WallTimer timer;
       Result<QueryResult> result =
           conn->session.Sql(task.text, std::move(task.params));
       if (!result.ok()) {
         write = SendErrorFrame(conn->fd, result.status());
       } else {
         write = SendResult(conn->fd, result.value());
+      }
+      const std::int64_t elapsed_ns = timer.ElapsedNanos();
+      if (query_latency_us_ != nullptr) {
+        query_latency_us_->RecordNanos(elapsed_ns);
+      }
+      const double elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+      if (options_.slow_query_ms > 0 &&
+          elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
+        LogSlowQuery(task.text, elapsed_ms,
+                     result.ok() ? result.value().profile.get() : nullptr);
       }
       break;
     }
@@ -665,12 +776,23 @@ void PiServer::ProcessTask(const std::shared_ptr<Connection>& conn,
                                        std::to_string(task.stmt_id)));
         break;
       }
+      WallTimer timer;
       Result<QueryResult> result =
           it->second.Execute(std::move(task.params));
       if (!result.ok()) {
         write = SendErrorFrame(conn->fd, result.status());
       } else {
         write = SendResult(conn->fd, result.value());
+      }
+      const std::int64_t elapsed_ns = timer.ElapsedNanos();
+      if (query_latency_us_ != nullptr) {
+        query_latency_us_->RecordNanos(elapsed_ns);
+      }
+      const double elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+      if (options_.slow_query_ms > 0 &&
+          elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
+        LogSlowQuery(it->second.sql(), elapsed_ms,
+                     result.ok() ? result.value().profile.get() : nullptr);
       }
       break;
     }

@@ -66,6 +66,15 @@ struct ServerOptions {
   /// Off for deployments that want a pure SQL surface.
   bool enable_meta_commands = true;
 
+  /// Queries (kQuery/kExecute) whose end-to-end worker time reaches this
+  /// many milliseconds are logged — SQL text plus phase breakdown —
+  /// through `slow_query_sink`. 0 disables the slow-query log.
+  std::size_t slow_query_ms = 0;
+
+  /// Receives one preformatted line (no trailing newline) per slow
+  /// query. Null writes to stderr.
+  std::function<void(const std::string&)> slow_query_sink;
+
   /// Test-only: runs at the start of every task execution, before the
   /// query runs (admission slot held). Lets tests park a worker
   /// deterministically to observe SERVER_BUSY and shutdown draining.
@@ -137,10 +146,20 @@ class PiServer {
   void EnqueueTask(const std::shared_ptr<Connection>& conn, Task task);
   void PushReady(const std::shared_ptr<Connection>& conn);
   void ReapFinishedConnectionsLocked();
+  void RegisterMetrics();
+  void LogSlowQuery(const std::string& sql, double total_ms,
+                    const obs::QueryProfile* profile);
 
   Engine& engine_;
   ServerOptions options_;
   ServerStats stats_;
+
+  /// Server histograms in the engine's registry; null when the engine
+  /// was built with enable_metrics off (the ServerStats callbacks still
+  /// register — folding existing atomics costs nothing per query).
+  obs::Histogram* query_latency_us_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  obs::Counter* slow_queries_ = nullptr;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe waking the acceptor's poll

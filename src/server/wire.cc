@@ -268,6 +268,21 @@ void EncodeResultHeader(WireWriter* w, const QueryResult& result) {
   if (result.parallel_join) flags |= kExecParallelJoin;
   if (result.parallel_sort) flags |= kExecParallelSort;
   w->PutU8(flags);
+  // v2 phase-span block: the per-operator tree stays server-side (EXPLAIN
+  // ANALYZE renders it into rows), but the phase breakdown travels so
+  // remote `.timing` output matches local output.
+  if (result.profile != nullptr) {
+    w->PutU8(1);
+    w->PutF64(result.profile->parse_ms);
+    w->PutF64(result.profile->bind_ms);
+    w->PutF64(result.profile->optimize_ms);
+    w->PutF64(result.profile->execute_ms);
+    w->PutF64(result.profile->commit_wait_ms);
+    w->PutF64(result.profile->commit_ms);
+    w->PutF64(result.profile->total_ms);
+  } else {
+    w->PutU8(0);
+  }
   w->PutU32(static_cast<std::uint32_t>(result.rows.columns.size()));
   for (std::size_t c = 0; c < result.rows.columns.size(); ++c) {
     // DML results have no column names; SELECTs name every column.
@@ -284,6 +299,20 @@ Status DecodeResultHeader(WireReader* r, QueryResult* result) {
   result->parallel = (flags & kExecParallel) != 0;
   result->parallel_join = (flags & kExecParallelJoin) != 0;
   result->parallel_sort = (flags & kExecParallelSort) != 0;
+  std::uint8_t has_profile;
+  PIDX_RETURN_NOT_OK(r->GetU8(&has_profile));
+  result->profile.reset();
+  if (has_profile != 0) {
+    auto profile = std::make_shared<obs::QueryProfile>();
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->parse_ms));
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->bind_ms));
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->optimize_ms));
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->execute_ms));
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->commit_wait_ms));
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->commit_ms));
+    PIDX_RETURN_NOT_OK(r->GetF64(&profile->total_ms));
+    result->profile = std::move(profile);
+  }
   std::uint32_t ncols;
   PIDX_RETURN_NOT_OK(r->GetU32(&ncols));
   result->column_names.clear();

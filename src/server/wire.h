@@ -37,7 +37,10 @@ namespace patchindex::net {
 /// and answers over-limit requests with a kError frame carrying
 /// StatusCode::kUnavailable (the SERVER_BUSY rejection) instead of
 /// growing without bound.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version history: v1 = the original frame set; v2 adds the phase-span
+/// block to kResultHeader (u8 has_profile + 7 f64 phase milliseconds) so
+/// remote clients can show the same `.timing` breakdown as local ones.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling on one frame's size, both directions — a hostile or
 /// corrupt length prefix must not turn into a multi-gigabyte allocation.
@@ -61,7 +64,7 @@ enum class FrameType : std::uint8_t {
 
   // server -> client
   kWelcome = 16,       // u32 protocol version
-  kResultHeader = 17,  // u64 rows_affected, u8 exec flags, columns
+  kResultHeader = 17,  // u64 rows_affected, u8 exec flags, profile, columns
   kRowBatch = 18,      // u32 row count, cells (typed by the header)
   kResultEnd = 19,     // u64 total streamed rows
   kError = 20,         // u8 status code, u32 line, u32 column, string msg

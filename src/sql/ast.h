@@ -154,6 +154,11 @@ struct Statement {
   enum class Kind { kSelect, kInsert, kUpdate, kDelete, kCreateTable };
 
   Kind kind = Kind::kSelect;
+  /// EXPLAIN prefix: render the plan instead of executing the statement.
+  bool explain = false;
+  /// EXPLAIN ANALYZE: execute with per-operator profiling and render the
+  /// measured plan (SELECT only; implies `explain`).
+  bool analyze = false;
   std::shared_ptr<SelectStatement> select;
   std::shared_ptr<InsertStatement> insert;
   std::shared_ptr<UpdateStatement> update;

@@ -108,6 +108,13 @@ class Binder {
   Result<BoundStatement> Bind(const Statement& stmt) {
     BoundStatement out;
     out.kind = stmt.kind;
+    out.explain = stmt.explain;
+    out.analyze = stmt.analyze;
+    if (stmt.analyze && stmt.kind != Statement::Kind::kSelect) {
+      return Status::InvalidArgument(
+          "EXPLAIN ANALYZE supports SELECT statements only; use plain "
+          "EXPLAIN for DML/DDL");
+    }
     Status st;
     switch (stmt.kind) {
       case Statement::Kind::kSelect:

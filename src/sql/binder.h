@@ -46,6 +46,10 @@ namespace patchindex::sql {
 /// every partition and emits table-global rowIDs.
 struct BoundStatement {
   Statement::Kind kind = Statement::Kind::kSelect;
+  /// EXPLAIN / EXPLAIN ANALYZE prefix, copied from the parsed statement
+  /// (ANALYZE is rejected at bind time for non-SELECT kinds).
+  bool explain = false;
+  bool analyze = false;
 
   // kSelect
   LogicalPtr plan;

@@ -33,6 +33,18 @@ class Parser {
 
   Result<Statement> Parse() {
     Statement stmt;
+    if (Cur().Is("explain")) {
+      stmt.explain = true;
+      Advance();
+      if (Cur().Is("analyze")) {
+        stmt.analyze = true;
+        Advance();
+      }
+      if (Cur().Is("explain")) {
+        Fail("EXPLAIN cannot be nested", Cur());
+        return error_;
+      }
+    }
     const Token& t = Cur();
     if (t.Is("select")) {
       stmt.kind = Statement::Kind::kSelect;

@@ -12,7 +12,8 @@ namespace patchindex::sql {
 /// grammar, in rough EBNF — identifiers and keywords are case-insensitive,
 /// `--` starts a line comment:
 ///
-///   statement  := select | insert | update | delete | create
+///   statement  := [EXPLAIN [ANALYZE]] (select | insert | update
+///                 | delete | create)
 ///   select     := SELECT [DISTINCT] items FROM table_ref {join}
 ///                 [WHERE expr] [GROUP BY column {, column}]
 ///                 [ORDER BY order_item {, order_item}] [LIMIT int]

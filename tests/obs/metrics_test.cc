@@ -1,0 +1,208 @@
+// The metrics registry: sharded counter/histogram correctness under
+// concurrent writers (the ASan/TSan-relevant path), log-bucket math,
+// snapshot subtraction, percentile reads, and both renderings.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace patchindex::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b holds values of bit width b: 0 -> 0, 1 -> 1, [2,3] -> 2, ...
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // Values past the last bucket clamp instead of indexing out of range.
+  EXPECT_EQ(Histogram::BucketOf(~std::uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(3), 7u);
+}
+
+TEST(HistogramTest, SnapshotMergesConcurrentWriters) {
+  // More writer threads than stripes, each recording a known value mix;
+  // the merged snapshot must account for every single Record with no
+  // loss or double count. Run under ASan/UBSan in CI, this is also the
+  // data-race check on the striped hot path.
+  Histogram h;
+  constexpr int kThreads = 24;  // > kStripes, forces stripe sharing
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(i % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, std::uint64_t{kThreads} * kPerThread);
+  // Sum of 0..99 repeated kPerThread/100 times per thread.
+  const std::uint64_t per_thread_sum = (99 * 100 / 2) * (kPerThread / 100);
+  EXPECT_EQ(snap.sum_us, std::uint64_t{kThreads} * per_thread_sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 24;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), std::uint64_t{kThreads} * kPerThread);
+}
+
+TEST(HistogramTest, PercentilesReadBucketUpperBounds) {
+  Histogram h;
+  // 90 fast (1us) and 10 slow (1000us) samples: p50 lands in bucket 1
+  // (upper bound 1), p95/p99 in the bucket containing 1000 (bit width
+  // 10 -> upper bound 1023).
+  for (int i = 0; i < 90; ++i) h.Record(1);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.95), 1023.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 1023.0);
+  EXPECT_DOUBLE_EQ(snap.MeanUs(), (90.0 * 1 + 10.0 * 1000) / 100.0);
+  // Empty histogram percentiles are 0, not NaN.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.MeanUs(), 0.0);
+}
+
+TEST(HistogramTest, SubtractTurnsCumulativeIntoInterval) {
+  Histogram h;
+  h.Record(5);
+  h.Record(7);
+  const HistogramSnapshot before = h.Snapshot();
+  h.Record(100);
+  h.Record(200);
+  HistogramSnapshot delta = h.Snapshot();
+  delta.Subtract(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum_us, 300u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketOf(5)], 0u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketOf(100)], 1u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketOf(200)], 1u);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("a_total", "help");
+  Counter* c2 = registry.GetCounter("a_total", "help");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = registry.GetHistogram("lat_us", "help");
+  Histogram* h2 = registry.GetHistogram("lat_us", "help");
+  EXPECT_EQ(h1, h2);
+  Gauge* g = registry.GetGauge("open", "help");
+  g->Set(3);
+  EXPECT_EQ(registry.GetGauge("open", "help")->Value(), 3);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotOfUnknownNameIsZero) {
+  MetricsRegistry registry;
+  registry.GetCounter("not_a_histogram", "help");
+  EXPECT_EQ(registry.HistogramSnapshotOf("missing").count, 0u);
+  EXPECT_EQ(registry.HistogramSnapshotOf("not_a_histogram").count, 0u);
+}
+
+TEST(MetricsRegistryTest, CallbackReplacesAndRendersAsCounter) {
+  MetricsRegistry registry;
+  registry.SetCallback("cb_total", "help", [] { return std::uint64_t{7}; });
+  // Replacing is how PiServer::Stop freezes its stats callbacks.
+  registry.SetCallback("cb_total", "help", [] { return std::uint64_t{42}; });
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("cb_total 42"), std::string::npos);
+  EXPECT_EQ(text.find("cb_total 7"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("pidx_demo_total", "demo counter")->Add(5);
+  registry.GetGauge("pidx_open", "open things")->Set(-2);
+  Histogram* h = registry.GetHistogram("pidx_lat_us", "latency");
+  h->Record(1);
+  h->Record(1);
+  h->Record(1000);
+
+  const std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("# HELP pidx_demo_total demo counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE pidx_demo_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("pidx_demo_total 5\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE pidx_open gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("pidx_open -2\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE pidx_lat_us histogram\n"), std::string::npos);
+  // le-buckets are cumulative: the bucket holding 1us already counts 2,
+  // the one holding 1000us counts all 3, and +Inf always equals count.
+  EXPECT_NE(out.find("pidx_lat_us_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("pidx_lat_us_bucket{le=\"1023\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("pidx_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("pidx_lat_us_sum 1002\n"), std::string::npos);
+  EXPECT_NE(out.find("pidx_lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderTextHistogramSummary) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_us", "latency");
+  for (int i = 0; i < 100; ++i) h->Record(1);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("lat_us count=100"), std::string::npos);
+  EXPECT_NE(text.find("p50=1us"), std::string::npos);
+  EXPECT_NE(text.find("p99=1us"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateIsSafe) {
+  // Registration takes the registry mutex; hammer it from many threads
+  // asking for an overlapping set of names and check every thread saw
+  // the same objects.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads * 4, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      for (int n = 0; n < 4; ++n) {
+        Counter* c =
+            registry.GetCounter("shared_" + std::to_string(n), "help");
+        c->Add();
+        seen[static_cast<std::size_t>(t) * 4 + n] = c;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int n = 0; n < 4; ++n) {
+    Counter* first = seen[n];
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->Value(), static_cast<std::uint64_t>(kThreads));
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t) * 4 + n], first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace patchindex::obs

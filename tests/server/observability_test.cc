@@ -1,0 +1,243 @@
+// The server-side observability surface: the slow-query log, server
+// metrics folded into the engine registry (.stats and after Stop()),
+// query profiles crossing the wire, and the Prometheus HTTP endpoint.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "engine/engine.h"
+#include "obs/metrics_http.h"
+#include "server/server.h"
+
+namespace patchindex::net {
+namespace {
+
+struct TestServer {
+  explicit TestServer(ServerOptions options = {},
+                      EngineOptions engine_options = {})
+      : engine(engine_options) {
+    options.port = 0;  // ephemeral
+    server = std::make_unique<PiServer>(engine, std::move(options));
+    const Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  ~TestServer() {
+    if (server != nullptr) server->Stop();
+  }
+
+  PiClient Connect() {
+    PiClient client;
+    const Status st = client.Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return client;
+  }
+
+  Engine engine;
+  std::unique_ptr<PiServer> server;
+};
+
+TEST(ServerObservabilityTest, SlowQueryLogCapturesSqlAndPhases) {
+  std::mutex mu;
+  std::vector<std::string> logged;
+  ServerOptions options;
+  options.slow_query_ms = 1;
+  options.slow_query_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    logged.push_back(line);
+  };
+  TestServer ts(std::move(options));
+  PiClient client = ts.Connect();
+
+  // Meta commands are not query tasks — table setup must not be logged.
+  Result<std::string> gen = client.Meta(".gen nuc big 300000 0.05");
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(logged.empty());
+  }
+
+  // Streaming a 300k-row result over loopback cannot finish inside the
+  // 1ms threshold, so exactly this query shows up in the log.
+  Result<QueryResult> r = client.Sql("SELECT key, val FROM big");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.num_rows(), 300'000u);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(logged.size(), 1u);
+  EXPECT_NE(logged[0].find("slow query ("), std::string::npos) << logged[0];
+  EXPECT_NE(logged[0].find("SELECT key, val FROM big"), std::string::npos);
+  // The phase breakdown rides along when the query carried a profile.
+  EXPECT_NE(logged[0].find("phases: parse="), std::string::npos) << logged[0];
+  EXPECT_NE(logged[0].find("execute="), std::string::npos) << logged[0];
+  // ...and the dedicated counter moved.
+  const std::string text = ts.engine.metrics().RenderText();
+  EXPECT_NE(text.find("pidx_server_slow_queries_total 1"), std::string::npos);
+}
+
+TEST(ServerObservabilityTest, StatsMetaIncludesServerMetrics) {
+  TestServer ts;
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64)").ok());
+  ASSERT_TRUE(client.Sql("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(client.Sql("SELECT COUNT(*) FROM t").ok());
+
+  Result<std::string> stats = client.Meta(".stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const std::string& text = stats.value();
+  // Engine-side metrics...
+  EXPECT_NE(text.find("pidx_sql_statements_total 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pidx_query_latency_us count="), std::string::npos);
+  // ...and the server's own, through the same registry.
+  EXPECT_NE(text.find("pidx_server_queries_executed_total 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pidx_server_connections_accepted_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pidx_server_query_latency_us count=3"),
+            std::string::npos);
+  EXPECT_NE(text.find("pidx_server_queue_wait_us count="), std::string::npos);
+}
+
+TEST(ServerObservabilityTest, StoppedServerLeavesFrozenStatsInRegistry) {
+  Engine* engine = nullptr;
+  std::string after;
+  {
+    TestServer ts;
+    engine = &ts.engine;
+    PiClient client = ts.Connect();
+    ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64)").ok());
+    ASSERT_TRUE(client.Sql("SELECT COUNT(*) FROM t").ok());
+    client.Close();
+    ts.server->Stop();
+    // The server is stopped (and about to be destroyed) but the engine
+    // registry must keep rendering its final values — the callbacks were
+    // frozen in Stop(). Under ASan this is also the use-after-free check.
+    ts.server.reset();
+    after = engine->metrics().RenderText();
+  }
+  EXPECT_NE(after.find("pidx_server_queries_executed_total 2"),
+            std::string::npos)
+      << after;
+  EXPECT_NE(after.find("pidx_server_connections_accepted_total 1"),
+            std::string::npos);
+}
+
+TEST(ServerObservabilityTest, WireCarriesQueryProfile) {
+  TestServer ts;
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64, b INT64)").ok());
+
+  // DML: commit phases cross the wire.
+  Result<QueryResult> r = client.Sql("INSERT INTO t VALUES (1, 10), (2, 20)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().profile, nullptr);
+  EXPECT_GT(r.value().profile->total_ms, 0.0);
+  EXPECT_GE(r.value().profile->commit_ms, 0.0);
+
+  // Read: phase spans cross the wire.
+  r = client.Sql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().profile, nullptr);
+  EXPECT_GT(r.value().profile->total_ms, 0.0);
+
+  // EXPLAIN ANALYZE: plan rows plus the profile.
+  r = client.Sql("EXPLAIN ANALYZE SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().column_names, (std::vector<std::string>{"plan"}));
+  ASSERT_NE(r.value().profile, nullptr);
+  bool has_phases = false;
+  for (std::size_t i = 0; i < r.value().rows.num_rows(); ++i) {
+    if (r.value().rows.columns[0].str[i].rfind("phases:", 0) == 0) {
+      has_phases = true;
+    }
+  }
+  EXPECT_TRUE(has_phases);
+
+  // Plain EXPLAIN never ran the query: no profile byte on the wire.
+  r = client.Sql("EXPLAIN SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().profile, nullptr);
+}
+
+TEST(ServerObservabilityTest, MetricsDisabledEngineSendsNoProfile) {
+  EngineOptions engine_options;
+  engine_options.enable_metrics = false;
+  TestServer ts({}, engine_options);
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64)").ok());
+  Result<QueryResult> r = client.Sql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().profile, nullptr);
+}
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`: sends `request`
+/// verbatim, reads to EOF (the endpoint closes after each response).
+std::string HttpExchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpTest, ServesPrometheusTextAndRejectsOtherPaths) {
+  Engine engine;
+  Session session = engine.CreateSession();
+  ASSERT_TRUE(session.Sql("CREATE TABLE t (a INT64)").ok());
+  ASSERT_TRUE(session.Sql("SELECT COUNT(*) FROM t").ok());
+
+  obs::MetricsHttpServer http(engine.metrics(), "127.0.0.1", 0);
+  ASSERT_TRUE(http.Start().ok());
+  ASSERT_GT(http.port(), 0);
+
+  const std::string ok = HttpExchange(
+      http.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(ok.find("# TYPE pidx_sql_statements_total counter"),
+            std::string::npos);
+  EXPECT_NE(ok.find("pidx_sql_statements_total 2"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("pidx_query_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(ok.find("pidx_query_latency_us_count"), std::string::npos);
+
+  const std::string not_found = HttpExchange(
+      http.port(), "GET /something HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(not_found.find("HTTP/1.1 404 Not Found"), std::string::npos);
+
+  // A query string still routes to the scrape handler.
+  const std::string with_query = HttpExchange(
+      http.port(), "GET /metrics?debug=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(with_query.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  http.Stop();
+  http.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace patchindex::net

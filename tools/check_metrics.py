@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus /metrics endpoint (text exposition format 0.0.4).
+
+Usage: check_metrics.py URL [--require-positive NAME]...
+
+Fetches URL (stdlib urllib only), then checks:
+  - every non-comment line is `name[{labels}] value`;
+  - every sample family has # HELP and # TYPE comments before its samples;
+  - every `histogram` family has `_bucket` series ending in le="+Inf",
+    plus `_sum` and `_count`, with non-decreasing cumulative buckets and
+    the +Inf bucket equal to `_count`;
+  - each --require-positive NAME exists with a value > 0 (how CI asserts
+    that queries actually moved the counters).
+
+Exits 0 when everything holds, 1 with a message per violation otherwise.
+"""
+
+import re
+import sys
+import urllib.request
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(\{[^}]*\})?"                      # optional labels
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$"
+)
+LE_RE = re.compile(r'le="([^"]+)"')
+
+
+def base_family(name: str) -> str:
+    """The TYPE/HELP family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 1
+    url = sys.argv[1]
+    required = []
+    args = sys.argv[2:]
+    while args:
+        if args[0] == "--require-positive" and len(args) >= 2:
+            required.append(args[1])
+            args = args[2:]
+        else:
+            print(f"unknown argument: {args[0]}")
+            return 1
+
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        if resp.status != 200:
+            print(f"GET {url} -> HTTP {resp.status}")
+            return 1
+        content_type = resp.headers.get("Content-Type", "")
+        body = resp.read().decode("utf-8")
+    errors = []
+    if not content_type.startswith("text/plain"):
+        errors.append(f"unexpected Content-Type: {content_type!r}")
+
+    helps: set[str] = set()
+    types: dict[str, str] = {}
+    values: dict[str, float] = {}          # bare-name samples
+    buckets: dict[str, list[tuple[str, float]]] = {}  # family -> (le, v)
+
+    for lineno, line in enumerate(body.splitlines(), start=1):
+        if not line:
+            errors.append(f"line {lineno}: blank line inside exposition")
+            continue
+        if line.startswith("# HELP "):
+            helps.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2), float(m.group(3))
+        family = base_family(name)
+        if family not in helps:
+            errors.append(f"line {lineno}: {name}: no preceding # HELP")
+        if family not in types:
+            errors.append(f"line {lineno}: {name}: no preceding # TYPE")
+        if name.endswith("_bucket") and labels:
+            le = LE_RE.search(labels)
+            if le is None:
+                errors.append(f"line {lineno}: bucket without le label")
+            else:
+                buckets.setdefault(family, []).append((le.group(1), value))
+        else:
+            values[name] = value
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family, [])
+        if not series or series[-1][0] != "+Inf":
+            errors.append(f"{family}: bucket series must end in le=\"+Inf\"")
+            continue
+        counts = [v for (_, v) in series]
+        if counts != sorted(counts):
+            errors.append(f"{family}: cumulative buckets decrease")
+        for suffix in ("_sum", "_count"):
+            if family + suffix not in values:
+                errors.append(f"{family}: missing {family}{suffix}")
+        count = values.get(family + "_count")
+        if count is not None and counts[-1] != count:
+            errors.append(
+                f"{family}: le=\"+Inf\" bucket {counts[-1]} != _count {count}"
+            )
+
+    for name in required:
+        if name not in values:
+            errors.append(f"required metric missing: {name}")
+        elif values[name] <= 0:
+            errors.append(f"required metric not positive: {name} = "
+                          f"{values[name]}")
+
+    for e in errors:
+        print(f"check_metrics: {e}")
+    if not errors:
+        print(f"check_metrics: OK ({len(values)} samples, "
+              f"{sum(1 for k in types.values() if k == 'histogram')} "
+              f"histograms)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

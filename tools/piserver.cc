@@ -3,7 +3,8 @@
 // Usage:
 //   piserver [--host H] [--port P] [--workers N] [--max-inflight N]
 //            [--max-queue N] [--max-connections N] [--threads N]
-//            [--no-meta] [--init script.sql]
+//            [--no-meta] [--init script.sql] [--metrics-port P]
+//            [--slow-query-ms N]
 //
 // Starts a PiServer over a fresh engine and serves until SIGINT/SIGTERM,
 // then shuts down gracefully (in-flight queries drain, results are
@@ -12,16 +13,21 @@
 // (SQL + meta commands) against the engine before accepting connections,
 // for pre-loading tables. `--threads` sizes the engine's morsel worker
 // pool (the PI_THREADS environment variable does the same for every
-// default-sized pool in the process).
+// default-sized pool in the process). `--metrics-port` additionally
+// serves the engine's metrics registry as Prometheus text on
+// http://HOST:P/metrics; `--slow-query-ms` logs queries at or over the
+// threshold to stderr with their phase breakdown.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "engine/engine.h"
+#include "obs/metrics_http.h"
 #include "server/meta_commands.h"
 #include "server/server.h"
 
@@ -46,7 +52,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port P] [--workers N] [--max-inflight N]\n"
       "          [--max-queue N] [--max-connections N] [--threads N]\n"
-      "          [--no-meta] [--init script.sql]\n",
+      "          [--no-meta] [--init script.sql] [--metrics-port P]\n"
+      "          [--slow-query-ms N]\n",
       argv0);
   return 1;
 }
@@ -58,6 +65,8 @@ int main(int argc, char** argv) {
   options.port = 5433;
   EngineOptions engine_options;
   std::string init_script;
+  bool serve_metrics = false;
+  std::uint16_t metrics_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +109,18 @@ int main(int argc, char** argv) {
       const char* v = next("--threads");
       if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
       engine_options.num_threads = n;
+    } else if (arg == "--metrics-port") {
+      const char* v = next("--metrics-port");
+      if (v == nullptr || !ParseSize(v, &n) || n > 65535) {
+        std::fprintf(stderr, "--metrics-port expects 0..65535\n");
+        return Usage(argv[0]);
+      }
+      serve_metrics = true;
+      metrics_port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next("--slow-query-ms");
+      if (v == nullptr || !ParseSize(v, &n)) return Usage(argv[0]);
+      options.slow_query_ms = n;
     } else if (arg == "--no-meta") {
       options.enable_meta_commands = false;
     } else if (arg == "--init") {
@@ -135,12 +156,12 @@ int main(int argc, char** argv) {
         if (trimmed.empty() || trimmed.rfind("--", 0) == 0) continue;
         if (trimmed[0] == '.') {
           // Client-side shell commands in a pisql script: .quit ends the
-          // script (pisql_smoke.sql ends with one), .help/.timer shape
-          // shell output only — neither is an engine command.
+          // script (pisql_smoke.sql ends with one), .help/.timer/.timing
+          // shape shell output only — none is an engine command.
           const std::string cmd =
               trimmed.substr(0, trimmed.find_first_of(" \t"));
           if (cmd == ".quit" || cmd == ".exit") break;
-          if (cmd == ".help" || cmd == ".timer") continue;
+          if (cmd == ".help" || cmd == ".timer" || cmd == ".timing") continue;
           const std::string out = RunMetaCommand(engine, session, trimmed);
           if (out.rfind("error:", 0) == 0) {
             std::fprintf(stderr, "init: %s", out.c_str());
@@ -172,6 +193,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+  if (serve_metrics) {
+    metrics_http = std::make_unique<obs::MetricsHttpServer>(
+        engine.metrics(), options.host, metrics_port);
+    st = metrics_http->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot start metrics endpoint: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics on http://%s:%u/metrics\n", options.host.c_str(),
+                static_cast<unsigned>(metrics_http->port()));
+  }
+
   struct sigaction sa {};
   sa.sa_handler = HandleSignal;
   ::sigaction(SIGINT, &sa, nullptr);
@@ -188,6 +223,7 @@ int main(int argc, char** argv) {
 
   std::printf("shutting down (draining in-flight queries)\n");
   std::fflush(stdout);
+  if (metrics_http != nullptr) metrics_http->Stop();
   server.Stop();
   const net::ServerStats& stats = server.stats();
   std::printf("served %llu queries over %llu connections "

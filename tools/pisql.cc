@@ -24,6 +24,10 @@
 //   .explain <sql>                  optimized plan (no execution)
 //   .counters                       executor path counters
 //   .timer on|off                   per-query wall time
+//   .timing on|off                  per-statement phase breakdown
+//                                   (parse/bind/optimize/execute/
+//                                    lock/commit, engine-reported —
+//                                    identical locally and remotely)
 //   .help / .quit
 
 #include <unistd.h>
@@ -145,6 +149,23 @@ class Shell {
                   static_cast<unsigned long long>(qr.rows_affected));
     }
     if (timer_) std::printf("time: %.3f ms\n", timer.ElapsedSeconds() * 1e3);
+    if (timing_) {
+      // Engine-reported spans: the remote backend carries them in the
+      // result header, so this line is format-identical either way. A
+      // metrics-disabled engine reports no profile; fall back to the
+      // client-side wall clock.
+      if (qr.profile != nullptr) {
+        std::printf(
+            "time: %.3f ms (parse %.3f bind %.3f optimize %.3f "
+            "execute %.3f lock %.3f commit %.3f)\n",
+            qr.profile->total_ms, qr.profile->parse_ms,
+            qr.profile->bind_ms, qr.profile->optimize_ms,
+            qr.profile->execute_ms, qr.profile->commit_wait_ms,
+            qr.profile->commit_ms);
+      } else {
+        std::printf("time: %.3f ms\n", timer.ElapsedSeconds() * 1e3);
+      }
+    }
   }
 
   bool HandleMeta(const std::string& line) {
@@ -162,15 +183,23 @@ class Shell {
           ".explain <sql>                       optimized plan\n"
           ".counters                            executor path counters\n"
           ".timer on|off                        per-query wall time\n"
+          ".timing on|off                       per-statement phase "
+          "breakdown\n"
           ".quit                                leave\n"
           "SQL statements end with ';' and may span lines.\n");
       return true;
     }
-    if (cmd == ".timer" && line.find_first_of(" \t") != std::string::npos) {
+    if ((cmd == ".timer" || cmd == ".timing") &&
+        line.find_first_of(" \t") != std::string::npos) {
       const std::string arg = Trim(line.substr(line.find_first_of(" \t")));
       if (arg.find_first_of(" \t") == std::string::npos && !arg.empty()) {
-        timer_ = arg == "on";
-        std::printf("timer %s\n", timer_ ? "on" : "off");
+        if (cmd == ".timer") {
+          timer_ = arg == "on";
+          std::printf("timer %s\n", timer_ ? "on" : "off");
+        } else {
+          timing_ = arg == "on";
+          std::printf("timing %s\n", timing_ ? "on" : "off");
+        }
         return true;
       }
     }
@@ -186,6 +215,7 @@ class Shell {
   std::unique_ptr<ShellBackend> backend_;
   StatementSplitter splitter_;
   bool timer_ = false;
+  bool timing_ = false;
 };
 
 }  // namespace

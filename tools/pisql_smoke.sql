@@ -7,6 +7,8 @@
 .schema demo
 SELECT COUNT(*) FROM demo;
 .explain SELECT DISTINCT val FROM demo
+-- EXPLAIN as a SQL statement: plan rows through the normal result path
+EXPLAIN SELECT DISTINCT val FROM demo;
 SELECT key, val FROM demo WHERE key < 5 ORDER BY key;
 INSERT INTO demo VALUES (20000, 7);
 UPDATE demo SET val = 99 WHERE key = 20000;
@@ -24,4 +26,11 @@ UPDATE events SET kind = 0 WHERE id > 6;
 SELECT id, kind FROM events ORDER BY id;
 DELETE FROM events WHERE id = 1;
 SELECT COUNT(*) AS remaining FROM events;
+-- per-statement timing: "time:" lines are masked in CI (wall times vary),
+-- but their shape — one read, one commit with lock/commit spans — is not
+.timing on
+SELECT COUNT(*) FROM events;
+UPDATE events SET kind = 1 WHERE id = 2;
+.timing off
+SELECT id, kind FROM events WHERE id = 2 ORDER BY id;
 .quit
