@@ -1,0 +1,273 @@
+// WAL cost and recovery speed for the durability subsystem.
+//
+// Two sweeps against a durable Engine on a throwaway data dir:
+//   - append: commit throughput (commits/s, rows/s, WAL MB/s) for
+//     single-row / 10-row / 100-row INSERT commits, with the WAL fsync
+//     barrier on and off. The fsync-off arm isolates the serialization +
+//     page-cache cost; the on/off gap is the price of the durability
+//     acknowledgment on this disk.
+//   - recovery: cold-start time of an Engine whose directory holds an
+//     un-checkpointed WAL of N commits (replayed through the normal
+//     PatchIndex commit protocol), vs the same data checkpointed
+//     (snapshot load, empty WAL). The pair bounds what the
+//     checkpoint_wal_bytes trigger is buying.
+// Results go to BENCH_wal.json.
+//
+// Usage: bench_wal [append_commits] [recovery_commits]
+//                  (default 2000 append commits per arm, 5000 recovery)
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+
+using namespace patchindex;
+using namespace patchindex::bench;
+
+namespace {
+
+std::string BenchDir() {
+  return std::string("/tmp/pidx_bench_wal.") + std::to_string(::getpid());
+}
+
+void RemoveDir(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+}
+
+EngineOptions DurableOptions(const std::string& dir, bool fsync) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.durability.data_dir = dir;
+  options.durability.fsync = fsync;
+  // Never auto-checkpoint mid-sweep: the bench controls checkpoints.
+  options.durability.checkpoint_wal_bytes = 0;
+  return options;
+}
+
+/// Total bytes across the table's per-partition WAL files.
+std::uint64_t WalBytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0;; ++p) {
+    struct stat st{};
+    const std::string path = dir + "/t.p" + std::to_string(p) + ".wal";
+    if (::stat(path.c_str(), &st) != 0) break;
+    total += static_cast<std::uint64_t>(st.st_size);
+  }
+  return total;
+}
+
+bool Run(Session& session, const std::string& sql) {
+  const Result<QueryResult> r = session.Sql(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// One multi-row INSERT statement == one commit == one fsync barrier.
+std::string InsertSql(std::uint64_t first_key, std::uint64_t rows) {
+  std::string sql = "INSERT INTO t VALUES ";
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    if (r > 0) sql += ", ";
+    const std::uint64_t key = first_key + r;
+    sql += "(" + std::to_string(key) + ", " + std::to_string(key * 7 % 1000) +
+           ")";
+  }
+  return sql;
+}
+
+struct AppendResult {
+  bool fsync = false;
+  std::uint64_t rows_per_commit = 0;
+  std::uint64_t commits = 0;
+  double seconds = 0;
+  std::uint64_t wal_bytes = 0;
+  double commits_per_s() const { return seconds > 0 ? commits / seconds : 0; }
+  double mb_per_s() const {
+    return seconds > 0 ? wal_bytes / seconds / (1 << 20) : 0;
+  }
+};
+
+AppendResult RunAppendSweep(bool fsync, std::uint64_t rows_per_commit,
+                            std::uint64_t commits) {
+  const std::string dir = BenchDir();
+  RemoveDir(dir);
+  AppendResult result;
+  result.fsync = fsync;
+  result.rows_per_commit = rows_per_commit;
+  result.commits = commits;
+  {
+    Engine engine(DurableOptions(dir, fsync));
+    if (!engine.recovery_status().ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n",
+                   engine.recovery_status().ToString().c_str());
+      std::exit(1);
+    }
+    Session session = engine.CreateSession();
+    if (!Run(session, "CREATE TABLE t (key INT64, val INT64) PARTITIONS 4"))
+      std::exit(1);
+    result.seconds = TimeOnce([&] {
+      for (std::uint64_t c = 0; c < commits; ++c) {
+        if (!Run(session, InsertSql(c * rows_per_commit, rows_per_commit)))
+          std::exit(1);
+      }
+    });
+    result.wal_bytes = WalBytes(dir);
+  }
+  RemoveDir(dir);
+  return result;
+}
+
+struct RecoveryResult {
+  std::uint64_t commits = 0;
+  std::uint64_t rows = 0;
+  double replay_seconds = 0;        // WAL full of commits
+  std::uint64_t records_replayed = 0;
+  double snapshot_seconds = 0;      // same data, checkpointed
+};
+
+RecoveryResult RunRecoverySweep(std::uint64_t commits) {
+  const std::string dir = BenchDir();
+  RemoveDir(dir);
+  RecoveryResult result;
+  result.commits = commits;
+  result.rows = commits;  // single-row commits
+
+  // Build: fsync off (page cache is fine — we restart the process'
+  // engine, not the machine), a NUC index so replay exercises index
+  // maintenance the way a real restart would.
+  {
+    Engine engine(DurableOptions(dir, /*fsync=*/false));
+    Session session = engine.CreateSession();
+    if (!Run(session, "CREATE TABLE t (key INT64, val INT64) PARTITIONS 4"))
+      std::exit(1);
+    const Status idx =
+        session.CreatePatchIndex("t", 0, ConstraintKind::kNearlyUnique);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "index failed: %s\n", idx.ToString().c_str());
+      std::exit(1);
+    }
+    for (std::uint64_t c = 0; c < commits; ++c) {
+      if (!Run(session, InsertSql(c, 1))) std::exit(1);
+    }
+  }
+
+  // Arm 1: replay the whole WAL.
+  result.replay_seconds = TimeOnce([&] {
+    Engine engine(DurableOptions(dir, /*fsync=*/false));
+    if (!engine.recovery_status().ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   engine.recovery_status().ToString().c_str());
+      std::exit(1);
+    }
+    result.records_replayed =
+        engine.durability()->last_recovery().records_replayed;
+  });
+
+  // Checkpoint (the replaying engine already reset the logs via its
+  // post-recovery checkpoint; do it explicitly for clarity), then
+  // arm 2: snapshot-only start.
+  {
+    Engine engine(DurableOptions(dir, /*fsync=*/false));
+    const Status st = engine.Checkpoint();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  result.snapshot_seconds = TimeOnce([&] {
+    Engine engine(DurableOptions(dir, /*fsync=*/false));
+    if (!engine.recovery_status().ok()) std::exit(1);
+  });
+
+  RemoveDir(dir);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t append_commits =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000;
+  const std::uint64_t recovery_max =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5'000;
+
+  std::FILE* json = std::fopen("BENCH_wal.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_wal.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  WriteMachineJson(json);
+  std::fprintf(json,
+               "  \"bench\": \"bench_wal\",\n"
+               "  \"note\": \"append: one multi-row INSERT == one commit "
+               "== one WAL append (+fsync barrier when on) across 4 "
+               "partition logs; recovery: cold Engine start on a dir "
+               "whose WAL holds all commits (replay) vs the same data "
+               "checkpointed (snapshot load only)\",\n"
+               "  \"append\": [\n");
+
+  bool first = true;
+  for (const bool fsync : {true, false}) {
+    for (const std::uint64_t rows_per_commit : {1ull, 10ull, 100ull}) {
+      // Keep arms comparable in commits, not rows: the unit of WAL cost
+      // is the commit barrier.
+      const AppendResult r = RunAppendSweep(fsync, rows_per_commit,
+                                            append_commits);
+      std::printf("append fsync=%-3s rows/commit=%3llu  %6llu commits  "
+                  "%8.3f s  %9.0f commits/s  %7.2f MB/s wal\n",
+                  r.fsync ? "on" : "off",
+                  static_cast<unsigned long long>(r.rows_per_commit),
+                  static_cast<unsigned long long>(r.commits), r.seconds,
+                  r.commits_per_s(), r.mb_per_s());
+      std::fprintf(json,
+                   "%s    {\"fsync\": %s, \"rows_per_commit\": %llu, "
+                   "\"commits\": %llu, \"seconds\": %.4f, "
+                   "\"commits_per_s\": %.1f, \"wal_bytes\": %llu, "
+                   "\"wal_mb_per_s\": %.2f}",
+                   first ? "" : ",\n", r.fsync ? "true" : "false",
+                   static_cast<unsigned long long>(r.rows_per_commit),
+                   static_cast<unsigned long long>(r.commits), r.seconds,
+                   r.commits_per_s(),
+                   static_cast<unsigned long long>(r.wal_bytes),
+                   r.mb_per_s());
+      first = false;
+    }
+  }
+  std::fprintf(json, "\n  ],\n  \"recovery\": [\n");
+
+  first = true;
+  for (std::uint64_t commits = recovery_max / 5; commits <= recovery_max;
+       commits *= 5) {
+    const RecoveryResult r = RunRecoverySweep(commits);
+    std::printf("recover %6llu commits  replay %8.3f s (%llu records)  "
+                "snapshot %8.3f s\n",
+                static_cast<unsigned long long>(r.commits), r.replay_seconds,
+                static_cast<unsigned long long>(r.records_replayed),
+                r.snapshot_seconds);
+    std::fprintf(json,
+                 "%s    {\"commits\": %llu, \"rows\": %llu, "
+                 "\"replay_seconds\": %.4f, \"records_replayed\": %llu, "
+                 "\"snapshot_start_seconds\": %.4f}",
+                 first ? "" : ",\n",
+                 static_cast<unsigned long long>(r.commits),
+                 static_cast<unsigned long long>(r.rows), r.replay_seconds,
+                 static_cast<unsigned long long>(r.records_replayed),
+                 r.snapshot_seconds);
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_wal.json\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#ifndef PATCHINDEX_COMMON_CRC32_H_
+#define PATCHINDEX_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace patchindex {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected) over `len` bytes.
+/// `seed` chains incremental computations: Crc32c(b, n2, Crc32c(a, n1))
+/// equals the CRC of a||b. Used by the WAL and snapshot formats to detect
+/// torn and bit-flipped records after a crash.
+std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_COMMON_CRC32_H_

@@ -38,6 +38,20 @@ Engine::Engine(EngineOptions options) : options_(options) {
   }
   pool_ = std::make_unique<ThreadPool>(threads);
 
+  if (options_.durability.enabled()) {
+    durability_ = std::make_unique<DurabilityManager>(options_.durability);
+    recovery_status_ = durability_->Open();
+    if (recovery_status_.ok()) {
+      recovery_status_ = durability_->Recover(&catalog_, pool_.get());
+    }
+    if (!recovery_status_.ok()) {
+      // Fail volatile: without a trustworthy log, appending to it could
+      // compound the damage. recovery_status() tells callers (piserver
+      // refuses to start; tests assert on it).
+      durability_.reset();
+    }
+  }
+
   metrics_ = std::make_unique<obs::MetricsRegistry>();
   if (options_.enable_metrics) {
     obs::MetricsRegistry& r = *metrics_;
@@ -65,6 +79,21 @@ Engine::Engine(EngineOptions options) : options_(options) {
 }
 
 Session Engine::CreateSession() { return Session(this); }
+
+Status Engine::Checkpoint() {
+  if (durability_ == nullptr) return Status::OK();
+  Status first;
+  for (const std::string& name : catalog_.TableNames()) {
+    Catalog::TableRef ref = catalog_.Ref(name);
+    if (!ref) continue;
+    std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
+    if (catalog_.FindPartitionedTable(name) != ref.ptable) continue;
+    Status st =
+        durability_->CheckpointTable(name, *ref.ptable, catalog_.manager());
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
 
 namespace {
 
@@ -190,8 +219,10 @@ namespace {
 /// index update handlers). Deltas are routed to their owning partitions
 /// — rows are addressed by table-global rowIDs — and the dirty
 /// partitions commit partition-locally, in parallel on `pool`.
-Status ApplyUpdateLocked(PartitionedTable* table, PatchIndexManager& manager,
-                         ThreadPool* pool, UpdateQuery query) {
+Status ApplyUpdateLocked(PartitionedTable* table, const std::string& name,
+                         PatchIndexManager& manager,
+                         DurabilityManager* durability, ThreadPool* pool,
+                         UpdateQuery query) {
   const int kinds = (query.inserts.empty() ? 0 : 1) +
                     (query.deletes.empty() ? 0 : 1) +
                     (query.modifies.empty() ? 0 : 1);
@@ -243,7 +274,25 @@ Status ApplyUpdateLocked(PartitionedTable* table, PatchIndexManager& manager,
                            .BufferModify(loc.local_row, cell.column,
                                          std::move(cell.value)));
   }
-  return manager.CommitUpdateQuery(*table, pool);
+  // Write-ahead: the routed, partition-local deltas go to the log (and
+  // to stable storage) before the commit protocol publishes them. A log
+  // failure aborts the whole commit — the buffered PDTs are discarded and
+  // nothing becomes visible.
+  if (durability != nullptr) {
+    Status logged = durability->LogCommit(name, *table);
+    if (!logged.ok()) {
+      table->DiscardPdt();
+      return logged;
+    }
+  }
+  Status committed = manager.CommitUpdateQuery(*table, pool);
+  if (durability != nullptr && durability->ShouldCheckpoint(name)) {
+    // Best-effort WAL-size-triggered checkpoint: a failure leaves the
+    // log growing and the next commit retries (self-healing); it never
+    // affects the already-committed update.
+    (void)durability->CheckpointTable(name, *table, manager);
+  }
+  return committed;
 }
 
 }  // namespace
@@ -288,9 +337,9 @@ Status Session::ExecuteUpdateWithProfiled(
   if (!query.ok()) return query.status();
   const std::int64_t build_ns = build_timer.ElapsedNanos();
   WallTimer commit_timer;
-  Status status = ApplyUpdateLocked(table, engine_->catalog_.manager(),
-                                    &engine_->pool(),
-                                    std::move(query).value());
+  Status status = ApplyUpdateLocked(
+      table, table_name, engine_->catalog_.manager(),
+      engine_->durability_.get(), &engine_->pool(), std::move(query).value());
   const std::int64_t commit_ns = commit_timer.ElapsedNanos();
   if (m.update_queries != nullptr) {
     m.update_queries->Add(1);
@@ -350,16 +399,30 @@ Status Session::CreatePatchIndex(const std::string& table_name,
     return Status::AlreadyExists(
         "an index of this constraint already exists on the column");
   }
+  std::vector<PatchIndex*> created;
   if (missing == table->num_partitions()) {
     // One index per partition, created partition-locally in parallel
     // (paper §3.2); a single-partition table degenerates to one index.
-    engine_->catalog_.manager().CreatePartitionedIndex(*table, column,
-                                                       constraint, options);
+    created = engine_->catalog_.manager().CreatePartitionedIndex(
+        *table, column, constraint, options);
   } else {
     for (std::size_t p = 0; p < table->num_partitions(); ++p) {
       if (covered[p]) continue;
-      engine_->catalog_.manager().CreateIndex(table->partition(p), column,
-                                              constraint, options);
+      created.push_back(engine_->catalog_.manager().CreateIndex(
+          table->partition(p), column, constraint, options));
+    }
+  }
+  if (engine_->durability_ != nullptr) {
+    Status logged = engine_->durability_->LogCreateIndex(table_name, column,
+                                                         constraint,
+                                                         options.ascending);
+    if (!logged.ok()) {
+      // Un-create: an index that exists in memory but not in the catalog
+      // log would silently vanish on restart.
+      for (PatchIndex* idx : created) {
+        engine_->catalog_.manager().DropIndex(idx);
+      }
+      return logged;
     }
   }
   return Status::OK();

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/catalog.h"
+#include "engine/durability.h"
 #include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -52,6 +53,12 @@ struct EngineOptions {
 
   /// Options forwarded to the PatchIndex rewriter.
   OptimizerOptions optimizer;
+
+  /// Durability: a non-empty data_dir turns on per-partition write-ahead
+  /// logging + checkpoint/recovery (see engine/durability.h). The Engine
+  /// constructor recovers the catalog from the directory; callers must
+  /// check Engine::recovery_status() before trusting the engine.
+  DurabilityOptions durability;
 };
 
 /// A query answer: the materialized rows plus how they were produced.
@@ -151,6 +158,22 @@ class Engine {
   /// either way.
   obs::MetricsRegistry& metrics() { return *metrics_; }
 
+  /// The WAL/checkpoint subsystem; null when EngineOptions::durability is
+  /// disabled *or* recovery failed (the engine then runs volatile —
+  /// check recovery_status()).
+  DurabilityManager* durability() { return durability_.get(); }
+
+  /// Outcome of the constructor's recovery pass. Non-OK means the data
+  /// directory could not be locked or its contents could not be restored;
+  /// durable logging is then disabled and the catalog may hold a partial
+  /// recovery — servers should refuse to start.
+  const Status& recovery_status() const { return recovery_status_; }
+
+  /// Checkpoints every durable table (snapshot + WAL truncation), each
+  /// under its exclusive lock. Returns the first failure, after trying
+  /// all tables. A no-op without durability.
+  Status Checkpoint();
+
   Session CreateSession();
 
  private:
@@ -177,6 +200,8 @@ class Engine {
   Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<DurabilityManager> durability_;
+  Status recovery_status_;
   MetricSet m_;
 };
 

@@ -301,6 +301,16 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
           session.engine_->catalog().CreatePartitionedTable(
               bound.table, bound.create_schema, partitions);
       if (!created.ok()) return created.status();
+      if (DurabilityManager* durability = session.engine_->durability()) {
+        Status logged = durability->LogCreateTable(
+            bound.table, bound.create_schema, partitions);
+        if (!logged.ok()) {
+          // Un-create: a table missing from the catalog log would not
+          // survive a restart, so refuse to pretend it was created.
+          (void)session.engine_->catalog().DropTable(bound.table);
+          return logged;
+        }
+      }
       return QueryResult{};
     }
   }

@@ -18,8 +18,8 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 template <typename T>
-bool WriteOne(std::FILE* f, const T& v) {
-  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+void PutOne(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
@@ -30,36 +30,37 @@ bool ReadOne(std::FILE* f, T* v) {
 }  // namespace
 
 Status SavePatchIndexCheckpoint(const PatchIndex& index,
-                                const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::Internal("cannot open checkpoint file for writing: " +
-                            path);
-  }
+                                const std::string& path,
+                                const FaultHook& hook) {
+  // Serialize into memory, then write + fsync through DurableFile so the
+  // crash-injection harness covers this path ("pidx_ckpt.*" points). The
+  // byte format is unchanged from the historical fwrite-based writer.
   const PatchIndexState state = index.ExportState();
-  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) == 1;
-  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(state.constraint));
-  ok = ok && WriteOne(f.get(), static_cast<std::uint64_t>(state.column));
-  ok = ok && WriteOne(f.get(),
-                      static_cast<std::uint8_t>(index.patches().design()));
-  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(index.ascending()));
-  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(state.has_tail));
-  ok = ok && WriteOne(f.get(), state.tail_value);
-  ok = ok && WriteOne(f.get(), static_cast<std::uint8_t>(state.has_constant));
-  ok = ok && WriteOne(f.get(), state.constant_value);
-  ok = ok && WriteOne(f.get(), state.num_rows);
-  ok = ok &&
-       WriteOne(f.get(), static_cast<std::uint64_t>(state.patches.size()));
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  PutOne(&buf, static_cast<std::uint8_t>(state.constraint));
+  PutOne(&buf, static_cast<std::uint64_t>(state.column));
+  PutOne(&buf, static_cast<std::uint8_t>(index.patches().design()));
+  PutOne(&buf, static_cast<std::uint8_t>(index.ascending()));
+  PutOne(&buf, static_cast<std::uint8_t>(state.has_tail));
+  PutOne(&buf, state.tail_value);
+  PutOne(&buf, static_cast<std::uint8_t>(state.has_constant));
+  PutOne(&buf, state.constant_value);
+  PutOne(&buf, state.num_rows);
+  PutOne(&buf, static_cast<std::uint64_t>(state.patches.size()));
   // Delta encoding keeps the file small for clustered patches.
   std::uint64_t prev = 0;
-  for (std::size_t i = 0; ok && i < state.patches.size(); ++i) {
+  for (std::size_t i = 0; i < state.patches.size(); ++i) {
     const std::uint64_t delta = i == 0 ? state.patches[0]
                                        : state.patches[i] - prev;
     prev = state.patches[i];
-    ok = WriteOne(f.get(), delta);
+    PutOne(&buf, delta);
   }
-  if (!ok) return Status::Internal("short write to checkpoint file");
-  return Status::OK();
+  auto f = DurableFile::Create(path, hook);
+  if (!f.ok()) return f.status();
+  PIDX_RETURN_NOT_OK(f.value().Append("pidx_ckpt.write", buf.data(),
+                                      buf.size()));
+  return f.value().Fsync("pidx_ckpt.fsync");
 }
 
 Result<std::unique_ptr<PatchIndex>> LoadPatchIndexCheckpoint(

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "patchindex/patch_index.h"
+#include "storage/fault_fs.h"
 
 namespace patchindex {
 
@@ -22,8 +23,12 @@ namespace patchindex {
 ///   u64 num_rows, u64 num_patches, u64 deltas[num_patches]
 /// where deltas[0] is the first patch rowID and deltas[i] the distance to
 /// the previous one.
+/// `hook` injects write/fsync faults at the "pidx_ckpt.write" and
+/// "pidx_ckpt.fsync" crash points (storage/fault_fs.h); the engine's
+/// checkpoint path passes DurabilityOptions::fault_hook through.
 Status SavePatchIndexCheckpoint(const PatchIndex& index,
-                                const std::string& path);
+                                const std::string& path,
+                                const FaultHook& hook = nullptr);
 
 /// Restores an index from a checkpoint against `table`. Fails with
 /// kInvalidArgument on format errors and with kConstraintViolation when

@@ -38,6 +38,13 @@ PatchIndex* PatchIndexManager::CreateIndex(const Table& table,
   return handle;
 }
 
+PatchIndex* PatchIndexManager::Register(std::unique_ptr<PatchIndex> index) {
+  PatchIndex* handle = index.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  indexes_.push_back(std::move(index));
+  return handle;
+}
+
 std::vector<PatchIndex*> PatchIndexManager::CreatePartitionedIndex(
     const PartitionedTable& table, std::size_t column,
     ConstraintKind constraint, PatchIndexOptions options) {

@@ -38,6 +38,11 @@ class PatchIndexManager {
       const PartitionedTable& table, std::size_t column,
       ConstraintKind constraint, PatchIndexOptions options = {});
 
+  /// Registers an externally constructed index (the checkpoint-restore
+  /// path: LoadPatchIndexCheckpoint builds the index, recovery registers
+  /// it so WAL replay maintains it incrementally).
+  PatchIndex* Register(std::unique_ptr<PatchIndex> index);
+
   /// All indexes defined on `table`.
   std::vector<PatchIndex*> IndexesOn(const Table& table) const;
 

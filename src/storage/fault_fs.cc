@@ -1,0 +1,235 @@
+#include "storage/fault_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace patchindex {
+
+namespace {
+
+FaultAction Probe(const FaultHook& hook, const char* point) {
+  return hook ? hook(point) : FaultAction::kNone;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+Status Injected(const char* point) {
+  return Status::Internal(std::string("injected I/O failure at ") + point);
+}
+
+/// Writes all of `len` bytes, retrying short writes/EINTR.
+bool WriteFully(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+DurableFile::~DurableFile() { Close(); }
+
+DurableFile::DurableFile(DurableFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), path_(std::move(other.path_)),
+      hook_(std::move(other.hook_)) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+DurableFile& DurableFile::operator=(DurableFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    hook_ = std::move(other.hook_);
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<DurableFile> DurableFile::OpenForAppend(const std::string& path,
+                                               FaultHook hook) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  DurableFile f;
+  f.fd_ = fd;
+  f.size_ = static_cast<std::uint64_t>(end);
+  f.path_ = path;
+  f.hook_ = std::move(hook);
+  return f;
+}
+
+Result<DurableFile> DurableFile::Create(const std::string& path,
+                                        FaultHook hook) {
+  // O_APPEND so a rollback Truncate repositions the next write at the new
+  // end of file — without it the kernel file offset would still point past
+  // the truncation and the next Append would leave a zero-filled hole.
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  DurableFile f;
+  f.fd_ = fd;
+  f.size_ = 0;
+  f.path_ = path;
+  f.hook_ = std::move(hook);
+  return f;
+}
+
+Status DurableFile::Append(const char* point, const void* data,
+                           std::size_t len) {
+  if (fd_ < 0) return Status::Internal("append to a closed file: " + path_);
+  switch (Probe(hook_, point)) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kFail:
+      return Injected(point);
+    case FaultAction::kShortWrite:
+      // Leave a torn suffix on disk, then report the failure — a disk
+      // that filled up mid-write.
+      WriteFully(fd_, data, len / 2);
+      return Injected(point);
+    case FaultAction::kCrash:
+      WriteFully(fd_, data, len / 2);
+      std::_Exit(kFaultCrashExitCode);
+  }
+  if (!WriteFully(fd_, data, len)) return Errno("write", path_);
+  size_ += len;
+  return Status::OK();
+}
+
+Status DurableFile::Fsync(const char* point) {
+  if (fd_ < 0) return Status::Internal("fsync of a closed file: " + path_);
+  switch (Probe(hook_, point)) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kFail:
+    case FaultAction::kShortWrite:
+      return Injected(point);
+    case FaultAction::kCrash:
+      std::_Exit(kFaultCrashExitCode);
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status DurableFile::Truncate(const char* point, std::uint64_t size) {
+  if (fd_ < 0) return Status::Internal("truncate of a closed file: " + path_);
+  switch (Probe(hook_, point)) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kFail:
+    case FaultAction::kShortWrite:
+      return Injected(point);
+    case FaultAction::kCrash:
+      std::_Exit(kFaultCrashExitCode);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+void DurableFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status RenameFile(const char* point, const std::string& from,
+                  const std::string& to, const FaultHook& hook) {
+  switch (Probe(hook, point)) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kFail:
+    case FaultAction::kShortWrite:
+      return Injected(point);
+    case FaultAction::kCrash:
+      std::_Exit(kFaultCrashExitCode);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename", from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const char* point, const std::string& dir,
+                const FaultHook& hook) {
+  switch (Probe(hook, point)) {
+    case FaultAction::kNone:
+      break;
+    case FaultAction::kFail:
+    case FaultAction::kShortWrite:
+      return Injected(point);
+    case FaultAction::kCrash:
+      std::_Exit(kFaultCrashExitCode);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync directory", dir);
+  return Status::OK();
+}
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& dir) {
+  // Create each path component in turn (mkdir -p).
+  for (std::size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    const std::string prefix = dir.substr(0, i);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace patchindex

@@ -1,0 +1,109 @@
+#ifndef PATCHINDEX_STORAGE_FAULT_FS_H_
+#define PATCHINDEX_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace patchindex {
+
+/// What a fault hook tells a durable I/O operation to do at a labeled
+/// crash point. Generalizes PatchIndexOptions::maintenance_fault_hook
+/// (PR 4's deterministic fault injection) to the file layer: the crash
+/// harness enumerates every labeled point of a workload, then replays it
+/// killing or failing exactly one point per run.
+enum class FaultAction {
+  /// Proceed normally.
+  kNone,
+  /// Perform nothing; the operation reports an injected failure (a clean
+  /// ENOSPC: the caller sees the error before any bytes reach the file).
+  kFail,
+  /// Writes only: write the first half of the buffer, then report
+  /// failure (an ENOSPC mid-write that leaves a torn suffix on disk).
+  /// Non-write operations treat this as kFail.
+  kShortWrite,
+  /// Simulated power cut: write the first half of the buffer (writes
+  /// only), then _Exit the process with kFaultCrashExitCode. The crash
+  /// harness forks a child per labeled point and asserts recovery.
+  kCrash,
+};
+
+/// Exit code of a kCrash injection, asserted by the fork-based harness to
+/// distinguish an injected crash from a genuine abort.
+inline constexpr int kFaultCrashExitCode = 86;
+
+/// Invoked with the crash-point label before every labeled durable I/O
+/// operation. Null (default-constructed) means no injection. Hooks run on
+/// commit and checkpoint paths from any session thread — test hooks must
+/// be thread-safe (atomics).
+using FaultHook = std::function<FaultAction(const char* point)>;
+
+/// An append-oriented file descriptor wrapper that routes every mutation
+/// through a FaultHook crash point. All durable state (WAL logs, column
+/// snapshots, index checkpoints, manifests) is written through this class
+/// so the crash-injection harness can kill or fail the process at every
+/// labeled point. Not thread-safe; callers serialize (the engine's
+/// per-table exclusive lock does).
+class DurableFile {
+ public:
+  DurableFile() = default;
+  ~DurableFile();
+
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+  DurableFile(DurableFile&& other) noexcept;
+  DurableFile& operator=(DurableFile&& other) noexcept;
+
+  /// Opens for appending, creating the file when absent; size() reflects
+  /// the existing content.
+  static Result<DurableFile> OpenForAppend(const std::string& path,
+                                           FaultHook hook = nullptr);
+
+  /// Creates (or truncates) the file for writing from scratch.
+  static Result<DurableFile> Create(const std::string& path,
+                                    FaultHook hook = nullptr);
+
+  /// Appends `len` bytes at the end of the file. On an injected or real
+  /// short write the file may keep a torn suffix — callers either
+  /// truncate back to the pre-append size (the WAL writer) or rely on
+  /// checksum validation at read time (snapshots).
+  Status Append(const char* point, const void* data, std::size_t len);
+
+  /// Flushes file content to stable storage (fsync).
+  Status Fsync(const char* point);
+
+  /// Truncates the file back to `size` bytes (torn-append rollback).
+  Status Truncate(const char* point, std::uint64_t size);
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string path_;
+  FaultHook hook_;
+};
+
+/// Atomically renames `from` over `to` (the snapshot manifest commit
+/// point), honoring the hook's kFail/kCrash at `point`.
+Status RenameFile(const char* point, const std::string& from,
+                  const std::string& to, const FaultHook& hook = nullptr);
+
+/// Fsyncs a directory so a preceding rename/create survives a power cut.
+Status FsyncDir(const char* point, const std::string& dir,
+                const FaultHook& hook = nullptr);
+
+/// Reads a whole file into `out`; kNotFound when it does not exist.
+Status ReadFileBytes(const std::string& path, std::string* out);
+
+/// Creates `dir` (and missing parents) if absent.
+Status EnsureDir(const std::string& dir);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_STORAGE_FAULT_FS_H_

@@ -70,6 +70,10 @@ class Table {
 
   const PositionalDelta& pdt() const { return pdt_; }
 
+  /// Discards all pending PDT deltas without applying them — the commit
+  /// abort path (a WAL append that failed before publication).
+  void DiscardPdt() { pdt_.Clear(); }
+
   /// Merges all pending deltas into the base columns: modifies are applied
   /// in place, deleted rows compacted away (shifting subsequent rowIDs
   /// down, matching the sharded bitmap's delete semantics), inserts
@@ -143,6 +147,11 @@ class PartitionedTable {
 
   /// True when no partition has pending PDT deltas.
   bool pdt_empty() const;
+
+  /// Discards every partition's pending PDT deltas (commit abort).
+  void DiscardPdt() {
+    for (auto& part : partitions_) part->DiscardPdt();
+  }
 
   std::uint64_t MemoryUsageBytes() const;
 

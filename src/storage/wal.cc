@@ -1,0 +1,253 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace patchindex {
+
+namespace {
+
+/// Value type tags in WAL/snapshot payloads.
+constexpr std::uint8_t kTagInt64 = 1;
+constexpr std::uint8_t kTagDouble = 2;
+constexpr std::uint8_t kTagString = 3;
+
+}  // namespace
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case ColumnType::kInt64:
+      PutU8(out, kTagInt64);
+      PutU64(out, static_cast<std::uint64_t>(v.AsInt64()));
+      break;
+    case ColumnType::kDouble: {
+      PutU8(out, kTagDouble);
+      std::uint64_t bits = 0;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof bits);
+      PutU64(out, bits);
+      break;
+    }
+    case ColumnType::kString:
+      PutU8(out, kTagString);
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+bool ByteReader::Need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::GetU32() {
+  if (!Need(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::GetU64() {
+  if (!Need(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string ByteReader::GetString() {
+  const std::uint32_t len = GetU32();
+  if (!Need(len)) return std::string();
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Value ByteReader::GetValue() {
+  switch (GetU8()) {
+    case kTagInt64:
+      return Value(static_cast<std::int64_t>(GetU64()));
+    case kTagDouble: {
+      const std::uint64_t bits = GetU64();
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof d);
+      return Value(d);
+    }
+    case kTagString:
+      return Value(GetString());
+    default:
+      ok_ = false;
+      return Value();
+  }
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload.data(), payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+bool NextFrame(std::string_view data, std::size_t* offset,
+               std::string_view* payload) {
+  if (data.size() - *offset < 8) return false;
+  ByteReader prefix(data.substr(*offset, 8));
+  const std::uint32_t len = prefix.GetU32();
+  const std::uint32_t crc = prefix.GetU32();
+  if (len > kMaxWalPayloadBytes) return false;
+  if (data.size() - *offset - 8 < len) return false;
+  const std::string_view body = data.substr(*offset + 8, len);
+  if (Crc32c(body.data(), body.size()) != crc) return false;
+  *payload = body;
+  *offset += 8 + len;
+  return true;
+}
+
+std::string EncodeWalHeader(const WalHeader& header) {
+  std::string out;
+  PutString(&out, header.table);
+  PutU32(&out, header.partition);
+  PutU64(&out, header.snapshot_csn);
+  return out;
+}
+
+Status DecodeWalHeader(std::string_view payload, WalHeader* out) {
+  ByteReader r(payload);
+  out->table = r.GetString();
+  out->partition = r.GetU32();
+  out->snapshot_csn = r.GetU64();
+  if (!r.done()) return Status::Internal("malformed WAL header payload");
+  return Status::OK();
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string out;
+  PutU64(&out, record.csn);
+  PutU32(&out, record.commit_partitions);
+  PutU32(&out, static_cast<std::uint32_t>(record.inserts.size()));
+  for (const Row& row : record.inserts) {
+    PutU32(&out, static_cast<std::uint32_t>(row.cells.size()));
+    for (const Value& v : row.cells) PutValue(&out, v);
+  }
+  PutU32(&out, static_cast<std::uint32_t>(record.deletes.size()));
+  for (const RowId row : record.deletes) PutU64(&out, row);
+  PutU32(&out, static_cast<std::uint32_t>(record.modifies.size()));
+  for (const WalCell& cell : record.modifies) {
+    PutU64(&out, cell.row);
+    PutU32(&out, cell.column);
+    PutValue(&out, cell.value);
+  }
+  return out;
+}
+
+Status DecodeWalRecord(std::string_view payload, WalRecord* out) {
+  ByteReader r(payload);
+  out->csn = r.GetU64();
+  out->commit_partitions = r.GetU32();
+  const std::uint32_t n_inserts = r.GetU32();
+  out->inserts.clear();
+  for (std::uint32_t i = 0; i < n_inserts && r.ok(); ++i) {
+    const std::uint32_t n_cells = r.GetU32();
+    // Every cell takes at least 2 encoded bytes; reject counts the
+    // remaining payload cannot possibly hold before reserving memory.
+    if (n_cells > r.remaining()) {
+      return Status::Internal("malformed WAL record: cell count overflow");
+    }
+    Row row;
+    row.cells.reserve(n_cells);
+    for (std::uint32_t c = 0; c < n_cells && r.ok(); ++c) {
+      row.cells.push_back(r.GetValue());
+    }
+    out->inserts.push_back(std::move(row));
+  }
+  const std::uint32_t n_deletes = r.GetU32();
+  if (r.ok() && n_deletes > r.remaining()) {
+    return Status::Internal("malformed WAL record: delete count overflow");
+  }
+  out->deletes.clear();
+  for (std::uint32_t i = 0; i < n_deletes && r.ok(); ++i) {
+    out->deletes.push_back(r.GetU64());
+  }
+  const std::uint32_t n_modifies = r.GetU32();
+  if (r.ok() && n_modifies > r.remaining()) {
+    return Status::Internal("malformed WAL record: modify count overflow");
+  }
+  out->modifies.clear();
+  for (std::uint32_t i = 0; i < n_modifies && r.ok(); ++i) {
+    WalCell cell;
+    cell.row = r.GetU64();
+    cell.column = r.GetU32();
+    cell.value = r.GetValue();
+    out->modifies.push_back(std::move(cell));
+  }
+  if (!r.done()) return Status::Internal("malformed WAL record payload");
+  if (out->commit_partitions == 0) {
+    return Status::Internal("malformed WAL record: zero commit_partitions");
+  }
+  return Status::OK();
+}
+
+WalContents ParseWalFile(std::string_view data) {
+  WalContents out;
+  const std::string_view magic = WalMagic();
+  if (data.size() < magic.size() ||
+      data.substr(0, magic.size()) != magic) {
+    return out;  // header_valid=false: pre-header-fsync creation crash.
+  }
+  std::size_t offset = magic.size();
+  std::string_view payload;
+  if (!NextFrame(data, &offset, &payload) ||
+      !DecodeWalHeader(payload, &out.header).ok()) {
+    return out;
+  }
+  out.header_valid = true;
+  out.valid_bytes = offset;
+  while (NextFrame(data, &offset, &payload)) {
+    WalRecord record;
+    if (!DecodeWalRecord(payload, &record).ok()) break;
+    out.records.push_back(std::move(record));
+    out.valid_bytes = offset;
+  }
+  out.clean = out.valid_bytes == data.size();
+  return out;
+}
+
+std::string_view WalMagic() { return std::string_view("PIWALOG1", 8); }
+
+std::string_view CatalogLogMagic() { return std::string_view("PICATLG1", 8); }
+
+}  // namespace patchindex

@@ -1,0 +1,545 @@
+// The crash-injection harness (the PR's headline test): a scripted
+// workload runs in a child process whose fault hook kills it (simulated
+// power cut: half-written buffer + _Exit) at exactly one invocation of one
+// labeled crash point; the parent then recovers the data directory and
+// asserts the durability contract:
+//
+//   * every acknowledged commit survives in full, and
+//   * no unacknowledged commit is partially visible — the recovered state
+//     equals the state after some statement prefix between the last ack
+//     and the last begin.
+//
+// The sweep is exhaustive: a recording pass counts how often each crash
+// point fires during the workload (the writers are all serial, so the
+// counts are deterministic), then every (point, invocation) pair gets its
+// own crash child. A second sweep crashes recovery itself (a crash while
+// recovering from a crash), and an in-process sweep injects clean write
+// failures (ENOSPC) at every point instead of killing the process.
+//
+// Children are separate processes running this same binary with the
+// CrashChildTest tests selected via --gtest_filter and parameters passed
+// in environment variables; standalone runs of those tests skip. The
+// begin/ack protocol writes "B <step>" / "A <step>" lines to a side file,
+// fsynced before/after each statement, mirroring what a client of the
+// server has seen acknowledged.
+
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "storage/fault_fs.h"
+
+namespace patchindex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The scripted workload: 7 logged steps, with an explicit checkpoint
+// between steps 4 and 5 so the sweep covers the snapshot/manifest writers
+// and recovery sees snapshot + WAL-tail states. Every DML statement
+// touches three rows spread over both partitions — a partially applied
+// commit would be visible as a state matching no step prefix.
+
+constexpr int kNumSteps = 7;
+
+Status RunStep(Session& session, int id) {
+  switch (id) {
+    case 0:
+      return session.Sql("CREATE TABLE t (k INT64, v INT64) PARTITIONS 2")
+          .status();
+    case 1:
+      return session.CreatePatchIndex("t", 1, ConstraintKind::kNearlySorted);
+    case 2:
+      return session.Sql("INSERT INTO t VALUES (10, 10), (11, 11), (12, 12)")
+          .status();
+    case 3:
+      return session.Sql("INSERT INTO t VALUES (20, 20), (21, 21), (22, 22)")
+          .status();
+    case 4:
+      return session.Sql("UPDATE t SET v = 7 WHERE k >= 20").status();
+    case 5:
+      return session.Sql("DELETE FROM t WHERE k >= 10 AND k < 13").status();
+    case 6:
+      return session.Sql("INSERT INTO t VALUES (30, 1), (31, 2), (32, 3)")
+          .status();
+    default:
+      return Status::Internal("no such step");
+  }
+}
+
+/// Expected engine state after the first `m` steps (m in 0..kNumSteps).
+/// nullopt = table does not exist.
+std::optional<std::map<std::int64_t, std::int64_t>> StateAfter(int m) {
+  if (m < 1) return std::nullopt;
+  std::map<std::int64_t, std::int64_t> rows;
+  if (m >= 3) rows.insert({{10, 10}, {11, 11}, {12, 12}});
+  if (m >= 4) rows.insert({{20, 20}, {21, 21}, {22, 22}});
+  if (m >= 5) {
+    for (auto& [k, v] : rows) {
+      if (k >= 20) v = 7;
+    }
+  }
+  if (m >= 6) {
+    for (std::int64_t k : {10, 11, 12}) rows.erase(k);
+  }
+  if (m >= 7) rows.insert({{30, 1}, {31, 2}, {32, 3}});
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Child-side plumbing.
+
+/// Thread-safe per-point invocation counter shared by recording and crash
+/// children (hooks run on session and checkpoint paths).
+struct PointCounts {
+  std::mutex mu;
+  std::map<std::string, int> counts;
+
+  int Next(const char* point) {
+    std::lock_guard<std::mutex> lock(mu);
+    return counts[point]++;
+  }
+
+  void WriteTo(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto& [point, n] : counts) out << point << " " << n << "\n";
+  }
+};
+
+/// Builds the child's hook: count every invocation; at invocation
+/// `crash_index` of `crash_point` return kCrash (half-write + _Exit(86)).
+FaultHook MakeChildHook(std::shared_ptr<PointCounts> counts,
+                        std::string crash_point, int crash_index) {
+  return [counts, crash_point = std::move(crash_point),
+          crash_index](const char* point) {
+    const int n = counts->Next(point);
+    if (!crash_point.empty() && crash_point == point && n == crash_index) {
+      return FaultAction::kCrash;
+    }
+    return FaultAction::kNone;
+  };
+}
+
+/// Appends one fsynced line to the ack log. The fsync-before-statement /
+/// fsync-after-ack ordering is what lets the parent treat the log as the
+/// client's view of acknowledged commits.
+void AckLine(int fd, char tag, int id) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%c %d\n", tag, id);
+  if (::write(fd, buf, static_cast<std::size_t>(n)) != n || ::fsync(fd) != 0) {
+    std::_Exit(3);  // harness plumbing failure, not a crash under test
+  }
+}
+
+/// Runs the scripted workload against a fresh engine, crashing wherever
+/// the hook says. Driven entirely by environment variables; skips when
+/// run standalone (ctest discovers it like any other test).
+TEST(CrashChildTest, Workload) {
+  const char* dir = std::getenv("PIDX_CRASH_DIR");
+  if (dir == nullptr) {
+    GTEST_SKIP() << "crash-harness child, driven by CrashRecoveryTest";
+  }
+  const char* ack_path = std::getenv("PIDX_ACK_LOG");
+  const char* point = std::getenv("PIDX_CRASH_POINT");
+  const char* index = std::getenv("PIDX_CRASH_INDEX");
+  const char* count_file = std::getenv("PIDX_COUNT_FILE");
+  ASSERT_NE(ack_path, nullptr);
+
+  auto counts = std::make_shared<PointCounts>();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.durability.data_dir = dir;
+  options.durability.fault_hook = MakeChildHook(
+      counts, point == nullptr ? "" : point,
+      index == nullptr ? -1 : std::atoi(index));
+
+  Engine engine(options);
+  if (!engine.recovery_status().ok()) std::_Exit(3);
+  const int ack_fd = ::open(ack_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) std::_Exit(3);
+  Session session = engine.CreateSession();
+  for (int id = 0; id < kNumSteps; ++id) {
+    AckLine(ack_fd, 'B', id);
+    // kCrash never returns an error — a failing step means the harness
+    // itself is broken, which exit code 3 distinguishes from the crash.
+    if (!RunStep(session, id).ok()) std::_Exit(3);
+    AckLine(ack_fd, 'A', id);
+    if (id == 4 && !engine.Checkpoint().ok()) std::_Exit(3);
+  }
+  if (count_file != nullptr) counts->WriteTo(count_file);
+}
+
+/// Opens (and thus recovers) an existing data directory, crashing
+/// wherever the hook says — the crash-during-recovery child.
+TEST(CrashChildTest, Recover) {
+  const char* dir = std::getenv("PIDX_CRASH_DIR");
+  if (dir == nullptr) {
+    GTEST_SKIP() << "crash-harness child, driven by CrashRecoveryTest";
+  }
+  const char* point = std::getenv("PIDX_CRASH_POINT");
+  const char* index = std::getenv("PIDX_CRASH_INDEX");
+  const char* count_file = std::getenv("PIDX_COUNT_FILE");
+
+  auto counts = std::make_shared<PointCounts>();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.durability.data_dir = dir;
+  options.durability.fault_hook = MakeChildHook(
+      counts, point == nullptr ? "" : point,
+      index == nullptr ? -1 : std::atoi(index));
+  Engine engine(options);
+  if (!engine.recovery_status().ok()) std::_Exit(3);
+  if (count_file != nullptr) counts->WriteTo(count_file);
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side harness.
+
+std::string SelfExe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  EXPECT_GT(n, 0);
+  buf[n > 0 ? n : 0] = '\0';
+  return buf;
+}
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+/// Runs one child via system(); returns its exit code (-1 on spawn
+/// failure, -2 when killed by a signal).
+int RunChild(const std::vector<std::pair<std::string, std::string>>& env,
+             const char* filter) {
+  std::string cmd;
+  for (const auto& [key, value] : env) {
+    cmd += key + "=" + Quoted(value) + " ";
+  }
+  cmd += Quoted(SelfExe()) + " --gtest_filter=CrashChildTest." + filter +
+         " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  return -2;
+}
+
+struct AckState {
+  int acked = 0;  // steps fully acknowledged
+  int begun = 0;  // steps started (acked <= begun <= acked + 1)
+};
+
+AckState ParseAckLog(const std::string& path) {
+  AckState s;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("B ", 0) == 0) ++s.begun;
+    if (line.rfind("A ", 0) == 0) ++s.acked;
+  }
+  return s;
+}
+
+std::string TempName(const char* name) {
+  return std::string(::testing::TempDir()) + "/crash." + name + "." +
+         std::to_string(::getpid());
+}
+
+void RemovePath(const std::string& path) {
+  std::string cmd = "rm -rf " + Quoted(path);
+  (void)std::system(cmd.c_str());
+}
+
+/// The contract check: recover `dir` with a clean engine and assert the
+/// state matches the workload prefix [acked, begun] — acked commits all
+/// present, unacked ones all-or-nothing, nothing else.
+void VerifyRecoveredDir(const std::string& dir, const AckState& ack,
+                        const std::string& label) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.durability.data_dir = dir;
+  Engine engine(options);
+  ASSERT_TRUE(engine.recovery_status().ok())
+      << label << ": " << engine.recovery_status().ToString();
+
+  const PartitionedTable* table = engine.catalog().FindPartitionedTable("t");
+  std::optional<std::map<std::int64_t, std::int64_t>> actual;
+  Session session = engine.CreateSession();
+  if (table != nullptr) {
+    actual.emplace();
+    Result<QueryResult> r = session.Sql("SELECT k, v FROM t ORDER BY k");
+    ASSERT_TRUE(r.ok()) << label << ": " << r.status().ToString();
+    const Batch& rows = r.value().rows;
+    for (std::size_t i = 0; i < rows.num_rows(); ++i) {
+      (*actual)[rows.columns[0].i64[i]] = rows.columns[1].i64[i];
+    }
+  }
+
+  bool matched = false;
+  for (int m = ack.acked; m <= ack.begun && !matched; ++m) {
+    matched = actual == StateAfter(m);
+  }
+  if (!matched) {
+    std::ostringstream have;
+    if (!actual.has_value()) {
+      have << "<no table>";
+    } else {
+      for (const auto& [k, v] : *actual) have << "(" << k << "," << v << ") ";
+    }
+    FAIL() << label << ": recovered state matches no prefix in [" << ack.acked
+           << ", " << ack.begun << "]; have " << have.str();
+  }
+
+  // An acknowledged CREATE PATCHINDEX survives (restored or rebuilt).
+  if (ack.acked >= 2) {
+    ASSERT_NE(table, nullptr) << label;
+    EXPECT_EQ(engine.catalog().manager().IndexesOn(*table).size(), 2u)
+        << label;
+  }
+  // The recovered engine accepts new durable commits.
+  if (table != nullptr) {
+    EXPECT_TRUE(session.Sql("INSERT INTO t VALUES (999, 999)").ok()) << label;
+  }
+}
+
+std::map<std::string, int> RecordWorkloadCounts() {
+  const std::string dir = TempName("record");
+  const std::string ack = TempName("record.ack");
+  const std::string count_file = TempName("record.counts");
+  RemovePath(dir);
+  RemovePath(ack);
+  const int rc = RunChild({{"PIDX_CRASH_DIR", dir},
+                           {"PIDX_ACK_LOG", ack},
+                           {"PIDX_COUNT_FILE", count_file}},
+                          "Workload");
+  EXPECT_EQ(rc, 0) << "recording child failed";
+  std::map<std::string, int> counts;
+  std::ifstream in(count_file);
+  std::string point;
+  int n = 0;
+  while (in >> point >> n) counts[point] = n;
+  RemovePath(dir);
+  RemovePath(ack);
+  RemovePath(count_file);
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: crash the workload at every invocation of every crash point.
+
+TEST(CrashRecoveryTest, ExhaustiveWorkloadCrashSweep) {
+  const std::map<std::string, int> counts = RecordWorkloadCounts();
+  ASSERT_FALSE(counts.empty());
+  // The write path must actually be covered: commits, checkpoint files,
+  // the manifest commit point and the catalog log all fire.
+  for (const char* expected :
+       {"wal.append", "wal.fsync", "wal.header", "catalog.append",
+        "snap.write", "snap.rename", "pidx_ckpt.write", "manifest.rename",
+        "dir.fsync"}) {
+    EXPECT_TRUE(counts.count(expected)) << expected << " never fired";
+  }
+
+  int runs = 0;
+  for (const auto& [point, count] : counts) {
+    for (int i = 0; i < count; ++i) {
+      const std::string label =
+          point + "@" + std::to_string(i);
+      const std::string dir = TempName("sweep");
+      const std::string ack = TempName("sweep.ack");
+      RemovePath(dir);
+      RemovePath(ack);
+      const int rc = RunChild({{"PIDX_CRASH_DIR", dir},
+                               {"PIDX_ACK_LOG", ack},
+                               {"PIDX_CRASH_POINT", point},
+                               {"PIDX_CRASH_INDEX", std::to_string(i)}},
+                              "Workload");
+      // The workload is deterministic, so invocation i < count is always
+      // reached and the child must die at exactly the injected point.
+      ASSERT_EQ(rc, kFaultCrashExitCode) << label;
+      VerifyRecoveredDir(dir, ParseAckLog(ack), label);
+      RemovePath(dir);
+      RemovePath(ack);
+      ++runs;
+    }
+  }
+  std::printf("crash sweep: %d crash points, %d runs\n",
+              static_cast<int>(counts.size()), runs);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 2: crash *recovery* at every point it exercises (crash while
+// recovering from a crash), then recover again and re-check the contract.
+
+TEST(CrashRecoveryTest, CrashDuringRecoverySweep) {
+  const std::map<std::string, int> workload_counts = RecordWorkloadCounts();
+  ASSERT_TRUE(workload_counts.count("wal.append"));
+
+  // Template: a directory that died mid-commit on the last wal.append —
+  // snapshots from the mid-workload checkpoint plus a WAL tail with a
+  // torn final record, the richest recovery input the workload produces.
+  const std::string tmpl = TempName("rtmpl");
+  const std::string tmpl_ack = TempName("rtmpl.ack");
+  RemovePath(tmpl);
+  RemovePath(tmpl_ack);
+  ASSERT_EQ(RunChild({{"PIDX_CRASH_DIR", tmpl},
+                      {"PIDX_ACK_LOG", tmpl_ack},
+                      {"PIDX_CRASH_POINT", "wal.append"},
+                      {"PIDX_CRASH_INDEX",
+                       std::to_string(workload_counts.at("wal.append") - 1)}},
+                     "Workload"),
+            kFaultCrashExitCode);
+  const AckState ack = ParseAckLog(tmpl_ack);
+
+  // Recording pass over recovery itself (on a scratch copy — recovery
+  // rewrites the directory).
+  const std::string count_file = TempName("rtmpl.counts");
+  std::map<std::string, int> counts;
+  {
+    const std::string scratch = TempName("rscratch");
+    RemovePath(scratch);
+    ASSERT_EQ(std::system(
+                  ("cp -a " + Quoted(tmpl) + " " + Quoted(scratch)).c_str()),
+              0);
+    ASSERT_EQ(RunChild({{"PIDX_CRASH_DIR", scratch},
+                        {"PIDX_COUNT_FILE", count_file}},
+                       "Recover"),
+              0);
+    std::ifstream in(count_file);
+    std::string point;
+    int n = 0;
+    while (in >> point >> n) counts[point] = n;
+    RemovePath(scratch);
+    RemovePath(count_file);
+  }
+  ASSERT_FALSE(counts.empty()) << "recovery exercised no crash points";
+
+  int runs = 0;
+  for (const auto& [point, count] : counts) {
+    for (int i = 0; i < count; ++i) {
+      const std::string label = "recovery:" + point + "@" + std::to_string(i);
+      const std::string dir = TempName("rsweep");
+      RemovePath(dir);
+      ASSERT_EQ(std::system(
+                    ("cp -a " + Quoted(tmpl) + " " + Quoted(dir)).c_str()),
+                0);
+      const int rc = RunChild({{"PIDX_CRASH_DIR", dir},
+                               {"PIDX_CRASH_POINT", point},
+                               {"PIDX_CRASH_INDEX", std::to_string(i)}},
+                              "Recover");
+      ASSERT_EQ(rc, kFaultCrashExitCode) << label;
+      // Recovery acknowledges nothing, so the contract window is
+      // unchanged from the original crash.
+      VerifyRecoveredDir(dir, ack, label);
+      RemovePath(dir);
+      ++runs;
+    }
+  }
+  RemovePath(tmpl);
+  RemovePath(tmpl_ack);
+  std::printf("recovery crash sweep: %d crash points, %d runs\n",
+              static_cast<int>(counts.size()), runs);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 3: inject a clean write failure (ENOSPC-style kFail) at every
+// point, in process. A failed statement reports its error and aborts; the
+// durable state afterwards must be exactly the acknowledged prefix.
+
+TEST(CrashRecoveryTest, FailEveryPointAbortsCleanly) {
+  // In-process recording pass.
+  std::map<std::string, int> counts;
+  {
+    const std::string dir = TempName("failrec");
+    RemovePath(dir);
+    auto shared = std::make_shared<PointCounts>();
+    EngineOptions options;
+    options.num_threads = 2;
+    options.durability.data_dir = dir;
+    options.durability.fault_hook = MakeChildHook(shared, "", -1);
+    {
+      Engine engine(options);
+      ASSERT_TRUE(engine.recovery_status().ok());
+      Session session = engine.CreateSession();
+      for (int id = 0; id < kNumSteps; ++id) {
+        ASSERT_TRUE(RunStep(session, id).ok()) << id;
+        if (id == 4) ASSERT_TRUE(engine.Checkpoint().ok());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      counts = shared->counts;
+    }
+    RemovePath(dir);
+  }
+  ASSERT_FALSE(counts.empty());
+
+  int runs = 0;
+  for (const auto& [point, count] : counts) {
+    for (int i = 0; i < count; ++i) {
+      const std::string label = "fail:" + point + "@" + std::to_string(i);
+      const std::string dir = TempName("failsweep");
+      RemovePath(dir);
+
+      auto shared = std::make_shared<PointCounts>();
+      const std::string fail_point = point;
+      const int fail_index = i;
+      EngineOptions options;
+      options.num_threads = 2;
+      options.durability.data_dir = dir;
+      options.durability.fault_hook = [shared, fail_point,
+                                       fail_index](const char* p) {
+        if (shared->Next(p) == fail_index && fail_point == p) {
+          return FaultAction::kFail;
+        }
+        return FaultAction::kNone;
+      };
+
+      AckState ack;
+      bool failure_seen = false;
+      {
+        Engine engine(options);
+        if (!engine.recovery_status().ok()) {
+          // The injected failure hit the initial data-dir setup; nothing
+          // was ever durable.
+          failure_seen = true;
+        } else {
+          Session session = engine.CreateSession();
+          for (int id = 0; id < kNumSteps && !failure_seen; ++id) {
+            ++ack.begun;
+            if (!RunStep(session, id).ok()) {
+              failure_seen = true;
+              break;
+            }
+            ++ack.acked;
+            if (id == 4 && !engine.Checkpoint().ok()) {
+              // A failed checkpoint aborts nothing: the WAL keeps every
+              // acked commit. Stop the workload here like a crash would.
+              failure_seen = true;
+              ack.begun = ack.acked;
+            }
+          }
+        }
+      }
+      ASSERT_TRUE(failure_seen) << label << " (never reached the point)";
+      VerifyRecoveredDir(dir, ack, label);
+      RemovePath(dir);
+      ++runs;
+    }
+  }
+  std::printf("fail sweep: %d crash points, %d runs\n",
+              static_cast<int>(counts.size()), runs);
+}
+
+}  // namespace
+}  // namespace patchindex

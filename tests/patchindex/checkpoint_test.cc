@@ -35,7 +35,11 @@ class CheckpointTest : public ::testing::TestWithParam<ConstraintKind> {};
 TEST_P(CheckpointTest, RoundTripPreservesState) {
   Table t = MakeTable({1, 5, 2, 5, 3, 9, 4, 5});
   auto original = PatchIndex::Create(t, 1, GetParam());
-  const std::string path = TempPath("roundtrip.pidx");
+  // Param-unique name: the three instances run as parallel ctest
+  // processes and share the temp directory.
+  const std::string path = TempPath(
+      ("roundtrip." + std::to_string(static_cast<int>(GetParam())) + ".pidx")
+          .c_str());
   ASSERT_TRUE(SavePatchIndexCheckpoint(*original, path).ok());
 
   auto loaded = LoadPatchIndexCheckpoint(path, t);
@@ -144,6 +148,70 @@ TEST(CheckpointTest, SaveThenCommitInvalidatesTheCheckpointPerPartition) {
     EXPECT_TRUE(reloaded.value()->CheckInvariant());
     std::remove(paths[p].c_str());
   }
+}
+
+// Fault-injection coverage of the checkpoint writer (the engine's
+// durability layer reuses it per partition): every failure mode must
+// leave an error for the caller and never a file a later Load would
+// accept as a complete checkpoint.
+
+TEST(CheckpointTest, FailedWriteReportsErrorAndLoadRejectsTheFile) {
+  Table t = MakeTable({1, 2, 3, 4});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlyUnique);
+  const std::string path = TempPath("failwrite.pidx");
+  const FaultHook fail_write = [](const char* point) {
+    return std::string_view(point) == "pidx_ckpt.write" ? FaultAction::kFail
+                                                        : FaultAction::kNone;
+  };
+  EXPECT_FALSE(SavePatchIndexCheckpoint(*original, path, fail_write).ok());
+  // kFail = clean ENOSPC before any byte: the file exists but is empty.
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShortWriteReportsErrorAndLoadRejectsTheTornFile) {
+  Table t = MakeTable({1, 5, 2, 5, 3, 9});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlySorted);
+  const std::string path = TempPath("shortwrite.pidx");
+  const FaultHook short_write = [](const char* point) {
+    return std::string_view(point) == "pidx_ckpt.write"
+               ? FaultAction::kShortWrite
+               : FaultAction::kNone;
+  };
+  EXPECT_FALSE(SavePatchIndexCheckpoint(*original, path, short_write).ok());
+  // The torn half-file must not load as a (wrong) index.
+  auto loaded = LoadPatchIndexCheckpoint(path, t);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FsyncFailureReportsError) {
+  Table t = MakeTable({1, 2});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlyUnique);
+  const std::string path = TempPath("failsync.pidx");
+  const FaultHook fail_sync = [](const char* point) {
+    return std::string_view(point) == "pidx_ckpt.fsync" ? FaultAction::kFail
+                                                        : FaultAction::kNone;
+  };
+  // The content is fully written but not durable — the engine treats this
+  // as a failed checkpoint and keeps the WAL instead.
+  EXPECT_FALSE(SavePatchIndexCheckpoint(*original, path, fail_sync).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnwritablePathReportsError) {
+  Table t = MakeTable({1, 2});
+  auto original = PatchIndex::Create(t, 1, ConstraintKind::kNearlyUnique);
+  // A directory is not a writable file target.
+  EXPECT_FALSE(
+      SavePatchIndexCheckpoint(*original, ::testing::TempDir()).ok());
+}
+
+TEST(CheckpointTest, UnreadablePathReportsError) {
+  Table t = MakeTable({1, 2});
+  auto loaded = LoadPatchIndexCheckpoint(::testing::TempDir(), t);
+  EXPECT_FALSE(loaded.ok());
 }
 
 TEST(CheckpointTest, MissingFile) {

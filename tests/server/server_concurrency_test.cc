@@ -7,9 +7,14 @@
 // parallel commit are exactly the code sanitizers bite first.
 
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -249,6 +254,146 @@ TEST(ServerConcurrencyTest, CrossPartitionUpdatesAreAtomic) {
   for (std::thread& t : readers) t.join();
   EXPECT_EQ(failures.load(), 0);
   server.Stop();
+}
+
+/// The kill-and-recover phase: a durable server (--data-dir engine) runs
+/// in a forked child process; 20 clients stream 2-row INSERTs (each
+/// statement spans partitions) and record which ones the server
+/// acknowledged; the parent SIGKILLs the server mid-workload — a real
+/// hard stop, no drain, no final checkpoint — then recovers the data
+/// directory in process and reconciles:
+///   * every acknowledged INSERT is fully present (both rows),
+///   * every present INSERT is all-or-nothing (never one of its two rows),
+///   * nothing beyond what some client attempted exists.
+TEST(ServerConcurrencyTest, KillNineAndRecoverKeepsAckedCommits) {
+  const std::string dir = std::string(::testing::TempDir()) + "/srvkill." +
+                          std::to_string(::getpid());
+  (void)std::system(("rm -rf '" + dir + "'").c_str());
+
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Server process. Plumbing failures exit 3 — the parent reads no port
+    // and fails fast. The process only ever dies by SIGKILL.
+    ::close(port_pipe[0]);
+    EngineOptions engine_options;
+    engine_options.num_threads = 2;
+    engine_options.durability.data_dir = dir;
+    Engine engine(engine_options);
+    if (!engine.recovery_status().ok()) std::_Exit(3);
+    {
+      Session session = engine.CreateSession();
+      if (!session.Sql("CREATE TABLE pairs (id INT64, v INT64) PARTITIONS 4")
+               .ok()) {
+        std::_Exit(3);
+      }
+      if (!session.CreatePatchIndex("pairs", 0, ConstraintKind::kNearlyUnique)
+               .ok()) {
+        std::_Exit(3);
+      }
+    }
+    ServerOptions options;
+    options.query_workers = 4;
+    PiServer server(engine, options);
+    if (!server.Start().ok()) std::_Exit(3);
+    const std::uint16_t port = server.port();
+    if (::write(port_pipe[1], &port, sizeof port) != sizeof port) {
+      std::_Exit(3);
+    }
+    ::close(port_pipe[1]);
+    for (;;) ::pause();
+  }
+
+  ::close(port_pipe[1]);
+  std::uint16_t port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof port),
+            static_cast<ssize_t>(sizeof port));
+  ::close(port_pipe[0]);
+
+  constexpr int kClients = 20;
+  constexpr std::int64_t kPairOffset = 1000000;
+  std::atomic<std::uint64_t> total_acked{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::vector<std::vector<std::int64_t>> acked(kClients);
+  std::vector<std::vector<std::int64_t>> attempted(kClients);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      PiClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      for (int i = 0; i < 1000; ++i) {
+        const std::int64_t id = t * 1000 + i;
+        attempted[t].push_back(id);
+        Result<QueryResult> r = SqlRetry(
+            client,
+            "INSERT INTO pairs VALUES (" + std::to_string(id) + ", 1), (" +
+                std::to_string(id + kPairOffset) + ", 1)",
+            &busy);
+        // Any non-busy error means the server was killed: stop. The
+        // in-flight statement stays "attempted but not acked".
+        if (!r.ok()) return;
+        acked[t].push_back(id);
+        total_acked.fetch_add(1);
+      }
+    });
+  }
+
+  // Kill -9 once a healthy chunk of commits is acknowledged, mid-traffic.
+  while (total_acked.load() < 100) std::this_thread::yield();
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  for (std::thread& c : clients) c.join();
+
+  // Recover in process (the child's death released the directory lock).
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.durability.data_dir = dir;
+  Engine engine(engine_options);
+  ASSERT_TRUE(engine.recovery_status().ok())
+      << engine.recovery_status().ToString();
+  Session session = engine.CreateSession();
+  Result<QueryResult> all = session.Sql("SELECT id FROM pairs");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  std::set<std::int64_t> present;
+  for (std::size_t i = 0; i < all.value().rows.num_rows(); ++i) {
+    present.insert(all.value().rows.columns[0].i64[i]);
+  }
+
+  std::set<std::int64_t> attempted_ids;
+  std::uint64_t acked_count = 0;
+  for (int t = 0; t < kClients; ++t) {
+    attempted_ids.insert(attempted[t].begin(), attempted[t].end());
+    acked_count += acked[t].size();
+    for (const std::int64_t id : acked[t]) {
+      EXPECT_TRUE(present.count(id)) << "acked id " << id << " lost";
+      EXPECT_TRUE(present.count(id + kPairOffset))
+          << "acked id " << id << " lost its pair row";
+    }
+  }
+  ASSERT_GE(acked_count, 100u);
+  for (const std::int64_t id : present) {
+    const std::int64_t base = id >= kPairOffset ? id - kPairOffset : id;
+    EXPECT_TRUE(attempted_ids.count(base)) << "phantom id " << id;
+    // All-or-nothing per statement: both rows of the pair or neither.
+    EXPECT_TRUE(present.count(base) && present.count(base + kPairOffset))
+        << "torn 2-row commit around id " << base;
+  }
+
+  // The index came back and the recovered engine serves queries.
+  const PartitionedTable* table =
+      engine.catalog().FindPartitionedTable("pairs");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(engine.catalog().manager().IndexesOn(*table).size(), 4u);
+  Result<QueryResult> count =
+      session.Sql("SELECT COUNT(*) AS n FROM pairs WHERE id = 3");
+  ASSERT_TRUE(count.ok());
+  (void)std::system(("rm -rf '" + dir + "'").c_str());
 }
 
 }  // namespace

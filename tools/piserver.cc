@@ -4,7 +4,8 @@
 //   piserver [--host H] [--port P] [--workers N] [--max-inflight N]
 //            [--max-queue N] [--max-connections N] [--threads N]
 //            [--no-meta] [--init script.sql] [--metrics-port P]
-//            [--slow-query-ms N]
+//            [--slow-query-ms N] [--data-dir DIR] [--no-fsync]
+//            [--checkpoint-interval SECONDS]
 //
 // Starts a PiServer over a fresh engine and serves until SIGINT/SIGTERM,
 // then shuts down gracefully (in-flight queries drain, results are
@@ -17,6 +18,14 @@
 // serves the engine's metrics registry as Prometheus text on
 // http://HOST:P/metrics; `--slow-query-ms` logs queries at or over the
 // threshold to stderr with their phase breakdown.
+//
+// `--data-dir` turns on durability: SQL-created tables are write-ahead
+// logged and checkpointed into DIR, and a restart with the same DIR
+// recovers every acknowledged commit (see ARCHITECTURE.md "durability").
+// `--checkpoint-interval` additionally checkpoints all tables every N
+// seconds (WAL-size-triggered checkpoints run either way); `--no-fsync`
+// trades power-cut safety for throughput. A final checkpoint runs on
+// graceful shutdown so the next start replays an empty log.
 
 #include <csignal>
 #include <cstdio>
@@ -53,7 +62,8 @@ int Usage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--workers N] [--max-inflight N]\n"
       "          [--max-queue N] [--max-connections N] [--threads N]\n"
       "          [--no-meta] [--init script.sql] [--metrics-port P]\n"
-      "          [--slow-query-ms N]\n",
+      "          [--slow-query-ms N] [--data-dir DIR] [--no-fsync]\n"
+      "          [--checkpoint-interval SECONDS]\n",
       argv0);
   return 1;
 }
@@ -67,6 +77,7 @@ int main(int argc, char** argv) {
   std::string init_script;
   bool serve_metrics = false;
   std::uint16_t metrics_port = 0;
+  std::size_t checkpoint_interval_s = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +132,16 @@ int main(int argc, char** argv) {
       const char* v = next("--slow-query-ms");
       if (v == nullptr || !ParseSize(v, &n)) return Usage(argv[0]);
       options.slow_query_ms = n;
+    } else if (arg == "--data-dir") {
+      const char* v = next("--data-dir");
+      if (v == nullptr || *v == '\0') return Usage(argv[0]);
+      engine_options.durability.data_dir = v;
+    } else if (arg == "--no-fsync") {
+      engine_options.durability.fsync = false;
+    } else if (arg == "--checkpoint-interval") {
+      const char* v = next("--checkpoint-interval");
+      if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
+      checkpoint_interval_s = n;
     } else if (arg == "--no-meta") {
       options.enable_meta_commands = false;
     } else if (arg == "--init") {
@@ -134,6 +155,19 @@ int main(int argc, char** argv) {
   }
 
   Engine engine(engine_options);
+  if (!engine.recovery_status().ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 engine.recovery_status().ToString().c_str());
+    return 1;
+  }
+  if (engine.durability() != nullptr) {
+    const RecoveryReport& r = engine.durability()->last_recovery();
+    std::printf("recovered %zu tables from %s (%llu WAL records replayed, "
+                "%zu indexes restored, %zu rebuilt)\n",
+                r.tables, engine_options.durability.data_dir.c_str(),
+                static_cast<unsigned long long>(r.records_replayed),
+                r.indexes_restored, r.indexes_rebuilt);
+  }
 
   if (!init_script.empty()) {
     std::ifstream in(init_script);
@@ -216,15 +250,32 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
+  std::size_t ticks = 0;
   while (g_stop == 0) {
     struct timespec ts {0, 100 * 1000 * 1000};
     ::nanosleep(&ts, nullptr);
+    if (checkpoint_interval_s != 0 && engine.durability() != nullptr &&
+        ++ticks >= checkpoint_interval_s * 10) {
+      ticks = 0;
+      Status ckpt = engine.Checkpoint();
+      if (!ckpt.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n", ckpt.ToString().c_str());
+      }
+    }
   }
 
   std::printf("shutting down (draining in-flight queries)\n");
   std::fflush(stdout);
   if (metrics_http != nullptr) metrics_http->Stop();
   server.Stop();
+  if (engine.durability() != nullptr) {
+    // Fold the drained commits into a final checkpoint so the next start
+    // loads snapshots instead of replaying the whole log.
+    Status ckpt = engine.Checkpoint();
+    if (!ckpt.ok()) {
+      std::fprintf(stderr, "final checkpoint: %s\n", ckpt.ToString().c_str());
+    }
+  }
   const net::ServerStats& stats = server.stats();
   std::printf("served %llu queries over %llu connections "
               "(%llu rejected busy)\n",
