@@ -223,7 +223,10 @@ int main(int argc, char** argv) {
                "90%% point SELECT + 10%% single-row UPDATE; busy_retries "
                "= SERVER_BUSY rejections retried by clients; p50/p95/p99 "
                "come from the log-bucketed server latency histogram "
-               "(bucket upper bounds, so power-of-two resolution)\",\n"
+               "(bucket upper bounds, so power-of-two resolution); the "
+               "flight recorder runs in both metrics_overhead arms, so "
+               "enabled-vs-disabled isolates the metrics registry on top "
+               "of it\",\n"
                "  \"metrics_overhead\": {\"workload\": \"point\", "
                "\"clients\": %zu, \"reps\": %d, "
                "\"metrics_enabled_qps\": %.1f, "

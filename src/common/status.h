@@ -72,7 +72,8 @@ class Status {
     return a.code_ == b.code_;
   }
 
- private:
+  /// The code's stable name ("NotFound", "Internal", ...) — the `status`
+  /// column of pi_stats.queries for failed statements.
   static const char* CodeName(StatusCode code) {
     switch (code) {
       case StatusCode::kOk:
@@ -97,6 +98,7 @@ class Status {
     return "Unknown";
   }
 
+ private:
   StatusCode code_;
   std::string message_;
 };

@@ -9,6 +9,7 @@
 #include <map>
 #include <utility>
 
+#include "common/timer.h"
 #include "patchindex/checkpoint.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -231,7 +232,8 @@ Status DurabilityManager::LogCreateIndex(const std::string& table,
 }
 
 Status DurabilityManager::LogCommit(const std::string& name,
-                                    const PartitionedTable& table) {
+                                    const PartitionedTable& table,
+                                    std::int64_t* commit_csn) {
   TableState* state = FindState(name);
   if (state == nullptr) return Status::OK();  // untracked table
   if (state->broken) {
@@ -272,7 +274,11 @@ Status DurabilityManager::LogCommit(const std::string& name,
   }
   if (st.ok() && options_.fsync) {
     for (const std::size_t p : dirty) {
+      WallTimer fsync_timer;
       st = state->wal[p].Fsync("wal.fsync");
+      if (metrics_.fsync_latency_us != nullptr) {
+        metrics_.fsync_latency_us->RecordNanos(fsync_timer.ElapsedNanos());
+      }
       if (!st.ok()) break;
     }
   }
@@ -288,7 +294,26 @@ Status DurabilityManager::LogCommit(const std::string& name,
   }
   state->next_csn = csn + 1;
   state->wal_bytes += bytes;
+  if (metrics_.wal_appended_bytes != nullptr) {
+    metrics_.wal_appended_bytes->Add(bytes);
+  }
+  if (commit_csn != nullptr) *commit_csn = static_cast<std::int64_t>(csn);
   return Status::OK();
+}
+
+TableDurability DurabilityManager::InspectTable(const std::string& name) const {
+  TableDurability out;
+  const TableState* state = FindState(name);
+  if (state == nullptr) return out;
+  out.tracked = true;
+  out.wal_bytes = state->wal_bytes;
+  out.snapshot_csn = state->snapshot_csn;
+  out.next_csn = state->next_csn;
+  out.broken = state->broken;
+  for (const DurableFile& f : state->wal) {
+    out.partition_wal_bytes.push_back(f.is_open() ? f.size() : 0);
+  }
+  return out;
 }
 
 bool DurabilityManager::ShouldCheckpoint(const std::string& name) const {
@@ -310,6 +335,7 @@ Status DurabilityManager::CheckpointLocked(const std::string& name,
                                            TableState* state,
                                            const PartitionedTable& table,
                                            const PatchIndexManager& manager) {
+  WallTimer checkpoint_timer;
   const FaultHook& hook = options_.fault_hook;
   const std::uint64_t old_csn = state->snapshot_csn;
   const std::uint64_t csn = state->next_csn - 1;
@@ -380,6 +406,10 @@ Status DurabilityManager::CheckpointLocked(const std::string& name,
       std::remove(
           IndexCheckpointPath(specs[i], spec_partition[i], old_csn).c_str());
     }
+  }
+  if (metrics_.checkpoint_duration_us != nullptr) {
+    metrics_.checkpoint_duration_us->RecordNanos(
+        checkpoint_timer.ElapsedNanos());
   }
   return Status::OK();
 }

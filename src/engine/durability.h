@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/catalog.h"
+#include "obs/metrics.h"
 #include "storage/fault_fs.h"
 #include "storage/table.h"
 
@@ -42,6 +43,33 @@ struct DurabilityOptions {
   FaultHook fault_hook;
 
   bool enabled() const { return !data_dir.empty(); }
+};
+
+/// Hot-path durability instrumentation handles, bound by the engine
+/// before Open()/Recover() run so recovery's log resets are counted too.
+/// All-null (the default) records nothing.
+struct DurabilityMetrics {
+  /// WAL record bytes appended by acknowledged commits.
+  obs::Counter* wal_appended_bytes = nullptr;
+  /// Latency of each commit-path fsync (one per dirty partition log).
+  obs::Histogram* fsync_latency_us = nullptr;
+  /// Wall time of each completed table checkpoint.
+  obs::Histogram* checkpoint_duration_us = nullptr;
+};
+
+/// A race-free copy of one table's durable bookkeeping, for
+/// `pi_stats.tables` / `pi_stats.wal`. Callers must hold at least the
+/// table's shared lock (commit and checkpoint mutate the state under the
+/// exclusive lock).
+struct TableDurability {
+  /// False when the table is not WAL-tracked (volatile bulk loads).
+  bool tracked = false;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshot_csn = 0;
+  std::uint64_t next_csn = 0;
+  bool broken = false;
+  /// Current log file size of each partition (header included).
+  std::vector<std::uint64_t> partition_wal_bytes;
 };
 
 /// What Recover() found, for observability and tests.
@@ -95,6 +123,10 @@ class DurabilityManager {
   DurabilityManager(const DurabilityManager&) = delete;
   DurabilityManager& operator=(const DurabilityManager&) = delete;
 
+  /// Binds metric handles (see DurabilityMetrics). Call before
+  /// Open()/Recover(); not thread-safe against concurrent commits.
+  void SetMetrics(const DurabilityMetrics& metrics) { metrics_ = metrics; }
+
   /// Creates/locks the data directory and opens the catalog log. Must be
   /// called (and succeed) before anything else.
   Status Open();
@@ -117,7 +149,10 @@ class DurabilityManager {
   /// for tables not created through the logged DDL path (Catalog::
   /// AddTable bulk loads are volatile by design). On error the WAL is
   /// rolled back and the caller must abort the commit (discard the PDTs).
-  Status LogCommit(const std::string& name, const PartitionedTable& table);
+  /// On success, `commit_csn` (when non-null) receives the commit
+  /// sequence number assigned to this update query.
+  Status LogCommit(const std::string& name, const PartitionedTable& table,
+                   std::int64_t* commit_csn = nullptr);
 
   /// True once `name`'s WAL bytes exceed checkpoint_wal_bytes.
   bool ShouldCheckpoint(const std::string& name) const;
@@ -131,6 +166,10 @@ class DurabilityManager {
 
   const RecoveryReport& last_recovery() const { return report_; }
   const DurabilityOptions& options() const { return options_; }
+
+  /// Snapshot of `name`'s durable bookkeeping (tracked == false for
+  /// untracked names). Caller must hold at least the table's shared lock.
+  TableDurability InspectTable(const std::string& name) const;
 
  private:
   struct IndexSpec {
@@ -179,6 +218,7 @@ class DurabilityManager {
   const TableState* FindState(const std::string& name) const;
 
   DurabilityOptions options_;
+  DurabilityMetrics metrics_;
   int lock_fd_ = -1;
   RecoveryReport report_;
 

@@ -38,21 +38,11 @@ Engine::Engine(EngineOptions options) : options_(options) {
   }
   pool_ = std::make_unique<ThreadPool>(threads);
 
-  if (options_.durability.enabled()) {
-    durability_ = std::make_unique<DurabilityManager>(options_.durability);
-    recovery_status_ = durability_->Open();
-    if (recovery_status_.ok()) {
-      recovery_status_ = durability_->Recover(&catalog_, pool_.get());
-    }
-    if (!recovery_status_.ok()) {
-      // Fail volatile: without a trustworthy log, appending to it could
-      // compound the damage. recovery_status() tells callers (piserver
-      // refuses to start; tests assert on it).
-      durability_.reset();
-    }
-  }
-
+  // Metrics and the flight recorder come up before durability so the
+  // recovery pass (log resets checkpoint, fsyncs) is already instrumented.
   metrics_ = std::make_unique<obs::MetricsRegistry>();
+  recorder_ =
+      std::make_unique<obs::FlightRecorder>(options_.flight_recorder_capacity);
   if (options_.enable_metrics) {
     obs::MetricsRegistry& r = *metrics_;
     m_.read_queries = r.GetCounter(
@@ -76,6 +66,75 @@ Engine::Engine(EngineOptions options) : options_(options) {
     m_.phase_commit_us = r.GetHistogram(
         "pidx_phase_commit_us", "PatchIndex commit protocol phase (DML)");
   }
+
+  if (options_.durability.enabled()) {
+    durability_ = std::make_unique<DurabilityManager>(options_.durability);
+    if (options_.enable_metrics) {
+      obs::MetricsRegistry& r = *metrics_;
+      DurabilityMetrics dm;
+      dm.wal_appended_bytes =
+          r.GetCounter("pidx_wal_appended_bytes_total",
+                       "WAL record bytes appended by committed updates");
+      dm.fsync_latency_us = r.GetHistogram(
+          "pidx_fsync_latency_us", "Commit-path WAL fsync latency");
+      dm.checkpoint_duration_us = r.GetHistogram(
+          "pidx_checkpoint_duration_us", "Table checkpoint wall time");
+      durability_->SetMetrics(dm);
+    }
+    recovery_status_ = durability_->Open();
+    if (recovery_status_.ok()) {
+      recovery_status_ = durability_->Recover(&catalog_, pool_.get());
+    }
+    if (!recovery_status_.ok()) {
+      // Fail volatile: without a trustworthy log, appending to it could
+      // compound the damage. recovery_status() tells callers (piserver
+      // refuses to start; tests assert on it).
+      durability_.reset();
+    } else if (options_.enable_metrics) {
+      obs::MetricsRegistry& r = *metrics_;
+      const RecoveryReport& report = durability_->last_recovery();
+      r.GetGauge("pidx_recovery_tables", "Tables restored by recovery")
+          ->Set(static_cast<std::int64_t>(report.tables));
+      r.GetGauge("pidx_recovery_records_replayed",
+                 "WAL records replayed by recovery")
+          ->Set(static_cast<std::int64_t>(report.records_replayed));
+      r.GetGauge("pidx_recovery_commits_dropped",
+                 "Unacknowledged trailing commits dropped by recovery")
+          ->Set(static_cast<std::int64_t>(report.commits_dropped));
+      r.GetGauge("pidx_recovery_indexes_restored",
+                 "PatchIndexes restored from checkpoints by recovery")
+          ->Set(static_cast<std::int64_t>(report.indexes_restored));
+      r.GetGauge("pidx_recovery_indexes_rebuilt",
+                 "PatchIndexes rebuilt by discovery after recovery")
+          ->Set(static_cast<std::int64_t>(report.indexes_rebuilt));
+    }
+  }
+}
+
+void Engine::StoreLastTrace(std::string json) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  last_trace_json_ = std::move(json);
+}
+
+std::string Engine::LastTraceJson() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return last_trace_json_;
+}
+
+void Engine::SetConnectionsProvider(
+    std::function<std::vector<obs::ConnectionInfo>()> provider) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  connections_provider_ = std::move(provider);
+}
+
+std::vector<obs::ConnectionInfo> Engine::ConnectionsSnapshot() const {
+  // Invoked with obs_mu_ held so SetConnectionsProvider(nullptr) is a
+  // barrier: once it returns, no snapshot is still inside the removed
+  // provider (the server deregisters before tearing down the state the
+  // provider reads). Safe because providers only take their own locks.
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (connections_provider_ == nullptr) return {};
+  return connections_provider_();
 }
 
 Session Engine::CreateSession() { return Session(this); }
@@ -143,10 +202,10 @@ Result<QueryResult> Session::Execute(LogicalPtr plan,
                          /*profile_ops=*/false);
 }
 
-Result<QueryResult> Session::ExecuteProfiled(LogicalPtr plan,
-                                             const OptimizerOptions& optimizer,
-                                             obs::QueryProfile* profile,
-                                             bool profile_ops) {
+Result<QueryResult> Session::ExecuteProfiled(
+    LogicalPtr plan, const OptimizerOptions& optimizer,
+    obs::QueryProfile* profile, bool profile_ops,
+    const obs::FlightRecorder::Handle& active, obs::TraceBuffer* trace) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   const Engine::MetricSet& m = engine_->m_;
 
@@ -160,21 +219,33 @@ Result<QueryResult> Session::ExecuteProfiled(LogicalPtr plan,
   guards.reserve(refs.size());
   for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
 
+  if (active != nullptr) {
+    obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kOptimize);
+  }
   WallTimer optimize_timer;
-  LogicalPtr optimized =
-      OptimizePlan(std::move(plan), engine_->catalog_.manager(), optimizer);
+  LogicalPtr optimized;
+  {
+    obs::TraceSpan span(trace, "optimize", 0);
+    optimized =
+        OptimizePlan(std::move(plan), engine_->catalog_.manager(), optimizer);
+  }
   const std::int64_t optimize_ns = optimize_timer.ElapsedNanos();
 
   obs::ExecProfile exec_profile;
   obs::ExecProfile* ops = profile_ops ? &exec_profile : nullptr;
 
+  if (active != nullptr) {
+    obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kExecute);
+  }
   QueryResult result;
   ParallelExecOptions parallel_options;
   parallel_options.morsel_rows = engine_->options_.morsel_rows;
   parallel_options.min_parallel_rows = engine_->options_.min_parallel_rows;
   parallel_options.profile = ops;
+  parallel_options.trace = trace;
   ParallelExecReport report;
   WallTimer execute_timer;
+  obs::TraceSpan execute_span(trace, "execute", 0);
   if (engine_->options_.enable_parallel_execution &&
       ExecuteParallel(*optimized, engine_->pool(), parallel_options,
                       &result.rows, &report)) {
@@ -222,7 +293,7 @@ namespace {
 Status ApplyUpdateLocked(PartitionedTable* table, const std::string& name,
                          PatchIndexManager& manager,
                          DurabilityManager* durability, ThreadPool* pool,
-                         UpdateQuery query) {
+                         UpdateQuery query, std::int64_t* commit_csn) {
   const int kinds = (query.inserts.empty() ? 0 : 1) +
                     (query.deletes.empty() ? 0 : 1) +
                     (query.modifies.empty() ? 0 : 1);
@@ -279,7 +350,7 @@ Status ApplyUpdateLocked(PartitionedTable* table, const std::string& name,
   // failure aborts the whole commit — the buffered PDTs are discarded and
   // nothing becomes visible.
   if (durability != nullptr) {
-    Status logged = durability->LogCommit(name, *table);
+    Status logged = durability->LogCommit(name, *table, commit_csn);
     if (!logged.ok()) {
       table->DiscardPdt();
       return logged;
@@ -317,7 +388,8 @@ Status Session::ExecuteUpdateWithProfiled(
     const std::string& table_name,
     const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
         build,
-    obs::QueryProfile* profile) {
+    obs::QueryProfile* profile, const obs::FlightRecorder::Handle& active,
+    obs::TraceBuffer* trace, std::int64_t* commit_csn) {
   const Engine::MetricSet& m = engine_->m_;
   Catalog::TableRef ref = engine_->catalog_.Ref(table_name);
   if (!ref) {
@@ -325,21 +397,35 @@ Status Session::ExecuteUpdateWithProfiled(
   }
   PartitionedTable* table = ref.ptable;
   WallTimer lock_timer;
-  std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
+  std::unique_lock<std::shared_mutex> exclusive = [&] {
+    obs::TraceSpan span(trace, "commit_wait", 0);
+    return std::unique_lock<std::shared_mutex>(*ref.lock);
+  }();
   const std::int64_t lock_ns = lock_timer.ElapsedNanos();
   // Recheck under the lock: a concurrent DropTable may have de-cataloged
   // the table between Ref() and lock acquisition.
   if (engine_->catalog_.FindPartitionedTable(table_name) != table) {
     return Status::NotFound("table '" + table_name + "' was dropped");
   }
+  if (active != nullptr) {
+    obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kExecute);
+  }
   WallTimer build_timer;
-  Result<UpdateQuery> query = build(*table);
+  Result<UpdateQuery> query = [&] {
+    obs::TraceSpan span(trace, "execute", 0);
+    return build(*table);
+  }();
   if (!query.ok()) return query.status();
   const std::int64_t build_ns = build_timer.ElapsedNanos();
+  if (active != nullptr) {
+    obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kCommit);
+  }
   WallTimer commit_timer;
+  obs::TraceSpan commit_span(trace, "commit", 0);
   Status status = ApplyUpdateLocked(
       table, table_name, engine_->catalog_.manager(),
-      engine_->durability_.get(), &engine_->pool(), std::move(query).value());
+      engine_->durability_.get(), &engine_->pool(), std::move(query).value(),
+      commit_csn);
   const std::int64_t commit_ns = commit_timer.ElapsedNanos();
   if (m.update_queries != nullptr) {
     m.update_queries->Add(1);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,8 +16,11 @@
 #include "engine/catalog.h"
 #include "engine/durability.h"
 #include "engine/executor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/system_tables.h"
+#include "obs/trace.h"
 #include "optimizer/rewriter.h"
 
 namespace patchindex {
@@ -50,6 +54,25 @@ struct EngineOptions {
   /// metrics-overhead benchmark compares against. Operator-level
   /// profiling (EXPLAIN ANALYZE) is per-query and unaffected.
   bool enable_metrics = true;
+
+  /// Completed statements the flight recorder retains for
+  /// `pi_stats.queries` (see obs/flight_recorder.h). 0 disables retention
+  /// — the active-query registry still works.
+  std::size_t flight_recorder_capacity = 512;
+
+  /// Fraction of SQL statements that capture a full span trace
+  /// (phase spans plus per-worker and per-morsel executor spans),
+  /// exportable as Chrome trace-event JSON (pisql `.trace`, piserver
+  /// GET /trace). 0 (the default) traces nothing and costs nothing;
+  /// 1.0 traces every statement; in between, every round(1/p)-th
+  /// statement is selected deterministically.
+  double trace_sampling = 0.0;
+
+  /// Test hook: runs inside every SQL statement execution, after the
+  /// statement is registered with the flight recorder and its phase is
+  /// set to execute. Lets tests park a statement mid-flight and observe
+  /// it through pi_stats.active_queries from another connection.
+  std::function<void(std::string_view sql)> sql_exec_hook;
 
   /// Options forwarded to the PatchIndex rewriter.
   OptimizerOptions optimizer;
@@ -87,6 +110,10 @@ struct QueryResult {
   /// of this query. Set by the SQL path when EngineOptions::enable_metrics
   /// is on; null otherwise (and for hand-built plans run via Execute).
   std::shared_ptr<obs::QueryProfile> profile;
+  /// The statement's span trace when the engine's trace sampler selected
+  /// it (EngineOptions::trace_sampling); null otherwise. Render with
+  /// obs::RenderChromeTrace (pisql's `.trace` does).
+  std::shared_ptr<obs::TraceBuffer> trace;
 };
 
 /// Which execution path the session's queries took, answering "did my
@@ -158,6 +185,35 @@ class Engine {
   /// either way.
   obs::MetricsRegistry& metrics() { return *metrics_; }
 
+  /// The engine's flight recorder: the active-query registry plus the
+  /// ring of recently completed statements. Always present; feeds
+  /// `pi_stats.queries` / `pi_stats.active_queries`.
+  obs::FlightRecorder& recorder() { return *recorder_; }
+
+  /// Deterministic trace sampler: true when the next SQL statement should
+  /// carry a TraceBuffer (see EngineOptions::trace_sampling).
+  bool SampleTrace() {
+    const double s = options_.trace_sampling;
+    if (s <= 0.0) return false;
+    if (s >= 1.0) return true;
+    const auto period = static_cast<std::uint64_t>(1.0 / s + 0.5);
+    return trace_seq_.fetch_add(1, std::memory_order_relaxed) % period == 0;
+  }
+
+  /// Keeps the rendered Chrome JSON of the most recently completed traced
+  /// statement, for piserver's GET /trace endpoint.
+  void StoreLastTrace(std::string json);
+  /// The stored trace JSON; empty when no statement has been traced yet.
+  std::string LastTraceJson() const;
+
+  /// Installs (or, with nullptr, removes) the provider behind
+  /// `pi_stats.connections` — the network server registers a snapshot of
+  /// its live connections at Start and deregisters at Stop.
+  void SetConnectionsProvider(
+      std::function<std::vector<obs::ConnectionInfo>()> provider);
+  /// The provider's current snapshot; empty when no server is attached.
+  std::vector<obs::ConnectionInfo> ConnectionsSnapshot() const;
+
   /// The WAL/checkpoint subsystem; null when EngineOptions::durability is
   /// disabled *or* recovery failed (the engine then runs volatile —
   /// check recovery_status()).
@@ -200,9 +256,16 @@ class Engine {
   Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<DurabilityManager> durability_;
   Status recovery_status_;
   MetricSet m_;
+  std::atomic<std::uint64_t> next_session_id_{1};
+  std::atomic<std::uint64_t> trace_seq_{0};
+  /// Guards the pull-style introspection state below (cold paths only).
+  mutable std::mutex obs_mu_;
+  std::function<std::vector<obs::ConnectionInfo>()> connections_provider_;
+  std::string last_trace_json_;
 };
 
 /// A client handle onto the engine. Sessions are cheap to create, hold
@@ -283,11 +346,25 @@ class Session {
   /// all copies of this Session; monotonically increasing.
   const ExecPathCounters& path_counters() const { return *counters_; }
 
+  /// Engine-wide id of this session, assigned by CreateSession. Shown in
+  /// pi_stats.queries / pi_stats.active_queries.
+  std::uint64_t session_id() const { return session_id_; }
+
+  /// Tags this session's statements with the server connection they
+  /// arrive on (-1, the default, marks in-process sessions). Set once by
+  /// the server when it binds a session to an accepted connection.
+  void set_connection_id(std::int64_t id) { connection_id_ = id; }
+  std::int64_t connection_id() const { return connection_id_; }
+
  private:
   friend class Engine;
   friend class PreparedStatement;
   explicit Session(Engine* engine)
-      : engine_(engine), counters_(std::make_shared<ExecPathCounters>()) {}
+      : engine_(engine),
+        counters_(std::make_shared<ExecPathCounters>()),
+        session_id_(
+            engine->next_session_id_.fetch_add(1,
+                                               std::memory_order_relaxed)) {}
 
   /// The one read-query execution path. Phase spans (optimize/execute),
   /// execution flags and pool size go into `profile` when non-null;
@@ -295,22 +372,32 @@ class Session {
   /// per-worker wall time (EXPLAIN ANALYZE), filling `profile->ops`.
   /// Engine metric recording is independent of both and gated only by
   /// EngineOptions::enable_metrics.
-  Result<QueryResult> ExecuteProfiled(LogicalPtr plan,
-                                      const OptimizerOptions& optimizer,
-                                      obs::QueryProfile* profile,
-                                      bool profile_ops);
+  /// `active` (when non-null) is the statement's flight-recorder handle —
+  /// the phase advances to optimize/execute as the query moves; `trace`
+  /// (when non-null) collects phase and executor spans.
+  Result<QueryResult> ExecuteProfiled(
+      LogicalPtr plan, const OptimizerOptions& optimizer,
+      obs::QueryProfile* profile, bool profile_ops,
+      const obs::FlightRecorder::Handle& active = {},
+      obs::TraceBuffer* trace = nullptr);
 
   /// ExecuteUpdateWith plus phase measurement: lock-wait, delta build
   /// (`execute`) and commit spans go into `profile` when non-null, and
   /// into the engine's phase histograms when metrics are enabled.
+  /// `commit_csn` (when non-null) receives the WAL commit sequence number
+  /// the statement committed under, untouched for volatile tables.
   Status ExecuteUpdateWithProfiled(
       const std::string& table,
       const std::function<Result<UpdateQuery>(const PartitionedTable&)>&
           build,
-      obs::QueryProfile* profile);
+      obs::QueryProfile* profile,
+      const obs::FlightRecorder::Handle& active = {},
+      obs::TraceBuffer* trace = nullptr, std::int64_t* commit_csn = nullptr);
 
   Engine* engine_;
   std::shared_ptr<ExecPathCounters> counters_;
+  std::uint64_t session_id_;
+  std::int64_t connection_id_ = -1;
 };
 
 /// A parsed-and-bound SQL statement, created by Session::Prepare. Holds

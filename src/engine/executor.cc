@@ -18,6 +18,7 @@
 #include "exec/sort_merge.h"
 #include "obs/profile.h"
 #include "obs/profiled_operator.h"
+#include "obs/trace.h"
 #include "patchindex/patch_index.h"
 
 namespace patchindex {
@@ -85,12 +86,16 @@ class MorselSourceOperator : public Operator {
   MorselSourceOperator(const ScanTarget* target,
                        std::vector<std::size_t> columns,
                        ScanOptions scan_options, MorselQueue* queue,
-                       obs::NodeStats* stats = nullptr)
+                       obs::NodeStats* stats = nullptr,
+                       obs::TraceBuffer* trace = nullptr,
+                       std::uint32_t trace_tid = 0)
       : target_(target),
         cols_(std::move(columns)),
         options_(scan_options),
         queue_(queue),
-        stats_(stats) {}
+        stats_(stats),
+        trace_(trace),
+        trace_tid_(trace_tid) {}
 
   std::vector<ColumnType> OutputTypes() const override {
     std::vector<ColumnType> types;
@@ -113,6 +118,7 @@ class MorselSourceOperator : public Operator {
         if (stats_ != nullptr) {
           stats_->morsels.fetch_add(1, std::memory_order_relaxed);
         }
+        if (trace_ != nullptr) morsel_start_us_ = trace_->NowUs();
         ScanOptions opts = options_;
         opts.row_id_offset = target_->bases[morsel.partition];
         if (morsel.kind == Morsel::Kind::kBase) {
@@ -129,6 +135,10 @@ class MorselSourceOperator : public Operator {
       if (current_->Next(out)) return true;
       current_->Close();
       current_.reset();
+      if (trace_ != nullptr) {
+        trace_->Add("morsel", trace_tid_, morsel_start_us_,
+                    trace_->NowUs() - morsel_start_us_);
+      }
     }
   }
 
@@ -140,6 +150,9 @@ class MorselSourceOperator : public Operator {
   ScanOptions options_;
   MorselQueue* queue_;
   obs::NodeStats* stats_;
+  obs::TraceBuffer* trace_;
+  std::uint32_t trace_tid_;
+  std::uint64_t morsel_start_us_ = 0;
   OperatorPtr current_;
 };
 
@@ -207,10 +220,13 @@ OperatorPtr ApplyUnaryOps(OperatorPtr op,
 OperatorPtr BuildWorkerChain(const ChainSpec& spec, const ScanTarget* target,
                              const ScanOptions& scan_options,
                              MorselQueue* queue,
-                             obs::ExecProfile* profile = nullptr) {
+                             obs::ExecProfile* profile = nullptr,
+                             obs::TraceBuffer* trace = nullptr,
+                             std::uint32_t trace_tid = 0) {
   OperatorPtr scan = std::make_unique<MorselSourceOperator>(
       target, spec.scan->columns, scan_options, queue,
-      profile != nullptr ? profile->Find(spec.scan) : nullptr);
+      profile != nullptr ? profile->Find(spec.scan) : nullptr, trace,
+      trace_tid);
   return ApplyUnaryOps(MaybeProfile(std::move(scan), profile, spec.scan),
                        spec.ops, profile);
 }
@@ -331,16 +347,20 @@ void AwaitAll(std::vector<std::future<void>>& futures) {
 /// Futures (not WaitIdle) so concurrent queries sharing the pool only
 /// await their own tasks.
 std::vector<Batch> RunWorkers(
-    ThreadPool& pool, const std::function<OperatorPtr()>& make_pipeline,
-    const std::function<void(Batch*)>& post = nullptr) {
+    ThreadPool& pool,
+    const std::function<OperatorPtr(std::size_t)>& make_pipeline,
+    const std::function<void(Batch*)>& post = nullptr,
+    obs::TraceBuffer* trace = nullptr) {
   const std::size_t workers = pool.num_threads();
   std::vector<Batch> parts(workers);
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     futures.push_back(
-        pool.SubmitWithFuture([&parts, &make_pipeline, &post, w] {
-          OperatorPtr pipeline = make_pipeline();
+        pool.SubmitWithFuture([&parts, &make_pipeline, &post, trace, w] {
+          obs::TraceSpan span(trace, "worker",
+                              static_cast<std::uint32_t>(w + 1));
+          OperatorPtr pipeline = make_pipeline(w);
           parts[w] = DrainColumnwise(*pipeline);
           if (post) post(&parts[w]);
         }));
@@ -526,11 +546,14 @@ std::vector<JoinHashTable> BuildJoinPartitions(
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     futures.push_back(pool.SubmitWithFuture([&, w] {
+      obs::TraceSpan span(options.trace, "join_build",
+                          static_cast<std::uint32_t>(w + 1));
       std::vector<Batch>& local = spill[w];
       local.resize(num_partitions);
       for (Batch& b : local) b.Reset(build_types);
-      OperatorPtr pipeline = BuildWorkerChain(build_spec, &build_target,
-                                              scan_opts, &queue, profile);
+      OperatorPtr pipeline = BuildWorkerChain(
+          build_spec, &build_target, scan_opts, &queue, profile, options.trace,
+          static_cast<std::uint32_t>(w + 1));
       pipeline->Open();
       Batch in;
       while (pipeline->Next(&in)) {
@@ -623,13 +646,16 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
     exclude_opts.patch_filter = idx;
     exclude_opts.patch_mode = PatchSelectMode::kExcludePatches;
     std::vector<Batch> parts = RunWorkers(
-        pool, [&spec, &target, &exclude_opts, &exclude_queue, &group_exprs,
-               profile]() -> OperatorPtr {
+        pool,
+        [&spec, &target, &exclude_opts, &exclude_queue, &group_exprs, profile,
+         &options](std::size_t w) -> OperatorPtr {
           return std::make_unique<ProjectOperator>(
               BuildWorkerChain(spec, &target, exclude_opts, &exclude_queue,
-                               profile),
+                               profile, options.trace,
+                               static_cast<std::uint32_t>(w + 1)),
               group_exprs);
-        });
+        },
+        nullptr, options.trace);
     Batch excluded = ConcatParts(std::move(parts), out_types);
     AppendBatch(&result, std::move(excluded));
   }
@@ -642,12 +668,15 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
   use_opts.patch_mode = PatchSelectMode::kUsePatches;
   std::vector<Batch> parts = RunWorkers(
       pool,
-      [&spec, &target, &use_opts, &use_queue, &node,
-       profile]() -> OperatorPtr {
+      [&spec, &target, &use_opts, &use_queue, &node, profile,
+       &options](std::size_t w) -> OperatorPtr {
         return std::make_unique<HashAggregateOperator>(
-            BuildWorkerChain(spec, &target, use_opts, &use_queue, profile),
+            BuildWorkerChain(spec, &target, use_opts, &use_queue, profile,
+                             options.trace,
+                             static_cast<std::uint32_t>(w + 1)),
             node.group_cols, std::vector<AggSpec>{});
-      });
+      },
+      nullptr, options.trace);
   HashAggregateOperator merge(
       std::make_unique<InMemorySource>(ConcatParts(std::move(parts),
                                                    out_types)),
@@ -781,9 +810,10 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
     const ScanOptions scan_opts;
     parts = RunWorkers(
         pool,
-        [&] {
-          OperatorPtr op = BuildWorkerChain(probe_spec, &probe_target,
-                                            scan_opts, &probe_queue, profile);
+        [&](std::size_t w) {
+          OperatorPtr op = BuildWorkerChain(
+              probe_spec, &probe_target, scan_opts, &probe_queue, profile,
+              options.trace, static_cast<std::uint32_t>(w + 1));
           op = std::make_unique<PartitionProbeOperator>(
               std::move(op), &partitions, mask, probe_key, build_left,
               build_types);
@@ -802,16 +832,17 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
           }
           return op;
         },
-        post);
+        post, options.trace);
   } else {
     const ScanTarget target = TargetOf(*shape.chain.scan);
     MorselQueue queue(target.FullWork(), options.morsel_rows);
     const ScanOptions scan_opts;  // plain kVisible scan, as the serial tree
     parts = RunWorkers(
         pool,
-        [&] {
-          OperatorPtr op = BuildWorkerChain(shape.chain, &target, scan_opts,
-                                            &queue, profile);
+        [&](std::size_t w) {
+          OperatorPtr op = BuildWorkerChain(
+              shape.chain, &target, scan_opts, &queue, profile, options.trace,
+              static_cast<std::uint32_t>(w + 1));
           if (shape.agg != nullptr) {
             op = std::make_unique<HashAggregateOperator>(
                 std::move(op), shape.agg->group_cols,
@@ -823,7 +854,7 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
           }
           return op;
         },
-        post);
+        post, options.trace);
   }
 
   const std::vector<ColumnType> out_types = LogicalOutputTypes(plan);

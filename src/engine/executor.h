@@ -12,6 +12,7 @@ namespace patchindex {
 
 namespace obs {
 class ExecProfile;
+class TraceBuffer;
 }
 
 struct ParallelExecOptions {
@@ -28,6 +29,11 @@ struct ParallelExecOptions {
   /// counts, and per-worker wall time into this accumulator (EXPLAIN
   /// ANALYZE). Null — the default — adds no per-batch work.
   obs::ExecProfile* profile = nullptr;
+
+  /// When set (the statement was trace-sampled), every worker records one
+  /// span per lifetime (lane = worker index + 1) and one span per drained
+  /// morsel batch onto this buffer. Null — the default — adds nothing.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// What the parallel executor did with a plan, for the Session's

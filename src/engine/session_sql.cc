@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "engine/engine.h"
+#include "engine/system_tables.h"
 #include "optimizer/explain.h"
 #include "optimizer/rewriter.h"
 #include "sql/binder.h"
@@ -211,16 +212,50 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
     profile->parse_ms = impl_->parse_ms;
     profile->bind_ms = impl_->bind_ms;
   }
+
+  // Register with the flight recorder: the statement is visible in
+  // pi_stats.active_queries from here until Complete retires it into
+  // pi_stats.queries. Parse/bind already happened (possibly amortized by
+  // Prepare), so the first observable phase is execute; DML advances to
+  // commit inside ExecuteUpdateWithProfiled.
+  Engine* engine = session.engine_;
+  obs::FlightRecorder::Handle active = engine->recorder().Begin(
+      session.session_id(), session.connection_id(), impl_->sql);
+  obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kExecute);
+  if (engine->options().sql_exec_hook) {
+    engine->options().sql_exec_hook(impl_->sql);
+  }
+
+  // Span capture when the trace sampler selects this statement. The
+  // buffer's clock starts now; parse/bind are re-created as synthetic
+  // leading spans from the prepared statement's measurements.
+  const auto parse_us = static_cast<std::uint64_t>(
+      std::max(0.0, impl_->parse_ms) * 1000.0);
+  const auto bind_us = static_cast<std::uint64_t>(
+      std::max(0.0, impl_->bind_ms) * 1000.0);
+  std::shared_ptr<obs::TraceBuffer> trace;
+  if (engine->SampleTrace()) {
+    trace = std::make_shared<obs::TraceBuffer>(parse_us + bind_us);
+    trace->Add("parse", 0, 0, parse_us);
+    trace->Add("bind", 0, parse_us, bind_us);
+  }
+
   WallTimer total_timer;
+  std::int64_t commit_csn = -1;
 
   Result<QueryResult> executed = [&]() -> Result<QueryResult> {
   switch (bound.kind) {
     case sql::Statement::Kind::kSelect: {
       // The rewriter transforms plans in place, so each run optimizes a
-      // fresh clone of the cached bound plan.
+      // fresh clone of the cached bound plan. pi_stats scans in the clone
+      // are re-pointed at tables materialized from live engine state.
+      LogicalPtr plan = ClonePlan(bound.plan);
+      std::vector<std::unique_ptr<Table>> system_tables;
+      PIDX_RETURN_NOT_OK(
+          MaterializeSystemScans(plan.get(), engine, &system_tables));
       Result<QueryResult> result = session.ExecuteProfiled(
-          ClonePlan(bound.plan), session.engine_->options().optimizer,
-          profile.get(), /*profile_ops=*/bound.analyze);
+          std::move(plan), session.engine_->options().optimizer,
+          profile.get(), /*profile_ops=*/bound.analyze, active, trace.get());
       if (!result.ok()) return result.status();
       QueryResult out = std::move(result).value();
       out.column_names = bound.column_names;
@@ -253,7 +288,7 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
           [&rows](const PartitionedTable&) -> Result<UpdateQuery> {
             return UpdateQuery::Insert(std::move(rows));
           },
-          profile.get()));
+          profile.get(), active, trace.get(), &commit_csn));
       return out;
     }
     case sql::Statement::Kind::kUpdate: {
@@ -273,7 +308,7 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
             out.rows_affected = matches.num_rows();
             return UpdateQuery::Modify(std::move(cells));
           },
-          profile.get()));
+          profile.get(), active, trace.get(), &commit_csn));
       return out;
     }
     case sql::Statement::Kind::kDelete: {
@@ -285,7 +320,7 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
             out.rows_affected = matches.num_rows();
             return UpdateQuery::Delete(std::move(matches.row_ids));
           },
-          profile.get()));
+          profile.get(), active, trace.get(), &commit_csn));
       return out;
     }
     case sql::Statement::Kind::kCreateTable: {
@@ -317,9 +352,45 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
   return Status::Internal("unhandled statement kind");
   }();
 
-  if (!executed.ok()) return executed.status();
-  QueryResult out = std::move(executed).value();
   const std::int64_t total_ns = total_timer.ElapsedNanos();
+
+  // Retire the statement into the completed ring — errors included, so
+  // pi_stats.queries shows failures with their status code and message.
+  obs::QueryRecord rec;
+  rec.parse_ms = impl_->parse_ms;
+  rec.bind_ms = impl_->bind_ms;
+  rec.total_ms = impl_->parse_ms + impl_->bind_ms +
+                 static_cast<double>(total_ns) / 1e6;
+  if (profile != nullptr) {
+    rec.optimize_ms = profile->optimize_ms;
+    rec.execute_ms = profile->execute_ms;
+    rec.commit_wait_ms = profile->commit_wait_ms;
+    rec.commit_ms = profile->commit_ms;
+  }
+  if (!executed.ok()) {
+    rec.status = Status::CodeName(executed.status().code());
+    rec.error = executed.status().message();
+    engine->recorder().Complete(active, std::move(rec));
+    return executed.status();
+  }
+  QueryResult out = std::move(executed).value();
+  rec.rows_returned = out.rows.num_rows();
+  rec.rows_affected = out.rows_affected;
+  rec.parallel = out.parallel;
+  rec.csn = commit_csn;
+  engine->recorder().Complete(active, std::move(rec));
+
+  if (trace != nullptr) {
+    // One enclosing span covering the whole statement (synthetic
+    // parse/bind included) so viewers get a root and the checker a
+    // total to compare phase spans against.
+    trace->Add("query", 0, 0,
+               parse_us + bind_us +
+                   static_cast<std::uint64_t>(total_ns / 1000));
+    engine->StoreLastTrace(obs::RenderChromeTrace(trace->Events()));
+    out.trace = trace;
+  }
+
   if (m.sql_statements != nullptr) {
     m.sql_statements->Add(1);
     m.query_latency_us->RecordNanos(total_ns);

@@ -1,0 +1,240 @@
+// Engine-side materialization of the pi_stats system schema: the binder
+// resolves pi_stats.* names against static placeholders (obs/
+// system_tables.h); per execution this module swaps each tagged scan's
+// placeholder for a table filled from live engine state, so the existing
+// scan/filter/project/aggregate operators serve system data unchanged.
+
+#include "engine/system_tables.h"
+
+#include <cmath>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "engine/engine.h"
+#include "obs/system_tables.h"
+
+namespace patchindex {
+
+namespace {
+
+Value I(std::int64_t v) { return Value(v); }
+Value I(std::uint64_t v) { return Value(static_cast<std::int64_t>(v)); }
+Value D(double v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+void FillMetrics(Engine* engine, Table* out) {
+  for (const obs::MetricSample& s : engine->metrics().SnapshotAll()) {
+    Row r;
+    r.cells = {S(s.name),
+               S(std::string(s.kind)),
+               I(s.value),
+               I(s.count),
+               I(s.sum_us),
+               I(static_cast<std::int64_t>(std::llround(s.p50_us))),
+               I(static_cast<std::int64_t>(std::llround(s.p95_us))),
+               I(static_cast<std::int64_t>(std::llround(s.p99_us)))};
+    out->AppendRow(r);
+  }
+}
+
+void FillQueries(Engine* engine, Table* out) {
+  for (const obs::QueryRecord& q : engine->recorder().CompletedSnapshot()) {
+    Row r;
+    r.cells = {I(q.query_id),
+               I(q.session_id),
+               I(q.connection_id),
+               S(q.sql),
+               S(q.status),
+               S(q.error),
+               I(q.rows_returned),
+               I(q.rows_affected),
+               I(std::int64_t{q.parallel ? 1 : 0}),
+               I(q.csn),
+               I(q.start_unix_us),
+               D(q.total_ms),
+               D(q.parse_ms),
+               D(q.bind_ms),
+               D(q.optimize_ms),
+               D(q.execute_ms),
+               D(q.commit_wait_ms),
+               D(q.commit_ms)};
+    out->AppendRow(r);
+  }
+}
+
+void FillActiveQueries(Engine* engine, Table* out) {
+  for (const obs::ActiveQuery& q : engine->recorder().ActiveSnapshot()) {
+    Row r;
+    r.cells = {I(q.query_id),      I(q.session_id), I(q.connection_id),
+               S(q.sql),           S(q.phase),      D(q.elapsed_ms),
+               I(q.start_unix_us)};
+    out->AppendRow(r);
+  }
+}
+
+void FillConnections(Engine* engine, Table* out) {
+  for (const obs::ConnectionInfo& c : engine->ConnectionsSnapshot()) {
+    Row r;
+    r.cells = {I(c.connection_id), I(c.session_id),  S(c.remote),
+               S(c.state),         I(c.queue_depth), I(c.queries)};
+    out->AppendRow(r);
+  }
+}
+
+/// Per-partition delta counts of one partition's PDT.
+struct PdtCounts {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t modifies = 0;
+};
+
+PdtCounts CountPdt(const Table& partition) {
+  PdtCounts c;
+  c.inserts = partition.pdt().inserts().size();
+  c.deletes = partition.pdt().deletes().size();
+  c.modifies = partition.pdt().modifies().size();
+  return c;
+}
+
+/// Visits every catalog table under its shared lock (one at a time, never
+/// nested), skipping tables dropped between listing and locking.
+template <typename Fn>
+void ForEachTableLocked(Engine* engine, Fn fn) {
+  Catalog& catalog = engine->catalog();
+  for (const std::string& name : catalog.TableNames()) {
+    Catalog::TableRef ref = catalog.Ref(name);
+    if (!ref) continue;
+    std::shared_lock<std::shared_mutex> guard(*ref.lock);
+    if (catalog.FindPartitionedTable(name) != ref.ptable) continue;
+    fn(name, *ref.ptable);
+  }
+}
+
+void FillTables(Engine* engine, Table* out) {
+  ForEachTableLocked(engine, [&](const std::string& name,
+                                 const PartitionedTable& table) {
+    std::uint64_t rows = 0;
+    PdtCounts pdt;
+    for (std::size_t p = 0; p < table.num_partitions(); ++p) {
+      rows += table.partition(p).num_visible_rows();
+      const PdtCounts c = CountPdt(table.partition(p));
+      pdt.inserts += c.inserts;
+      pdt.deletes += c.deletes;
+      pdt.modifies += c.modifies;
+    }
+    const std::size_t indexes =
+        engine->catalog().manager().IndexesOn(table).size();
+    TableDurability durable;
+    if (engine->durability() != nullptr) {
+      durable = engine->durability()->InspectTable(name);
+    }
+    Row r;
+    r.cells = {S(name),
+               I(static_cast<std::uint64_t>(table.num_partitions())),
+               I(rows),
+               I(pdt.inserts),
+               I(pdt.deletes),
+               I(pdt.modifies),
+               I(static_cast<std::uint64_t>(indexes)),
+               I(std::int64_t{durable.tracked ? 1 : 0}),
+               I(durable.wal_bytes),
+               I(durable.snapshot_csn),
+               I(durable.next_csn)};
+    out->AppendRow(r);
+  });
+}
+
+void FillPartitions(Engine* engine, Table* out) {
+  ForEachTableLocked(engine, [&](const std::string& name,
+                                 const PartitionedTable& table) {
+    for (std::size_t p = 0; p < table.num_partitions(); ++p) {
+      const Table& part = table.partition(p);
+      const PdtCounts pdt = CountPdt(part);
+      std::size_t indexes = 0;
+      for (const PatchIndex* idx :
+           engine->catalog().manager().IndexesOn(table)) {
+        if (&idx->table() == &part) ++indexes;
+      }
+      Row r;
+      r.cells = {S(name),
+                 I(static_cast<std::uint64_t>(p)),
+                 I(part.num_visible_rows()),
+                 I(pdt.inserts),
+                 I(pdt.deletes),
+                 I(pdt.modifies),
+                 I(static_cast<std::uint64_t>(indexes))};
+      out->AppendRow(r);
+    }
+  });
+}
+
+void FillWal(Engine* engine, Table* out) {
+  if (engine->durability() == nullptr) return;
+  ForEachTableLocked(engine, [&](const std::string& name,
+                                 const PartitionedTable&) {
+    const TableDurability d = engine->durability()->InspectTable(name);
+    if (!d.tracked) return;
+    for (std::size_t p = 0; p < d.partition_wal_bytes.size(); ++p) {
+      Row r;
+      r.cells = {S(name),
+                 I(static_cast<std::uint64_t>(p)),
+                 I(d.partition_wal_bytes[p]),
+                 I(d.snapshot_csn),
+                 I(d.next_csn),
+                 I(std::int64_t{d.broken ? 1 : 0})};
+      out->AppendRow(r);
+    }
+  });
+}
+
+std::unique_ptr<Table> Materialize(obs::SystemTableId id, Engine* engine) {
+  auto table = std::make_unique<Table>(obs::SystemTableSchema(id));
+  switch (id) {
+    case obs::SystemTableId::kMetrics:
+      FillMetrics(engine, table.get());
+      break;
+    case obs::SystemTableId::kQueries:
+      FillQueries(engine, table.get());
+      break;
+    case obs::SystemTableId::kActiveQueries:
+      FillActiveQueries(engine, table.get());
+      break;
+    case obs::SystemTableId::kConnections:
+      FillConnections(engine, table.get());
+      break;
+    case obs::SystemTableId::kTables:
+      FillTables(engine, table.get());
+      break;
+    case obs::SystemTableId::kPartitions:
+      FillPartitions(engine, table.get());
+      break;
+    case obs::SystemTableId::kWal:
+      FillWal(engine, table.get());
+      break;
+  }
+  return table;
+}
+
+}  // namespace
+
+Status MaterializeSystemScans(LogicalNode* plan, Engine* engine,
+                              std::vector<std::unique_ptr<Table>>* owned) {
+  if (plan->kind == LogicalNode::Kind::kScan && plan->system_table >= 0) {
+    if (plan->system_table >= static_cast<int>(obs::kNumSystemTables)) {
+      return Status::Internal("scan carries an unknown system-table id");
+    }
+    const auto id = static_cast<obs::SystemTableId>(plan->system_table);
+    owned->push_back(Materialize(id, engine));
+    // The scan now draws from the materialized rows; the single-partition
+    // placeholder ptable must be cleared so the executor uses `table`.
+    plan->table = owned->back().get();
+    plan->ptable = nullptr;
+  }
+  for (const auto& child : plan->children) {
+    PIDX_RETURN_NOT_OK(MaterializeSystemScans(child.get(), engine, owned));
+  }
+  return Status::OK();
+}
+
+}  // namespace patchindex

@@ -1,0 +1,32 @@
+#ifndef PATCHINDEX_ENGINE_SYSTEM_TABLES_H_
+#define PATCHINDEX_ENGINE_SYSTEM_TABLES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "storage/table.h"
+
+namespace patchindex {
+
+class Engine;
+
+/// Replaces every `pi_stats` scan in `plan` (tagged by the binder via
+/// LogicalNode::system_table; the scan points at the schema-only
+/// placeholder) with a table freshly materialized from the engine's live
+/// state — metrics registry, flight recorder, server connections,
+/// catalog, durability manager. The materialized tables are appended to
+/// `owned`, which must outlive the plan's execution; the plan itself must
+/// be a per-execution clone (the cached bound plan keeps pointing at the
+/// placeholders).
+///
+/// Locking: snapshots that read per-table state (pi_stats.tables /
+/// partitions / wal) take each table's shared lock one at a time, never
+/// nested — callers must hold no table locks.
+Status MaterializeSystemScans(LogicalNode* plan, Engine* engine,
+                              std::vector<std::unique_ptr<Table>>* owned);
+
+}  // namespace patchindex
+
+#endif  // PATCHINDEX_ENGINE_SYSTEM_TABLES_H_

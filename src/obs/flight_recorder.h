@@ -1,0 +1,132 @@
+#ifndef PATCHINDEX_OBS_FLIGHT_RECORDER_H_
+#define PATCHINDEX_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace patchindex::obs {
+
+/// One completed statement as retained by the flight recorder — the row
+/// shape of `pi_stats.queries`. Self-contained: no plan or session
+/// pointers, safe to copy out of the ring at any time.
+struct QueryRecord {
+  std::uint64_t query_id = 0;
+  std::uint64_t session_id = 0;
+  /// Server connection the statement arrived on; -1 for in-process
+  /// sessions (local pisql, tests, piserver --init).
+  std::int64_t connection_id = -1;
+  std::string sql;
+  /// "ok", or the Status code name for failed statements.
+  std::string status = "ok";
+  std::string error;
+  std::uint64_t rows_returned = 0;
+  std::uint64_t rows_affected = 0;
+  bool parallel = false;
+  /// Commit sequence number assigned by the WAL for durable DML; -1
+  /// otherwise.
+  std::int64_t csn = -1;
+  /// Wall-clock statement start (unix microseconds).
+  std::uint64_t start_unix_us = 0;
+  double total_ms = 0.0;
+  double parse_ms = 0.0;
+  double bind_ms = 0.0;
+  double optimize_ms = 0.0;
+  double execute_ms = 0.0;
+  double commit_wait_ms = 0.0;
+  double commit_ms = 0.0;
+};
+
+/// Where an in-flight statement currently is. Advanced by the session as
+/// the statement moves through the funnel; read by pi_stats.active_queries
+/// snapshots from other threads.
+enum class QueryPhase : int {
+  kParse = 0,
+  kBind,
+  kOptimize,
+  kExecute,
+  kCommit,
+};
+
+const char* QueryPhaseName(QueryPhase phase);
+
+/// One in-flight statement as seen by `pi_stats.active_queries`.
+struct ActiveQuery {
+  std::uint64_t query_id = 0;
+  std::uint64_t session_id = 0;
+  std::int64_t connection_id = -1;
+  std::string sql;
+  const char* phase = "parse";
+  std::uint64_t start_unix_us = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// Per-engine statement recorder: an active-query registry (what is
+/// running right now) plus a fixed-capacity ring of the last N completed
+/// QueryRecords (what just happened). Lock-light by construction — a
+/// statement takes the mutex exactly twice (Begin and Complete), phase
+/// updates are a relaxed atomic store on a handle the session holds, and
+/// nothing here runs on the per-row or per-morsel path. Snapshots copy
+/// under the same short mutex.
+class FlightRecorder {
+ public:
+  /// An in-flight statement's registry entry. The session keeps the
+  /// handle returned by Begin and advances `phase` through it without
+  /// touching the recorder's mutex.
+  struct ActiveEntry {
+    std::uint64_t query_id = 0;
+    std::uint64_t session_id = 0;
+    std::int64_t connection_id = -1;
+    std::string sql;
+    std::uint64_t start_unix_us = 0;
+    std::chrono::steady_clock::time_point start;
+    std::atomic<int> phase{static_cast<int>(QueryPhase::kParse)};
+  };
+  using Handle = std::shared_ptr<ActiveEntry>;
+
+  explicit FlightRecorder(std::size_t capacity);
+
+  /// Registers an in-flight statement and returns its handle; the
+  /// assigned engine-wide query id is `handle->query_id`.
+  Handle Begin(std::uint64_t session_id, std::int64_t connection_id,
+               const std::string& sql);
+
+  /// Lock-free phase advance (the handle came from Begin).
+  static void SetPhase(const Handle& handle, QueryPhase phase) {
+    handle->phase.store(static_cast<int>(phase), std::memory_order_relaxed);
+  }
+
+  /// Unregisters the statement and retires `record` into the ring.
+  /// query_id/session_id/connection_id/sql/start time are filled from the
+  /// handle; the caller provides status and measurements.
+  void Complete(const Handle& handle, QueryRecord record);
+
+  /// The retained completed statements, newest first.
+  std::vector<QueryRecord> CompletedSnapshot() const;
+
+  /// Everything in flight right now, oldest first, with elapsed time
+  /// computed at the snapshot.
+  std::vector<ActiveQuery> ActiveSnapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t next_query_id_ = 1;
+  /// Ring of completed records: slot next_slot_ is overwritten next;
+  /// grows up to capacity_ then wraps.
+  std::vector<QueryRecord> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<std::uint64_t, Handle> active_;
+};
+
+}  // namespace patchindex::obs
+
+#endif  // PATCHINDEX_OBS_FLIGHT_RECORDER_H_

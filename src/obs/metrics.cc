@@ -70,9 +70,12 @@ HistogramSnapshot& HistogramSnapshot::Subtract(const HistogramSnapshot& base) {
 }
 
 std::size_t Histogram::BucketOf(std::uint64_t us) {
-  if (us == 0) return 0;
-  const std::size_t width = static_cast<std::size_t>(std::bit_width(us));
-  return std::min(width, kHistogramBuckets - 1);
+  if (us < 4) return static_cast<std::size_t>(us);
+  // us lives in [2^k, 2^(k+1)) with k >= 2; (us >> (k-2)) & 3 picks which
+  // of the 4 equal sub-buckets of that range it falls in.
+  const std::size_t k = static_cast<std::size_t>(std::bit_width(us)) - 1;
+  const std::size_t sub = static_cast<std::size_t>((us >> (k - 2)) & 3);
+  return std::min(4 + (k - 2) * 4 + sub, kHistogramBuckets - 1);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -148,6 +151,41 @@ HistogramSnapshot MetricsRegistry::HistogramSnapshotOf(
     }
   }
   return HistogramSnapshot{};
+}
+
+std::vector<MetricSample> MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    switch (e->kind) {
+      case Kind::kCounter:
+      case Kind::kCallback:
+        s.kind = "counter";
+        s.value = static_cast<std::int64_t>(
+            e->kind == Kind::kCounter ? e->counter->Value()
+                                      : (e->callback ? e->callback() : 0));
+        break;
+      case Kind::kGauge:
+        s.kind = "gauge";
+        s.value = e->gauge->Value();
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = e->histogram->Snapshot();
+        s.kind = "histogram";
+        s.count = snap.count;
+        s.sum_us = snap.sum_us;
+        s.p50_us = snap.Percentile(0.50);
+        s.p95_us = snap.Percentile(0.95);
+        s.p99_us = snap.Percentile(0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {

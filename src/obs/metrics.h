@@ -57,11 +57,13 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
-/// Bucket count of every latency histogram. Bucket b holds values whose
-/// bit width is b (microseconds): bucket 0 holds exactly 0, bucket b>0
-/// holds [2^(b-1), 2^b - 1]. 40 buckets reach ~2^39 us (~6 days); larger
-/// values clamp into the last bucket.
-inline constexpr std::size_t kHistogramBuckets = 40;
+/// Bucket count of every latency histogram. Buckets are log-linear
+/// (microseconds): 0..3 hold their exact value, and every power-of-two
+/// range [2^k, 2^(k+1)) for k >= 2 is split into 4 equal sub-buckets, so
+/// percentile reads resolve to ~12.5% of the value instead of a full
+/// power of two. 152 buckets reach 2^39 - 1 us (~6 days); larger values
+/// clamp into the last bucket.
+inline constexpr std::size_t kHistogramBuckets = 152;
 
 /// A merged view of one histogram: total count, total sum (microseconds)
 /// and per-bucket counts. Supports subtraction for interval measurements
@@ -72,9 +74,15 @@ struct HistogramSnapshot {
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
   /// Upper bound (microseconds) of bucket `b` — the resolution limit of
-  /// every percentile read off this histogram.
+  /// every percentile read off this histogram. Buckets 0..3 are exact;
+  /// bucket 4 + 4g + s (g >= 0, s in 0..3) covers the s-th quarter of
+  /// [2^(g+2), 2^(g+3)), ending at 2^(g+2) + (s+1)*2^g - 1.
   static std::uint64_t BucketUpperUs(std::size_t b) {
-    return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+    if (b < 4) return b;
+    const std::uint64_t g = (b - 4) / 4;
+    const std::uint64_t sub = (b - 4) % 4;
+    return (std::uint64_t{1} << (g + 2)) + (sub + 1) * (std::uint64_t{1} << g) -
+           1;
   }
 
   /// The q-quantile (q in [0,1]) as the upper bound of the bucket where
@@ -119,6 +127,20 @@ class Histogram {
   std::array<Shard, kStripes> shards_;
 };
 
+/// One metric flattened into plain values — the row shape served by the
+/// `pi_stats.metrics` system table. Counters and gauges carry `value`;
+/// histograms carry count/sum and the summary percentiles instead.
+struct MetricSample {
+  std::string name;
+  const char* kind = "counter";  // "counter" | "gauge" | "histogram"
+  std::int64_t value = 0;
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
 /// A named collection of metrics with two renderings: Prometheus
 /// exposition text (the piserver --metrics-port endpoint) and a compact
 /// human-readable form (the .stats meta command).
@@ -153,6 +175,11 @@ class MetricsRegistry {
   /// Compact human-readable rendering, one metric per line; histograms
   /// show count/mean/p50/p95/p99.
   std::string RenderText() const;
+
+  /// Every metric flattened to plain values, in registration order —
+  /// the programmatic view behind `SELECT * FROM pi_stats.metrics`.
+  /// Callbacks sample as counters, exactly like the renderers.
+  std::vector<MetricSample> SnapshotAll() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCallback };

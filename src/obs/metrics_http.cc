@@ -33,15 +33,27 @@ void SendAll(int fd, const std::string& data) {
   }
 }
 
+/// Builds the response; `head_only` keeps the headers (true
+/// Content-Length included) and drops the body, per HEAD semantics.
 std::string HttpResponse(const std::string& status_line,
                          const std::string& content_type,
-                         const std::string& body) {
+                         const std::string& body, bool head_only = false) {
   std::string out = "HTTP/1.1 " + status_line + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
-  out += body;
+  if (!head_only) out += body;
   return out;
+}
+
+/// True when the request line targets `path` ("GET /metrics HTTP/1.1",
+/// optionally with a query string) after the already-matched method.
+bool PathIs(const std::string& line, std::size_t method_len,
+            const char* path) {
+  const std::size_t n = std::strlen(path);
+  if (line.compare(method_len, n, path) != 0) return false;
+  const std::size_t end = method_len + n;
+  return line.size() == end || line[end] == ' ' || line[end] == '?';
 }
 
 }  // namespace
@@ -155,14 +167,38 @@ void MetricsHttpServer::Loop() {
       continue;
     }
     const std::string line = req.substr(0, eol);
-    // Accept "GET /metrics" with an optional query string.
-    const bool is_metrics =
-        line.rfind("GET /metrics", 0) == 0 &&
-        (line.size() == 12 || line[12] == ' ' || line[12] == '?');
-    if (is_metrics) {
+    // GET and HEAD route identically; HEAD drops the body.
+    bool head_only = false;
+    std::size_t method_len = 0;
+    if (line.rfind("GET ", 0) == 0) {
+      method_len = 4;
+    } else if (line.rfind("HEAD ", 0) == 0) {
+      method_len = 5;
+      head_only = true;
+    }
+    if (method_len == 0) {
+      SendAll(cfd, HttpResponse("404 Not Found", "text/plain",
+                                "not found\n"));
+    } else if (PathIs(line, method_len, "/metrics")) {
       SendAll(cfd,
               HttpResponse("200 OK", "text/plain; version=0.0.4",
-                           registry_.RenderPrometheus()));
+                           registry_.RenderPrometheus(), head_only));
+    } else if (PathIs(line, method_len, "/healthz")) {
+      const bool ok = !healthy_ || healthy_();
+      SendAll(cfd, ok ? HttpResponse("200 OK", "text/plain", "ok\n",
+                                     head_only)
+                      : HttpResponse("503 Service Unavailable",
+                                     "text/plain", "draining\n",
+                                     head_only));
+    } else if (PathIs(line, method_len, "/trace")) {
+      const std::string json = trace_ ? trace_() : std::string();
+      if (json.empty()) {
+        SendAll(cfd, HttpResponse("404 Not Found", "text/plain",
+                                  "no trace captured yet\n", head_only));
+      } else {
+        SendAll(cfd, HttpResponse("200 OK", "application/json", json,
+                                  head_only));
+      }
     } else {
       SendAll(cfd,
               HttpResponse("404 Not Found", "text/plain", "not found\n"));

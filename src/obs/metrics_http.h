@@ -2,6 +2,7 @@
 #define PATCHINDEX_OBS_METRICS_HTTP_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -10,15 +11,21 @@
 
 namespace patchindex::obs {
 
-/// A minimal HTTP/1.1 endpoint serving one resource: `GET /metrics`
-/// returns the registry in Prometheus exposition text format (0.0.4).
-/// Anything else is answered 404; malformed requests 400. Connections
-/// are handled one at a time on a single accept-loop thread and closed
-/// after each response (`Connection: close`) — a scrape endpoint, not a
-/// web server. Reads carry a short timeout so a silent connect cannot
-/// stall scraping.
+/// A minimal HTTP/1.1 observability endpoint:
+///   - `GET /metrics`  — the registry in Prometheus exposition text
+///     format (0.0.4),
+///   - `GET /healthz`  — `200 ok` while healthy, `503 draining` once the
+///     health provider reports shutdown (orchestrator readiness checks),
+///   - `GET /trace`    — the most recently captured query trace as
+///     Chrome trace-event JSON (404 until a statement has been traced).
+/// HEAD is answered like GET without the body. Anything else is 404;
+/// malformed requests 400. Connections are handled one at a time on a
+/// single accept-loop thread and closed after each response
+/// (`Connection: close`) — a scrape endpoint, not a web server. Reads
+/// carry a short timeout so a silent connect cannot stall scraping.
 ///
-/// The registry must outlive the endpoint. Start/Stop from one thread.
+/// The registry must outlive the endpoint. Start/Stop from one thread;
+/// install providers before Start.
 class MetricsHttpServer {
  public:
   MetricsHttpServer(const MetricsRegistry& registry, std::string host,
@@ -38,12 +45,26 @@ class MetricsHttpServer {
   /// The bound TCP port (resolves port 0). Valid after Start().
   std::uint16_t port() const { return port_; }
 
+  /// `/healthz` backing: return true while serving, false once
+  /// draining. Unset, the endpoint always answers healthy.
+  void set_health_provider(std::function<bool()> healthy) {
+    healthy_ = std::move(healthy);
+  }
+
+  /// `/trace` backing: return the trace JSON to serve, empty for "none
+  /// captured yet" (404). Unset, `/trace` is 404.
+  void set_trace_provider(std::function<std::string()> trace) {
+    trace_ = std::move(trace);
+  }
+
  private:
   void Loop();
 
   const MetricsRegistry& registry_;
   std::string host_;
   std::uint16_t port_;
+  std::function<bool()> healthy_;
+  std::function<std::string()> trace_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   bool started_ = false;

@@ -1,0 +1,74 @@
+#ifndef PATCHINDEX_OBS_SYSTEM_TABLES_H_
+#define PATCHINDEX_OBS_SYSTEM_TABLES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "storage/table.h"
+
+namespace patchindex::obs {
+
+/// The read-only `pi_stats` system schema: virtual tables the binder
+/// resolves by name and the engine materializes per execution from live
+/// engine state (metrics registry, flight recorder, server connections,
+/// catalog, durability manager). This module owns the names and column
+/// layouts plus one empty placeholder table per id — giving the binder a
+/// stable `PartitionedTable*` to type-check against without the engine;
+/// the engine-side materializer lives in engine/system_tables.cc.
+enum class SystemTableId : int {
+  kMetrics = 0,
+  kQueries,
+  kActiveQueries,
+  kConnections,
+  kTables,
+  kPartitions,
+  kWal,
+};
+
+inline constexpr std::size_t kNumSystemTables = 7;
+
+struct SystemTableDef {
+  SystemTableId id;
+  /// Fully qualified name, e.g. "pi_stats.metrics".
+  const char* name;
+  /// An empty single-partition table with the system table's schema.
+  /// Never registered in any catalog and never scanned — execution swaps
+  /// in a freshly materialized table (see engine/system_tables.cc).
+  const PartitionedTable* placeholder;
+};
+
+/// One live server connection — the row shape of `pi_stats.connections`.
+/// Produced by the provider the network server installs on the engine
+/// (Engine::SetConnectionsProvider); an engine without a server serves
+/// the table empty.
+struct ConnectionInfo {
+  std::int64_t connection_id = -1;
+  std::int64_t session_id = 0;
+  /// Peer address as "host:port".
+  std::string remote;
+  /// "open" while serving, "draining" once the server began stopping.
+  std::string state;
+  /// Queued-but-unserved tasks on the connection's FIFO.
+  std::int64_t queue_depth = 0;
+  /// Statements this connection has completed.
+  std::int64_t queries = 0;
+};
+
+/// True when `name` addresses the reserved system schema (starts with
+/// "pi_stats."); such names never resolve against the user catalog.
+bool IsSystemSchemaName(const std::string& name);
+
+/// The definition for a fully qualified system-table name; nullptr when
+/// `name` is not "pi_stats.<known table>".
+const SystemTableDef* FindSystemTable(const std::string& name);
+
+/// The definition for a given id (always valid).
+const SystemTableDef* SystemTable(SystemTableId id);
+
+/// Column layout of one system table.
+const Schema& SystemTableSchema(SystemTableId id);
+
+}  // namespace patchindex::obs
+
+#endif  // PATCHINDEX_OBS_SYSTEM_TABLES_H_

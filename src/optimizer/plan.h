@@ -45,6 +45,12 @@ struct LogicalNode {
   /// Index (into `columns`) of a column the stored table order is sorted
   /// by, or -1. Seeds the sortedness propagation the join rewrite needs.
   int scan_sorted_col = -1;
+  /// kScan: obs::SystemTableId when this scan reads a pi_stats virtual
+  /// table, -1 otherwise. The binder sets it (the scan then points at the
+  /// empty placeholder table); Session execution replaces the pointer
+  /// with a per-query materialized table before running the plan.
+  /// Survives ClonePlan via the node copy constructor.
+  int system_table = -1;
 
   // kSelect
   ExprPtr predicate;

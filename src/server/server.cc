@@ -59,6 +59,16 @@ struct Connection {
   std::thread reader;
   Session session;
 
+  /// Server-wide connection id; tags the session's statements in
+  /// pi_stats.queries and keys pi_stats.connections.
+  std::int64_t id = -1;
+  /// Peer address ("host:port", numeric) for pi_stats.connections.
+  std::string remote;
+  /// Statements this connection has executed (kQuery + kExecute).
+  /// Atomic: bumped by the processing worker, read by
+  /// pi_stats.connections snapshots from other sessions' workers.
+  std::atomic<std::uint64_t> queries{0};
+
   std::mutex mu;  // guards everything below
   std::condition_variable cv_space;  // reader waits for queue space
   std::deque<Task> queue;
@@ -264,6 +274,28 @@ Status PiServer::Start() {
   started_ = true;
   stopping_.store(false);
   RegisterMetrics();
+  // pi_stats.connections: snapshot the live connection list on demand.
+  // Lock order mu_ -> conn->mu matches every other server path. Removed
+  // in Stop() before the connection list is torn down.
+  engine_.SetConnectionsProvider([this] {
+    std::vector<obs::ConnectionInfo> out;
+    const bool draining = stopping_.load();
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(connections_.size());
+    for (const auto& conn : connections_) {
+      std::lock_guard<std::mutex> cl(conn->mu);
+      if (conn->finished) continue;
+      obs::ConnectionInfo info;
+      info.connection_id = conn->id;
+      info.session_id = static_cast<std::int64_t>(conn->session.session_id());
+      info.remote = conn->remote;
+      info.state = draining ? "draining" : "open";
+      info.queue_depth = static_cast<std::int64_t>(conn->queue.size());
+      info.queries = static_cast<std::int64_t>(conn->queries.load());
+      out.push_back(std::move(info));
+    }
+    return out;
+  });
   const std::size_t workers = std::max<std::size_t>(1, options_.query_workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
@@ -327,6 +359,11 @@ void PiServer::Stop() {
   for (std::thread& w : workers_) w.join();
   workers_.clear();
 
+  // No queries can run pi_stats.connections snapshots past this point
+  // (workers are joined); deregister before tearing the list down so the
+  // engine never calls into freed server state.
+  engine_.SetConnectionsProvider(nullptr);
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& conn : connections_) {
@@ -378,7 +415,10 @@ void PiServer::AcceptorLoop() {
       return;
     }
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_storage peer{};
+    socklen_t peer_len = sizeof peer;
+    const int cfd = ::accept(
+        listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
     if (cfd < 0) {
       if (errno == EBADF || errno == EINVAL) return;  // socket torn down
       // Anything else — EMFILE/ENFILE fd pressure, ENOBUFS/ENOMEM,
@@ -426,6 +466,16 @@ void PiServer::AcceptorLoop() {
 
     auto conn = std::make_shared<Connection>(engine_);
     conn->fd = cfd;
+    conn->id = next_connection_id_.fetch_add(1);
+    conn->session.set_connection_id(conn->id);
+    char peer_host[NI_MAXHOST];
+    char peer_port[NI_MAXSERV];
+    if (::getnameinfo(reinterpret_cast<sockaddr*>(&peer), peer_len,
+                      peer_host, sizeof peer_host, peer_port,
+                      sizeof peer_port,
+                      NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+      conn->remote = std::string(peer_host) + ":" + peer_port;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       connections_.push_back(conn);
@@ -731,6 +781,7 @@ void PiServer::ProcessTask(const std::shared_ptr<Connection>& conn,
   switch (task.kind) {
     case Task::Kind::kQuery: {
       stats_.queries_executed.fetch_add(1);
+      conn->queries.fetch_add(1);
       WallTimer timer;
       Result<QueryResult> result =
           conn->session.Sql(task.text, std::move(task.params));
@@ -769,6 +820,7 @@ void PiServer::ProcessTask(const std::shared_ptr<Connection>& conn,
     }
     case Task::Kind::kExecute: {
       stats_.queries_executed.fetch_add(1);
+      conn->queries.fetch_add(1);
       auto it = conn->stmts.find(task.stmt_id);
       if (it == conn->stmts.end()) {
         write = SendErrorFrame(

@@ -170,6 +170,10 @@ class PiServer {
   /// Admitted (queued or executing) requests across the server.
   std::atomic<std::size_t> inflight_{0};
 
+  /// Ids handed to accepted connections (pi_stats.connections /
+  /// pi_stats.queries.connection_id). Starts at 1; -1 means in-process.
+  std::atomic<std::int64_t> next_connection_id_{1};
+
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "exec/expression.h"
+#include "obs/system_tables.h"
 #include "patchindex/manager.h"
 
 namespace patchindex::sql {
@@ -94,6 +95,10 @@ struct Entry {
   std::set<std::size_t> used;            // original column indices
   std::vector<std::size_t> scan_cols;    // sorted `used` (scan layout)
   std::map<std::size_t, std::size_t> orig_to_scan;
+  /// obs::SystemTableId when this entry is a pi_stats virtual table
+  /// (bound against its placeholder; execution materializes live rows),
+  /// -1 for regular catalog tables.
+  int system_table = -1;
 };
 
 class Binder {
@@ -391,6 +396,22 @@ class Binder {
   // -------------------------------------------------------------- select
 
   Result<Entry> MakeEntry(const TableClause& clause) {
+    if (obs::IsSystemSchemaName(clause.table)) {
+      // pi_stats.* never resolves against the user catalog: bind against
+      // the static placeholder (empty, correct schema) and tag the entry;
+      // the engine swaps in freshly materialized rows per execution.
+      const obs::SystemTableDef* def = obs::FindSystemTable(clause.table);
+      if (def == nullptr) {
+        return Status::NotFound("unknown system table '" + clause.table +
+                                "' at " + clause.loc.ToString());
+      }
+      Entry e;
+      e.table = def->placeholder;
+      e.system_table = static_cast<int>(def->id);
+      e.qualifier = clause.Qualifier();
+      e.loc = clause.loc;
+      return e;
+    }
     const PartitionedTable* table =
         catalog_.FindPartitionedTable(clause.table);
     if (table == nullptr) {
@@ -561,7 +582,9 @@ class Binder {
     // infers it per execution, under the session's table locks, so cached
     // bound plans stay correct across updates.
     for (const Entry& entry : entries) {
-      entry_plans.push_back(LScan(*entry.table, entry.scan_cols));
+      LogicalPtr scan = LScan(*entry.table, entry.scan_cols);
+      scan->system_table = entry.system_table;
+      entry_plans.push_back(std::move(scan));
       BindScope scope;
       for (std::size_t c : entry.scan_cols) {
         scope.cols.push_back({entry.qualifier,
@@ -1069,6 +1092,10 @@ class Binder {
 
   Result<const PartitionedTable*> ResolveDmlTable(const std::string& name,
                                                   const SourceLoc& loc) {
+    if (obs::IsSystemSchemaName(name)) {
+      return Status::InvalidArgument("system table '" + name +
+                                     "' is read-only at " + loc.ToString());
+    }
     const PartitionedTable* table = catalog_.FindPartitionedTable(name);
     if (table == nullptr) {
       return Status::NotFound("unknown table '" + name + "' at " +
@@ -1232,6 +1259,11 @@ class Binder {
 
   Status BindCreateTable(const CreateTableStatement& create,
                          BoundStatement* out) {
+    if (obs::IsSystemSchemaName(create.table)) {
+      return Status::InvalidArgument("system schema 'pi_stats' is read-only"
+                                     " at " +
+                                     create.table_loc.ToString());
+    }
     out->table = create.table;
     std::vector<Field> fields;
     for (const CreateTableStatement::ColumnDef& col : create.columns) {

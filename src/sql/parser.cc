@@ -168,7 +168,7 @@ class Parser {
     ExpectKeyword("insert");
     ExpectKeyword("into");
     ins->table_loc = Cur().loc;
-    ins->table = ExpectIdentifier("table name");
+    ins->table = ExpectTableName();
     if (Accept(TokenKind::kLParen)) {
       do {
         ins->column_locs.push_back(Cur().loc);
@@ -193,7 +193,7 @@ class Parser {
     auto upd = std::make_shared<UpdateStatement>();
     ExpectKeyword("update");
     upd->table_loc = Cur().loc;
-    upd->table = ExpectIdentifier("table name");
+    upd->table = ExpectTableName();
     ExpectKeyword("set");
     do {
       UpdateStatement::SetClause set;
@@ -215,7 +215,7 @@ class Parser {
     ExpectKeyword("create");
     ExpectKeyword("table");
     create->table_loc = Cur().loc;
-    create->table = ExpectIdentifier("table name");
+    create->table = ExpectTableName();
     Expect(TokenKind::kLParen, "'('");
     do {
       CreateTableStatement::ColumnDef col;
@@ -244,7 +244,7 @@ class Parser {
     ExpectKeyword("delete");
     ExpectKeyword("from");
     del->table_loc = Cur().loc;
-    del->table = ExpectIdentifier("table name");
+    del->table = ExpectTableName();
     if (Cur().Is("where")) {
       Advance();
       del->where = ParseExprTop();
@@ -505,7 +505,7 @@ class Parser {
   TableClause ParseTableClause() {
     TableClause clause;
     clause.loc = Cur().loc;
-    clause.table = ExpectIdentifier("table name");
+    clause.table = ExpectTableName();
     if (!error_.ok()) return clause;
     if (Cur().Is("as")) {
       Advance();
@@ -569,6 +569,19 @@ class Parser {
       return;
     }
     Advance();
+  }
+
+  /// `[schema.]name` — a possibly schema-qualified table name, returned
+  /// in dotted form (e.g. "pi_stats.queries"). The only schema today is
+  /// the read-only pi_stats system schema; the binder rejects unknown
+  /// qualified names.
+  std::string ExpectTableName() {
+    std::string name = ExpectIdentifier("table name");
+    if (error_.ok() && Cur().kind == TokenKind::kDot) {
+      Advance();
+      name += "." + ExpectIdentifier("table name");
+    }
+    return name;
   }
 
   std::string ExpectIdentifier(const char* what) {

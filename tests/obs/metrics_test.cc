@@ -14,18 +14,40 @@ namespace patchindex::obs {
 namespace {
 
 TEST(HistogramTest, BucketBoundaries) {
-  // Bucket b holds values of bit width b: 0 -> 0, 1 -> 1, [2,3] -> 2, ...
+  // Log-linear buckets: 0..3 exact, then 4 sub-buckets per power of two.
   EXPECT_EQ(Histogram::BucketOf(0), 0u);
   EXPECT_EQ(Histogram::BucketOf(1), 1u);
   EXPECT_EQ(Histogram::BucketOf(2), 2u);
-  EXPECT_EQ(Histogram::BucketOf(3), 2u);
-  EXPECT_EQ(Histogram::BucketOf(4), 3u);
-  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
-  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(3), 3u);
+  EXPECT_EQ(Histogram::BucketOf(4), 4u);
+  EXPECT_EQ(Histogram::BucketOf(7), 7u);
+  // [8, 16) splits into [8,9] [10,11] [12,13] [14,15].
+  EXPECT_EQ(Histogram::BucketOf(8), 8u);
+  EXPECT_EQ(Histogram::BucketOf(9), 8u);
+  EXPECT_EQ(Histogram::BucketOf(10), 9u);
+  EXPECT_EQ(Histogram::BucketOf(15), 11u);
+  // [512, 1024) splits into quarters; 1023 is in the last one.
+  EXPECT_EQ(Histogram::BucketOf(896), 35u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 35u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 36u);
+  EXPECT_EQ(Histogram::BucketOf(1279), 36u);
+  EXPECT_EQ(Histogram::BucketOf(1280), 37u);
   // Values past the last bucket clamp instead of indexing out of range.
   EXPECT_EQ(Histogram::BucketOf(~std::uint64_t{0}), kHistogramBuckets - 1);
   EXPECT_EQ(HistogramSnapshot::BucketUpperUs(0), 0u);
-  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(3), 7u);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(3), 3u);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(8), 9u);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(35), 1023u);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(36), 1279u);
+  // Every value maps into a bucket whose range contains it.
+  for (std::uint64_t v : {0u, 1u, 5u, 100u, 1000u, 4096u, 1000000u}) {
+    const std::size_t b = Histogram::BucketOf(v);
+    EXPECT_LE(v, HistogramSnapshot::BucketUpperUs(b));
+    if (b > 0) EXPECT_GT(v, HistogramSnapshot::BucketUpperUs(b - 1));
+  }
+  // The last bucket still reaches ~6 days before clamping.
+  EXPECT_EQ(HistogramSnapshot::BucketUpperUs(kHistogramBuckets - 1),
+            (std::uint64_t{1} << 39) - 1);
 }
 
 TEST(HistogramTest, SnapshotMergesConcurrentWriters) {
@@ -75,8 +97,8 @@ TEST(CounterTest, ConcurrentAddsAreExact) {
 TEST(HistogramTest, PercentilesReadBucketUpperBounds) {
   Histogram h;
   // 90 fast (1us) and 10 slow (1000us) samples: p50 lands in bucket 1
-  // (upper bound 1), p95/p99 in the bucket containing 1000 (bit width
-  // 10 -> upper bound 1023).
+  // (upper bound 1), p95/p99 in the sub-bucket containing 1000
+  // ([896, 1023] -> upper bound 1023).
   for (int i = 0; i < 90; ++i) h.Record(1);
   for (int i = 0; i < 10; ++i) h.Record(1000);
   const HistogramSnapshot snap = h.Snapshot();
@@ -172,6 +194,35 @@ TEST(MetricsRegistryTest, RenderTextHistogramSummary) {
   EXPECT_NE(text.find("lat_us count=100"), std::string::npos);
   EXPECT_NE(text.find("p50=1us"), std::string::npos);
   EXPECT_NE(text.find("p99=1us"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotAllFlattensEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", "help")->Add(5);
+  registry.GetGauge("g", "help")->Set(-2);
+  Histogram* h = registry.GetHistogram("h_us", "help");
+  h->Record(10);
+  h->Record(30);
+  registry.SetCallback("cb_total", "help", [] { return std::uint64_t{9}; });
+
+  const std::vector<MetricSample> all = registry.SnapshotAll();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "c_total");
+  EXPECT_STREQ(all[0].kind, "counter");
+  EXPECT_EQ(all[0].value, 5);
+  EXPECT_EQ(all[1].name, "g");
+  EXPECT_STREQ(all[1].kind, "gauge");
+  EXPECT_EQ(all[1].value, -2);
+  EXPECT_EQ(all[2].name, "h_us");
+  EXPECT_STREQ(all[2].kind, "histogram");
+  EXPECT_EQ(all[2].count, 2u);
+  EXPECT_EQ(all[2].sum_us, 40u);
+  EXPECT_DOUBLE_EQ(all[2].p50_us,
+                   double(HistogramSnapshot::BucketUpperUs(
+                       Histogram::BucketOf(10))));
+  EXPECT_EQ(all[3].name, "cb_total");
+  EXPECT_STREQ(all[3].kind, "counter");
+  EXPECT_EQ(all[3].value, 9);
 }
 
 TEST(MetricsRegistryTest, ConcurrentGetOrCreateIsSafe) {

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/client.h"
@@ -204,6 +207,150 @@ std::string HttpExchange(std::uint16_t port, const std::string& request) {
   return response;
 }
 
+/// Renders a result batch as one line per row — for comparing the same
+/// pi_stats query served in-process and over the wire.
+std::string RenderRows(const QueryResult& qr) {
+  std::string out;
+  for (std::size_t r = 0; r < qr.rows.num_rows(); ++r) {
+    for (std::size_t c = 0; c < qr.rows.columns.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += qr.rows.columns[c].GetValue(r).ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(ServerObservabilityTest, PiStatsIdenticalInProcessAndOverTheWire) {
+  TestServer ts;
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64, b INT64) PARTITIONS 2")
+                  .ok());
+  ASSERT_TRUE(client.Sql("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+                  .ok());
+
+  Session local = ts.engine.CreateSession();
+  for (const char* sql :
+       {"SELECT name, partitions, rows, indexes, durable FROM "
+        "pi_stats.tables ORDER BY name",
+        "SELECT table_name, partition, rows FROM pi_stats.partitions "
+        "ORDER BY table_name, partition",
+        "SELECT name, kind FROM pi_stats.metrics ORDER BY name"}) {
+    Result<QueryResult> remote = client.Sql(sql);
+    ASSERT_TRUE(remote.ok()) << sql << ": " << remote.status().ToString();
+    Result<QueryResult> in_process = local.Sql(sql);
+    ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+    EXPECT_EQ(RenderRows(remote.value()), RenderRows(in_process.value()))
+        << sql;
+    EXPECT_EQ(remote.value().column_names, in_process.value().column_names);
+  }
+}
+
+TEST(ServerObservabilityTest, PiStatsConnectionsShowsRemotePeers) {
+  TestServer ts;
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64)").ok());
+  ASSERT_TRUE(client.Sql("INSERT INTO t VALUES (1)").ok());
+
+  Result<QueryResult> r = client.Sql(
+      "SELECT connection_id, remote, state, queries "
+      "FROM pi_stats.connections");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Batch& rows = r.value().rows;
+  ASSERT_EQ(rows.num_rows(), 1u);
+  EXPECT_GE(rows.columns[0].i64[0], 1);
+  EXPECT_NE(rows.columns[1].str[0].find("127.0.0.1:"), std::string::npos)
+      << rows.columns[1].str[0];
+  EXPECT_EQ(rows.columns[2].str[0], "open");
+  // The counter includes this very statement (bumped at dispatch).
+  EXPECT_GE(rows.columns[3].i64[0], 3);
+
+  // A second client is a second row, and the recorder attributes each
+  // connection's statements to its id.
+  PiClient other = ts.Connect();
+  Result<QueryResult> two = other.Sql(
+      "SELECT connection_id FROM pi_stats.connections "
+      "ORDER BY connection_id");
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  ASSERT_EQ(two.value().rows.num_rows(), 2u);
+  EXPECT_LT(two.value().rows.columns[0].i64[0],
+            two.value().rows.columns[0].i64[1]);
+}
+
+TEST(ServerObservabilityTest, ActiveQueryVisibleFromSecondConnection) {
+  // Park one connection's statement inside execution (engine-level hook,
+  // which fires after the flight recorder registered the query), then
+  // look at pi_stats.active_queries from a second connection.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = false;
+  bool release = false;
+  const std::string kParked = "SELECT a FROM park_t";
+  EngineOptions engine_options;
+  engine_options.sql_exec_hook = [&](std::string_view sql) {
+    if (sql != kParked) return;
+    std::unique_lock<std::mutex> lock(mu);
+    parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  TestServer ts({}, engine_options);
+  PiClient setup = ts.Connect();
+  ASSERT_TRUE(setup.Sql("CREATE TABLE park_t (a INT64)").ok());
+  ASSERT_TRUE(setup.Sql("INSERT INTO park_t VALUES (7)").ok());
+
+  PiClient slow = ts.Connect();
+  std::thread runner([&] {
+    Result<QueryResult> r = slow.Sql(kParked);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().rows.num_rows(), 1u);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return parked; });
+  }
+
+  Result<QueryResult> active = setup.Sql(
+      "SELECT sql, phase, connection_id FROM pi_stats.active_queries");
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  bool seen = false;
+  const Batch& rows = active.value().rows;
+  for (std::size_t i = 0; i < rows.num_rows(); ++i) {
+    if (rows.columns[0].str[i] == kParked) {
+      seen = true;
+      EXPECT_EQ(rows.columns[1].str[i], "execute");
+      EXPECT_GE(rows.columns[2].i64[i], 1);
+    }
+  }
+  EXPECT_TRUE(seen) << RenderRows(active.value());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  runner.join();
+
+  // Once finished it leaves the active registry and enters the ring.
+  Result<QueryResult> after = setup.Sql(
+      "SELECT sql FROM pi_stats.active_queries");
+  ASSERT_TRUE(after.ok());
+  for (std::size_t i = 0; i < after.value().rows.num_rows(); ++i) {
+    EXPECT_NE(after.value().rows.columns[0].str[i], kParked);
+  }
+  Result<QueryResult> ring = setup.Sql(
+      "SELECT sql, status FROM pi_stats.queries");
+  ASSERT_TRUE(ring.ok());
+  bool retired = false;
+  for (std::size_t i = 0; i < ring.value().rows.num_rows(); ++i) {
+    if (ring.value().rows.columns[0].str[i] == kParked) {
+      retired = true;
+      EXPECT_EQ(ring.value().rows.columns[1].str[i], "ok");
+    }
+  }
+  EXPECT_TRUE(retired);
+}
+
 TEST(MetricsHttpTest, ServesPrometheusTextAndRejectsOtherPaths) {
   Engine engine;
   Session session = engine.CreateSession();
@@ -237,6 +384,64 @@ TEST(MetricsHttpTest, ServesPrometheusTextAndRejectsOtherPaths) {
 
   http.Stop();
   http.Stop();  // idempotent
+}
+
+TEST(MetricsHttpTest, HealthzTraceAndHeadRequests) {
+  EngineOptions engine_options;
+  engine_options.trace_sampling = 1.0;
+  Engine engine(engine_options);
+  Session session = engine.CreateSession();
+
+  std::atomic<bool> healthy{true};
+  obs::MetricsHttpServer http(engine.metrics(), "127.0.0.1", 0);
+  http.set_health_provider([&healthy] { return healthy.load(); });
+  http.set_trace_provider([&engine] { return engine.LastTraceJson(); });
+  ASSERT_TRUE(http.Start().ok());
+
+  // /healthz flips with the provider: 200 while serving, 503 draining.
+  std::string up = HttpExchange(
+      http.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(up.find("HTTP/1.1 200 OK"), std::string::npos) << up;
+  EXPECT_NE(up.find("ok\n"), std::string::npos);
+  healthy.store(false);
+  const std::string down = HttpExchange(
+      http.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(down.find("HTTP/1.1 503 Service Unavailable"), std::string::npos)
+      << down;
+  EXPECT_NE(down.find("draining\n"), std::string::npos);
+  healthy.store(true);
+
+  // /trace is 404 until a sampled statement lands (every statement,
+  // DDL included, counts at sampling 1.0), then Chrome JSON.
+  const std::string no_trace = HttpExchange(
+      http.port(), "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(no_trace.find("HTTP/1.1 404 Not Found"), std::string::npos)
+      << no_trace;
+  ASSERT_TRUE(session.Sql("CREATE TABLE t (a INT64)").ok());
+  ASSERT_TRUE(session.Sql("SELECT COUNT(*) FROM t").ok());
+  const std::string traced = HttpExchange(
+      http.port(), "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(traced.find("HTTP/1.1 200 OK"), std::string::npos) << traced;
+  EXPECT_NE(traced.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(traced.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(traced.find("\"name\":\"query\""), std::string::npos);
+
+  // HEAD answers headers only — same status and Content-Length as GET,
+  // body withheld.
+  const std::string head = HttpExchange(
+      http.port(), "HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos) << head;
+  EXPECT_NE(head.find("Content-Length: "), std::string::npos);
+  EXPECT_EQ(head.find("pidx_sql_statements_total"), std::string::npos) << head;
+  const std::size_t head_end = head.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(head.size(), head_end + 4);  // nothing after the headers
+  const std::string head_health = HttpExchange(
+      http.port(), "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(head_health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(head_health.find("ok\n"), std::string::npos);
+
+  http.Stop();
 }
 
 }  // namespace

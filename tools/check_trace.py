@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event export from the engine's query tracer.
+
+Usage: check_trace.py FILE_OR_URL
+
+Loads the JSON (stdlib only; http(s):// sources are fetched with
+urllib), then checks:
+  - top level is {"displayTimeUnit": ..., "traceEvents": [...]} with a
+    non-empty event array;
+  - every event is a complete-span ("ph": "X") record carrying
+    name/ph/pid/tid/ts/dur with non-negative integer times — the exact
+    shape chrome://tracing and Perfetto load;
+  - exactly one "query" umbrella span exists, starting at ts 0;
+  - every phase span (parse/bind/optimize/execute/commit_wait/commit)
+    lies inside the query window, and together the phases account for
+    the query's duration within tolerance (phases are measured around
+    the work, so small gaps are expected; overlaps and large holes are
+    bugs).
+
+Exits 0 when everything holds, 1 with a message per violation otherwise.
+"""
+
+import json
+import sys
+import urllib.request
+
+PHASES = ("parse", "bind", "optimize", "execute", "commit_wait", "commit")
+# Clock reads around each span lose a few microseconds per phase; allow
+# that plus a relative slack before calling the timeline inconsistent.
+ABS_TOLERANCE_US = 500
+REL_TOLERANCE = 0.25
+
+
+def load(source: str) -> str:
+    if source.startswith("http://") or source.startswith("https://"):
+        with urllib.request.urlopen(source, timeout=10) as resp:
+            if resp.status != 200:
+                raise RuntimeError(f"GET {source} -> HTTP {resp.status}")
+            return resp.read().decode("utf-8")
+    with open(source, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[2])
+        return 1
+    errors = []
+    try:
+        doc = json.loads(load(sys.argv[1]))
+    except (OSError, RuntimeError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot load trace: {e}")
+        return 1
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print("check_trace: top level must be an object with 'traceEvents'")
+        return 1
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        print("check_trace: 'traceEvents' must be a non-empty array")
+        return 1
+
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                errors.append(f"event {i}: missing '{key}'")
+        if ev.get("ph") != "X":
+            errors.append(f"event {i}: ph must be 'X', got {ev.get('ph')!r}")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, int) or v < 0:
+                errors.append(f"event {i}: {key} must be a non-negative "
+                              f"integer, got {v!r}")
+    if errors:
+        for e in errors:
+            print(f"check_trace: {e}")
+        return 1
+
+    queries = [ev for ev in events if ev["name"] == "query"]
+    if len(queries) != 1:
+        errors.append(f"expected exactly one 'query' span, got "
+                      f"{len(queries)}")
+    else:
+        query = queries[0]
+        if query["ts"] != 0:
+            errors.append(f"'query' span must start at ts 0, got "
+                          f"{query['ts']}")
+        end = query["ts"] + query["dur"]
+        slack = ABS_TOLERANCE_US + query["dur"] * REL_TOLERANCE
+        phase_total = 0
+        for ev in events:
+            if ev["name"] not in PHASES:
+                continue
+            phase_total += ev["dur"]
+            if ev["ts"] + ev["dur"] > end + slack:
+                errors.append(
+                    f"phase '{ev['name']}' [{ev['ts']}, "
+                    f"{ev['ts'] + ev['dur']}) overruns the query span "
+                    f"ending at {end}")
+        if abs(phase_total - query["dur"]) > slack:
+            errors.append(
+                f"phase durations sum to {phase_total}us but the query "
+                f"span is {query['dur']}us (tolerance {slack:.0f}us)")
+
+    for e in errors:
+        print(f"check_trace: {e}")
+    if not errors:
+        print(f"check_trace: OK ({len(events)} events, "
+              f"query span {queries[0]['dur']}us)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

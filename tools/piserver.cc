@@ -4,8 +4,8 @@
 //   piserver [--host H] [--port P] [--workers N] [--max-inflight N]
 //            [--max-queue N] [--max-connections N] [--threads N]
 //            [--no-meta] [--init script.sql] [--metrics-port P]
-//            [--slow-query-ms N] [--data-dir DIR] [--no-fsync]
-//            [--checkpoint-interval SECONDS]
+//            [--slow-query-ms N] [--trace-sampling X] [--data-dir DIR]
+//            [--no-fsync] [--checkpoint-interval SECONDS]
 //
 // Starts a PiServer over a fresh engine and serves until SIGINT/SIGTERM,
 // then shuts down gracefully (in-flight queries drain, results are
@@ -16,8 +16,13 @@
 // pool (the PI_THREADS environment variable does the same for every
 // default-sized pool in the process). `--metrics-port` additionally
 // serves the engine's metrics registry as Prometheus text on
-// http://HOST:P/metrics; `--slow-query-ms` logs queries at or over the
-// threshold to stderr with their phase breakdown.
+// http://HOST:P/metrics, plus `GET /healthz` (200 while serving, 503
+// once shutdown starts draining) and `GET /trace` (the most recently
+// traced query as Chrome trace-event JSON); `--slow-query-ms` logs
+// queries at or over the threshold to stderr with their phase
+// breakdown. `--trace-sampling X` (0..1) makes the engine capture a
+// span trace for that fraction of statements — 1 traces everything,
+// the default 0 traces nothing.
 //
 // `--data-dir` turns on durability: SQL-created tables are write-ahead
 // logged and checkpointed into DIR, and a restart with the same DIR
@@ -27,6 +32,7 @@
 // trades power-cut safety for throughput. A final checkpoint runs on
 // graceful shutdown so the next start replays an empty log.
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -56,14 +62,22 @@ bool ParseSize(const char* text, std::size_t* out) {
   return true;
 }
 
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--host H] [--port P] [--workers N] [--max-inflight N]\n"
       "          [--max-queue N] [--max-connections N] [--threads N]\n"
       "          [--no-meta] [--init script.sql] [--metrics-port P]\n"
-      "          [--slow-query-ms N] [--data-dir DIR] [--no-fsync]\n"
-      "          [--checkpoint-interval SECONDS]\n",
+      "          [--slow-query-ms N] [--trace-sampling X] [--data-dir DIR]\n"
+      "          [--no-fsync] [--checkpoint-interval SECONDS]\n",
       argv0);
   return 1;
 }
@@ -132,6 +146,14 @@ int main(int argc, char** argv) {
       const char* v = next("--slow-query-ms");
       if (v == nullptr || !ParseSize(v, &n)) return Usage(argv[0]);
       options.slow_query_ms = n;
+    } else if (arg == "--trace-sampling") {
+      const char* v = next("--trace-sampling");
+      double d = 0.0;
+      if (v == nullptr || !ParseDouble(v, &d) || d < 0.0 || d > 1.0) {
+        std::fprintf(stderr, "--trace-sampling expects 0.0..1.0\n");
+        return Usage(argv[0]);
+      }
+      engine_options.trace_sampling = d;
     } else if (arg == "--data-dir") {
       const char* v = next("--data-dir");
       if (v == nullptr || *v == '\0') return Usage(argv[0]);
@@ -228,9 +250,14 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+  std::atomic<bool> draining{false};
   if (serve_metrics) {
     metrics_http = std::make_unique<obs::MetricsHttpServer>(
         engine.metrics(), options.host, metrics_port);
+    metrics_http->set_health_provider(
+        [&draining] { return !draining.load(); });
+    metrics_http->set_trace_provider(
+        [&engine] { return engine.LastTraceJson(); });
     st = metrics_http->Start();
     if (!st.ok()) {
       std::fprintf(stderr, "cannot start metrics endpoint: %s\n",
@@ -264,10 +291,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Flip /healthz to 503 before draining: orchestrators stop routing to
+  // an instance the moment it starts shutting down, while /metrics and
+  // /trace keep answering until the drain completes.
+  draining.store(true);
   std::printf("shutting down (draining in-flight queries)\n");
   std::fflush(stdout);
-  if (metrics_http != nullptr) metrics_http->Stop();
   server.Stop();
+  if (metrics_http != nullptr) metrics_http->Stop();
   if (engine.durability() != nullptr) {
     // Fold the drained commits into a final checkpoint so the next start
     // loads snapshots instead of replaying the whole log.

@@ -28,6 +28,12 @@
 //                                   (parse/bind/optimize/execute/
 //                                    lock/commit, engine-reported —
 //                                    identical locally and remotely)
+//   .trace <file>                   write the last statement's span
+//                                   trace as Chrome trace-event JSON
+//                                   (local sessions trace every
+//                                   statement; over --connect, fetch
+//                                   GET /trace from the server's
+//                                   metrics port instead)
 //   .help / .quit
 
 #include <unistd.h>
@@ -42,6 +48,7 @@
 #include "client/client.h"
 #include "common/timer.h"
 #include "engine/engine.h"
+#include "obs/trace.h"
 #include "server/meta_commands.h"
 
 using namespace patchindex;
@@ -78,7 +85,7 @@ class ShellBackend {
 
 class LocalBackend : public ShellBackend {
  public:
-  LocalBackend() : session_(engine_.CreateSession()) {}
+  LocalBackend() : engine_(TracingOptions()), session_(engine_.CreateSession()) {}
 
   Result<QueryResult> Sql(const std::string& sql) override {
     return session_.Sql(sql);
@@ -88,6 +95,15 @@ class LocalBackend : public ShellBackend {
   }
 
  private:
+  /// An interactive shell traces every statement so `.trace` always has
+  /// the latest one — the capture is a handful of mutexed appends per
+  /// statement, noise next to printing the result.
+  static EngineOptions TracingOptions() {
+    EngineOptions options;
+    options.trace_sampling = 1.0;
+    return options;
+  }
+
   Engine engine_;
   Session session_;
 };
@@ -141,6 +157,7 @@ class Shell {
       return;
     }
     const QueryResult& qr = result.value();
+    if (qr.trace != nullptr) last_trace_ = qr.trace;
     if (!qr.column_names.empty()) {
       PrintBatch(qr.rows, qr.column_names);
       std::printf("(%zu rows)\n", qr.rows.num_rows());
@@ -185,8 +202,34 @@ class Shell {
           ".timer on|off                        per-query wall time\n"
           ".timing on|off                       per-statement phase "
           "breakdown\n"
+          ".trace <file>                        last statement's spans as "
+          "Chrome trace JSON\n"
           ".quit                                leave\n"
           "SQL statements end with ';' and may span lines.\n");
+      return true;
+    }
+    if (cmd == ".trace") {
+      const std::size_t sp = line.find_first_of(" \t");
+      const std::string path =
+          sp == std::string::npos ? "" : Trim(line.substr(sp));
+      if (path.empty()) {
+        std::printf("usage: .trace <file>\n");
+        return true;
+      }
+      if (last_trace_ == nullptr) {
+        std::printf(
+            "no trace captured yet (run a statement first; over "
+            "--connect, fetch GET /trace from the server's metrics "
+            "port)\n");
+        return true;
+      }
+      std::ofstream out(path, std::ios::trunc);
+      if (!out.is_open()) {
+        std::printf("error: cannot open %s\n", path.c_str());
+        return true;
+      }
+      out << obs::RenderChromeTrace(last_trace_->Events());
+      std::printf("trace written to %s\n", path.c_str());
       return true;
     }
     if ((cmd == ".timer" || cmd == ".timing") &&
@@ -216,6 +259,9 @@ class Shell {
   StatementSplitter splitter_;
   bool timer_ = false;
   bool timing_ = false;
+  /// Span buffer of the most recent traced statement (local backend
+  /// only — the wire protocol does not carry traces).
+  std::shared_ptr<obs::TraceBuffer> last_trace_;
 };
 
 }  // namespace
