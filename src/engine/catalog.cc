@@ -49,6 +49,10 @@ Result<PartitionedTable*> Catalog::AddPartitionedTable(
   auto entry = std::make_shared<Entry>();
   entry->table = std::move(table);
   PartitionedTable* handle = entry->table.get();
+  // Publish the first version before the entry becomes visible, so every
+  // reader that can resolve the table finds a pinnable version. No lock
+  // needed: nothing else can reach the entry yet.
+  PublishLocked(*entry, /*csn=*/0, /*reindex=*/true);
   tables_.emplace(name, std::move(entry));
   return handle;
 }
@@ -90,12 +94,17 @@ Status Catalog::DropTable(const std::string& name) {
   }
   // New lookups now fail; sessions holding a TableRef keep the entry
   // alive. Dropping the indexes under the exclusive lock serializes
-  // against in-flight queries (which hold the shared lock while they
-  // consult the indexes); the table itself is freed when the last
-  // TableRef releases.
+  // against in-flight locked queries (which hold the shared lock while
+  // they consult the indexes); the table itself is freed when the last
+  // TableRef releases. Pinned MVCC readers are unaffected: the retired
+  // version (and the index snapshots it owns) stays alive until their
+  // epoch guards release.
   {
     std::unique_lock<std::shared_mutex> exclusive(removed->lock);
     manager_.DropIndexesOn(*removed->table);
+    const TableVersion* old =
+        removed->version.exchange(nullptr, std::memory_order_seq_cst);
+    RetireVersion(removed->tracker, old);
   }
   return Status::OK();
 }
@@ -142,6 +151,133 @@ Catalog::TableRef Catalog::Ref(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) return {};
   return MakeRef(it->second);
+}
+
+Catalog::Entry& Catalog::EntryOf(const TableRef& ref) {
+  return *std::static_pointer_cast<Entry>(ref.owner);
+}
+
+void Catalog::PublishVersion(const TableRef& ref, std::uint64_t csn,
+                             bool reindex) {
+  PublishLocked(EntryOf(ref), csn, reindex);
+}
+
+void Catalog::PublishLocked(Entry& entry, std::uint64_t csn, bool reindex) {
+  const PartitionedTable& head = *entry.table;
+  // Stable under the exclusive lock: only publication (under the same
+  // lock) replaces the pointer.
+  const TableVersion* prev = entry.version.load(std::memory_order_acquire);
+  auto next = std::make_unique<TableVersion>();
+  next->version_id = entry.next_version_id++;
+  next->csn = csn != 0 ? csn : next->version_id;
+  next->partition_seqs.resize(head.num_partitions());
+  std::vector<std::shared_ptr<Table>> parts(head.num_partitions());
+  for (std::size_t p = 0; p < head.num_partitions(); ++p) {
+    const std::uint64_t seq = head.partition(p).mutation_seq();
+    next->partition_seqs[p] = seq;
+    const bool reuse = !reindex && prev != nullptr &&
+                       p < prev->partition_seqs.size() &&
+                       prev->partition_seqs[p] == seq;
+    if (reuse) {
+      // Untouched partition: the previous snapshot (and the index clones
+      // bound to it) is still exactly the committed state — carry both
+      // over so a single-row UPDATE only ever clones one partition.
+      parts[p] = prev->snapshot->partition_ptr(p);
+      for (const auto& idx : prev->indexes) {
+        if (&idx->table() == parts[p].get()) next->indexes.push_back(idx);
+      }
+    } else {
+      parts[p] = std::shared_ptr<Table>(head.partition(p).CloneShared());
+      for (const auto& idx : manager_.SharedIndexesOn(head.partition(p))) {
+        next->indexes.emplace_back(idx->CloneForSnapshot(*parts[p]));
+      }
+    }
+  }
+  next->snapshot =
+      std::make_shared<PartitionedTable>(head.schema(), std::move(parts));
+  {
+    std::lock_guard<std::mutex> lock(entry.tracker->mu);
+    entry.tracker->live_csns.insert(next->csn);
+  }
+  const TableVersion* old = entry.version.exchange(
+      next.release(), std::memory_order_seq_cst);
+  RetireVersion(entry.tracker, old);
+}
+
+void Catalog::RetireVersion(std::shared_ptr<VersionTracker> tracker,
+                            const TableVersion* version) {
+  if (version == nullptr) return;
+  // The deleter captures only what it needs — it may run long after the
+  // catalog (or the whole engine) is destroyed.
+  EpochGc::Global().Retire([tracker = std::move(tracker), version] {
+    {
+      std::lock_guard<std::mutex> lock(tracker->mu);
+      tracker->live_csns.erase(tracker->live_csns.find(version->csn));
+    }
+    delete version;
+  });
+}
+
+const TableVersion* Catalog::PinnedVersion(const TableRef& ref) const {
+  return EntryOf(ref).version.load(std::memory_order_seq_cst);
+}
+
+bool Catalog::VersionMatchesHead(const TableVersion& version,
+                                 const PartitionedTable& head) {
+  if (version.partition_seqs.size() != head.num_partitions()) return false;
+  for (std::size_t p = 0; p < head.num_partitions(); ++p) {
+    if (version.partition_seqs[p] != head.partition(p).mutation_seq()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Catalog::VersionStats Catalog::VersionStatsFor(const TableRef& ref) const {
+  Entry& entry = EntryOf(ref);
+  VersionStats stats;
+  {
+    std::lock_guard<std::mutex> lock(entry.tracker->mu);
+    stats.live = static_cast<std::int64_t>(entry.tracker->live_csns.size());
+    if (!entry.tracker->live_csns.empty()) {
+      stats.oldest_live_csn = *entry.tracker->live_csns.begin();
+    }
+  }
+  {
+    // Pin while reading the current version's CSN.
+    EpochGc::Guard guard(EpochGc::Global());
+    const TableVersion* current =
+        entry.version.load(std::memory_order_seq_cst);
+    if (current != nullptr) stats.current_csn = current->csn;
+  }
+  return stats;
+}
+
+std::int64_t Catalog::TotalLiveVersions() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(tables_.size());
+    for (const auto& [name, entry] : tables_) entries.push_back(entry);
+  }
+  std::int64_t total = 0;
+  for (const auto& entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->tracker->mu);
+    total += static_cast<std::int64_t>(entry->tracker->live_csns.size());
+  }
+  return total;
+}
+
+Catalog::~Catalog() {
+  // Retire every still-published version so its memory is reclaimed once
+  // outstanding pins drain; the deleters are self-contained and safe to
+  // run after this catalog is gone.
+  for (auto& [name, entry] : tables_) {
+    const TableVersion* old =
+        entry->version.exchange(nullptr, std::memory_order_seq_cst);
+    RetireVersion(entry->tracker, old);
+  }
+  EpochGc::Global().TryReclaim();
 }
 
 }  // namespace patchindex

@@ -1,25 +1,57 @@
 #ifndef PATCHINDEX_ENGINE_CATALOG_H_
 #define PATCHINDEX_ENGINE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/epoch_gc.h"
 #include "common/status.h"
 #include "patchindex/manager.h"
 #include "storage/table.h"
 
 namespace patchindex {
 
+/// One immutable published state of a catalog table: a frozen data
+/// snapshot (partitions share their base columns with the live head via
+/// copy-on-write), the index snapshots bound to those partitions, and
+/// the commit it corresponds to. Readers obtain the current version with
+/// Catalog::PinnedVersion() while holding an EpochGc guard and scan it
+/// with no table lock at all; a superseded version is retired through
+/// the global EpochGc and freed once no pinned reader can still hold it.
+struct TableVersion {
+  /// Commit sequence number this version was published at (the WAL CSN
+  /// for durable tables; the per-table version_id for volatile ones —
+  /// monotonic per table either way).
+  std::uint64_t csn = 0;
+  /// Monotonic per-table publication counter, starting at 1.
+  std::uint64_t version_id = 0;
+  /// The frozen table: CloneShared partition snapshots, with partitions
+  /// an update left untouched reused from the previous version.
+  std::shared_ptr<const PartitionedTable> snapshot;
+  /// Each head partition's mutation_seq at publication. A mismatch
+  /// against the live head means the head mutated after this version was
+  /// published (an unpublished direct mutation) and the version is stale.
+  std::vector<std::uint64_t> partition_seqs;
+  /// Immutable index clones, bound to `snapshot`'s partitions.
+  std::vector<std::shared_ptr<const PatchIndex>> indexes;
+};
+
 /// Named tables plus their PatchIndexes (via an owned PatchIndexManager),
-/// with one reader-writer lock per table. The engine takes the lock in
-/// shared mode for read queries and in exclusive mode for update queries,
-/// so morsel-parallel scans interleave safely with the PDT update protocol
-/// (HandleUpdateQuery + checkpoint + maintenance), which mutates the base
-/// columns, the PDT and the patch sets.
+/// with one reader-writer lock per table. Under MVCC (the default), the
+/// exclusive lock is a writer–writer lock only: update queries, DDL and
+/// checkpoints serialize on it, while read queries pin the published
+/// TableVersion through an epoch guard and never take it at all. The
+/// shared mode remains for the legacy read path (mvcc_snapshot_reads
+/// off) and as the fallback when a reader finds the published version
+/// stale against a directly-mutated head (bulk loads that bypass the
+/// commit protocol).
 ///
 /// Every catalog entry is a PartitionedTable — the engine's storage unit
 /// (paper §3.2: discovery, patch maintenance and query processing are
@@ -112,13 +144,76 @@ class Catalog {
   TableRef Ref(const PartitionedTable& table) const;
   TableRef Ref(const std::string& name) const;
 
+  // --- MVCC versions -----------------------------------------------------
+
+  /// Publishes a fresh immutable TableVersion of `ref`'s table and
+  /// retires the previous one through the global EpochGc. The caller
+  /// must hold the table's exclusive lock (the commit/DDL path).
+  /// Partitions whose mutation_seq is unchanged since the previous
+  /// version are reused (their snapshots and index clones carry over);
+  /// `reindex` forces every partition to re-snapshot, for events that
+  /// change index state without touching the data (CreatePatchIndex,
+  /// recovery restore). `csn` = 0 means volatile — the per-table
+  /// version_id is used instead.
+  void PublishVersion(const TableRef& ref, std::uint64_t csn,
+                      bool reindex = false);
+
+  /// The currently published version of `ref`'s table; nullptr before
+  /// the first publication or after DropTable. The caller MUST hold an
+  /// EpochGc::Guard on EpochGc::Global() for as long as it dereferences
+  /// the result — the pointer is unprotected otherwise.
+  const TableVersion* PinnedVersion(const TableRef& ref) const;
+
+  /// True when `version`'s recorded partition seqs still match the live
+  /// head — no partition has mutated since the version was published, so
+  /// its snapshot is byte-identical to the head's committed state. A
+  /// mismatch means an unpublished direct mutation (bulk loads, tests
+  /// appending through a raw Table*) or a writer mid-commit; readers then
+  /// fall back to the head under a shared lock (or the pinned version
+  /// when a writer holds the lock).
+  static bool VersionMatchesHead(const TableVersion& version,
+                                 const PartitionedTable& head);
+
+  struct VersionStats {
+    std::int64_t live = 0;             ///< Versions published, not yet freed.
+    std::uint64_t oldest_live_csn = 0; ///< Oldest such version's CSN (0: none).
+    std::uint64_t current_csn = 0;     ///< Currently published version's CSN.
+  };
+  VersionStats VersionStatsFor(const TableRef& ref) const;
+
+  /// Sum of live versions across all tables (the pidx_mvcc_versions_live
+  /// gauge).
+  std::int64_t TotalLiveVersions() const;
+
+  ~Catalog();
+
  private:
+  /// Tracks which of a table's versions are still alive (published or
+  /// awaiting epoch reclamation). Shared with the retire deleters so
+  /// they stay self-contained — a deleter may run after the catalog
+  /// (even the engine) is gone.
+  struct VersionTracker {
+    std::mutex mu;
+    std::multiset<std::uint64_t> live_csns;
+  };
+
   struct Entry {
     std::unique_ptr<PartitionedTable> table;
     mutable std::shared_mutex lock;
+    /// Currently published version. Written only under `lock` exclusive
+    /// (and at creation, before the entry is visible); read lock-free by
+    /// pinned readers.
+    std::atomic<const TableVersion*> version{nullptr};
+    std::uint64_t next_version_id = 1;  // guarded by `lock` exclusive
+    std::shared_ptr<VersionTracker> tracker =
+        std::make_shared<VersionTracker>();
   };
 
   TableRef MakeRef(const std::shared_ptr<Entry>& entry) const;
+  void PublishLocked(Entry& entry, std::uint64_t csn, bool reindex);
+  static void RetireVersion(std::shared_ptr<VersionTracker> tracker,
+                            const TableVersion* version);
+  static Entry& EntryOf(const TableRef& ref);
 
   mutable std::mutex mu_;  // guards tables_ (the map, not the rows)
   std::map<std::string, std::shared_ptr<Entry>> tables_;

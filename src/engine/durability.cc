@@ -328,13 +328,26 @@ Status DurabilityManager::CheckpointTable(const std::string& name,
                                           const PatchIndexManager& manager) {
   TableState* state = FindState(name);
   if (state == nullptr) return Status::OK();  // untracked table
-  return CheckpointLocked(name, state, table, manager);
+  const std::vector<PatchIndex*> live = manager.IndexesOn(table);
+  return CheckpointLocked(name, state, table,
+                          std::vector<const PatchIndex*>(live.begin(),
+                                                         live.end()));
 }
 
-Status DurabilityManager::CheckpointLocked(const std::string& name,
-                                           TableState* state,
-                                           const PartitionedTable& table,
-                                           const PatchIndexManager& manager) {
+Status DurabilityManager::CheckpointTable(
+    const std::string& name, const PartitionedTable& snapshot,
+    const std::vector<std::shared_ptr<const PatchIndex>>& indexes) {
+  TableState* state = FindState(name);
+  if (state == nullptr) return Status::OK();  // untracked table
+  std::vector<const PatchIndex*> flat;
+  flat.reserve(indexes.size());
+  for (const auto& idx : indexes) flat.push_back(idx.get());
+  return CheckpointLocked(name, state, snapshot, flat);
+}
+
+Status DurabilityManager::CheckpointLocked(
+    const std::string& name, TableState* state, const PartitionedTable& table,
+    const std::vector<const PatchIndex*>& indexes) {
   WallTimer checkpoint_timer;
   const FaultHook& hook = options_.fault_hook;
   const std::uint64_t old_csn = state->snapshot_csn;
@@ -354,7 +367,7 @@ Status DurabilityManager::CheckpointLocked(const std::string& name,
     PIDX_RETURN_NOT_OK(
         SaveTableSnapshot(table.partition(p), snap + ".tmp", hook));
     PIDX_RETURN_NOT_OK(RenameFile("snap.rename", snap + ".tmp", snap, hook));
-    for (const PatchIndex* idx : manager.IndexesOn(table)) {
+    for (const PatchIndex* idx : indexes) {
       if (&idx->table() != &table.partition(p)) continue;
       IndexSpec spec;
       spec.table = name;
@@ -671,6 +684,7 @@ Status DurabilityManager::RecoverTable(const std::string& name,
   //    checkpoint folds the replayed tail into fresh snapshots and
   //    truncates the logs (also discarding any dropped partial commit, so
   //    its csn can be reassigned).
+  Status reset = Status::OK();
   if (pristine) {
     for (std::size_t p = 0; p < state->partitions; ++p) {
       auto file =
@@ -678,9 +692,20 @@ Status DurabilityManager::RecoverTable(const std::string& name,
       if (!file.ok()) return file.status();
       state->wal[p] = std::move(file).value();
     }
-    return Status::OK();
+  } else {
+    const std::vector<PatchIndex*> live = catalog->manager().IndexesOn(*table);
+    reset = CheckpointLocked(
+        name, state, *table,
+        std::vector<const PatchIndex*>(live.begin(), live.end()));
   }
-  return CheckpointLocked(name, state, *table, catalog->manager());
+
+  // 6. Republish the table's MVCC version: AddPartitionedTable published
+  //    the pre-replay state, and replay/index rebuild mutated the head
+  //    since. Recovery is single-threaded (the engine is not serving
+  //    yet), so no table lock is needed; reindex snapshots the restored/
+  //    rebuilt indexes into the version.
+  catalog->PublishVersion(catalog->Ref(name), last_csn, /*reindex=*/true);
+  return reset;
 }
 
 }  // namespace patchindex

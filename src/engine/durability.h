@@ -164,6 +164,18 @@ class DurabilityManager {
   Status CheckpointTable(const std::string& name, const PartitionedTable& table,
                          const PatchIndexManager& manager);
 
+  /// Checkpoint sourced from a pinned MVCC version: `snapshot` is the
+  /// version's immutable PartitionedTable and `indexes` its index clones
+  /// (Catalog::TableVersion). The caller must still hold the table's
+  /// exclusive (writer–writer) lock — WAL truncation must be fenced
+  /// against concurrent commits — and the version must be current
+  /// (Catalog::VersionMatchesHead), so the files written are exactly the
+  /// committed head state. Readers are unaffected throughout: they never
+  /// take the lock under MVCC.
+  Status CheckpointTable(
+      const std::string& name, const PartitionedTable& snapshot,
+      const std::vector<std::shared_ptr<const PatchIndex>>& indexes);
+
   const RecoveryReport& last_recovery() const { return report_; }
   const DurabilityOptions& options() const { return options_; }
 
@@ -210,9 +222,12 @@ class DurabilityManager {
   Status RecoverTable(const std::string& name, TableState* state,
                       const std::vector<IndexSpec>& indexes, Catalog* catalog,
                       ThreadPool* pool);
+  /// `indexes` are the PatchIndexes to checkpoint alongside the data —
+  /// live manager-owned indexes or a pinned version's clones; each must
+  /// be bound to one of `table`'s partitions.
   Status CheckpointLocked(const std::string& name, TableState* state,
                           const PartitionedTable& table,
-                          const PatchIndexManager& manager);
+                          const std::vector<const PatchIndex*>& indexes);
 
   TableState* FindState(const std::string& name);
   const TableState* FindState(const std::string& name) const;

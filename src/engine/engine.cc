@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/epoch_gc.h"
 #include "common/timer.h"
+#include "engine/read_pin.h"
 #include "exec/operator.h"
 
 namespace patchindex {
@@ -60,11 +62,33 @@ Engine::Engine(EngineOptions options) : options_(options) {
         r.GetHistogram("pidx_phase_optimize_us", "Plan optimization phase");
     m_.phase_execute_us = r.GetHistogram(
         "pidx_phase_execute_us", "Plan execution / DML delta-build phase");
-    m_.phase_commit_wait_us =
-        r.GetHistogram("pidx_phase_commit_wait_us",
-                       "Wait for the table's exclusive lock (DML)");
+    m_.phase_commit_wait_us = r.GetHistogram(
+        "pidx_phase_commit_wait_us",
+        "Wait for the table's writer-writer lock (DML; under MVCC "
+        "readers never hold it, so this measures writer contention only)");
     m_.phase_commit_us = r.GetHistogram(
         "pidx_phase_commit_us", "PatchIndex commit protocol phase (DML)");
+    // MVCC/epoch occupancy, registered as callbacks so every render path
+    // (Prometheus scrape, .stats, pi_stats.metrics) samples live values.
+    // The catalog is a member and the EpochGc singleton is immortal, so
+    // the callbacks stay valid for the registry's lifetime.
+    const Catalog* catalog = &catalog_;
+    r.SetCallback("pidx_mvcc_versions_live",
+                  "Published table versions alive (current + awaiting "
+                  "epoch reclamation)",
+                  [catalog] {
+                    return static_cast<std::uint64_t>(
+                        catalog->TotalLiveVersions());
+                  });
+    r.SetCallback("pidx_epoch_pinned_guards",
+                  "Epoch guards currently pinned (readers in flight)",
+                  [] { return EpochGc::Global().GetStats().pinned; });
+    r.SetCallback("pidx_epoch_retired_pending",
+                  "Retired objects awaiting epoch reclamation",
+                  [] { return EpochGc::Global().GetStats().retired_pending; });
+    r.SetCallback("pidx_epoch_reclaimed_total",
+                  "Objects reclaimed by the epoch GC since process start",
+                  [] { return EpochGc::Global().GetStats().reclaimed_total; });
   }
 
   if (options_.durability.enabled()) {
@@ -145,10 +169,30 @@ Status Engine::Checkpoint() {
   for (const std::string& name : catalog_.TableNames()) {
     Catalog::TableRef ref = catalog_.Ref(name);
     if (!ref) continue;
+    // Exclusive = writer–writer: the lock fences concurrent commits
+    // (WAL truncation must not race an append) but never blocks readers,
+    // who keep scanning their pinned versions.
     std::unique_lock<std::shared_mutex> exclusive(*ref.lock);
     if (catalog_.FindPartitionedTable(name) != ref.ptable) continue;
-    Status st =
-        durability_->CheckpointTable(name, *ref.ptable, catalog_.manager());
+    Status st;
+    {
+      // Checkpoint from the pinned published version when it is current:
+      // the snapshot is immutable (no COW surprises mid-write) and
+      // byte-identical to the committed head. A stale version (direct
+      // unpublished mutations) falls back to the head + live indexes.
+      EpochGc::Guard guard(EpochGc::Global());
+      const TableVersion* version =
+          options_.mvcc_snapshot_reads ? catalog_.PinnedVersion(ref)
+                                       : nullptr;
+      if (version != nullptr &&
+          Catalog::VersionMatchesHead(*version, *ref.ptable)) {
+        st = durability_->CheckpointTable(name, *version->snapshot,
+                                          version->indexes);
+      } else {
+        st = durability_->CheckpointTable(name, *ref.ptable,
+                                          catalog_.manager());
+      }
+    }
     if (!st.ok() && first.ok()) first = st;
   }
   return first;
@@ -209,15 +253,15 @@ Result<QueryResult> Session::ExecuteProfiled(
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   const Engine::MetricSet& m = engine_->m_;
 
-  // Shared-lock every catalog table the plan scans, in a deterministic
-  // (address) order so concurrent sessions cannot deadlock against the
-  // exclusive locks update queries take. The refs keep table and lock
-  // alive even if a concurrent DropTable de-catalogs them mid-query.
-  std::vector<Catalog::TableRef> refs;
-  CollectPlanTableRefs(*plan, engine_->catalog_, &refs);
-  std::vector<std::shared_lock<std::shared_mutex>> guards;
-  guards.reserve(refs.size());
-  for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
+  // Protect every catalog table the plan scans for the statement's
+  // duration. Under MVCC each table resolves to its pinned published
+  // version (lock-free; the plan is cloned and its scans retargeted at
+  // the immutable snapshots) with shared locks only as the fallback;
+  // with MVCC off every table takes the shared lock, in deterministic
+  // address order. Either way the refs keep the tables alive even if a
+  // concurrent DropTable de-catalogs them mid-query.
+  PinnedReadSet pin(engine_->catalog_,
+                    engine_->options_.mvcc_snapshot_reads, &plan);
 
   if (active != nullptr) {
     obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kOptimize);
@@ -226,8 +270,7 @@ Result<QueryResult> Session::ExecuteProfiled(
   LogicalPtr optimized;
   {
     obs::TraceSpan span(trace, "optimize", 0);
-    optimized =
-        OptimizePlan(std::move(plan), engine_->catalog_.manager(), optimizer);
+    optimized = OptimizePlan(std::move(plan), pin.indexes(), optimizer);
   }
   const std::int64_t optimize_ns = optimize_timer.ElapsedNanos();
 
@@ -289,11 +332,16 @@ namespace {
 /// wrong-typed value would otherwise surface as an exception out of the
 /// index update handlers). Deltas are routed to their owning partitions
 /// — rows are addressed by table-global rowIDs — and the dirty
-/// partitions commit partition-locally, in parallel on `pool`.
-Status ApplyUpdateLocked(PartitionedTable* table, const std::string& name,
-                         PatchIndexManager& manager,
+/// partitions commit partition-locally, in parallel on `pool`. After the
+/// commit protocol folds the deltas, the new state is published as an
+/// immutable TableVersion (`catalog.PublishVersion`) — the point at
+/// which MVCC readers start seeing this statement's effects.
+Status ApplyUpdateLocked(Catalog& catalog, const Catalog::TableRef& ref,
+                         const std::string& name,
                          DurabilityManager* durability, ThreadPool* pool,
                          UpdateQuery query, std::int64_t* commit_csn) {
+  PartitionedTable* table = ref.ptable;
+  PatchIndexManager& manager = catalog.manager();
   const int kinds = (query.inserts.empty() ? 0 : 1) +
                     (query.deletes.empty() ? 0 : 1) +
                     (query.modifies.empty() ? 0 : 1);
@@ -346,17 +394,32 @@ Status ApplyUpdateLocked(PartitionedTable* table, const std::string& name,
                                          std::move(cell.value)));
   }
   // Write-ahead: the routed, partition-local deltas go to the log (and
-  // to stable storage) before the commit protocol publishes them. A log
-  // failure aborts the whole commit — the buffered PDTs are discarded and
-  // nothing becomes visible.
+  // to stable storage) before the commit protocol publishes them. The
+  // WAL fsync remains the commit point. A log failure aborts the whole
+  // commit — the buffered PDTs are discarded and nothing becomes
+  // visible; republishing after the discard refreshes the version's
+  // partition seqs so readers return to the lock-free path.
+  std::int64_t csn = -1;
   if (durability != nullptr) {
-    Status logged = durability->LogCommit(name, *table, commit_csn);
+    Status logged = durability->LogCommit(name, *table, &csn);
     if (!logged.ok()) {
       table->DiscardPdt();
+      catalog.PublishVersion(ref, 0);
       return logged;
     }
   }
   Status committed = manager.CommitUpdateQuery(*table, pool);
+  if (committed.ok() ||
+      committed.code() == StatusCode::kConstraintViolation) {
+    // Publish the committed state (kConstraintViolation included: the
+    // data change committed, exactly the broken indexes were dropped).
+    // Untouched partitions carry their snapshots and index clones over
+    // from the previous version — a single-row UPDATE clones one
+    // partition, not the table.
+    catalog.PublishVersion(ref, csn > 0 ? static_cast<std::uint64_t>(csn)
+                                        : 0);
+  }
+  if (commit_csn != nullptr && csn >= 0) *commit_csn = csn;
   if (durability != nullptr && durability->ShouldCheckpoint(name)) {
     // Best-effort WAL-size-triggered checkpoint: a failure leaves the
     // log growing and the next commit retries (self-healing); it never
@@ -396,12 +459,21 @@ Status Session::ExecuteUpdateWithProfiled(
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
   PartitionedTable* table = ref.ptable;
+  // The exclusive lock is writer–writer only under MVCC: this wait
+  // measures contention against other update queries (and DDL /
+  // checkpoints), never against readers. Surface the blocking table in
+  // pi_stats.active_queries while we wait.
+  if (active != nullptr) {
+    obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kCommitWait);
+    obs::FlightRecorder::SetPhaseDetail(active, table_name);
+  }
   WallTimer lock_timer;
   std::unique_lock<std::shared_mutex> exclusive = [&] {
     obs::TraceSpan span(trace, "commit_wait", 0);
     return std::unique_lock<std::shared_mutex>(*ref.lock);
   }();
   const std::int64_t lock_ns = lock_timer.ElapsedNanos();
+  if (active != nullptr) obs::FlightRecorder::SetPhaseDetail(active, "");
   // Recheck under the lock: a concurrent DropTable may have de-cataloged
   // the table between Ref() and lock acquisition.
   if (engine_->catalog_.FindPartitionedTable(table_name) != table) {
@@ -423,9 +495,8 @@ Status Session::ExecuteUpdateWithProfiled(
   WallTimer commit_timer;
   obs::TraceSpan commit_span(trace, "commit", 0);
   Status status = ApplyUpdateLocked(
-      table, table_name, engine_->catalog_.manager(),
-      engine_->durability_.get(), &engine_->pool(), std::move(query).value(),
-      commit_csn);
+      engine_->catalog_, ref, table_name, engine_->durability_.get(),
+      &engine_->pool(), std::move(query).value(), commit_csn);
   const std::int64_t commit_ns = commit_timer.ElapsedNanos();
   if (m.update_queries != nullptr) {
     m.update_queries->Add(1);
@@ -511,6 +582,10 @@ Status Session::CreatePatchIndex(const std::string& table_name,
       return logged;
     }
   }
+  // Publish a fresh version so pinned readers see the new index state;
+  // reindex forces every partition to re-snapshot (the data did not
+  // change, so seq-based reuse would otherwise skip the index clones).
+  engine_->catalog_.PublishVersion(ref, /*csn=*/0, /*reindex=*/true);
   return Status::OK();
 }
 

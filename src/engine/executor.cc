@@ -29,6 +29,13 @@ namespace {
 /// PartitionedTable lists every partition with its global visible-row
 /// offset (scans add it to their rowIDs so output rowIDs are
 /// table-global).
+///
+/// Under MVCC the scan node's table pointers were retargeted by
+/// PinnedReadSet at the immutable snapshot of a pinned TableVersion, so
+/// everything below reads frozen state with no table lock held; with the
+/// legacy protocol (or the stale-head fallback) they still point at the
+/// live head under a shared lock. The executor cannot tell the
+/// difference and must not care — both are plain `const Table*`s.
 struct ScanTarget {
   std::vector<const Table*> parts;
   std::vector<std::uint64_t> bases;

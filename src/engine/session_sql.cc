@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "engine/engine.h"
+#include "engine/read_pin.h"
 #include "engine/system_tables.h"
 #include "optimizer/explain.h"
 #include "optimizer/rewriter.h"
@@ -417,16 +418,15 @@ Result<std::string> ExplainBound(Engine* engine,
                                  const sql::BoundStatement& bound) {
   switch (bound.kind) {
     case sql::Statement::Kind::kSelect: {
-      // Shared-lock the scanned tables like Execute does: the rewriter
-      // and the row-count annotations read table state.
-      std::vector<Catalog::TableRef> refs;
-      CollectPlanTableRefs(*bound.plan, engine->catalog(), &refs);
-      std::vector<std::shared_lock<std::shared_mutex>> guards;
-      guards.reserve(refs.size());
-      for (const Catalog::TableRef& ref : refs) guards.emplace_back(*ref.lock);
-      LogicalPtr optimized =
-          OptimizePlan(ClonePlan(bound.plan), engine->catalog().manager(),
-                       engine->options().optimizer);
+      // Pin the scanned tables like Execute does (MVCC snapshot or
+      // shared-lock fallback): the rewriter and the row-count
+      // annotations read table state, so the plan is explained against
+      // the same snapshot a real execution would scan.
+      LogicalPtr plan = ClonePlan(bound.plan);
+      PinnedReadSet pin(engine->catalog(),
+                        engine->options().mvcc_snapshot_reads, &plan);
+      LogicalPtr optimized = OptimizePlan(std::move(plan), pin.indexes(),
+                                          engine->options().optimizer);
       std::string out = ExplainPlan(optimized);
       if (bound.has_post_limit) {
         out = "Limit(" + std::to_string(bound.post_limit) + ")\n" +

@@ -98,7 +98,9 @@ PdtCounts CountPdt(const Table& partition) {
 }
 
 /// Visits every catalog table under its shared lock (one at a time, never
-/// nested), skipping tables dropped between listing and locking.
+/// nested), skipping tables dropped between listing and locking. The
+/// callback also receives the resolved TableRef for version-layer
+/// queries (Catalog::VersionStatsFor).
 template <typename Fn>
 void ForEachTableLocked(Engine* engine, Fn fn) {
   Catalog& catalog = engine->catalog();
@@ -107,12 +109,13 @@ void ForEachTableLocked(Engine* engine, Fn fn) {
     if (!ref) continue;
     std::shared_lock<std::shared_mutex> guard(*ref.lock);
     if (catalog.FindPartitionedTable(name) != ref.ptable) continue;
-    fn(name, *ref.ptable);
+    fn(name, ref, *ref.ptable);
   }
 }
 
 void FillTables(Engine* engine, Table* out) {
   ForEachTableLocked(engine, [&](const std::string& name,
+                                 const Catalog::TableRef& ref,
                                  const PartitionedTable& table) {
     std::uint64_t rows = 0;
     PdtCounts pdt;
@@ -129,6 +132,8 @@ void FillTables(Engine* engine, Table* out) {
     if (engine->durability() != nullptr) {
       durable = engine->durability()->InspectTable(name);
     }
+    const Catalog::VersionStats versions =
+        engine->catalog().VersionStatsFor(ref);
     Row r;
     r.cells = {S(name),
                I(static_cast<std::uint64_t>(table.num_partitions())),
@@ -140,13 +145,16 @@ void FillTables(Engine* engine, Table* out) {
                I(std::int64_t{durable.tracked ? 1 : 0}),
                I(durable.wal_bytes),
                I(durable.snapshot_csn),
-               I(durable.next_csn)};
+               I(durable.next_csn),
+               I(versions.live),
+               I(versions.oldest_live_csn)};
     out->AppendRow(r);
   });
 }
 
 void FillPartitions(Engine* engine, Table* out) {
   ForEachTableLocked(engine, [&](const std::string& name,
+                                 const Catalog::TableRef&,
                                  const PartitionedTable& table) {
     for (std::size_t p = 0; p < table.num_partitions(); ++p) {
       const Table& part = table.partition(p);
@@ -172,6 +180,7 @@ void FillPartitions(Engine* engine, Table* out) {
 void FillWal(Engine* engine, Table* out) {
   if (engine->durability() == nullptr) return;
   ForEachTableLocked(engine, [&](const std::string& name,
+                                 const Catalog::TableRef&,
                                  const PartitionedTable&) {
     const TableDurability d = engine->durability()->InspectTable(name);
     if (!d.tracked) return;

@@ -1,6 +1,9 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/epoch_gc.h"
 
 namespace patchindex::obs {
 
@@ -24,10 +27,18 @@ const char* QueryPhaseName(QueryPhase phase) {
       return "optimize";
     case QueryPhase::kExecute:
       return "execute";
+    case QueryPhase::kCommitWait:
+      return "commit_wait";
     case QueryPhase::kCommit:
       return "commit";
   }
   return "unknown";
+}
+
+void FlightRecorder::SetPhaseDetail(const Handle& handle,
+                                    std::string detail) {
+  std::lock_guard<std::mutex> lock(handle->detail_mu);
+  handle->phase_detail = std::move(detail);
 }
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
@@ -54,15 +65,30 @@ void FlightRecorder::Complete(const Handle& handle, QueryRecord record) {
   record.connection_id = handle->connection_id;
   record.sql = handle->sql;
   record.start_unix_us = handle->start_unix_us;
-  std::lock_guard<std::mutex> lock(mu_);
-  active_.erase(handle->query_id);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(record));
-  } else {
-    ring_[next_slot_] = std::move(record);
+  Handle removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(handle->query_id);
+    if (it != active_.end()) {
+      removed = std::move(it->second);
+      active_.erase(it);
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+    } else {
+      ring_[next_slot_] = std::move(record);
+    }
+    next_slot_ = (next_slot_ + 1) % capacity_;
+    ++completed_;
   }
-  next_slot_ = (next_slot_ + 1) % capacity_;
-  ++completed_;
+  if (removed != nullptr) {
+    // Defer the registry's reference through the epoch GC: raw
+    // ActiveEntry pointers resolved under an epoch guard stay valid
+    // until every such guard releases.
+    EpochGc::Global().Retire([entry = std::move(removed)]() mutable {
+      entry.reset();
+    });
+  }
 }
 
 std::vector<QueryRecord> FlightRecorder::CompletedSnapshot() const {
@@ -91,6 +117,12 @@ std::vector<ActiveQuery> FlightRecorder::ActiveSnapshot() const {
     q.sql = entry->sql;
     q.phase = QueryPhaseName(
         static_cast<QueryPhase>(entry->phase.load(std::memory_order_relaxed)));
+    {
+      std::lock_guard<std::mutex> detail_lock(entry->detail_mu);
+      if (!entry->phase_detail.empty()) {
+        q.phase += "(" + entry->phase_detail + ")";
+      }
+    }
     q.start_unix_us = entry->start_unix_us;
     q.elapsed_ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(

@@ -50,6 +50,10 @@ enum class QueryPhase : int {
   kBind,
   kOptimize,
   kExecute,
+  /// DML waiting for the table's writer–writer lock (readers never hold
+  /// it under MVCC). The phase detail names the blocking table, so
+  /// pi_stats.active_queries shows e.g. "commit_wait(orders)".
+  kCommitWait,
   kCommit,
 };
 
@@ -61,7 +65,9 @@ struct ActiveQuery {
   std::uint64_t session_id = 0;
   std::int64_t connection_id = -1;
   std::string sql;
-  const char* phase = "parse";
+  /// Phase name, with the detail appended as "phase(detail)" when set —
+  /// a commit-waiting DML statement shows the table it is blocked on.
+  std::string phase = "parse";
   std::uint64_t start_unix_us = 0;
   double elapsed_ms = 0.0;
 };
@@ -86,6 +92,11 @@ class FlightRecorder {
     std::uint64_t start_unix_us = 0;
     std::chrono::steady_clock::time_point start;
     std::atomic<int> phase{static_cast<int>(QueryPhase::kParse)};
+    /// Free-text qualifier of the current phase (the table a commit-wait
+    /// is blocked on). Guarded by its own mutex — it is off the phase
+    /// advance's lock-free path and set only around lock acquisition.
+    mutable std::mutex detail_mu;
+    std::string phase_detail;
   };
   using Handle = std::shared_ptr<ActiveEntry>;
 
@@ -101,9 +112,18 @@ class FlightRecorder {
     handle->phase.store(static_cast<int>(phase), std::memory_order_relaxed);
   }
 
+  /// Sets (or, with an empty string, clears) the phase's free-text
+  /// qualifier shown in pi_stats.active_queries. Not on the hot path —
+  /// used around commit-wait lock acquisition.
+  static void SetPhaseDetail(const Handle& handle, std::string detail);
+
   /// Unregisters the statement and retires `record` into the ring.
   /// query_id/session_id/connection_id/sql/start time are filled from the
-  /// handle; the caller provides status and measurements.
+  /// handle; the caller provides status and measurements. The registry
+  /// entry itself is retired through the global EpochGc: an observer that
+  /// resolved a raw ActiveEntry* under an epoch guard (lock-free
+  /// cancellation probes, the server's teardown sweep) keeps it valid
+  /// until its guard releases.
   void Complete(const Handle& handle, QueryRecord record);
 
   /// The retained completed statements, newest first.

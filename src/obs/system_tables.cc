@@ -64,7 +64,9 @@ Schema MakeSchema(SystemTableId id) {
                      {"durable", T::kInt64},
                      {"wal_bytes", T::kInt64},
                      {"last_checkpoint_csn", T::kInt64},
-                     {"next_csn", T::kInt64}});
+                     {"next_csn", T::kInt64},
+                     {"live_versions", T::kInt64},
+                     {"oldest_pinned_csn", T::kInt64}});
     case SystemTableId::kPartitions:
       return Schema({{"table_name", T::kString},
                      {"partition", T::kInt64},

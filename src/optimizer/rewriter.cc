@@ -19,7 +19,7 @@ namespace {
 
 /// Finds a registered index of `kind` on the table column that output
 /// column `output_col` of the select-chain maps to.
-const PatchIndex* FindIndex(const PatchIndexManager& manager,
+const PatchIndex* FindIndex(const IndexLookup& indexes,
                             const LogicalNode& chain, std::size_t output_col,
                             ConstraintKind kind) {
   const LogicalNode* scan = SelectChainScan(chain);
@@ -32,7 +32,7 @@ const PatchIndex* FindIndex(const PatchIndexManager& manager,
     return nullptr;
   }
   const std::size_t table_col = scan->columns[output_col];
-  for (PatchIndex* idx : manager.IndexesOn(*scan->table)) {
+  for (const PatchIndex* idx : indexes.FindIndexesOn(*scan->table)) {
     if (idx->constraint() == kind && idx->column() == table_col &&
         idx->patches().NumRows() == scan->table->num_rows()) {
       return idx;
@@ -43,9 +43,9 @@ const PatchIndex* FindIndex(const PatchIndexManager& manager,
 
 /// Table-level sortedness proof for one partition: a zero-exception
 /// ascending NSC index on `table_col` covering every row.
-bool PartitionProvedSorted(const PatchIndexManager& manager,
+bool PartitionProvedSorted(const IndexLookup& indexes,
                            const Table& partition, std::size_t table_col) {
-  for (const PatchIndex* idx : manager.IndexesOn(partition)) {
+  for (const PatchIndex* idx : indexes.FindIndexesOn(partition)) {
     if (idx->constraint() == ConstraintKind::kNearlySorted &&
         idx->ascending() && idx->column() == table_col &&
         idx->NumPatches() == 0 &&
@@ -61,7 +61,7 @@ bool PartitionProvedSorted(const PatchIndexManager& manager,
 /// column, and the partition boundaries must be non-decreasing (last
 /// value of partition p <= first value of partition p+1), because global
 /// rowID order concatenates the partitions.
-bool PartitionedScanProvedSorted(const PatchIndexManager& manager,
+bool PartitionedScanProvedSorted(const IndexLookup& indexes,
                                  const PartitionedTable& table,
                                  std::size_t table_col) {
   bool have_prev = false;
@@ -70,7 +70,7 @@ bool PartitionedScanProvedSorted(const PatchIndexManager& manager,
     const Table& part = table.partition(p);
     if (!part.pdt().empty()) return false;
     if (part.num_rows() == 0) continue;
-    if (!PartitionProvedSorted(manager, part, table_col)) return false;
+    if (!PartitionProvedSorted(indexes, part, table_col)) return false;
     const Column& col = part.column(table_col);
     if (have_prev && col.GetInt64(0) < prev_last) return false;
     prev_last = col.GetInt64(part.num_rows() - 1);
@@ -79,10 +79,10 @@ bool PartitionedScanProvedSorted(const PatchIndexManager& manager,
   return true;
 }
 
-LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
+LogicalPtr RewriteNode(LogicalPtr node, const IndexLookup& indexes,
                        const OptimizerOptions& options) {
   for (auto& child : node->children) {
-    child = RewriteNode(child, manager, options);
+    child = RewriteNode(child, indexes, options);
   }
 
   switch (node->kind) {
@@ -98,7 +98,7 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
       if (node->table != nullptr) {
         if (!node->table->pdt().empty()) break;
         for (std::size_t i = 0; i < node->columns.size(); ++i) {
-          if (PartitionProvedSorted(manager, *node->table,
+          if (PartitionProvedSorted(indexes, *node->table,
                                     node->columns[i])) {
             node->scan_sorted_col = static_cast<int>(i);
             break;
@@ -108,7 +108,7 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
         // Multi-partition: the inference runs partition-locally and lifts
         // to a global claim only when the partition boundaries line up.
         for (std::size_t i = 0; i < node->columns.size(); ++i) {
-          if (PartitionedScanProvedSorted(manager, *node->ptable,
+          if (PartitionedScanProvedSorted(indexes, *node->ptable,
                                           node->columns[i])) {
             node->scan_sorted_col = static_cast<int>(i);
             break;
@@ -120,7 +120,7 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
     case LogicalNode::Kind::kDistinct: {
       if (node->group_cols.size() != 1) break;
       const PatchIndex* idx =
-          FindIndex(manager, *node->children[0], node->group_cols[0],
+          FindIndex(indexes, *node->children[0], node->group_cols[0],
                     ConstraintKind::kNearlyUnique);
       if (idx == nullptr &&
           node->children[0]->kind == LogicalNode::Kind::kScan) {
@@ -128,7 +128,7 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
         // the distinct patches. Restricted to plain scans — a selection
         // might filter away every constant row, which the plan could not
         // know statically.
-        idx = FindIndex(manager, *node->children[0], node->group_cols[0],
+        idx = FindIndex(indexes, *node->children[0], node->group_cols[0],
                         ConstraintKind::kNearlyConstant);
       }
       if (idx == nullptr) break;
@@ -150,7 +150,7 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
         break;
       }
       const PatchIndex* idx =
-          FindIndex(manager, *node->children[0], node->sort_keys[0].column,
+          FindIndex(indexes, *node->children[0], node->sort_keys[0].column,
                     ConstraintKind::kNearlySorted);
       if (idx == nullptr || !idx->ascending()) break;
       const double n = EstimateCardinality(*node->children[0]);
@@ -166,7 +166,7 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
       // Pattern (Figure 2 right): right input is the NSC-indexed fact
       // side, left input ("X") is sorted on the join key.
       const PatchIndex* idx = FindIndex(
-          manager, *node->children[1], node->right_key,
+          indexes, *node->children[1], node->right_key,
           ConstraintKind::kNearlySorted);
       if (idx != nullptr && idx->ascending() &&
           SortedOutputColumn(*node->children[0]) ==
@@ -184,10 +184,10 @@ LogicalPtr RewriteNode(LogicalPtr node, const PatchIndexManager& manager,
       // No structural rewrite: annotate NUC-indexed join keys so the hash
       // joins (serial and morsel-parallel) can treat non-exception build
       // rows as unique and route patches through the exception path.
-      node->left_key_nuc = FindIndex(manager, *node->children[0],
+      node->left_key_nuc = FindIndex(indexes, *node->children[0],
                                      node->left_key,
                                      ConstraintKind::kNearlyUnique);
-      node->right_key_nuc = FindIndex(manager, *node->children[1],
+      node->right_key_nuc = FindIndex(indexes, *node->children[1],
                                       node->right_key,
                                       ConstraintKind::kNearlyUnique);
       break;
@@ -471,10 +471,10 @@ OperatorPtr Compile(const LogicalNode& node, const OptimizerOptions& options,
 
 }  // namespace
 
-LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
+LogicalPtr OptimizePlan(LogicalPtr plan, const IndexLookup& indexes,
                         const OptimizerOptions& options) {
   if (!options.enable_patch_rewrites) return plan;
-  return RewriteNode(std::move(plan), manager, options);
+  return RewriteNode(std::move(plan), indexes, options);
 }
 
 OperatorPtr CompilePlan(const LogicalPtr& plan,
@@ -483,9 +483,9 @@ OperatorPtr CompilePlan(const LogicalPtr& plan,
   return Compile(*plan, options, profile);
 }
 
-OperatorPtr PlanQuery(LogicalPtr plan, const PatchIndexManager& manager,
+OperatorPtr PlanQuery(LogicalPtr plan, const IndexLookup& indexes,
                       const OptimizerOptions& options) {
-  return CompilePlan(OptimizePlan(std::move(plan), manager, options), options);
+  return CompilePlan(OptimizePlan(std::move(plan), indexes, options), options);
 }
 
 }  // namespace patchindex

@@ -6,6 +6,7 @@
 #include "exec/operator.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
+#include "patchindex/index_lookup.h"
 #include "patchindex/manager.h"
 
 namespace patchindex {
@@ -41,9 +42,12 @@ struct OptimizerOptions {
 ///  - Sort   over a select-chain on a NSC column    -> kPatchSort
 ///  - Join whose right input is a select-chain scan of a NSC column and
 ///    whose left input is sorted on the join key    -> kPatchJoin
-/// Rewrites fire only when `manager` has a matching index and the cost
-/// model approves (unless forced).
-LogicalPtr OptimizePlan(LogicalPtr plan, const PatchIndexManager& manager,
+/// Rewrites fire only when `indexes` resolves a matching index and the
+/// cost model approves (unless forced). `indexes` is usually the live
+/// PatchIndexManager (locked reads, DML row-finding) but may be a pinned
+/// MVCC version's immutable index snapshots — resolution is by partition
+/// address, so the rewriter needs no notion of versions.
+LogicalPtr OptimizePlan(LogicalPtr plan, const IndexLookup& indexes,
                         const OptimizerOptions& options = {});
 
 /// Lowers a (possibly rewritten) logical plan to a physical operator
@@ -57,7 +61,7 @@ OperatorPtr CompilePlan(const LogicalPtr& plan,
                         obs::ExecProfile* profile = nullptr);
 
 /// Convenience: optimize + compile.
-OperatorPtr PlanQuery(LogicalPtr plan, const PatchIndexManager& manager,
+OperatorPtr PlanQuery(LogicalPtr plan, const IndexLookup& indexes,
                       const OptimizerOptions& options = {});
 
 }  // namespace patchindex

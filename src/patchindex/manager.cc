@@ -76,6 +76,26 @@ std::vector<PatchIndex*> PatchIndexManager::IndexesOn(
   return out;
 }
 
+std::vector<const PatchIndex*> PatchIndexManager::FindIndexesOn(
+    const Table& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const PatchIndex*> out;
+  for (const auto& idx : indexes_) {
+    if (&idx->table() == &table) out.push_back(idx.get());
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const PatchIndex>> PatchIndexManager::SharedIndexesOn(
+    const Table& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const PatchIndex>> out;
+  for (const auto& idx : indexes_) {
+    if (&idx->table() == &table) out.push_back(idx);
+  }
+  return out;
+}
+
 std::vector<PatchIndex*> PatchIndexManager::IndexesOn(
     const PartitionedTable& table) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "patchindex/index_lookup.h"
 #include "patchindex/patch_index.h"
 #include "storage/table.h"
 
@@ -24,7 +25,7 @@ namespace patchindex {
 /// not: callers must serialize index use against CommitUpdateQuery on the
 /// same table — the engine's table-level reader-writer lock does exactly
 /// that.
-class PatchIndexManager {
+class PatchIndexManager : public IndexLookup {
  public:
   /// Creates and registers an index; returns a non-owning handle.
   PatchIndex* CreateIndex(const Table& table, std::size_t column,
@@ -48,6 +49,16 @@ class PatchIndexManager {
 
   /// All indexes defined on any partition of `table`.
   std::vector<PatchIndex*> IndexesOn(const PartitionedTable& table) const;
+
+  /// IndexLookup: the optimizer's read-side view of IndexesOn(Table&).
+  std::vector<const PatchIndex*> FindIndexesOn(
+      const Table& table) const override;
+
+  /// Shared handles to every index on `table` — the MVCC publication
+  /// path snapshots these so a pinned version keeps its source indexes
+  /// alive even if they are dropped from the registry afterwards.
+  std::vector<std::shared_ptr<const PatchIndex>> SharedIndexesOn(
+      const Table& table) const;
 
   /// Destroys every index defined on `table`; returns how many were
   /// dropped. Required before the owning catalog frees the table — the
@@ -88,7 +99,8 @@ class PatchIndexManager {
   Status CommitValidated(Table& table);
 
   mutable std::mutex mu_;  // guards the registry, not the indexes' state
-  std::vector<std::unique_ptr<PatchIndex>> indexes_;
+  // shared_ptr so MVCC version snapshots can hold dropped indexes alive.
+  std::vector<std::shared_ptr<PatchIndex>> indexes_;
 };
 
 }  // namespace patchindex

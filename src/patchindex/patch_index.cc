@@ -68,6 +68,25 @@ Result<std::unique_ptr<PatchIndex>> PatchIndex::Restore(
   return index;
 }
 
+std::unique_ptr<PatchIndex> PatchIndex::CloneForSnapshot(
+    const Table& table) const {
+  PIDX_CHECK(table.num_rows() == table_->num_rows());
+  auto clone = std::unique_ptr<PatchIndex>(
+      new PatchIndex(table, column_, constraint_, options_));
+  clone->options_.maintenance_fault_hook = nullptr;  // snapshots never commit
+  clone->patches_ = patches_->Clone(options_.bitmap_options);
+  clone->tail_value_ = tail_value_;
+  clone->has_tail_ = has_tail_;
+  clone->constant_value_ = constant_value_;
+  clone->has_constant_ = has_constant_;
+  if (minmax_ != nullptr) {
+    clone->minmax_ = std::make_unique<MinMaxIndex>(*minmax_);
+    clone->minmax_version_ = minmax_version_;
+  }
+  clone->last_scan_fraction_ = last_scan_fraction_;
+  return clone;
+}
+
 PatchIndexState PatchIndex::ExportState() const {
   PatchIndexState state;
   state.constraint = constraint_;

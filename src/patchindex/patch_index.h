@@ -87,6 +87,14 @@ class PatchIndex : public RowIdFilter {
   /// Snapshot of the materialized state (for checkpointing).
   PatchIndexState ExportState() const;
 
+  /// Immutable copy bound to `table` (an MVCC snapshot of this index's
+  /// table, with identical row cardinality): deep-copies the patch set
+  /// and constraint state so the clone is unaffected by future updates to
+  /// this index. Clones serve reads only — they never run the update
+  /// protocol. Caller must hold the table's writer lock so the state
+  /// copied is a committed one.
+  std::unique_ptr<PatchIndex> CloneForSnapshot(const Table& table) const;
+
   // RowIdFilter:
   std::uint64_t NumRows() const override { return patches_->NumRows(); }
   std::uint64_t NumPatches() const override { return patches_->NumPatches(); }

@@ -52,6 +52,11 @@ class PatchSet : public RowIdFilter {
   static std::unique_ptr<PatchSet> Create(PatchSetDesign design,
                                           std::uint64_t num_rows,
                                           ShardedBitmapOptions options = {});
+
+  /// Deep copy: a fresh set of the same design and cardinality with every
+  /// patch re-marked, O(patches). Used to freeze index state into an MVCC
+  /// version snapshot (the sharded bitmap is not copyable).
+  std::unique_ptr<PatchSet> Clone(ShardedBitmapOptions options = {}) const;
 };
 
 /// Bitmap-based design: bit i set <=> row i is a patch. Deletes map to the

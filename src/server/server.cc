@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/epoch_gc.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -84,19 +85,28 @@ struct Connection {
   std::unordered_map<std::uint64_t, PreparedStatement> stmts;
   std::uint64_t next_stmt_id = 1;
 
-  /// Retires the connection: closes the socket and releases the heavy
-  /// state (prepared plans, queued tasks) immediately — the struct
+  /// Retires the connection: closes the socket and hands the heavy
+  /// state (prepared plans, queued tasks) to the epoch GC — the struct
   /// itself lingers in PiServer::connections_ until the next accept or
   /// Stop reaps it (joining the reader thread), but must not retain
-  /// engine state that long. Call with `mu` held, reader done, queue
-  /// drained, no worker active.
+  /// engine state that long. Destruction is deferred through the global
+  /// EpochGc rather than run inline: it keeps the (possibly large) plan
+  /// teardown off `mu`, and any observer that resolved pointers into
+  /// this state under an epoch guard keeps them valid until its guard
+  /// releases — the same reclamation protocol MVCC readers and the
+  /// flight recorder's registry use. Call with `mu` held, reader done,
+  /// queue drained, no worker active.
   void FinalizeLocked() {
     finished = true;
     if (fd >= 0) {
       ::close(fd);
       fd = -1;
     }
-    stmts.clear();
+    auto stale = std::make_shared<
+        std::pair<std::unordered_map<std::uint64_t, PreparedStatement>,
+                  std::deque<Task>>>(std::move(stmts), std::move(queue));
+    EpochGc::Global().Retire([stale]() mutable { stale.reset(); });
+    stmts.clear();  // moved-from: back to a known-empty state
     queue.clear();
   }
 };

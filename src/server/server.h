@@ -98,9 +98,11 @@ struct ServerStats {
 /// a fixed pool of query-worker threads drains those queues — one task
 /// at a time per connection, FIFO, so responses leave in request order
 /// while different connections execute concurrently. Each connection
-/// owns one engine::Session, so the catalog lock protocol and the PDT
-/// commit path give remote clients the same isolation as in-process
-/// sessions.
+/// owns one engine::Session, so remote clients get the same isolation
+/// as in-process sessions: reads pin an MVCC table version through an
+/// epoch guard (never blocking writers), DML serializes on the
+/// writer–writer lock, and connection teardown retires its state
+/// through the same epoch GC.
 ///
 /// Backpressure: per-connection queues are bounded; when even rejection
 /// markers would overflow one, its reader simply stops reading the

@@ -15,19 +15,32 @@ int Schema::ColumnIndex(const std::string& name) const {
 
 Table::Table(Schema schema) : schema_(std::move(schema)) {
   columns_.reserve(schema_.num_fields());
-  for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+  for (const Field& f : schema_.fields()) {
+    columns_.push_back(std::make_shared<Column>(f.type));
+  }
 }
 
 const Column* Table::ColumnByName(const std::string& name) const {
   const int idx = schema_.ColumnIndex(name);
-  return idx < 0 ? nullptr : &columns_[static_cast<std::size_t>(idx)];
+  return idx < 0 ? nullptr : columns_[static_cast<std::size_t>(idx)].get();
+}
+
+void Table::EnsureUnshared(std::size_t i) {
+  // use_count() > 1 means a published snapshot still references the
+  // buffer. Publish copies column pointers only under the same writer
+  // lock mutation requires, so the count cannot concurrently grow here.
+  if (columns_[i].use_count() > 1) {
+    columns_[i] = std::make_shared<Column>(*columns_[i]);
+  }
 }
 
 void Table::AppendRow(const Row& row) {
   PIDX_CHECK(row.cells.size() == columns_.size());
   for (std::size_t i = 0; i < columns_.size(); ++i) {
-    columns_[i].Append(row.cells[i]);
+    EnsureUnshared(i);
+    columns_[i]->Append(row.cells[i]);
   }
+  BumpMutationSeq();
 }
 
 Status Table::BufferDelete(RowId row) {
@@ -35,6 +48,7 @@ Status Table::BufferDelete(RowId row) {
     return Status::OutOfRange("delete position beyond base table");
   }
   pdt_.AddDelete(row);
+  BumpMutationSeq();
   return Status::OK();
 }
 
@@ -45,25 +59,40 @@ Status Table::BufferModify(RowId row, std::size_t col, Value v) {
   if (col >= columns_.size()) {
     return Status::InvalidArgument("modify column out of range");
   }
-  if (v.type() != columns_[col].type()) {
+  if (v.type() != columns_[col]->type()) {
     return Status::InvalidArgument("modify value type mismatch");
   }
   pdt_.AddModify(row, col, std::move(v));
+  BumpMutationSeq();
   return Status::OK();
 }
 
 void Table::Checkpoint() {
   for (const auto& [row, cols] : pdt_.modifies()) {
     for (const auto& [col, value] : cols) {
-      columns_[col].Set(row, value);
+      EnsureUnshared(col);
+      columns_[col]->Set(row, value);
     }
   }
   if (!pdt_.deletes().empty()) {
-    for (Column& c : columns_) c.DeleteRows(pdt_.deletes());
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      EnsureUnshared(i);
+      columns_[i]->DeleteRows(pdt_.deletes());
+    }
   }
   for (const Row& row : pdt_.inserts()) AppendRow(row);
   pdt_.Clear();
   ++version_;
+  BumpMutationSeq();
+}
+
+std::unique_ptr<Table> Table::CloneShared() const {
+  auto clone = std::make_unique<Table>(schema_);
+  clone->columns_ = columns_;  // shared buffers; COW isolates future writes
+  clone->pdt_ = pdt_;
+  clone->version_ = version_;
+  clone->mutation_seq_.store(mutation_seq(), std::memory_order_relaxed);
+  return clone;
 }
 
 Value Table::VisibleCell(RowId row, std::size_t col) const {
@@ -86,12 +115,12 @@ Value Table::VisibleCell(RowId row, std::size_t col) const {
     auto cit = mit->second.find(col);
     if (cit != mit->second.end()) return cit->second;
   }
-  return columns_[col].Get(base);
+  return columns_[col]->Get(base);
 }
 
 std::uint64_t Table::MemoryUsageBytes() const {
   std::uint64_t total = 0;
-  for (const Column& c : columns_) total += c.MemoryUsageBytes();
+  for (const auto& c : columns_) total += c->MemoryUsageBytes();
   return total;
 }
 
@@ -100,12 +129,24 @@ PartitionedTable::PartitionedTable(Schema schema, std::size_t num_partitions)
   PIDX_CHECK(num_partitions >= 1);
   partitions_.reserve(num_partitions);
   for (std::size_t i = 0; i < num_partitions; ++i) {
-    partitions_.push_back(std::make_unique<Table>(schema));
+    partitions_.push_back(std::make_shared<Table>(schema));
   }
 }
 
 PartitionedTable::PartitionedTable(Schema schema,
                                    std::vector<std::unique_ptr<Table>> parts)
+    : schema_(std::move(schema)) {
+  partitions_.reserve(parts.size());
+  for (auto& p : parts) partitions_.emplace_back(std::move(p));
+  PIDX_CHECK(!partitions_.empty());
+  for (const auto& p : partitions_) {
+    PIDX_CHECK(p != nullptr);
+    PIDX_CHECK(p->schema().num_fields() == schema_.num_fields());
+  }
+}
+
+PartitionedTable::PartitionedTable(Schema schema,
+                                   std::vector<std::shared_ptr<Table>> parts)
     : schema_(std::move(schema)), partitions_(std::move(parts)) {
   PIDX_CHECK(!partitions_.empty());
   for (const auto& p : partitions_) {

@@ -51,13 +51,25 @@ TEST(FlightRecorderTest, ActiveRegistryTracksPhaseUntilComplete) {
   EXPECT_EQ(active[0].session_id, 7u);
   EXPECT_EQ(active[0].connection_id, 3);
   EXPECT_EQ(active[0].sql, "SELECT 1");
-  EXPECT_STREQ(active[0].phase, "parse");
+  EXPECT_EQ(active[0].phase, "parse");
   EXPECT_GE(active[0].elapsed_ms, 0.0);
 
   obs::FlightRecorder::SetPhase(h, obs::QueryPhase::kCommit);
   active = recorder.ActiveSnapshot();
   ASSERT_EQ(active.size(), 1u);
-  EXPECT_STREQ(active[0].phase, "commit");
+  EXPECT_EQ(active[0].phase, "commit");
+
+  // A commit waiting on the writer–writer lock names the blocking table
+  // in its phase — pi_stats.active_queries renders this string verbatim,
+  // so an operator can see *which* table a stalled commit is queued on.
+  obs::FlightRecorder::SetPhase(h, obs::QueryPhase::kCommitWait);
+  obs::FlightRecorder::SetPhaseDetail(h, "orders");
+  active = recorder.ActiveSnapshot();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].phase, "commit_wait(orders)");
+  obs::FlightRecorder::SetPhaseDetail(h, "");
+  active = recorder.ActiveSnapshot();
+  EXPECT_EQ(active[0].phase, "commit_wait");
 
   recorder.Complete(h, obs::QueryRecord{});
   EXPECT_TRUE(recorder.ActiveSnapshot().empty());
@@ -285,6 +297,26 @@ TEST(EngineIntrospectionTest, PiStatsTablesAndPartitionsSeeLiveState) {
   EXPECT_EQ(q.value().rows.columns[1].i64[0], 4);
   EXPECT_EQ(q.value().rows.columns[2].i64[0], 3);
   EXPECT_EQ(q.value().rows.columns[4].i64[0], 0);  // volatile engine
+
+  // MVCC columns: the INSERT's commit published a version, so at least
+  // one is alive and its csn is positive. With no reader pinning an old
+  // version, a later commit supersedes it and the epoch GC reclaims —
+  // live stays small and the oldest live csn advances with the head.
+  q = session.Sql(
+      "SELECT live_versions, oldest_pinned_csn FROM pi_stats.tables "
+      "WHERE name = 't'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().rows.num_rows(), 1u);
+  EXPECT_GE(q.value().rows.columns[0].i64[0], 1);
+  const std::int64_t csn_before = q.value().rows.columns[1].i64[0];
+  EXPECT_GE(csn_before, 1);
+  ASSERT_TRUE(session.Sql("UPDATE t SET a = 7 WHERE a = 1").ok());
+  q = session.Sql(
+      "SELECT live_versions, oldest_pinned_csn FROM pi_stats.tables "
+      "WHERE name = 't'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(q.value().rows.columns[0].i64[0], 1);
+  EXPECT_GT(q.value().rows.columns[1].i64[0], csn_before);
 
   // Partition rows sum to the table's; one row per partition.
   q = session.Sql(

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <set>
@@ -253,6 +254,116 @@ TEST(ServerConcurrencyTest, CrossPartitionUpdatesAreAtomic) {
   stop.store(true);
   for (std::thread& t : readers) t.join();
   EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+/// The MVCC phase: a continuous full-table scan stream concurrent with a
+/// cross-partition two-row UPDATE stream. Under the historical protocol
+/// the scans' shared locks (reader-preferring rwlock) starve the writer;
+/// under MVCC (the default) scans pin the published table version
+/// lock-free, so the writer only ever contends with itself. Asserted:
+///   (a) csn-consistency — the two marker rows live in different
+///       partitions and are always updated by one statement (one
+///       commit), so every scan must see them equal; a mismatch is a
+///       torn cross-partition read,
+///   (b) non-starvation — the UPDATE stream sustains real throughput
+///       while scans run back to back (the lock protocol manages a few
+///       commits per second here; the floor below is far above that and
+///       far below what MVCC delivers).
+TEST(ServerConcurrencyTest, LongScansDoNotStarveOrTearUpdates) {
+  Engine engine;
+  ServerOptions options;
+  options.query_workers = 4;
+  PiServer server(engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kRows = 100000;
+  {
+    PiClient admin;
+    ASSERT_TRUE(admin.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(admin.Sql("CREATE TABLE m (id INT64, v INT64) PARTITIONS 4")
+                    .ok());
+    // Batched load; ids 0 and 1 are the marker pair — insert routing is
+    // round-robin from empty, so they land in partitions 0 and 1.
+    for (int base = 0; base < kRows; base += 500) {
+      std::string sql = "INSERT INTO m VALUES ";
+      for (int i = 0; i < 500; ++i) {
+        if (i > 0) sql += ", ";
+        sql += "(" + std::to_string(base + i) + ", 0)";
+      }
+      Result<QueryResult> r = admin.Sql(sql);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<std::uint64_t> scans{0};
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::vector<std::thread> scanners;
+  for (int s = 0; s < 2; ++s) {
+    scanners.emplace_back([&] {
+      PiClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++failures;
+        return;
+      }
+      while (!stop.load()) {
+        // id is unindexed: the filter runs over every row of every
+        // partition — a genuine full-table scan per statement.
+        Result<QueryResult> r = SqlRetry(
+            client, "SELECT MIN(v) AS lo, MAX(v) AS hi FROM m WHERE id <= 1",
+            &busy);
+        if (!r.ok()) {
+          ++failures;
+          return;
+        }
+        if (r.value().rows.columns[0].i64[0] !=
+            r.value().rows.columns[1].i64[0]) {
+          torn.fetch_add(1);
+        }
+        scans.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    PiClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      ++failures;
+      return;
+    }
+    std::int64_t k = 0;
+    while (!stop.load()) {
+      ++k;
+      Result<QueryResult> r = SqlRetry(
+          client, "UPDATE m SET v = " + std::to_string(k) + " WHERE id <= 1",
+          &busy);
+      if (!r.ok() || r.value().rows_affected != 2) {
+        ++failures;
+        return;
+      }
+      updates.fetch_add(1);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (std::thread& t : scanners) t.join();
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(torn.load(), 0u) << "a scan observed the cross-partition "
+                                "marker pair half-updated";
+  EXPECT_GE(scans.load(), 10u);
+  // Non-starvation: the lock protocol sustains single-digit commits in
+  // this window (the scan stream's shared locks are re-acquired before
+  // the writer ever wins); MVCC sustains two orders of magnitude more.
+  EXPECT_GE(updates.load(), 20u);
+  EXPECT_GE(updates.load(), scans.load() / 20)
+      << "UPDATE stream starved while scans were pinned";
   server.Stop();
 }
 

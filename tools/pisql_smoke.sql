@@ -35,7 +35,7 @@ UPDATE events SET kind = 1 WHERE id = 2;
 SELECT id, kind FROM events WHERE id = 2 ORDER BY id;
 -- introspection: the engine explains itself through the same SQL surface
 -- (columns picked to be deterministic: no times, no connection state)
-SELECT name, partitions, rows, indexes, durable FROM pi_stats.tables ORDER BY name;
+SELECT name, partitions, rows, indexes, durable, live_versions FROM pi_stats.tables ORDER BY name;
 SELECT table_name, partition, rows FROM pi_stats.partitions ORDER BY table_name, partition;
 SELECT sql, phase FROM pi_stats.active_queries;
 SELECT sql, status FROM pi_stats.queries;
