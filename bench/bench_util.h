@@ -1,6 +1,8 @@
 #ifndef PATCHINDEX_BENCH_BENCH_UTIL_H_
 #define PATCHINDEX_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <ctime>
@@ -49,10 +51,20 @@ inline double TimeBest(int reps, const std::function<void()>& fn) {
 /// not optimized away).
 inline std::uint64_t Drain(Operator& op) { return CountRows(op); }
 
+/// Process peak RSS in bytes (ru_maxrss is KiB on Linux), or 0 when
+/// getrusage is unavailable.
+inline std::uint64_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
 /// Appends the machine/build metadata line every BENCH_*.json carries so
 /// recorded numbers can be matched to the hardware and build that
 /// produced them. Emits `  "machine": {...},\n` — call it right after
-/// printing the opening `{` of the top-level object.
+/// printing the opening `{` of the top-level object. Since the line is
+/// written as the results file is finalized, peak_rss_bytes covers the
+/// benchmark's whole run — datasets, indexes, and query state included.
 inline void WriteMachineJson(std::FILE* f) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
@@ -67,8 +79,10 @@ inline void WriteMachineJson(std::FILE* f) {
 #endif
   std::fprintf(f,
                "  \"machine\": {\"hardware_threads\": %u, "
-               "\"build\": \"%s\", \"timestamp\": \"%s\"},\n",
-               std::thread::hardware_concurrency(), build, stamp);
+               "\"build\": \"%s\", \"timestamp\": \"%s\", "
+               "\"peak_rss_bytes\": %llu},\n",
+               std::thread::hardware_concurrency(), build, stamp,
+               static_cast<unsigned long long>(PeakRssBytes()));
 }
 
 }  // namespace patchindex::bench

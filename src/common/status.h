@@ -23,6 +23,11 @@ enum class StatusCode {
   /// admission limit, connection shutting down); retrying later may
   /// succeed. Used by the network server's SERVER_BUSY rejection.
   kUnavailable,
+  /// A statement (or the whole engine) ran into a configured resource
+  /// budget — EngineOptions::query_memory_limit / engine_memory_limit.
+  /// The message names the operator that tripped the limit. The
+  /// statement is aborted cleanly; the session stays usable.
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
@@ -57,6 +62,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -94,6 +102,8 @@ class Status {
         return "NotImplemented";
       case StatusCode::kUnavailable:
         return "Unavailable";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
   }

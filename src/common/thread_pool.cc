@@ -60,13 +60,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued{std::move(task), {}};
+  if (has_wait_recorder_.load(std::memory_order_relaxed)) {
+    queued.enqueued = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     PIDX_CHECK_MSG(!shutting_down_, "Submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
     ++in_flight_;
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::SetQueueWaitRecorder(
+    std::function<void(std::uint64_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wait_recorder_ = std::move(fn);
+  has_wait_recorder_.store(wait_recorder_ != nullptr,
+                           std::memory_order_relaxed);
 }
 
 void ThreadPool::WaitIdle() {
@@ -92,7 +104,7 @@ void ThreadPool::ParallelFor(std::size_t n,
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
@@ -102,8 +114,20 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (wait_recorder_ != nullptr &&
+          task.enqueued != std::chrono::steady_clock::time_point{}) {
+        // Copy so the observer runs outside mu_ (it may take its own
+        // histogram shard locks; holding the pool mutex through it would
+        // serialize task pickup).
+        const auto wait = std::chrono::steady_clock::now() - task.enqueued;
+        const auto recorder = wait_recorder_;
+        lock.unlock();
+        recorder(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+                .count()));
+      }
     }
-    task();
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -1,8 +1,11 @@
 #ifndef PATCHINDEX_COMMON_THREAD_POOL_H_
 #define PATCHINDEX_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -69,6 +72,14 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Installs (or, with nullptr, removes) a wait-event observer invoked
+  /// with the nanoseconds each task sat queued before a worker picked it
+  /// up — the engine routes it into the pidx_wait_pool_queue_us
+  /// histogram. With no observer installed, Submit does not even read
+  /// the clock. The observer runs on worker threads and must be
+  /// thread-safe; install before the pool is shared.
+  void SetQueueWaitRecorder(std::function<void(std::uint64_t wait_ns)> fn);
+
   /// Process-wide pool sized by DefaultThreadCount() — the hardware
   /// concurrency, or the PI_THREADS environment variable when set. The
   /// size is fixed at first use; changing PI_THREADS later has no
@@ -76,10 +87,18 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Enqueue time; only read when a wait recorder is installed.
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
+  std::atomic<bool> has_wait_recorder_{false};
+  std::function<void(std::uint64_t)> wait_recorder_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

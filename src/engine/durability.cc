@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/mem_tracker.h"
+#include "obs/wait_event.h"
 #include "patchindex/checkpoint.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -267,12 +269,29 @@ Status DurabilityManager::LogCommit(const std::string& name,
     }
     std::string frame;
     AppendFrame(&frame, EncodeWalRecord(record));
+    // The serialized record is statement memory until the commit returns;
+    // charge it so a statement whose delta serializes over budget aborts
+    // here — the existing rollback path truncates what was appended and
+    // the caller discards the PDTs, a clean kResourceExhausted abort.
+    if (obs::MemoryTracker* mem = obs::CurrentQueryTracker()) {
+      std::string scope;
+      if (!mem->TryCharge(frame.size(), &scope)) {
+        st = Status::ResourceExhausted(
+            "memory limit exceeded in operator WAL append: " + scope +
+            " budget would be exceeded buffering " +
+            std::to_string(frame.size()) + " WAL record bytes");
+        break;
+      }
+    }
     appended.emplace_back(p, state->wal[p].size());
     st = state->wal[p].Append("wal.append", frame.data(), frame.size());
     if (!st.ok()) break;
     bytes += frame.size();
   }
   if (st.ok() && options_.fsync) {
+    // One wait span per commit (all its partition fsyncs together) — the
+    // wait-event-class view; fsync_latency_us keeps the per-fsync view.
+    obs::WaitSpan fsync_wait(metrics_.wait_fsync_us);
     for (const std::size_t p : dirty) {
       WallTimer fsync_timer;
       st = state->wal[p].Fsync("wal.fsync");

@@ -55,6 +55,10 @@ struct DurabilityMetrics {
   obs::Histogram* fsync_latency_us = nullptr;
   /// Wall time of each completed table checkpoint.
   obs::Histogram* checkpoint_duration_us = nullptr;
+  /// Wait event: time a commit was blocked on its WAL fsyncs — the same
+  /// stalls fsync_latency_us records per fsync, aggregated per commit
+  /// into the engine's wait-event-class view.
+  obs::Histogram* wait_fsync_us = nullptr;
 };
 
 /// A race-free copy of one table's durable bookkeeping, for

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <shared_mutex>
 #include <utility>
 
@@ -31,6 +32,11 @@ UpdateQuery UpdateQuery::Modify(std::vector<CellUpdate> cells) {
 }
 
 Engine::Engine(EngineOptions options) : options_(options) {
+  // The engine's accounting node, parented under the process root. Every
+  // per-query tracker (and the server's queue tracker) parents under it,
+  // so engine_memory_limit bounds all concurrently tracked bytes.
+  mem_tracker_ = std::make_unique<obs::MemoryTracker>(
+      "engine", &obs::ProcessMemoryRoot(), options_.engine_memory_limit);
   std::size_t threads = options_.num_threads;
   if (threads == 0) {
     // Hardware concurrency, or the PI_THREADS override — deployments
@@ -89,6 +95,42 @@ Engine::Engine(EngineOptions options) : options_(options) {
     r.SetCallback("pidx_epoch_reclaimed_total",
                   "Objects reclaimed by the epoch GC since process start",
                   [] { return EpochGc::Global().GetStats().reclaimed_total; });
+    // Memory accounting: tracked transient bytes (the tracker hierarchy —
+    // in-flight joins, sorts, result queues) plus pull-style resident
+    // bytes (catalog tables). pidx_memory_bytes is the headline figure.
+    // The tracker outlives the registry (member order) and `this` owns
+    // both, so the captures stay valid.
+    obs::MemoryTracker* mem = mem_tracker_.get();
+    const Engine* self = this;
+    r.SetCallback("pidx_memory_bytes",
+                  "Engine memory footprint: resident catalog-table bytes "
+                  "plus tracked transient query/server bytes",
+                  [self, mem] {
+                    return self->ApproxResidentBytes() + mem->current();
+                  });
+    r.SetCallback("pidx_memory_tracked_bytes",
+                  "Bytes currently charged to the engine's memory tracker",
+                  [mem] { return mem->current(); });
+    r.SetCallback("pidx_memory_tracked_peak_bytes",
+                  "High-water mark of tracked transient bytes",
+                  [mem] { return mem->peak(); });
+    r.SetCallback("pidx_memory_resident_bytes",
+                  "Resident bytes of catalog tables (columns + PDT deltas)",
+                  [self] { return self->ApproxResidentBytes(); });
+    // Wait-event histograms: the per-class contention view. The table
+    // lock wait duplicates pidx_phase_commit_wait_us by design — one is
+    // the DML phase view, this one the wait-event-class view.
+    m_.wait_table_lock_us = r.GetHistogram(
+        "pidx_wait_table_lock_us",
+        "Wait event: time blocked acquiring a table's writer-writer lock");
+    m_.wait_pool_queue_us = r.GetHistogram(
+        "pidx_wait_pool_queue_us",
+        "Wait event: time tasks sat queued in the worker pool before a "
+        "worker picked them up");
+    obs::Histogram* pool_wait = m_.wait_pool_queue_us;
+    pool_->SetQueueWaitRecorder([pool_wait](std::uint64_t ns) {
+      pool_wait->RecordNanos(static_cast<std::int64_t>(ns));
+    });
   }
 
   if (options_.durability.enabled()) {
@@ -103,6 +145,10 @@ Engine::Engine(EngineOptions options) : options_(options) {
           "pidx_fsync_latency_us", "Commit-path WAL fsync latency");
       dm.checkpoint_duration_us = r.GetHistogram(
           "pidx_checkpoint_duration_us", "Table checkpoint wall time");
+      dm.wait_fsync_us = r.GetHistogram(
+          "pidx_wait_fsync_us",
+          "Wait event: commit blocked on the WAL fsync (the durability "
+          "stall every committed update pays)");
       durability_->SetMetrics(dm);
     }
     recovery_status_ = durability_->Open();
@@ -135,6 +181,33 @@ Engine::Engine(EngineOptions options) : options_(options) {
   }
 }
 
+Engine::~Engine() {
+  // Members destruct in reverse declaration order, so pool_ outlives
+  // metrics_ — detach the queue-wait recorder (it records into a
+  // metrics-owned histogram) before any member goes away.
+  if (pool_ != nullptr) {
+    pool_->SetQueueWaitRecorder(nullptr);
+    pool_->WaitIdle();
+  }
+}
+
+std::uint64_t Engine::ApproxResidentBytes() const {
+  // MVCC snapshots share un-mutated base columns with the live head
+  // (copy-on-write), so summing the heads alone avoids double-counting
+  // the common case; deep-copied PDT clones and un-shared columns held
+  // only by retired versions are missed. An approximation, recomputed on
+  // every pull (metrics scrape, pi_stats.memory).
+  std::uint64_t total = 0;
+  for (const std::string& name : catalog_.TableNames()) {
+    Catalog::TableRef ref = catalog_.Ref(name);
+    if (!ref) continue;
+    std::shared_lock<std::shared_mutex> lock(*ref.lock);
+    if (catalog_.FindPartitionedTable(name) != ref.ptable) continue;
+    total += ref.ptable->MemoryUsageBytes();
+  }
+  return total;
+}
+
 void Engine::StoreLastTrace(std::string json) {
   std::lock_guard<std::mutex> lock(obs_mu_);
   last_trace_json_ = std::move(json);
@@ -159,6 +232,21 @@ std::vector<obs::ConnectionInfo> Engine::ConnectionsSnapshot() const {
   std::lock_guard<std::mutex> lock(obs_mu_);
   if (connections_provider_ == nullptr) return {};
   return connections_provider_();
+}
+
+void Engine::SetServerMemoryTracker(obs::MemoryTracker* tracker) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  server_mem_tracker_ = tracker;
+}
+
+bool Engine::SampleServerMemory(obs::MemoryTrackerSample* out) const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (server_mem_tracker_ == nullptr) return false;
+  out->name = server_mem_tracker_->name();
+  out->current_bytes = server_mem_tracker_->current();
+  out->peak_bytes = server_mem_tracker_->peak();
+  out->limit_bytes = server_mem_tracker_->limit();
+  return true;
 }
 
 Session Engine::CreateSession() { return Session(this); }
@@ -253,6 +341,19 @@ Result<QueryResult> Session::ExecuteProfiled(
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   const Engine::MetricSet& m = engine_->m_;
 
+  // Per-query memory accounting: reuse the statement tracker the SQL
+  // session installed, or make one here for the bare-plan API so
+  // Execute(plan) callers get the same budget enforcement.
+  obs::MemoryTracker* query_mem = obs::CurrentQueryTracker();
+  std::optional<obs::MemoryTracker> local_mem;
+  std::optional<obs::ScopedQueryTracker> local_scope;
+  if (query_mem == nullptr) {
+    local_mem.emplace("query", &engine_->memory(),
+                      engine_->options_.query_memory_limit);
+    local_scope.emplace(&*local_mem);
+    query_mem = &*local_mem;
+  }
+
   // Protect every catalog table the plan scans for the statement's
   // duration. Under MVCC each table resolves to its pinned published
   // version (lock-free; the plan is cloned and its scans retargeted at
@@ -286,24 +387,32 @@ Result<QueryResult> Session::ExecuteProfiled(
   parallel_options.min_parallel_rows = engine_->options_.min_parallel_rows;
   parallel_options.profile = ops;
   parallel_options.trace = trace;
+  parallel_options.memory = query_mem;
   ParallelExecReport report;
   WallTimer execute_timer;
   obs::TraceSpan execute_span(trace, "execute", 0);
-  if (engine_->options_.enable_parallel_execution &&
-      ExecuteParallel(*optimized, engine_->pool(), parallel_options,
-                      &result.rows, &report)) {
-    result.parallel = true;
-    result.parallel_join = report.parallel_join;
-    result.parallel_sort = report.parallel_sort;
-    if (report.parallel_join) counters_->parallel_joins.fetch_add(1);
-    if (report.parallel_sort) counters_->parallel_sorts.fetch_add(1);
-    if (!report.parallel_join && !report.parallel_sort) {
-      counters_->parallel_pipelines.fetch_add(1);
+  try {
+    if (engine_->options_.enable_parallel_execution &&
+        ExecuteParallel(*optimized, engine_->pool(), parallel_options,
+                        &result.rows, &report)) {
+      result.parallel = true;
+      result.parallel_join = report.parallel_join;
+      result.parallel_sort = report.parallel_sort;
+      if (report.parallel_join) counters_->parallel_joins.fetch_add(1);
+      if (report.parallel_sort) counters_->parallel_sorts.fetch_add(1);
+      if (!report.parallel_join && !report.parallel_sort) {
+        counters_->parallel_pipelines.fetch_add(1);
+      }
+    } else {
+      OperatorPtr op = CompilePlan(optimized, optimizer, ops);
+      result.rows = Collect(*op);
+      counters_->serial_fallbacks.fetch_add(1);
     }
-  } else {
-    OperatorPtr op = CompilePlan(optimized, optimizer, ops);
-    result.rows = Collect(*op);
-    counters_->serial_fallbacks.fetch_add(1);
+  } catch (const obs::ResourceExhaustedError& e) {
+    // The statement unwound cleanly: AwaitAll drained every worker
+    // before rethrowing, so no task still references the result slots or
+    // the pinned versions. Session and engine stay fully usable.
+    return Status::ResourceExhausted(e.what());
   }
   const std::int64_t execute_ns = execute_timer.ElapsedNanos();
 
@@ -319,12 +428,33 @@ Result<QueryResult> Session::ExecuteProfiled(
     profile->parallel_join = result.parallel_join;
     profile->parallel_sort = result.parallel_sort;
     profile->pool_workers = engine_->pool().num_threads();
+    profile->peak_mem_bytes = query_mem->peak();
     if (ops != nullptr) obs::FillOpProfiles(*optimized, exec_profile, profile);
   }
   return result;
 }
 
 namespace {
+
+std::uint64_t ApproxValueBytes(const Value& v) {
+  return sizeof(Value) +
+         (v.type() == ColumnType::kString ? v.AsString().size() : 0);
+}
+
+/// Content-based size of an update query's delta — what buffering it in
+/// the PDTs will roughly cost. Charged to the per-query tracker before
+/// ApplyUpdateLocked, the last point where nothing is buffered yet and an
+/// over-budget statement can abort without any rollback.
+std::uint64_t ApproxUpdateBytes(const UpdateQuery& q) {
+  std::uint64_t total = q.deletes.size() * sizeof(RowId);
+  for (const Row& row : q.inserts) {
+    for (const Value& v : row.cells) total += ApproxValueBytes(v);
+  }
+  for (const CellUpdate& c : q.modifies) {
+    total += sizeof(CellUpdate) + ApproxValueBytes(c.value);
+  }
+  return total;
+}
 
 /// The buffer-and-commit phase of an update query, with the table's
 /// exclusive lock already held by the caller. Validates before buffering
@@ -459,6 +589,17 @@ Status Session::ExecuteUpdateWithProfiled(
     return Status::NotFound("table '" + table_name + "' does not exist");
   }
   PartitionedTable* table = ref.ptable;
+  // Per-statement memory accounting (see ExecuteProfiled): the build
+  // callback's row-matching plan and the DML delta itself charge it.
+  obs::MemoryTracker* query_mem = obs::CurrentQueryTracker();
+  std::optional<obs::MemoryTracker> local_mem;
+  std::optional<obs::ScopedQueryTracker> local_scope;
+  if (query_mem == nullptr) {
+    local_mem.emplace("query", &engine_->memory(),
+                      engine_->options_.query_memory_limit);
+    local_scope.emplace(&*local_mem);
+    query_mem = &*local_mem;
+  }
   // The exclusive lock is writer–writer only under MVCC: this wait
   // measures contention against other update queries (and DDL /
   // checkpoints), never against readers. Surface the blocking table in
@@ -483,12 +624,23 @@ Status Session::ExecuteUpdateWithProfiled(
     obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kExecute);
   }
   WallTimer build_timer;
-  Result<UpdateQuery> query = [&] {
+  Result<UpdateQuery> query = [&]() -> Result<UpdateQuery> {
     obs::TraceSpan span(trace, "execute", 0);
-    return build(*table);
+    try {
+      return build(*table);
+    } catch (const obs::ResourceExhaustedError& e) {
+      // The row-matching plan ran over budget; nothing is buffered yet.
+      return Status::ResourceExhausted(e.what());
+    }
   }();
   if (!query.ok()) return query.status();
   const std::int64_t build_ns = build_timer.ElapsedNanos();
+  try {
+    query_mem->Charge(ApproxUpdateBytes(query.value()), "DML delta");
+  } catch (const obs::ResourceExhaustedError& e) {
+    // Still pre-buffering: aborting here needs no PDT rollback.
+    return Status::ResourceExhausted(e.what());
+  }
   if (active != nullptr) {
     obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kCommit);
   }
@@ -501,6 +653,7 @@ Status Session::ExecuteUpdateWithProfiled(
   if (m.update_queries != nullptr) {
     m.update_queries->Add(1);
     m.phase_commit_wait_us->RecordNanos(lock_ns);
+    m.wait_table_lock_us->RecordNanos(lock_ns);
     m.phase_execute_us->RecordNanos(build_ns);
     m.phase_commit_us->RecordNanos(commit_ns);
   }
@@ -508,6 +661,7 @@ Status Session::ExecuteUpdateWithProfiled(
     profile->commit_wait_ms = static_cast<double>(lock_ns) / 1e6;
     profile->execute_ms = static_cast<double>(build_ns) / 1e6;
     profile->commit_ms = static_cast<double>(commit_ns) / 1e6;
+    profile->peak_mem_bytes = query_mem->peak();
   }
   return status;
 }

@@ -17,6 +17,7 @@
 #include "engine/durability.h"
 #include "engine/executor.h"
 #include "obs/flight_recorder.h"
+#include "obs/mem_tracker.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/system_tables.h"
@@ -91,6 +92,18 @@ struct EngineOptions {
   /// constructor recovers the catalog from the directory; callers must
   /// check Engine::recovery_status() before trusting the engine.
   DurabilityOptions durability;
+
+  /// Per-statement memory budget, bytes. A statement whose accounted
+  /// allocations (join builds, sort buffers, aggregate tables, result
+  /// materialization, DML deltas) exceed it aborts with a
+  /// kResourceExhausted status naming the operator that tripped the
+  /// limit; the session and engine stay fully usable. 0 = unlimited.
+  std::uint64_t query_memory_limit = 0;
+
+  /// Engine-wide budget over all concurrently accounted statement memory
+  /// (the per-engine tracker all query trackers parent under). 0 =
+  /// unlimited.
+  std::uint64_t engine_memory_limit = 0;
 };
 
 /// A query answer: the materialized rows plus how they were produced.
@@ -182,6 +195,9 @@ void CollectPlanTableRefs(const LogicalNode& plan, const Catalog& catalog,
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+  /// Detaches the pool's queue-wait recorder before the metrics registry
+  /// (whose histogram it records into) is destroyed.
+  ~Engine();
 
   Catalog& catalog() { return catalog_; }
   const EngineOptions& options() const { return options_; }
@@ -223,6 +239,28 @@ class Engine {
   /// The provider's current snapshot; empty when no server is attached.
   std::vector<obs::ConnectionInfo> ConnectionsSnapshot() const;
 
+  /// The engine's memory-accounting node (parented under the process
+  /// root, enforcing EngineOptions::engine_memory_limit). Per-query
+  /// trackers parent under it; the server parents its frame/result-queue
+  /// tracker under it too.
+  obs::MemoryTracker& memory() { return *mem_tracker_; }
+
+  /// Installs (or, with nullptr, removes) the server's frame/result-queue
+  /// tracker so `pi_stats.memory` can report it — the network server
+  /// registers at Start and deregisters at Stop.
+  void SetServerMemoryTracker(obs::MemoryTracker* tracker);
+  /// Copies the registered server tracker's figures; false when no server
+  /// is attached. Sampling runs with the registration lock held, so
+  /// SetServerMemoryTracker(nullptr) is a barrier: once it returns, no
+  /// sampler still touches the removed tracker.
+  bool SampleServerMemory(obs::MemoryTrackerSample* out) const;
+
+  /// Resident bytes of every catalog table (columns, PDT deltas,
+  /// retained MVCC versions), computed pull-style — the complement of
+  /// the transient bytes the tracker hierarchy accounts. Feeds the
+  /// pidx_memory_bytes gauge and pi_stats.memory.
+  std::uint64_t ApproxResidentBytes() const;
+
   /// The WAL/checkpoint subsystem; null when EngineOptions::durability is
   /// disabled *or* recovery failed (the engine then runs volatile —
   /// check recovery_status()).
@@ -263,10 +301,16 @@ class Engine {
     obs::Histogram* phase_execute_us = nullptr;
     obs::Histogram* phase_commit_wait_us = nullptr;
     obs::Histogram* phase_commit_us = nullptr;
+    /// Wait-event histograms: time blocked on a table's writer lock and
+    /// time tasks sat in the thread pool's queue before a worker picked
+    /// them up.
+    obs::Histogram* wait_table_lock_us = nullptr;
+    obs::Histogram* wait_pool_queue_us = nullptr;
   };
 
   EngineOptions options_;
   Catalog catalog_;
+  std::unique_ptr<obs::MemoryTracker> mem_tracker_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
@@ -279,6 +323,7 @@ class Engine {
   mutable std::mutex obs_mu_;
   std::function<std::vector<obs::ConnectionInfo>()> connections_provider_;
   std::string last_trace_json_;
+  obs::MemoryTracker* server_mem_tracker_ = nullptr;
 };
 
 /// A client handle onto the engine. Sessions are cheap to create, hold

@@ -16,6 +16,7 @@
 #include "exec/scan.h"
 #include "exec/select.h"
 #include "exec/sort_merge.h"
+#include "obs/mem_tracker.h"
 #include "obs/profile.h"
 #include "obs/profiled_operator.h"
 #include "obs/trace.h"
@@ -322,13 +323,18 @@ void AppendBatch(Batch* dst, Batch&& src) {
 }
 
 /// Drains `op` with column-wise accumulation (Collect() copies row by
-/// row, which would dominate wide parallel scans).
-Batch DrainColumnwise(Operator& op) {
+/// row, which would dominate wide parallel scans). Every incoming batch
+/// is charged to `mem` before it is appended, so a worker materializing
+/// an over-budget result aborts mid-drain rather than after the damage.
+Batch DrainColumnwise(Operator& op, obs::OpMemory* mem = nullptr) {
   op.Open();
   Batch all;
   all.Reset(op.OutputTypes());
   Batch in;
-  while (op.Next(&in)) AppendBatch(&all, std::move(in));
+  while (op.Next(&in)) {
+    if (mem != nullptr) mem->Add(ApproxBytes(in));
+    AppendBatch(&all, std::move(in));
+  }
   op.Close();
   return all;
 }
@@ -357,18 +363,28 @@ std::vector<Batch> RunWorkers(
     ThreadPool& pool,
     const std::function<OperatorPtr(std::size_t)>& make_pipeline,
     const std::function<void(Batch*)>& post = nullptr,
-    obs::TraceBuffer* trace = nullptr) {
+    obs::TraceBuffer* trace = nullptr,
+    obs::MemoryTracker* memory = nullptr,
+    const char* mem_label = "Materialize",
+    obs::NodeStats* mem_stats = nullptr) {
   const std::size_t workers = pool.num_threads();
   std::vector<Batch> parts(workers);
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(
-        pool.SubmitWithFuture([&parts, &make_pipeline, &post, trace, w] {
+    futures.push_back(pool.SubmitWithFuture(
+        [&parts, &make_pipeline, &post, trace, memory, mem_label, mem_stats,
+         w] {
           obs::TraceSpan span(trace, "worker",
                               static_cast<std::uint32_t>(w + 1));
+          // The query tracker rides the task, not the thread: pipeline
+          // construction below may allocate accounted structures
+          // (aggregate tables), and an over-budget charge unwinds into
+          // this task's future, surfacing through AwaitAll.
+          obs::ScopedQueryTracker query_mem(memory);
+          obs::OpMemory mem(mem_label, mem_stats);
           OperatorPtr pipeline = make_pipeline(w);
-          parts[w] = DrainColumnwise(*pipeline);
+          parts[w] = DrainColumnwise(*pipeline, &mem);
           if (post) post(&parts[w]);
         }));
   }
@@ -542,7 +558,8 @@ std::vector<JoinHashTable> BuildJoinPartitions(
     const ChainSpec& build_spec, const ScanTarget& build_target,
     std::size_t build_key, const std::vector<ColumnType>& build_types,
     const PatchIndex* build_nuc, std::size_t mask, ThreadPool& pool,
-    const ParallelExecOptions& options, obs::ExecProfile* profile) {
+    const ParallelExecOptions& options, obs::ExecProfile* profile,
+    obs::NodeStats* join_stats) {
   const std::size_t workers = pool.num_threads();
   const std::size_t num_partitions = mask + 1;
   MorselQueue queue(build_target.FullWork(), options.morsel_rows);
@@ -555,6 +572,8 @@ std::vector<JoinHashTable> BuildJoinPartitions(
     futures.push_back(pool.SubmitWithFuture([&, w] {
       obs::TraceSpan span(options.trace, "join_build",
                           static_cast<std::uint32_t>(w + 1));
+      obs::ScopedQueryTracker query_mem(options.memory);
+      obs::OpMemory mem("HashJoin build", join_stats);
       std::vector<Batch>& local = spill[w];
       local.resize(num_partitions);
       for (Batch& b : local) b.Reset(build_types);
@@ -564,6 +583,7 @@ std::vector<JoinHashTable> BuildJoinPartitions(
       pipeline->Open();
       Batch in;
       while (pipeline->Next(&in)) {
+        mem.Add(ApproxBytes(in));
         const auto& keys = in.columns[build_key].i64;
         for (std::size_t i = 0; i < in.num_rows(); ++i) {
           local[JoinKeyPartition(keys[i], mask)].AppendRowFrom(in, i);
@@ -579,6 +599,8 @@ std::vector<JoinHashTable> BuildJoinPartitions(
   futures.reserve(num_partitions);
   for (std::size_t p = 0; p < num_partitions; ++p) {
     futures.push_back(pool.SubmitWithFuture([&, p] {
+      obs::ScopedQueryTracker query_mem(options.memory);
+      obs::OpMemory mem("HashJoin build", join_stats);
       JoinHashTable& t = partitions[p];
       t.Reset(build_types);
       std::size_t partition_rows = 0;
@@ -594,8 +616,10 @@ std::vector<JoinHashTable> BuildJoinPartitions(
                             b.row_ids[i] < build_nuc->NumRows() &&
                             !build_nuc->IsPatch(b.row_ids[i]);
           t.AddRow(b, i, keys[i], hint);
+          if ((i & 1023u) == 1023u) mem.GrowTo(t.ApproxBytes());
         }
       }
+      mem.GrowTo(t.ApproxBytes());
     }));
   }
   AwaitAll(futures);
@@ -629,6 +653,8 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
   if (table.num_visible_rows() < options.min_parallel_rows) return false;
   obs::ExecProfile* profile = options.profile;
   if (profile != nullptr) profile->RegisterPlan(node);
+  obs::NodeStats* node_stats =
+      profile != nullptr ? profile->Find(&node) : nullptr;
   WallTimer total_timer;
   const bool has_inserts = !table.pdt().inserts().empty();
   const std::vector<RowRange> full{{0, table.num_rows()}};
@@ -662,7 +688,7 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
                                static_cast<std::uint32_t>(w + 1)),
               group_exprs);
         },
-        nullptr, options.trace);
+        nullptr, options.trace, options.memory, "PatchDistinct", node_stats);
     Batch excluded = ConcatParts(std::move(parts), out_types);
     AppendBatch(&result, std::move(excluded));
   }
@@ -683,7 +709,7 @@ bool ExecutePatchDistinct(const LogicalNode& node, ThreadPool& pool,
                              static_cast<std::uint32_t>(w + 1)),
             node.group_cols, std::vector<AggSpec>{});
       },
-      nullptr, options.trace);
+      nullptr, options.trace, options.memory, "PatchDistinct", node_stats);
   HashAggregateOperator merge(
       std::make_unique<InMemorySource>(ConcatParts(std::move(parts),
                                                    out_types)),
@@ -776,6 +802,18 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
     };
   }
 
+  // Memory attribution for the per-worker result materialization: sort
+  // buffers belong to the Sort node, partial-aggregate outputs to the
+  // Aggregate node, and a plain pipeline's result to the plan root.
+  const LogicalNode* mat_node = local_sort               ? shape.sort
+                                : shape.agg != nullptr   ? shape.agg
+                                                         : &plan;
+  const char* mat_label = local_sort             ? "Sort"
+                          : shape.agg != nullptr ? "HashAggregate"
+                                                 : "Materialize";
+  obs::NodeStats* mat_stats =
+      profile != nullptr ? profile->Find(mat_node) : nullptr;
+
   std::vector<Batch> parts;
   if (shape.join != nullptr) {
     const LogicalNode& join = *shape.join;
@@ -803,9 +841,10 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
 
     const ScanTarget build_target = TargetOf(*build_spec.scan);
     WallTimer build_timer;
-    const std::vector<JoinHashTable> partitions =
-        BuildJoinPartitions(build_spec, build_target, build_key, build_types,
-                            build_nuc, mask, pool, options, profile);
+    const std::vector<JoinHashTable> partitions = BuildJoinPartitions(
+        build_spec, build_target, build_key, build_types, build_nuc, mask,
+        pool, options, profile,
+        profile != nullptr ? profile->Find(shape.join) : nullptr);
     if (profile != nullptr) {
       profile->Find(shape.join)->build_ns.store(
           static_cast<std::uint64_t>(build_timer.ElapsedNanos()),
@@ -827,11 +866,13 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
           op = MaybeProfile(std::move(op), profile, shape.join);
           op = ApplyUnaryOps(std::move(op), shape.mid_ops, profile);
           if (shape.agg != nullptr) {
-            op = std::make_unique<HashAggregateOperator>(
+            auto agg = std::make_unique<HashAggregateOperator>(
                 std::move(op), shape.agg->group_cols,
                 shape.agg->kind == LogicalNode::Kind::kAggregate
                     ? shape.agg->aggs
                     : std::vector<AggSpec>{});
+            agg->SetMemoryStats(mat_stats);
+            op = std::move(agg);
             // Per-worker partial-group counts depend on morsel scheduling;
             // the coordinator stores the merged count below instead.
             op = MaybeProfile(std::move(op), profile, shape.agg,
@@ -839,7 +880,7 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
           }
           return op;
         },
-        post, options.trace);
+        post, options.trace, options.memory, mat_label, mat_stats);
   } else {
     const ScanTarget target = TargetOf(*shape.chain.scan);
     MorselQueue queue(target.FullWork(), options.morsel_rows);
@@ -851,17 +892,19 @@ bool ExecuteParallel(const LogicalNode& plan, ThreadPool& pool,
               shape.chain, &target, scan_opts, &queue, profile, options.trace,
               static_cast<std::uint32_t>(w + 1));
           if (shape.agg != nullptr) {
-            op = std::make_unique<HashAggregateOperator>(
+            auto agg = std::make_unique<HashAggregateOperator>(
                 std::move(op), shape.agg->group_cols,
                 shape.agg->kind == LogicalNode::Kind::kAggregate
                     ? shape.agg->aggs
                     : std::vector<AggSpec>{});
+            agg->SetMemoryStats(mat_stats);
+            op = std::move(agg);
             op = MaybeProfile(std::move(op), profile, shape.agg,
                               /*count_rows=*/false);
           }
           return op;
         },
-        post, options.trace);
+        post, options.trace, options.memory, mat_label, mat_stats);
   }
 
   const std::vector<ColumnType> out_types = LogicalOutputTypes(plan);

@@ -12,6 +12,7 @@ namespace patchindex {
 
 namespace obs {
 class ExecProfile;
+class MemoryTracker;
 class TraceBuffer;
 }
 
@@ -34,6 +35,13 @@ struct ParallelExecOptions {
   /// span per lifetime (lane = worker index + 1) and one span per drained
   /// morsel batch onto this buffer. Null — the default — adds nothing.
   obs::TraceBuffer* trace = nullptr;
+
+  /// Per-query memory tracker. Worker tasks install it as their thread's
+  /// CurrentQueryTracker and charge materialization points (join builds,
+  /// local-sort buffers, aggregate tables, drained result parts) against
+  /// it; an over-budget charge throws and unwinds through AwaitAll. Null
+  /// — the default — disables accounting on the parallel path.
+  obs::MemoryTracker* memory = nullptr;
 };
 
 /// What the parallel executor did with a plan, for the Session's

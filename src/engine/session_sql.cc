@@ -223,6 +223,20 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
   obs::FlightRecorder::Handle active = engine->recorder().Begin(
       session.session_id(), session.connection_id(), impl_->sql);
   obs::FlightRecorder::SetPhase(active, obs::QueryPhase::kExecute);
+
+  // Per-statement memory tracker, parented under the engine's node: every
+  // charge point the statement reaches (join builds, sort buffers,
+  // aggregate tables, result materialization, DML deltas, WAL frames)
+  // accounts against it through the thread-local install, and the flight
+  // recorder samples its live balance for pi_stats.active_queries. An
+  // over-budget charge throws; the engine layer converts it to
+  // kResourceExhausted and the statement unwinds cleanly.
+  auto query_mem = std::make_shared<obs::MemoryTracker>(
+      "query#" + std::to_string(active->query_id), &engine->memory(),
+      engine->options().query_memory_limit);
+  obs::ScopedQueryTracker query_mem_scope(query_mem.get());
+  obs::FlightRecorder::SetMemory(active, query_mem);
+
   if (engine->options().sql_exec_hook) {
     engine->options().sql_exec_hook(impl_->sql);
   }
@@ -362,11 +376,15 @@ Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
   rec.bind_ms = impl_->bind_ms;
   rec.total_ms = impl_->parse_ms + impl_->bind_ms +
                  static_cast<double>(total_ns) / 1e6;
+  // One peak read feeds both surfaces, so pi_stats.queries and EXPLAIN
+  // ANALYZE's peak_mem= agree byte-for-byte.
+  rec.peak_mem_bytes = query_mem->peak();
   if (profile != nullptr) {
     rec.optimize_ms = profile->optimize_ms;
     rec.execute_ms = profile->execute_ms;
     rec.commit_wait_ms = profile->commit_wait_ms;
     rec.commit_ms = profile->commit_ms;
+    profile->peak_mem_bytes = rec.peak_mem_bytes;
   }
   if (!executed.ok()) {
     rec.status = Status::CodeName(executed.status().code());

@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "engine/engine.h"
+#include "obs/mem_tracker.h"
+#include "obs/metrics.h"
 #include "obs/system_tables.h"
 
 namespace patchindex {
@@ -58,7 +60,8 @@ void FillQueries(Engine* engine, Table* out) {
                D(q.optimize_ms),
                D(q.execute_ms),
                D(q.commit_wait_ms),
-               D(q.commit_ms)};
+               D(q.commit_ms),
+               I(q.peak_mem_bytes)};
     out->AppendRow(r);
   }
 }
@@ -68,7 +71,7 @@ void FillActiveQueries(Engine* engine, Table* out) {
     Row r;
     r.cells = {I(q.query_id),      I(q.session_id), I(q.connection_id),
                S(q.sql),           S(q.phase),      D(q.elapsed_ms),
-               I(q.start_unix_us)};
+               I(q.start_unix_us), I(q.mem_bytes)};
     out->AppendRow(r);
   }
 }
@@ -197,6 +200,64 @@ void FillWal(Engine* engine, Table* out) {
   });
 }
 
+void FillMemory(Engine* engine, Table* out) {
+  const auto tracker_row = [&](const char* scope,
+                               const obs::MemoryTracker& t) {
+    Row r;
+    r.cells = {S(scope), S(t.name()), I(t.current()), I(t.peak()),
+               I(t.limit())};
+    out->AppendRow(r);
+  };
+  tracker_row("process", obs::ProcessMemoryRoot());
+  tracker_row("engine", engine->memory());
+  obs::MemoryTrackerSample server;
+  if (engine->SampleServerMemory(&server)) {
+    Row r;
+    r.cells = {S("server"), S(server.name), I(server.current_bytes),
+               I(server.peak_bytes), I(server.limit_bytes)};
+    out->AppendRow(r);
+  }
+  // In-flight statements, sampled through the flight recorder (the
+  // trackers themselves retire with their statements; the snapshot copies
+  // the figures out under the recorder's lock).
+  for (const obs::ActiveQuery& q : engine->recorder().ActiveSnapshot()) {
+    if (q.mem_bytes == 0 && q.mem_peak_bytes == 0) continue;
+    Row r;
+    r.cells = {S("query"), S("query#" + std::to_string(q.query_id)),
+               I(q.mem_bytes), I(q.mem_peak_bytes),
+               I(engine->options().query_memory_limit)};
+    out->AppendRow(r);
+  }
+  // Resident table state is measured pull-style, not tracked, so it has
+  // no peak or limit.
+  ForEachTableLocked(engine, [&](const std::string& name,
+                                 const Catalog::TableRef&,
+                                 const PartitionedTable& table) {
+    Row r;
+    r.cells = {S("table"), S(name), I(table.MemoryUsageBytes()),
+               I(std::int64_t{0}), I(std::int64_t{0})};
+    out->AppendRow(r);
+  });
+}
+
+void FillHistograms(Engine* engine, Table* out) {
+  for (const obs::NamedHistogram& h : engine->metrics().SnapshotHistograms()) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+      cumulative += h.snapshot.buckets[b];
+      if (h.snapshot.buckets[b] == 0) continue;
+      Row r;
+      r.cells = {S(h.name),
+                 I(obs::HistogramSnapshot::BucketUpperUs(b)),
+                 I(h.snapshot.buckets[b]),
+                 I(cumulative),
+                 I(h.snapshot.count),
+                 I(h.snapshot.sum_us)};
+      out->AppendRow(r);
+    }
+  }
+}
+
 std::unique_ptr<Table> Materialize(obs::SystemTableId id, Engine* engine) {
   auto table = std::make_unique<Table>(obs::SystemTableSchema(id));
   switch (id) {
@@ -220,6 +281,12 @@ std::unique_ptr<Table> Materialize(obs::SystemTableId id, Engine* engine) {
       break;
     case obs::SystemTableId::kWal:
       FillWal(engine, table.get());
+      break;
+    case obs::SystemTableId::kMemory:
+      FillMemory(engine, table.get());
+      break;
+    case obs::SystemTableId::kHistograms:
+      FillHistograms(engine, table.get());
       break;
   }
   return table;

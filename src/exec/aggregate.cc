@@ -5,8 +5,26 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/mem_tracker.h"
 
 namespace patchindex {
+
+namespace {
+/// Estimated heap cost per hash-index entry (node + key + value).
+constexpr std::uint64_t kIndexEntryBytes = 48;
+}  // namespace
+
+std::uint64_t HashAggregateOperator::ApproxStateBytes() const {
+  std::uint64_t bytes = ApproxBytes(groups_);
+  for (const auto& v : agg_i64_) bytes += v.size() * sizeof(std::int64_t);
+  for (const auto& v : agg_f64_) bytes += v.size() * sizeof(double);
+  // Encoded generic keys roughly mirror the group columns' content,
+  // which ApproxBytes(groups_) already counted; the flat per-entry cost
+  // covers the index nodes themselves.
+  bytes +=
+      (i64_index_.size() + generic_index_.size()) * kIndexEntryBytes;
+  return bytes;
+}
 
 HashAggregateOperator::HashAggregateOperator(
     OperatorPtr child, std::vector<std::size_t> group_cols,
@@ -49,6 +67,11 @@ void HashAggregateOperator::Open() {
   i64_index_.clear();
   generic_index_.clear();
 
+  // Re-estimate the table's footprint as groups accumulate (an exact
+  // running count would touch the accounting on every row); the final
+  // GrowTo settles the charge to the exact content-based size.
+  obs::OpMemory mem("HashAggregate", mem_stats_);
+  std::size_t sized_groups = 0;
   Batch in;
   while (child_->Next(&in)) {
     if (single_i64_key_) {
@@ -56,7 +79,12 @@ void HashAggregateOperator::Open() {
     } else {
       ConsumeGeneric(in);
     }
+    if (groups_.num_rows() - sized_groups >= 4096) {
+      sized_groups = groups_.num_rows();
+      mem.GrowTo(ApproxStateBytes());
+    }
   }
+  mem.GrowTo(ApproxStateBytes());
   child_->Close();
   pos_ = 0;
 }

@@ -10,6 +10,10 @@
 
 namespace patchindex {
 
+namespace obs {
+struct NodeStats;
+}
+
 enum class AggOp { kCount, kSum, kMin, kMax };
 
 struct AggSpec {
@@ -39,6 +43,15 @@ class HashAggregateOperator : public Operator {
 
   std::uint64_t num_groups() const { return groups_.num_rows(); }
 
+  /// Attributes this operator's hash-table memory to a plan node's
+  /// profile accumulator (EXPLAIN ANALYZE `mem=`). Budget enforcement
+  /// against the thread's query tracker happens either way.
+  void SetMemoryStats(obs::NodeStats* stats) { mem_stats_ = stats; }
+
+  /// Estimated bytes of the group/aggregate state (keys, agg vectors,
+  /// hash index).
+  std::uint64_t ApproxStateBytes() const;
+
  private:
   void ConsumeGeneric(const Batch& in);
   void ConsumeSingleInt64(const Batch& in);
@@ -47,6 +60,7 @@ class HashAggregateOperator : public Operator {
   std::vector<std::size_t> group_cols_;
   std::vector<AggSpec> aggs_;
   bool single_i64_key_ = false;
+  obs::NodeStats* mem_stats_ = nullptr;
 
   // Materialized group keys (one row per group) and aggregate states.
   Batch groups_;

@@ -83,6 +83,35 @@ struct Batch {
   }
 };
 
+/// Content-based size estimate for memory accounting: 8 bytes per fixed
+/// cell, object header + character count per string. Deliberately a
+/// function of the values alone (not vector capacities), so splitting a
+/// batch across workers sums to the same total as keeping it whole —
+/// which keeps `mem=` in EXPLAIN ANALYZE deterministic under morsel
+/// scheduling.
+inline std::uint64_t ApproxBytes(const ColumnVector& v) {
+  switch (v.type) {
+    case ColumnType::kInt64:
+      return static_cast<std::uint64_t>(v.i64.size()) * sizeof(std::int64_t);
+    case ColumnType::kDouble:
+      return static_cast<std::uint64_t>(v.f64.size()) * sizeof(double);
+    case ColumnType::kString: {
+      std::uint64_t bytes =
+          static_cast<std::uint64_t>(v.str.size()) * sizeof(std::string);
+      for (const std::string& s : v.str) bytes += s.size();
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+inline std::uint64_t ApproxBytes(const Batch& b) {
+  std::uint64_t bytes =
+      static_cast<std::uint64_t>(b.row_ids.size()) * sizeof(RowId);
+  for (const ColumnVector& c : b.columns) bytes += ApproxBytes(c);
+  return bytes;
+}
+
 }  // namespace patchindex
 
 #endif  // PATCHINDEX_EXEC_BATCH_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/mem_tracker.h"
 
 namespace patchindex {
 
@@ -63,21 +64,33 @@ void HashJoinOperator::Open() {
   // row count is unknown until the child is drained).
   build_->Open();
   table_.Reset(build_->OutputTypes());
+  obs::OpMemory mem("HashJoin build", mem_stats_);
   Batch all;
   all.Reset(build_->OutputTypes());
   Batch in;
   while (build_->Next(&in)) {
+    mem.Add(ApproxBytes(in));
     for (std::size_t i = 0; i < in.num_rows(); ++i) all.AppendRowFrom(in, i);
   }
   build_->Close();
   const RowIdFilter* nuc = options_.build_unique_filter;
   table_.Reserve(all.num_rows());
+  const std::uint64_t input_bytes = mem.total();
   const auto& keys = all.columns[build_key_].i64;
   for (std::size_t i = 0; i < all.num_rows(); ++i) {
     const bool hint = nuc != nullptr && all.row_ids[i] < nuc->NumRows() &&
                       !nuc->IsPatch(all.row_ids[i]);
     table_.AddRow(all, i, keys[i], hint);
+    if ((i & 1023u) == 1023u) {
+      // Cheap running estimate (the copied prefix of the input plus the
+      // per-entry index cost); the exact content-based size is settled
+      // once after the loop — recomputing it per kibirow would be O(n²).
+      mem.GrowTo(input_bytes +
+                 (input_bytes * (i + 1)) / all.num_rows() +
+                 (i + 1) * JoinHashTable::kEntryBytes);
+    }
   }
+  mem.GrowTo(input_bytes + table_.ApproxBytes());
 
   // Dynamic range propagation: publish the build key range *before*
   // opening the probe side, whose scan prunes blocks against it.

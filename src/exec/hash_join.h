@@ -11,6 +11,10 @@
 
 namespace patchindex {
 
+namespace obs {
+struct NodeStats;
+}
+
 /// Hash table over the materialized build side of an INT64 equi join,
 /// decomposed out of HashJoinOperator so the morsel-driven executor can
 /// build partitions of it from many workers and probe them concurrently.
@@ -61,6 +65,19 @@ class JoinHashTable {
   /// produces.
   const Batch& rows() const { return rows_; }
   std::size_t num_rows() const { return rows_.num_rows(); }
+
+  /// Content-based memory estimate: materialized build rows plus a fixed
+  /// per-entry cost for the hash structures (node + key + value + bucket
+  /// slot). A function of row count and content only, so partitioned
+  /// builds sum to the same total as a monolithic one.
+  std::uint64_t ApproxBytes() const {
+    return patchindex::ApproxBytes(rows_) +
+           static_cast<std::uint64_t>(unique_.size() + chained_.size()) *
+               kEntryBytes;
+  }
+
+  /// Estimated heap cost per hash-table entry.
+  static constexpr std::uint64_t kEntryBytes = 48;
 
  private:
   Batch rows_;
@@ -114,12 +131,17 @@ class HashJoinOperator : public Operator {
 
   std::uint64_t build_rows() const { return table_.num_rows(); }
 
+  /// Attributes the build table's bytes to a plan node's profile
+  /// accumulator (EXPLAIN ANALYZE `mem=`).
+  void SetMemoryStats(obs::NodeStats* stats) { mem_stats_ = stats; }
+
  private:
   OperatorPtr build_;
   OperatorPtr probe_;
   std::size_t build_key_;
   std::size_t probe_key_;
   HashJoinOptions options_;
+  obs::NodeStats* mem_stats_ = nullptr;
 
   JoinHashTable table_;
 

@@ -1,13 +1,19 @@
 #include "exec/operator.h"
 
+#include "obs/mem_tracker.h"
+
 namespace patchindex {
 
 Batch Collect(Operator& op) {
   op.Open();
   Batch all;
   all.Reset(op.OutputTypes());
+  // Result materialization is charged to the thread's query tracker (if
+  // any) so serial plans are budgeted too, not just the morsel path.
+  obs::OpMemory mem("Materialize");
   Batch in;
   while (op.Next(&in)) {
+    mem.Add(ApproxBytes(in));
     for (std::size_t i = 0; i < in.num_rows(); ++i) all.AppendRowFrom(in, i);
   }
   op.Close();

@@ -8,6 +8,10 @@
 
 namespace patchindex {
 
+namespace obs {
+struct NodeStats;
+}
+
 struct SortKeySpec {
   std::size_t column;
   bool ascending = true;
@@ -32,10 +36,15 @@ class SortOperator : public Operator {
   bool Next(Batch* out) override;
   void Close() override;
 
+  /// Attributes the sort buffer's bytes to a plan node's profile
+  /// accumulator (EXPLAIN ANALYZE `mem=`).
+  void SetMemoryStats(obs::NodeStats* stats) { mem_stats_ = stats; }
+
  private:
   OperatorPtr child_;
   std::vector<SortKeySpec> keys_;
   std::size_t limit_;
+  obs::NodeStats* mem_stats_ = nullptr;
   Batch data_;
   std::vector<std::size_t> order_;
   std::size_t pos_ = 0;

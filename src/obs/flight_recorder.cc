@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/epoch_gc.h"
+#include "obs/mem_tracker.h"
 
 namespace patchindex::obs {
 
@@ -41,6 +42,12 @@ void FlightRecorder::SetPhaseDetail(const Handle& handle,
   handle->phase_detail = std::move(detail);
 }
 
+void FlightRecorder::SetMemory(const Handle& handle,
+                               std::shared_ptr<MemoryTracker> tracker) {
+  std::lock_guard<std::mutex> lock(handle->detail_mu);
+  handle->mem = std::move(tracker);
+}
+
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
@@ -65,6 +72,12 @@ void FlightRecorder::Complete(const Handle& handle, QueryRecord record) {
   record.connection_id = handle->connection_id;
   record.sql = handle->sql;
   record.start_unix_us = handle->start_unix_us;
+  {
+    // Detach the tracker so its balance releases when the session's
+    // reference drops — not when the epoch GC retires this entry.
+    std::lock_guard<std::mutex> detail_lock(handle->detail_mu);
+    handle->mem.reset();
+  }
   Handle removed;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -121,6 +134,10 @@ std::vector<ActiveQuery> FlightRecorder::ActiveSnapshot() const {
       std::lock_guard<std::mutex> detail_lock(entry->detail_mu);
       if (!entry->phase_detail.empty()) {
         q.phase += "(" + entry->phase_detail + ")";
+      }
+      if (entry->mem != nullptr) {
+        q.mem_bytes = entry->mem->current();
+        q.mem_peak_bytes = entry->mem->peak();
       }
     }
     q.start_unix_us = entry->start_unix_us;

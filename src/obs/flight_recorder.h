@@ -12,6 +12,8 @@
 
 namespace patchindex::obs {
 
+class MemoryTracker;
+
 /// One completed statement as retained by the flight recorder — the row
 /// shape of `pi_stats.queries`. Self-contained: no plan or session
 /// pointers, safe to copy out of the ring at any time.
@@ -40,6 +42,10 @@ struct QueryRecord {
   double execute_ms = 0.0;
   double commit_wait_ms = 0.0;
   double commit_ms = 0.0;
+  /// Statement-wide peak of the per-query memory tracker (the same
+  /// figure EXPLAIN ANALYZE's `peak_mem=` renders); 0 when the statement
+  /// ran without accounting.
+  std::uint64_t peak_mem_bytes = 0;
 };
 
 /// Where an in-flight statement currently is. Advanced by the session as
@@ -70,6 +76,12 @@ struct ActiveQuery {
   std::string phase = "parse";
   std::uint64_t start_unix_us = 0;
   double elapsed_ms = 0.0;
+  /// Bytes the statement's memory tracker has charged so far; 0 when the
+  /// statement has not attached one (parse/bind) or runs unaccounted.
+  std::uint64_t mem_bytes = 0;
+  /// High-water mark of mem_bytes so far (feeds pi_stats.memory's
+  /// peak_bytes for in-flight statements).
+  std::uint64_t mem_peak_bytes = 0;
 };
 
 /// Per-engine statement recorder: an active-query registry (what is
@@ -97,6 +109,14 @@ class FlightRecorder {
     /// advance's lock-free path and set only around lock acquisition.
     mutable std::mutex detail_mu;
     std::string phase_detail;
+    /// The statement's memory tracker, attached by the session when
+    /// execution starts and detached by Complete (so the balance releases
+    /// when the session's reference drops, not when the epoch GC retires
+    /// this entry). Guarded by detail_mu; ActiveSnapshot samples
+    /// current() through it. Raw ActiveEntry pointers resolved under an
+    /// epoch guard must not touch it — only snapshot holders of the
+    /// shared Handle do.
+    std::shared_ptr<MemoryTracker> mem;
   };
   using Handle = std::shared_ptr<ActiveEntry>;
 
@@ -116,6 +136,11 @@ class FlightRecorder {
   /// qualifier shown in pi_stats.active_queries. Not on the hot path —
   /// used around commit-wait lock acquisition.
   static void SetPhaseDetail(const Handle& handle, std::string detail);
+
+  /// Attaches the statement's memory tracker so pi_stats.active_queries
+  /// can show live per-query bytes. Complete detaches it.
+  static void SetMemory(const Handle& handle,
+                        std::shared_ptr<MemoryTracker> tracker);
 
   /// Unregisters the statement and retires `record` into the ring.
   /// query_id/session_id/connection_id/sql/start time are filled from the

@@ -1,0 +1,158 @@
+#include "obs/mem_tracker.h"
+
+#include <cstdio>
+
+#include "obs/profile.h"
+
+namespace patchindex::obs {
+
+namespace {
+
+std::string FormatBytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+thread_local MemoryTracker* g_query_tracker = nullptr;
+
+}  // namespace
+
+ResourceExhaustedError::ResourceExhaustedError(const char* op,
+                                               std::uint64_t attempted_bytes,
+                                               std::uint64_t limit_bytes,
+                                               const std::string& scope)
+    : std::runtime_error("memory limit exceeded in operator " +
+                         std::string(op) + ": " + scope + " budget " +
+                         FormatBytes(limit_bytes) + " would be exceeded by a " +
+                         FormatBytes(attempted_bytes) + " allocation"),
+      op_(op) {}
+
+MemoryTracker::MemoryTracker(std::string name, MemoryTracker* parent,
+                             std::uint64_t limit_bytes)
+    : name_(std::move(name)), parent_(parent), limit_(limit_bytes) {}
+
+MemoryTracker::~MemoryTracker() {
+  std::uint64_t balance = current();
+  if (balance > 0 && parent_ != nullptr) {
+    for (MemoryTracker* t = parent_; t != nullptr; t = t->parent_) {
+      t->ReleaseSelf(balance);
+    }
+  }
+}
+
+std::uint64_t MemoryTracker::current() const {
+  std::int64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum > 0 ? static_cast<std::uint64_t>(sum) : 0;
+}
+
+bool MemoryTracker::ChargeSelf(std::uint64_t bytes) {
+  shards_[ThisThreadStripe()].v.fetch_add(static_cast<std::int64_t>(bytes),
+                                          std::memory_order_relaxed);
+  std::uint64_t now = current();
+  if (limit_ != 0 && now > limit_) {
+    ReleaseSelf(bytes);
+    return false;
+  }
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryTracker::ReleaseSelf(std::uint64_t bytes) {
+  shards_[ThisThreadStripe()].v.fetch_sub(static_cast<std::int64_t>(bytes),
+                                          std::memory_order_relaxed);
+}
+
+bool MemoryTracker::TryCharge(std::uint64_t bytes, std::string* scope) {
+  MemoryTracker* failed = nullptr;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    if (!t->ChargeSelf(bytes)) {
+      failed = t;
+      break;
+    }
+  }
+  if (failed == nullptr) return true;
+  // Roll back the nodes below the one that refused.
+  for (MemoryTracker* t = this; t != failed; t = t->parent_) {
+    t->ReleaseSelf(bytes);
+  }
+  if (scope != nullptr) *scope = failed->name_;
+  return false;
+}
+
+void MemoryTracker::Charge(std::uint64_t bytes, const char* op) {
+  std::string scope;
+  if (!TryCharge(bytes, &scope)) {
+    // Report the refusing node's own limit: the scope string identifies
+    // which budget (query vs engine) tripped.
+    std::uint64_t limit = limit_;
+    for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+      if (t->name_ == scope) {
+        limit = t->limit_;
+        break;
+      }
+    }
+    throw ResourceExhaustedError(op, bytes, limit, scope);
+  }
+}
+
+void MemoryTracker::Release(std::uint64_t bytes) {
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    t->ReleaseSelf(bytes);
+  }
+}
+
+MemoryTracker& ProcessMemoryRoot() {
+  static MemoryTracker* root = new MemoryTracker("process");
+  return *root;
+}
+
+MemoryTracker* CurrentQueryTracker() { return g_query_tracker; }
+
+ScopedQueryTracker::ScopedQueryTracker(MemoryTracker* tracker)
+    : prev_(g_query_tracker) {
+  g_query_tracker = tracker;
+}
+
+ScopedQueryTracker::~ScopedQueryTracker() { g_query_tracker = prev_; }
+
+OpMemory::OpMemory(const char* op, NodeStats* stats)
+    : tracker_(g_query_tracker), stats_(stats), op_(op) {}
+
+OpMemory::~OpMemory() {
+  // Destructor flush must not throw (we may be unwinding already); the
+  // remainder is below kFlushBytes, so charge it without enforcement by
+  // swallowing a refusal — the query is ending either way.
+  try {
+    Flush();
+  } catch (const ResourceExhaustedError&) {
+  }
+}
+
+void OpMemory::Flush() {
+  std::uint64_t delta = total_ - flushed_;
+  if (delta == 0) return;
+  flushed_ = total_;
+  if (stats_ != nullptr) {
+    stats_->mem_bytes.fetch_add(delta, std::memory_order_relaxed);
+  }
+  if (tracker_ != nullptr) tracker_->Charge(delta, op_);
+}
+
+}  // namespace patchindex::obs

@@ -188,6 +188,16 @@ std::vector<MetricSample> MetricsRegistry::SnapshotAll() const {
   return out;
 }
 
+std::vector<NamedHistogram> MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NamedHistogram> out;
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->kind != Kind::kHistogram || e->histogram == nullptr) continue;
+    out.push_back({e->name, e->histogram->Snapshot()});
+  }
+  return out;
+}
+
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

@@ -127,6 +127,13 @@ class Histogram {
   std::array<Shard, kStripes> shards_;
 };
 
+/// One histogram with its name — the row source of `pi_stats.histograms`
+/// (which explodes each snapshot into one row per non-empty bucket).
+struct NamedHistogram {
+  std::string name;
+  HistogramSnapshot snapshot;
+};
+
 /// One metric flattened into plain values — the row shape served by the
 /// `pi_stats.metrics` system table. Counters and gauges carry `value`;
 /// histograms carry count/sum and the summary percentiles instead.
@@ -180,6 +187,11 @@ class MetricsRegistry {
   /// the programmatic view behind `SELECT * FROM pi_stats.metrics`.
   /// Callbacks sample as counters, exactly like the renderers.
   std::vector<MetricSample> SnapshotAll() const;
+
+  /// Every histogram's full bucket snapshot, in registration order —
+  /// the row source of `pi_stats.histograms` (per-bucket detail the
+  /// percentile summaries in pi_stats.metrics flatten away).
+  std::vector<NamedHistogram> SnapshotHistograms() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCallback };

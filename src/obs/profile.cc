@@ -37,6 +37,7 @@ void Walk(const LogicalNode& node, const ExecProfile& profile, int depth,
     op.time_ms = NsToMs(s->time_ns.load(std::memory_order_relaxed));
     op.max_worker_ms = NsToMs(s->max_worker_ns.load(std::memory_order_relaxed));
     op.build_ms = NsToMs(s->build_ns.load(std::memory_order_relaxed));
+    op.mem_bytes = s->mem_bytes.load(std::memory_order_relaxed);
   }
   out->push_back(std::move(op));
   for (const auto& child : node.children) {
@@ -84,6 +85,10 @@ std::vector<std::string> QueryProfile::RenderLines() const {
             static_cast<unsigned long long>(op.workers), op.time_ms);
     if (op.workers > 1) Appendf(&line, ", max=%.3fms", op.max_worker_ms);
     if (op.build_ms > 0.0) Appendf(&line, ", build=%.3fms", op.build_ms);
+    if (op.mem_bytes > 0) {
+      Appendf(&line, ", mem=%llu",
+              static_cast<unsigned long long>(op.mem_bytes));
+    }
     line += "]";
     lines.push_back(std::move(line));
   }
@@ -95,6 +100,10 @@ std::vector<std::string> QueryProfile::RenderLines() const {
     Appendf(&phases, " lock=%.3fms commit=%.3fms", commit_wait_ms, commit_ms);
   }
   Appendf(&phases, " total=%.3fms", total_ms);
+  if (peak_mem_bytes > 0) {
+    Appendf(&phases, " peak_mem=%llu",
+            static_cast<unsigned long long>(peak_mem_bytes));
+  }
   lines.push_back(std::move(phases));
   std::string mode = "execution: ";
   if (parallel) {

@@ -34,6 +34,11 @@ struct NodeStats {
   std::atomic<std::uint64_t> max_worker_ns{0};
   /// Join build phase wall time (join nodes only), nanoseconds.
   std::atomic<std::uint64_t> build_ns{0};
+  /// Bytes this operator materialized (hash tables, sort buffers, spill
+  /// partitions), summed across workers. Estimates are content-based —
+  /// per-worker parts sum to the same total regardless of morsel
+  /// scheduling — so the figure is deterministic for a fixed input.
+  std::atomic<std::uint64_t> mem_bytes{0};
 
   void AddWorkerTime(std::uint64_t ns) {
     time_ns.fetch_add(ns, std::memory_order_relaxed);
@@ -78,6 +83,7 @@ struct OpProfile {
   double time_ms = 0.0;
   double max_worker_ms = 0.0;
   double build_ms = 0.0;
+  std::uint64_t mem_bytes = 0;
 };
 
 /// A finished query's profile: phase spans, execution mode, and (when
@@ -100,6 +106,9 @@ struct QueryProfile {
   bool parallel_sort = false;
   /// Worker pool size used by the executor (0 when not profiled).
   std::size_t pool_workers = 0;
+  /// Statement-wide peak of the per-query MemoryTracker — the figure
+  /// QueryRecord::peak_mem_bytes and pi_stats.queries report.
+  std::uint64_t peak_mem_bytes = 0;
 
   /// Pre-order operator tree; empty unless operator profiling ran.
   std::vector<OpProfile> ops;

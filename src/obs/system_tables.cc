@@ -37,7 +37,8 @@ Schema MakeSchema(SystemTableId id) {
                      {"optimize_ms", T::kDouble},
                      {"execute_ms", T::kDouble},
                      {"commit_wait_ms", T::kDouble},
-                     {"commit_ms", T::kDouble}});
+                     {"commit_ms", T::kDouble},
+                     {"peak_mem_bytes", T::kInt64}});
     case SystemTableId::kActiveQueries:
       return Schema({{"query_id", T::kInt64},
                      {"session_id", T::kInt64},
@@ -45,7 +46,8 @@ Schema MakeSchema(SystemTableId id) {
                      {"sql", T::kString},
                      {"phase", T::kString},
                      {"elapsed_ms", T::kDouble},
-                     {"start_us", T::kInt64}});
+                     {"start_us", T::kInt64},
+                     {"mem_bytes", T::kInt64}});
     case SystemTableId::kConnections:
       return Schema({{"connection_id", T::kInt64},
                      {"session_id", T::kInt64},
@@ -82,6 +84,24 @@ Schema MakeSchema(SystemTableId id) {
                      {"snapshot_csn", T::kInt64},
                      {"next_csn", T::kInt64},
                      {"broken", T::kInt64}});
+    case SystemTableId::kMemory:
+      // One row per accounting scope: the engine tracker, each catalog
+      // table's resident bytes, each in-flight query, and the server's
+      // queue tracker when one is attached.
+      return Schema({{"scope", T::kString},
+                     {"name", T::kString},
+                     {"current_bytes", T::kInt64},
+                     {"peak_bytes", T::kInt64},
+                     {"limit_bytes", T::kInt64}});
+    case SystemTableId::kHistograms:
+      // One row per non-empty bucket of every registered histogram, with
+      // cumulative counts (Prometheus-style le semantics).
+      return Schema({{"name", T::kString},
+                     {"le_us", T::kInt64},
+                     {"bucket_count", T::kInt64},
+                     {"cumulative_count", T::kInt64},
+                     {"total_count", T::kInt64},
+                     {"sum_us", T::kInt64}});
   }
   return Schema(std::vector<Field>{});
 }
@@ -102,6 +122,10 @@ const char* SystemTableName(SystemTableId id) {
       return "pi_stats.partitions";
     case SystemTableId::kWal:
       return "pi_stats.wal";
+    case SystemTableId::kMemory:
+      return "pi_stats.memory";
+    case SystemTableId::kHistograms:
+      return "pi_stats.histograms";
   }
   return "pi_stats.unknown";
 }

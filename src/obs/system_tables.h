@@ -24,9 +24,11 @@ enum class SystemTableId : int {
   kTables,
   kPartitions,
   kWal,
+  kMemory,
+  kHistograms,
 };
 
-inline constexpr std::size_t kNumSystemTables = 7;
+inline constexpr std::size_t kNumSystemTables = 9;
 
 struct SystemTableDef {
   SystemTableId id;

@@ -1,0 +1,48 @@
+#ifndef PATCHINDEX_OBS_WAIT_EVENT_H_
+#define PATCHINDEX_OBS_WAIT_EVENT_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace patchindex::obs {
+
+/// RAII measurement of one blocking wait — a table writer-lock
+/// acquisition, a thread-pool queue stall, a server connection-queue
+/// stall, a WAL fsync. The elapsed time lands in a per-event-class
+/// `pidx_wait_*_us` histogram when the span closes (or at an explicit
+/// Stop()). A null histogram makes the span free, so call sites don't
+/// branch on whether metrics are enabled.
+class WaitSpan {
+ public:
+  explicit WaitSpan(Histogram* hist)
+      : hist_(hist),
+        start_(hist != nullptr ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{}) {}
+
+  ~WaitSpan() { Stop(); }
+
+  WaitSpan(const WaitSpan&) = delete;
+  WaitSpan& operator=(const WaitSpan&) = delete;
+
+  /// Ends the wait early and records it; returns the waited nanoseconds
+  /// (0 when unmeasured). Subsequent Stop()s are no-ops.
+  std::uint64_t Stop() {
+    if (hist_ == nullptr) return 0;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    hist_->RecordNanos(ns);
+    hist_ = nullptr;
+    return ns;
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace patchindex::obs
+
+#endif  // PATCHINDEX_OBS_WAIT_EVENT_H_

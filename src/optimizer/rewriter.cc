@@ -290,6 +290,7 @@ OperatorPtr CompileNode(const LogicalNode& node,
           std::move(build), std::move(probe),
           build_left ? node.left_key : node.right_key,
           build_left ? node.right_key : node.left_key, join_options);
+      if (profile != nullptr) join->SetMemoryStats(&profile->StatsFor(&node));
       // Physical layout: probe columns then build columns.
       std::vector<ExprPtr> reorder;
       if (build_left) {
@@ -303,17 +304,21 @@ OperatorPtr CompileNode(const LogicalNode& node,
                                                std::move(reorder));
     }
     case LogicalNode::Kind::kDistinct:
-      return std::make_unique<HashAggregateOperator>(
+    case LogicalNode::Kind::kAggregate: {
+      auto agg = std::make_unique<HashAggregateOperator>(
           Compile(*node.children[0], options, profile), node.group_cols,
-          std::vector<AggSpec>{});
-    case LogicalNode::Kind::kAggregate:
-      return std::make_unique<HashAggregateOperator>(
-          Compile(*node.children[0], options, profile), node.group_cols,
-          node.aggs);
-    case LogicalNode::Kind::kSort:
-      return std::make_unique<SortOperator>(
+          node.kind == LogicalNode::Kind::kAggregate ? node.aggs
+                                                     : std::vector<AggSpec>{});
+      if (profile != nullptr) agg->SetMemoryStats(&profile->StatsFor(&node));
+      return agg;
+    }
+    case LogicalNode::Kind::kSort: {
+      auto sort = std::make_unique<SortOperator>(
           Compile(*node.children[0], options, profile), node.sort_keys,
           node.limit);
+      if (profile != nullptr) sort->SetMemoryStats(&profile->StatsFor(&node));
+      return sort;
+    }
 
     case LogicalNode::Kind::kPatchDistinct: {
       const LogicalNode& chain = *node.children[0];

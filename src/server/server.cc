@@ -19,6 +19,7 @@
 #include "common/check.h"
 #include "common/epoch_gc.h"
 #include "common/timer.h"
+#include "obs/mem_tracker.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "server/meta_commands.h"
@@ -43,6 +44,9 @@ struct Task {
   /// When the reader queued the task — the worker records the queue wait
   /// (pickup time minus this) into pidx_server_queue_wait_us.
   std::chrono::steady_clock::time_point enqueued;
+  /// Request bytes charged to the server's memory tracker at admission;
+  /// the worker releases them after the task is processed.
+  std::uint64_t charged_bytes = 0;
 };
 
 /// Per-client state. The reader thread decodes frames into `queue`;
@@ -170,15 +174,42 @@ Status SendErrorFrame(int fd, const Status& status) {
   return WriteFrame(fd, FrameType::kError, w.payload());
 }
 
+/// Best-effort accounting of result bytes streamed to a client: charges
+/// accumulate while the frames are encoded and written and release when
+/// the response is done (the per-query tracker released the statement's
+/// balance when it retired, so the materialized result riding the server
+/// worker is otherwise invisible). TryCharge, never Charge — hitting the
+/// engine limit mid-stream must not abort a response whose header is
+/// already on the wire; the bytes simply go unaccounted.
+class ScopedResultBytes {
+ public:
+  explicit ScopedResultBytes(obs::MemoryTracker* mem) : mem_(mem) {}
+  ~ScopedResultBytes() {
+    if (charged_ != 0) mem_->Release(charged_);
+  }
+  void Add(std::uint64_t bytes) {
+    if (mem_ == nullptr) return;
+    std::string scope;
+    if (mem_->TryCharge(bytes, &scope)) charged_ += bytes;
+  }
+
+ private:
+  obs::MemoryTracker* mem_;
+  std::uint64_t charged_ = 0;
+};
+
 /// Streams a QueryResult as header + row batches + end. Batches close
 /// at kRowsPerWireBatch rows or kWireBatchSoftBytes bytes, whichever
 /// comes first, so wide string rows never push a frame toward the
 /// kMaxFrameBytes ceiling. Returns the first write failure so the
 /// caller can mark the connection broken.
-Status SendResult(int fd, const QueryResult& result) {
+Status SendResult(int fd, const QueryResult& result,
+                  obs::MemoryTracker* mem) {
+  ScopedResultBytes bytes(mem);
   {
     WireWriter w;
     EncodeResultHeader(&w, result);
+    bytes.Add(w.payload().size());
     PIDX_RETURN_NOT_OK(WriteFrame(fd, FrameType::kResultHeader, w.payload()));
   }
   const std::size_t total = result.rows.num_rows();
@@ -194,6 +225,7 @@ Status SendResult(int fd, const QueryResult& result) {
     WireWriter w;
     w.PutU32(static_cast<std::uint32_t>(end - begin));
     w.PutRaw(body.payload());
+    bytes.Add(w.payload().size());
     PIDX_RETURN_NOT_OK(WriteFrame(fd, FrameType::kRowBatch, w.payload()));
     begin = end;
   }
@@ -205,7 +237,10 @@ Status SendResult(int fd, const QueryResult& result) {
 }  // namespace
 
 PiServer::PiServer(Engine& engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine),
+      options_(std::move(options)),
+      mem_tracker_(std::make_unique<obs::MemoryTracker>("server",
+                                                        &engine.memory())) {}
 
 void PiServer::RegisterMetrics() {
   obs::MetricsRegistry& r = engine_.metrics();
@@ -225,6 +260,9 @@ void PiServer::RegisterMetrics() {
   r.SetCallback("pidx_server_queries_rejected_busy_total",
                 "Queries rejected with SERVER_BUSY",
                 [stats] { return stats->queries_rejected_busy.load(); });
+  r.SetCallback("pidx_server_queries_rejected_memory_total",
+                "Queries rejected at the memory admission high-watermark",
+                [stats] { return stats->queries_rejected_memory.load(); });
   r.SetCallback("pidx_server_protocol_errors_total",
                 "Malformed frames / handshake failures",
                 [stats] { return stats->protocol_errors.load(); });
@@ -235,6 +273,10 @@ void PiServer::RegisterMetrics() {
     queue_wait_us_ = r.GetHistogram(
         "pidx_server_queue_wait_us",
         "Admitted-task wait between enqueue and worker pickup");
+    wait_queue_us_ = r.GetHistogram(
+        "pidx_wait_server_queue_us",
+        "Wait event: admitted request sat in its connection queue before "
+        "a worker picked it up");
     slow_queries_ = r.GetCounter(
         "pidx_server_slow_queries_total",
         "Queries at or over ServerOptions::slow_query_ms");
@@ -284,6 +326,7 @@ Status PiServer::Start() {
   started_ = true;
   stopping_.store(false);
   RegisterMetrics();
+  engine_.SetServerMemoryTracker(mem_tracker_.get());
   // pi_stats.connections: snapshot the live connection list on demand.
   // Lock order mu_ -> conn->mu matches every other server path. Removed
   // in Stop() before the connection list is torn down.
@@ -371,8 +414,10 @@ void PiServer::Stop() {
 
   // No queries can run pi_stats.connections snapshots past this point
   // (workers are joined); deregister before tearing the list down so the
-  // engine never calls into freed server state.
+  // engine never calls into freed server state. Same for the memory
+  // tracker: pi_stats.memory samples it only while registered.
   engine_.SetConnectionsProvider(nullptr);
+  engine_.SetServerMemoryTracker(nullptr);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -405,6 +450,10 @@ void PiServer::Stop() {
   r.SetCallback("pidx_server_queries_rejected_busy_total",
                 "Queries rejected with SERVER_BUSY",
                 [busy] { return busy; });
+  const std::uint64_t memory = stats_.queries_rejected_memory.load();
+  r.SetCallback("pidx_server_queries_rejected_memory_total",
+                "Queries rejected at the memory admission high-watermark",
+                [memory] { return memory; });
   const std::uint64_t proto = stats_.protocol_errors.load();
   r.SetCallback("pidx_server_protocol_errors_total",
                 "Malformed frames / handshake failures",
@@ -651,6 +700,17 @@ void PiServer::EnqueueTask(const std::shared_ptr<Connection>& conn,
             "SERVER_BUSY: per-connection queue full (" +
             std::to_string(options_.max_connection_queue) +
             " requests pending); retry later";
+      } else if (options_.memory_soft_limit > 0 &&
+                 engine_.memory().current() >= options_.memory_soft_limit) {
+        // Memory high-watermark: shed load while tracked bytes (query
+        // trackers + server buffers) sit at the soft limit, before the
+        // allocator is the one saying no.
+        task.admitted = false;
+        task.reject_reason =
+            "SERVER_BUSY: tracked memory at the admission high-watermark "
+            "(" + std::to_string(options_.memory_soft_limit) +
+            " bytes); retry later";
+        stats_.queries_rejected_memory.fetch_add(1);
       } else {
         std::size_t cur = inflight_.load();
         bool admitted = false;
@@ -663,6 +723,20 @@ void PiServer::EnqueueTask(const std::shared_ptr<Connection>& conn,
         if (admitted) {
           task.admitted = true;
           ++conn->admitted_pending;
+          // Account the queued request itself (SQL text + bound params);
+          // best-effort — an engine tracker at its limit just leaves the
+          // bytes uncounted.
+          std::uint64_t request_bytes = task.text.size();
+          for (const Value& v : task.params) {
+            request_bytes += sizeof(Value);
+            if (v.type() == ColumnType::kString) {
+              request_bytes += v.AsString().size();
+            }
+          }
+          std::string scope;
+          if (mem_tracker_->TryCharge(request_bytes, &scope)) {
+            task.charged_bytes = request_bytes;
+          }
         } else {
           task.admitted = false;
           task.reject_reason =
@@ -708,13 +782,16 @@ void PiServer::WorkerLoop() {
       conn->queue.pop_front();
     }
     if (queue_wait_us_ != nullptr && task.admitted) {
-      queue_wait_us_->RecordNanos(
+      const std::int64_t wait_ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - task.enqueued)
-              .count());
+              .count();
+      queue_wait_us_->RecordNanos(wait_ns);
+      if (wait_queue_us_ != nullptr) wait_queue_us_->RecordNanos(wait_ns);
     }
 
     ProcessTask(conn, task);
+    if (task.charged_bytes != 0) mem_tracker_->Release(task.charged_bytes);
 
     bool repush = false;
     {
@@ -798,7 +875,7 @@ void PiServer::ProcessTask(const std::shared_ptr<Connection>& conn,
       if (!result.ok()) {
         write = SendErrorFrame(conn->fd, result.status());
       } else {
-        write = SendResult(conn->fd, result.value());
+        write = SendResult(conn->fd, result.value(), mem_tracker_.get());
       }
       const std::int64_t elapsed_ns = timer.ElapsedNanos();
       if (query_latency_us_ != nullptr) {
@@ -844,7 +921,7 @@ void PiServer::ProcessTask(const std::shared_ptr<Connection>& conn,
       if (!result.ok()) {
         write = SendErrorFrame(conn->fd, result.status());
       } else {
-        write = SendResult(conn->fd, result.value());
+        write = SendResult(conn->fd, result.value(), mem_tracker_.get());
       }
       const std::int64_t elapsed_ns = timer.ElapsedNanos();
       if (query_latency_us_ != nullptr) {

@@ -41,6 +41,13 @@ struct ServerOptions {
   /// it, further requests on that connection are rejected kUnavailable.
   std::size_t max_connection_queue = 8;
 
+  /// Admission high-watermark over the engine's tracked bytes (in-flight
+  /// query trackers plus the server's own frame/result accounting). A
+  /// request arriving while tracked memory is at or above it is answered
+  /// SERVER_BUSY instead of admitted — backpressure kicks in before the
+  /// allocator does. 0 disables the check.
+  std::uint64_t memory_soft_limit = 0;
+
   /// Threads executing queries. Query *coordination* runs here — the
   /// morsel work inside Session::Execute still fans out on the engine's
   /// shared ThreadPool. Coordinators get their own threads because a
@@ -87,6 +94,9 @@ struct ServerStats {
   std::atomic<std::uint64_t> connections_rejected{0};
   std::atomic<std::uint64_t> queries_executed{0};
   std::atomic<std::uint64_t> queries_rejected_busy{0};
+  /// Subset of queries_rejected_busy turned away at the memory
+  /// high-watermark (ServerOptions::memory_soft_limit).
+  std::atomic<std::uint64_t> queries_rejected_memory{0};
   std::atomic<std::uint64_t> protocol_errors{0};
 };
 
@@ -161,7 +171,15 @@ class PiServer {
   /// register — folding existing atomics costs nothing per query).
   obs::Histogram* query_latency_us_ = nullptr;
   obs::Histogram* queue_wait_us_ = nullptr;
+  /// Wait-event-class view of the same connection-queue wait
+  /// (pidx_wait_server_queue_us, next to the engine's pidx_wait_* family).
+  obs::Histogram* wait_queue_us_ = nullptr;
   obs::Counter* slow_queries_ = nullptr;
+
+  /// Frame/result-queue accounting, parented under the engine tracker so
+  /// server buffers show up in pidx_memory_tracked_bytes and
+  /// pi_stats.memory. Registered with the engine between Start and Stop.
+  std::unique_ptr<obs::MemoryTracker> mem_tracker_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe waking the acceptor's poll

@@ -451,7 +451,7 @@ Status DecodeError(WireReader* r, Status* status, std::uint32_t* line,
   PIDX_RETURN_NOT_OK(r->GetU32(&c));
   std::string message;
   PIDX_RETURN_NOT_OK(r->GetString(&message));
-  if (code > static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::InvalidArgument("malformed frame: unknown status code");
   }
   *status = Status(static_cast<StatusCode>(code), std::move(message));

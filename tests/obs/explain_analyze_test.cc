@@ -16,11 +16,16 @@
 namespace patchindex {
 namespace {
 
-/// Replaces every `<number>.<3 digits>ms` with `<t>ms` — wall times are
-/// the only nondeterministic part of an EXPLAIN ANALYZE rendering.
+/// Replaces every `<number>.<3 digits>ms` with `<t>ms` and every
+/// mem=/peak_mem= byte figure with `<m>` — wall times are nondeterministic,
+/// and memory figures of partial-aggregate operators depend on how many
+/// groups each worker happened to see (morsel scheduling), so both are
+/// masked; everything else is deterministic for a pinned engine config.
 std::string MaskTimes(const std::string& text) {
   static const std::regex kTime("[0-9]+\\.[0-9]{3}ms");
-  return std::regex_replace(text, kTime, "<t>ms");
+  static const std::regex kMem("(mem=)[0-9]+");
+  return std::regex_replace(std::regex_replace(text, kTime, "<t>ms"), kMem,
+                            "$1<m>");
 }
 
 /// Joins a plan-text result (single STRING column, one row per line)
@@ -77,15 +82,15 @@ TEST(ExplainAnalyzeTest, GoldenJoinGroupByOrderBy) {
       MaskTimes(PlanText(r.value())),
       "Sort(2 keys, limit=2)  [rows=2, workers=1, time=<t>ms]\n"
       "  Aggregate(groups=1, aggs=2)  [rows=4, workers=2, time=<t>ms, "
-      "max=<t>ms]\n"
+      "max=<t>ms, mem=<m>]\n"
       "    Join(keys 0=0)  [rows=11, workers=2, time=<t>ms, max=<t>ms, "
-      "build=<t>ms]\n"
+      "build=<t>ms, mem=<m>]\n"
       "      Scan(2 cols, 12 rows)  [rows=12, morsels=1, workers=2, "
       "time=<t>ms, max=<t>ms]\n"
       "      Scan(2 cols, 4 rows)  [rows=4, morsels=1, workers=2, "
       "time=<t>ms, max=<t>ms]\n"
       "phases: parse=<t>ms bind=<t>ms optimize=<t>ms execute=<t>ms "
-      "total=<t>ms\n"
+      "total=<t>ms peak_mem=<m>\n"
       "execution: parallel, workers=2, parallel join");
 }
 

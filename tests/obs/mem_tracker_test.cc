@@ -1,0 +1,185 @@
+// The memory-accounting hierarchy: charge/release propagation through
+// parents, limit enforcement with full rollback, peak tracking, the
+// thread-local query-tracker context, and OpMemory's chunked charging.
+
+#include "obs/mem_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace patchindex::obs {
+namespace {
+
+TEST(MemoryTrackerTest, ChargePropagatesToEveryAncestor) {
+  MemoryTracker root("root");
+  MemoryTracker mid("mid", &root);
+  MemoryTracker leaf("leaf", &mid);
+
+  leaf.Charge(1000, "test op");
+  EXPECT_EQ(leaf.current(), 1000u);
+  EXPECT_EQ(mid.current(), 1000u);
+  EXPECT_EQ(root.current(), 1000u);
+
+  mid.Charge(50, "test op");
+  EXPECT_EQ(leaf.current(), 1000u);
+  EXPECT_EQ(mid.current(), 1050u);
+  EXPECT_EQ(root.current(), 1050u);
+
+  leaf.Release(400);
+  EXPECT_EQ(leaf.current(), 600u);
+  EXPECT_EQ(mid.current(), 650u);
+  EXPECT_EQ(root.current(), 650u);
+  leaf.Release(600);
+  mid.Release(50);
+  EXPECT_EQ(root.current(), 0u);
+}
+
+TEST(MemoryTrackerTest, PeakIsHighWaterNotCurrent) {
+  MemoryTracker t("t");
+  t.Charge(100, "op");
+  t.Charge(200, "op");
+  t.Release(250);
+  EXPECT_EQ(t.current(), 50u);
+  EXPECT_EQ(t.peak(), 300u);
+  // A later smaller hump does not move the peak.
+  t.Charge(100, "op");
+  EXPECT_EQ(t.peak(), 300u);
+}
+
+TEST(MemoryTrackerTest, ChargeThrowsNamingOpAndScope) {
+  MemoryTracker limited("query#7", nullptr, 1024);
+  limited.Charge(1000, "Sort");
+  try {
+    limited.Charge(1000, "HashJoin build");
+    FAIL() << "expected ResourceExhaustedError";
+  } catch (const ResourceExhaustedError& e) {
+    EXPECT_EQ(e.op(), "HashJoin build");
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("HashJoin build"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("query#7"), std::string::npos) << msg;
+  }
+  // The failed charge rolled back completely.
+  EXPECT_EQ(limited.current(), 1000u);
+}
+
+TEST(MemoryTrackerTest, AncestorLimitRollsBackWholeChain) {
+  MemoryTracker root("engine", nullptr, 1000);
+  MemoryTracker a("query#1", &root);
+  MemoryTracker b("query#2", &root);
+
+  a.Charge(800, "op");
+  std::string scope;
+  // b itself is unlimited, but the parent would go over: the charge must
+  // fail and leave every node exactly where it was.
+  EXPECT_FALSE(b.TryCharge(300, &scope));
+  EXPECT_EQ(scope, "engine");
+  EXPECT_EQ(b.current(), 0u);
+  EXPECT_EQ(root.current(), 800u);
+  // Under the limit it goes through.
+  EXPECT_TRUE(b.TryCharge(200, &scope));
+  EXPECT_EQ(root.current(), 1000u);
+}
+
+TEST(MemoryTrackerTest, DestructorReleasesBalanceToParent) {
+  MemoryTracker root("root");
+  {
+    MemoryTracker child("child", &root);
+    child.Charge(4096, "op");
+    EXPECT_EQ(root.current(), 4096u);
+  }
+  EXPECT_EQ(root.current(), 0u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargersNeverLoseBytes) {
+  MemoryTracker root("root");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root] {
+      for (int i = 0; i < kPerThread; ++i) root.Charge(3, "op");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(root.current(), std::uint64_t{kThreads} * kPerThread * 3);
+  EXPECT_EQ(root.peak(), root.current());
+}
+
+TEST(ScopedQueryTrackerTest, InstallsAndRestoresThreadLocal) {
+  EXPECT_EQ(CurrentQueryTracker(), nullptr);
+  MemoryTracker outer("outer");
+  {
+    ScopedQueryTracker install_outer(&outer);
+    EXPECT_EQ(CurrentQueryTracker(), &outer);
+    MemoryTracker inner("inner");
+    {
+      ScopedQueryTracker install_inner(&inner);
+      EXPECT_EQ(CurrentQueryTracker(), &inner);
+    }
+    EXPECT_EQ(CurrentQueryTracker(), &outer);
+  }
+  EXPECT_EQ(CurrentQueryTracker(), nullptr);
+}
+
+TEST(OpMemoryTest, BatchesChargesAndFlushesRemainderOnDestruction) {
+  MemoryTracker tracker("q");
+  ScopedQueryTracker scope(&tracker);
+  {
+    OpMemory mem("Sort");
+    mem.Add(1000);
+    // Below the flush threshold nothing has reached the tracker yet.
+    EXPECT_EQ(tracker.current(), 0u);
+    mem.Add(OpMemory::kFlushBytes);
+    // Crossing the threshold flushed the accumulated total.
+    EXPECT_EQ(tracker.current(), 1000u + OpMemory::kFlushBytes);
+    mem.Add(10);
+    EXPECT_EQ(mem.total(), 1000u + OpMemory::kFlushBytes + 10);
+  }
+  // The destructor flushed the unflushed tail.
+  EXPECT_EQ(tracker.current(), 1000u + OpMemory::kFlushBytes + 10);
+}
+
+TEST(OpMemoryTest, GrowToOnlyEverRaises) {
+  MemoryTracker tracker("q");
+  ScopedQueryTracker scope(&tracker);
+  OpMemory mem("Aggregate");
+  mem.GrowTo(500);
+  EXPECT_EQ(mem.total(), 500u);
+  mem.GrowTo(300);  // shrinking estimate: no-op
+  EXPECT_EQ(mem.total(), 500u);
+  mem.GrowTo(800);
+  EXPECT_EQ(mem.total(), 800u);
+  mem.Flush();
+  EXPECT_EQ(tracker.current(), 800u);
+}
+
+TEST(OpMemoryTest, FlushThrowsAtTheBudgetNamingTheOp) {
+  MemoryTracker tracker("query#3", nullptr, 10'000);
+  ScopedQueryTracker scope(&tracker);
+  OpMemory mem("TopN");
+  mem.Add(5000);
+  EXPECT_NO_THROW(mem.Flush());
+  mem.Add(20'000);
+  try {
+    mem.Flush();
+    FAIL() << "expected ResourceExhaustedError";
+  } catch (const ResourceExhaustedError& e) {
+    EXPECT_EQ(e.op(), "TopN");
+  }
+}
+
+TEST(OpMemoryTest, NoTrackerInstalledIsFree) {
+  ASSERT_EQ(CurrentQueryTracker(), nullptr);
+  OpMemory mem("Collect");
+  mem.Add(1 << 20);
+  mem.Flush();  // nowhere to go; must not crash
+  EXPECT_EQ(mem.total(), std::uint64_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace patchindex::obs

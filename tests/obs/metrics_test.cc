@@ -128,6 +128,50 @@ TEST(HistogramTest, SubtractTurnsCumulativeIntoInterval) {
   EXPECT_EQ(delta.buckets[Histogram::BucketOf(200)], 1u);
 }
 
+TEST(HistogramTest, PercentileEdgeCases) {
+  // Empty snapshot: every quantile (including the clamped extremes) is 0.
+  const HistogramSnapshot empty{};
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(2.0), 0.0);
+
+  // Single occupied bucket: every quantile reads that bucket's upper
+  // bound, p0 through p100.
+  Histogram single;
+  for (int i = 0; i < 7; ++i) single.Record(42);
+  const HistogramSnapshot snap = single.Snapshot();
+  const double upper = static_cast<double>(
+      HistogramSnapshot::BucketUpperUs(Histogram::BucketOf(42)));
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), upper);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), upper);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), upper);
+  // Out-of-range quantiles clamp into [0, 1] instead of misbehaving.
+  EXPECT_DOUBLE_EQ(snap.Percentile(-0.5), snap.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.5), snap.Percentile(1.0));
+}
+
+TEST(HistogramTest, SubtractToEmptyIntervalIsZeroNotUnderflow) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  const HistogramSnapshot base = h.Snapshot();
+  // No records between the two snapshots: the interval is empty.
+  HistogramSnapshot delta = h.Snapshot();
+  delta.Subtract(base);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_EQ(delta.sum_us, 0u);
+  for (const std::uint64_t b : delta.buckets) EXPECT_EQ(b, 0u);
+  EXPECT_DOUBLE_EQ(delta.Percentile(0.99), 0.0);
+  // Subtracting a *larger* snapshot (e.g. a racing writer between reads)
+  // saturates at zero instead of wrapping around.
+  HistogramSnapshot zero{};
+  zero.Subtract(base);
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.sum_us, 0u);
+}
+
 TEST(MetricsRegistryTest, GetOrCreateReturnsSameObject) {
   MetricsRegistry registry;
   Counter* c1 = registry.GetCounter("a_total", "help");

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <regex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -349,6 +350,95 @@ TEST(ServerObservabilityTest, ActiveQueryVisibleFromSecondConnection) {
     }
   }
   EXPECT_TRUE(retired);
+}
+
+TEST(ServerObservabilityTest, MemoryLimitErrorCrossesWireServerKeepsServing) {
+  EngineOptions engine_options;
+  engine_options.query_memory_limit = 256 * 1024;
+  TestServer ts({}, engine_options);
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Meta(".gen nuc big 200000 0.05").ok());
+
+  // The over-budget statement fails with the structured status — the
+  // code survives the wire, not a generic "internal error" downgrade.
+  Result<QueryResult> r = client.Sql("SELECT key, val FROM big ORDER BY val");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("memory limit exceeded in operator"),
+            std::string::npos)
+      << r.status().ToString();
+
+  // Same connection, next statement: the server kept serving.
+  Result<QueryResult> count = client.Sql("SELECT COUNT(*) FROM big");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value().rows.columns[0].i64[0], 200'000);
+
+  // The failure is attributed in the flight recorder, queryable remotely.
+  Result<QueryResult> ring = client.Sql(
+      "SELECT COUNT(*) FROM pi_stats.queries "
+      "WHERE status = 'ResourceExhausted'");
+  ASSERT_TRUE(ring.ok()) << ring.status().ToString();
+  EXPECT_EQ(ring.value().rows.columns[0].i64[0], 1);
+}
+
+TEST(ServerObservabilityTest, PeakMemAgreesAcrossSurfacesOverTheWire) {
+  TestServer ts;
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Meta(".gen nuc big 50000 0.05").ok());
+
+  const std::string sql =
+      "EXPLAIN ANALYZE SELECT key, val FROM big ORDER BY val LIMIT 10";
+  Result<QueryResult> r = client.Sql(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string plan;
+  for (std::size_t i = 0; i < r.value().rows.num_rows(); ++i) {
+    plan += r.value().rows.columns[0].str[i] + "\n";
+  }
+  std::smatch m;
+  ASSERT_TRUE(std::regex_search(plan, m, std::regex("peak_mem=([0-9]+)")))
+      << plan;
+  const std::int64_t rendered = std::stoll(m[1]);
+  EXPECT_GT(rendered, 0);
+
+  // The pi_stats.queries row for the same statement, fetched over the
+  // same connection, reports the identical byte count.
+  Result<QueryResult> rec = client.Sql(
+      "SELECT peak_mem_bytes FROM pi_stats.queries WHERE sql = '" + sql +
+      "'");
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec.value().rows.num_rows(), 1u);
+  EXPECT_EQ(rec.value().rows.columns[0].i64[0], rendered);
+}
+
+TEST(ServerObservabilityTest, MemoryHighWatermarkShedsLoadUntilItClears) {
+  ServerOptions options;
+  options.memory_soft_limit = 1 << 20;
+  TestServer ts(std::move(options));
+  PiClient client = ts.Connect();
+  ASSERT_TRUE(client.Sql("CREATE TABLE t (a INT64)").ok());
+
+  // Pin tracked engine memory above the watermark (standing in for a
+  // fleet of hungry queries) — new statements are shed at admission.
+  ts.engine.memory().Charge(2 << 20, "test ballast");
+  Result<QueryResult> shed = client.Sql("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable)
+      << shed.status().ToString();
+  EXPECT_NE(shed.status().message().find("SERVER_BUSY"), std::string::npos)
+      << shed.status().ToString();
+  EXPECT_NE(shed.status().message().find("high-watermark"), std::string::npos);
+
+  // The rejection is counted on its own metric, separate from queue-full.
+  EXPECT_NE(ts.engine.metrics().RenderText().find(
+                "pidx_server_queries_rejected_memory_total 1"),
+            std::string::npos);
+
+  // Memory drains back under the watermark: the same connection serves
+  // again — shedding is a back-pressure valve, not a death sentence.
+  ts.engine.memory().Release(2 << 20);
+  Result<QueryResult> ok = client.Sql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
 TEST(MetricsHttpTest, ServesPrometheusTextAndRejectsOtherPaths) {

@@ -6,6 +6,7 @@
 //            [--no-meta] [--init script.sql] [--metrics-port P]
 //            [--slow-query-ms N] [--trace-sampling X] [--data-dir DIR]
 //            [--no-fsync] [--checkpoint-interval SECONDS]
+//            [--query-memory-limit BYTES] [--memory-limit BYTES]
 //
 // Starts a PiServer over a fresh engine and serves until SIGINT/SIGTERM,
 // then shuts down gracefully (in-flight queries drain, results are
@@ -31,9 +32,19 @@
 // seconds (WAL-size-triggered checkpoints run either way); `--no-fsync`
 // trades power-cut safety for throughput. A final checkpoint runs on
 // graceful shutdown so the next start replays an empty log.
+//
+// `--query-memory-limit` caps each statement's accounted allocations
+// (join builds, sort buffers, aggregate tables, DML deltas): a statement
+// over budget fails with a kResourceExhausted error naming the operator
+// while the server keeps serving. `--memory-limit` caps the tracked
+// bytes across all concurrent statements plus the server's own buffers,
+// and doubles as the admission high-watermark: requests arriving while
+// tracked memory sits at the limit are answered SERVER_BUSY. Both accept
+// a K/M/G suffix (e.g. 512M); 0 (the default) means unlimited.
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +73,27 @@ bool ParseSize(const char* text, std::size_t* out) {
   return true;
 }
 
+/// Parses a byte count with an optional K/M/G (or k/m/g) suffix.
+bool ParseBytes(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text) return false;
+  std::uint64_t mult = 1;
+  if (*end == 'K' || *end == 'k') {
+    mult = 1024;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    mult = 1024 * 1024;
+    ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    mult = 1024 * 1024 * 1024;
+    ++end;
+  }
+  if (*end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v) * mult;
+  return true;
+}
+
 bool ParseDouble(const char* text, double* out) {
   char* end = nullptr;
   const double v = std::strtod(text, &end);
@@ -77,7 +109,8 @@ int Usage(const char* argv0) {
       "          [--max-queue N] [--max-connections N] [--threads N]\n"
       "          [--no-meta] [--init script.sql] [--metrics-port P]\n"
       "          [--slow-query-ms N] [--trace-sampling X] [--data-dir DIR]\n"
-      "          [--no-fsync] [--checkpoint-interval SECONDS]\n",
+      "          [--no-fsync] [--checkpoint-interval SECONDS]\n"
+      "          [--query-memory-limit BYTES] [--memory-limit BYTES]\n",
       argv0);
   return 1;
 }
@@ -164,6 +197,28 @@ int main(int argc, char** argv) {
       const char* v = next("--checkpoint-interval");
       if (v == nullptr || !ParseSize(v, &n) || n == 0) return Usage(argv[0]);
       checkpoint_interval_s = n;
+    } else if (arg == "--query-memory-limit") {
+      const char* v = next("--query-memory-limit");
+      std::uint64_t bytes = 0;
+      if (v == nullptr || !ParseBytes(v, &bytes)) {
+        std::fprintf(stderr,
+                     "--query-memory-limit expects BYTES (K/M/G suffix ok)\n");
+        return Usage(argv[0]);
+      }
+      engine_options.query_memory_limit = bytes;
+    } else if (arg == "--memory-limit") {
+      const char* v = next("--memory-limit");
+      std::uint64_t bytes = 0;
+      if (v == nullptr || !ParseBytes(v, &bytes)) {
+        std::fprintf(stderr,
+                     "--memory-limit expects BYTES (K/M/G suffix ok)\n");
+        return Usage(argv[0]);
+      }
+      engine_options.engine_memory_limit = bytes;
+      // The engine cap doubles as the server's admission high-watermark:
+      // requests arriving at the limit shed as SERVER_BUSY instead of
+      // racing in-flight statements for the last budget bytes.
+      options.memory_soft_limit = bytes;
     } else if (arg == "--no-meta") {
       options.enable_meta_commands = false;
     } else if (arg == "--init") {
